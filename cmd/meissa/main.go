@@ -1,0 +1,299 @@
+// Command meissa is the CLI front door to the testing system: it
+// generates full-path-coverage test cases for a data plane program and
+// optionally runs them against the reference software target (with
+// optional injected compiler faults, for demonstrating non-code bug
+// detection).
+//
+// Usage:
+//
+//	meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary]
+//	meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault setvalid:hdr] [-trace]
+//	meissa corpus            # list the built-in evaluation corpus
+//	meissa dump -corpus gw-2 # print a corpus program's source and rules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	meissa "repro"
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/programs"
+	"repro/internal/rules"
+	"repro/internal/spec"
+	"repro/internal/switchsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "test":
+		err = cmdTest(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus()
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meissa:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-v]
+  meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace]
+  meissa corpus
+  meissa dump -corpus <name>`)
+}
+
+// loadInputs reads the program, rule set and specs named by flags, or a
+// built-in corpus program via -corpus.
+func loadInputs(fs *flag.FlagSet, args []string) (*p4.Program, *rules.Set, []*spec.Spec, *flag.FlagSet, error) {
+	progPath := fs.String("p", "", "P4 program file")
+	rulesPath := fs.String("r", "", "table rule set file")
+	specPath := fs.String("s", "", "LPI intent spec file")
+	corpusName := fs.String("corpus", "", "use a built-in corpus program instead of -p/-r")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	if *corpusName != "" {
+		for _, p := range programs.All() {
+			if p.Name == *corpusName {
+				return p.Prog, p.Rules, nil, fs, nil
+			}
+		}
+		return nil, nil, nil, nil, fmt.Errorf("unknown corpus program %q", *corpusName)
+	}
+	if *progPath == "" {
+		return nil, nil, nil, nil, fmt.Errorf("missing -p <program> (or -corpus <name>)")
+	}
+	src, err := os.ReadFile(*progPath)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	prog, err := p4.Parse(string(src))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rs := rules.NewSet()
+	if *rulesPath != "" {
+		data, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		rs, err = rules.Parse(string(data))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	var specs []*spec.Spec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		specs, err = spec.Parse(string(data))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	return prog, rs, specs, fs, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	noSummary := fs.Bool("no-summary", false, "disable code summary (basic framework)")
+	verbose := fs.Bool("v", false, "print each template's constraints")
+	prog, rs, specs, _, err := loadInputs(fs, args)
+	if err != nil {
+		return err
+	}
+	opts := meissa.DefaultOptions()
+	opts.CodeSummary = !*noSummary
+	sys, err := meissa.New(prog, rs, specs, opts)
+	if err != nil {
+		return err
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s: %d test case templates in %v\n",
+		prog.Name, len(gen.Templates), gen.Duration.Round(time.Millisecond))
+	fmt.Printf("  possible paths: 10^%.1f -> 10^%.1f, SMT calls: %d\n",
+		gen.PossiblePathsLog10Before, gen.PossiblePathsLog10After, gen.SMTCalls)
+	if gen.SummaryStats != nil {
+		for _, ps := range gen.SummaryStats.Pipelines {
+			fmt.Printf("  pipeline %-12s valid paths %5d, public pre-conditions %d\n",
+				ps.Name, ps.ValidPaths, ps.PublicConstraints)
+		}
+	}
+	if *verbose {
+		for _, t := range gen.Templates {
+			fmt.Printf("template %d (dropped=%v):\n", t.ID, t.Dropped)
+			for _, c := range t.Constraints {
+				fmt.Printf("  %s\n", c)
+			}
+		}
+	}
+	return nil
+}
+
+// parseFaults parses -fault kind:arg[,kind:arg...].
+func parseFaults(s string) (switchsim.Faults, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out switchsim.Faults
+	for _, item := range strings.Split(s, ",") {
+		kv := strings.SplitN(item, ":", 2)
+		kind := kv[0]
+		arg := ""
+		if len(kv) == 2 {
+			arg = kv[1]
+		}
+		switch kind {
+		case "setvalid":
+			out = append(out, switchsim.SetValidNoOp{Header: arg})
+		case "checksum":
+			out = append(out, switchsim.ChecksumSkip{Header: arg})
+		case "compare":
+			out = append(out, switchsim.WrongCompare{})
+		case "extract":
+			out = append(out, switchsim.ExtractNoValidity{Header: arg})
+		case "overlap":
+			ab := strings.SplitN(arg, "/", 2)
+			if len(ab) != 2 {
+				return nil, fmt.Errorf("overlap fault wants a/b, got %q", arg)
+			}
+			out = append(out, switchsim.FieldOverlap{A: ab[0], B: ab[1]})
+		case "rules":
+			out = append(out, switchsim.TableMissDefault{Table: arg})
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q", kind)
+		}
+	}
+	return out, nil
+}
+
+func cmdTest(args []string) error {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	faultSpec := fs.String("fault", "", "inject compiler faults: kind:arg[,kind:arg...]")
+	trace := fs.Bool("trace", false, "print bug localization for the first failure")
+	udp := fs.Bool("udp", false, "drive the target over a real UDP loopback socket")
+	prog, rs, specs, _, err := loadInputs(fs, args)
+	if err != nil {
+		return err
+	}
+	faults, err := parseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	sys, err := meissa.New(prog, rs, specs, meissa.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		return err
+	}
+	target, err := switchsim.Compile(prog, rs, faults)
+	if err != nil {
+		return err
+	}
+	if len(faults) > 0 {
+		fmt.Println("injected faults:")
+		for _, d := range faults.Describe() {
+			fmt.Println("  -", d)
+		}
+	}
+
+	var link driver.Link
+	var loop *driver.Loopback
+	if *udp {
+		sw, err := driver.ServeUDP(target, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer sw.Close()
+		l, err := driver.DialUDP(sw.Addr())
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		link = l
+		fmt.Println("switch under test on", sw.Addr())
+	} else {
+		loop = driver.NewLoopback(target)
+		link = loop
+	}
+
+	rep, err := sys.Test(link, gen)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	for _, o := range rep.Failures() {
+		fmt.Printf("FAIL case %d:\n", o.Case.ID)
+		for _, m := range o.Mismatches {
+			fmt.Println("  mismatch:", m)
+		}
+		for _, c := range o.ChecksumErrors {
+			fmt.Println("  checksum:", c)
+		}
+		for _, v := range o.Violations {
+			fmt.Println("  intent:", v)
+		}
+	}
+	if *trace && rep.Failed > 0 && loop != nil {
+		fmt.Println()
+		fmt.Println(meissa.Localize(gen, rep.Failures()[0], loop.LastTrace()))
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdCorpus() error {
+	fmt.Printf("%-10s %5s %6s %6s %9s  %s\n", "name", "LOC", "rules", "pipes", "switches", "description")
+	for _, p := range programs.All() {
+		fmt.Printf("%-10s %5d %6d %6d %9d  %s\n",
+			p.Name, p.LOC(), p.Rules.LOC(), p.Pipes, p.Switches, p.Description)
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	name := fs.String("corpus", "", "corpus program name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, p := range programs.All() {
+		if p.Name == *name {
+			fmt.Println("// ---- program (normalized) ----")
+			fmt.Println(p4.Print(p.Prog))
+			fmt.Println("// ---- rules ----")
+			fmt.Println(p.Rules.String())
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown corpus program %q", *name)
+}

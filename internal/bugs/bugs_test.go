@@ -1,0 +1,122 @@
+package bugs
+
+import (
+	"testing"
+
+	"repro/internal/switchsim"
+)
+
+// expectedMatrix is Table 2 of the paper: per bug index, detection by
+// (Meissa, p4pktgen, PTA, Gauntlet, Aquila).
+var expectedMatrix = map[int][5]bool{
+	1:  {true, false, false, false, true},
+	2:  {true, false, false, false, true},
+	3:  {true, true, true, true, true},
+	4:  {true, true, true, true, true},
+	5:  {true, false, true, false, true},
+	6:  {true, false, false, false, false},
+	7:  {true, true, false, true, false},
+	8:  {true, true, false, true, false},
+	9:  {true, false, false, true, false},
+	10: {true, false, false, true, false},
+	11: {true, false, false, true, false},
+	12: {true, false, false, false, false},
+	13: {true, false, false, false, false},
+	14: {true, false, false, false, false},
+	15: {true, false, false, false, false},
+	16: {true, false, false, false, false},
+}
+
+func TestScenariosComplete(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 16 {
+		t.Fatalf("got %d scenarios, want 16", len(ss))
+	}
+	for i, s := range ss {
+		if s.Index != i+1 {
+			t.Errorf("scenario %d has index %d", i, s.Index)
+		}
+		if s.Prog == nil {
+			t.Errorf("scenario %d has no program", s.Index)
+		}
+	}
+	// Kinds match Table 2's grouping: 1-6 code, 7-16 non-code.
+	for _, s := range ss {
+		want := CodeBug
+		if s.Index >= 7 {
+			want = NonCodeBug
+		}
+		if s.Kind != want {
+			t.Errorf("scenario %d kind = %s, want %s", s.Index, s.Kind, want)
+		}
+	}
+	// Non-code scenarios must inject faults; code scenarios must not.
+	for _, s := range ss {
+		if s.Kind == NonCodeBug && len(s.Faults) == 0 {
+			t.Errorf("non-code scenario %d has no injected fault", s.Index)
+		}
+		if s.Kind == CodeBug && len(s.Faults) != 0 {
+			t.Errorf("code scenario %d injects compiler faults", s.Index)
+		}
+	}
+}
+
+// TestTable2BugMatrix runs every tool against every scenario and checks
+// the resulting detection matrix against the paper's Table 2.
+func TestTable2BugMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run takes ~1 minute")
+	}
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			row, err := RunOne(s)
+			if err != nil {
+				t.Fatalf("scenario %d: %v", s.Index, err)
+			}
+			want := expectedMatrix[s.Index]
+			got := [5]bool{
+				row.Meissa.Detected,
+				row.P4Pktgen.Detected,
+				row.PTA.Detected,
+				row.Gauntlet.Detected,
+				row.Aquila.Detected,
+			}
+			names := [5]string{"Meissa", "p4pktgen", "PTA", "Gauntlet", "Aquila"}
+			whys := [5]string{row.Meissa.Why, row.P4Pktgen.Why, row.PTA.Why, row.Gauntlet.Why, row.Aquila.Why}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("bug %d (%s): %s detected=%v, want %v (%s)",
+						s.Index, s.Name, names[i], got[i], want[i], whys[i])
+				}
+			}
+		})
+	}
+}
+
+// TestNoFalsePositivesOnCorrectTargets runs Meissa's full check against
+// fault-free targets for every scenario program with its code bug
+// removed... the non-code scenarios' programs are themselves correct, so
+// running them without the injected fault must pass cleanly.
+func TestNoFalsePositivesOnCorrectTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("takes ~30s")
+	}
+	for _, s := range Scenarios() {
+		if s.Kind != NonCodeBug {
+			continue // code-bug programs are buggy by construction
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			clean := *s
+			clean.Faults = switchsim.Faults{}
+			d, err := DetectMeissa(&clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Detected {
+				t.Errorf("false positive on correct target: %s", d.Why)
+			}
+		})
+	}
+}

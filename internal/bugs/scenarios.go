@@ -1,0 +1,498 @@
+// Package bugs reproduces the Table 2 bug-finding evaluation: 16
+// representative bugs (6 code bugs, 10 non-code bugs) and a detection
+// harness that runs each tool's actual methodology against each scenario
+// — Meissa's full generate-inject-check loop, p4pktgen's and Gauntlet's
+// rule-less model-vs-target comparison, PTA's handwritten assertion runs,
+// and Aquila's execution-free verification of predicted outputs.
+package bugs
+
+import (
+	"strings"
+
+	"repro/internal/p4"
+	"repro/internal/programs"
+	"repro/internal/rules"
+	"repro/internal/spec"
+	"repro/internal/switchsim"
+)
+
+// Kind classifies a bug as the paper's Table 2 does.
+type Kind int
+
+// Bug kinds.
+const (
+	CodeBug Kind = iota
+	NonCodeBug
+)
+
+func (k Kind) String() string {
+	if k == CodeBug {
+		return "code"
+	}
+	return "non-code"
+}
+
+// Scenario is one Table 2 row.
+type Scenario struct {
+	Index int
+	Name  string
+	Kind  Kind
+
+	Prog  *p4.Program
+	Rules *rules.Set
+	// Specs is the developer intent Meissa and Aquila check.
+	Specs []*spec.Spec
+	// Faults are injected into the compiled target (non-code bugs).
+	Faults switchsim.Faults
+	// Handwritten is PTA's pre-existing unit test, when one exists.
+	Handwritten []*spec.Spec
+
+	// Production marks scale/features beyond p4pktgen and Gauntlet
+	// ("they cannot scale to multi-switch multi-pipeline programs").
+	Production bool
+	// UsesP4_16 marks programs beyond PTA's P4-14 support
+	// ("it does not support P4-16 in which bug 7–16 are written").
+	UsesP4_16 bool
+	// TofinoSpecific marks target features p4pktgen does not model
+	// ("p4pktgen only tests a small subset of P4 functionalities").
+	TofinoSpecific bool
+}
+
+// smallFwd is a small single-pipeline forwarder used by several
+// scenarios; its logic is parameterized by the embedded control body.
+func smallFwd(name, controlBody string) *p4.Program {
+	return p4.MustParse(`program ` + name + `;
+header ethernet {
+  bit<48> dstAddr;
+  bit<48> srcAddr;
+  bit<16> etherType;
+}
+header ipv4 {
+  bit<8>  ttl;
+  bit<8>  protocol;
+  bit<16> checksum;
+  bit<32> srcAddr;
+  bit<32> dstAddr;
+}
+header tcp {
+  bit<16> srcPort;
+  bit<16> dstPort;
+  bit<32> seqNo;
+  bit<32> ackNo;
+}
+metadata {
+  bit<9> port;
+  bit<8> class;
+}
+parser prs {
+  state start {
+    extract(ethernet);
+    transition select(ethernet.etherType) {
+      0x0800: parse_ipv4;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    transition select(ipv4.protocol) {
+      6: parse_tcp;
+      default: accept;
+    }
+  }
+  state parse_tcp { extract(tcp); transition accept; }
+}
+control ing {
+  apply {
+` + controlBody + `
+  }
+}
+pipeline ig { parser = prs; control = ing; }
+`)
+}
+
+// Scenarios returns all 16 Table 2 rows.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		routingMisconfiguration(),   // 1
+		unrestrictedACL(),           // 2
+		parserWrongLogic(),          // 3
+		ingressWrongLogic(),         // 4
+		wrongDeparserEmit(),         // 5
+		checksumFailToUpdate(),      // 6
+		p4cFrontend2147(),           // 7
+		p4cFrontend2343(),           // 8
+		bfP4cBackend1(),             // 9
+		bfP4cBackend3(),             // 10
+		bfP4cBackend6(),             // 11
+		bfP4cBackendA(),             // 12
+		bfP4cBackendB(),             // 13
+		bfP4cBackendC(),             // 14
+		misusedOptimizationPragma(), // 15
+		missingCompilationFlags(),   // 16
+	}
+}
+
+// 1. Routing misconfiguration (code bug in the rule set): an installed
+// route points at a nexthop with no MAC entry, so matching traffic is
+// silently dropped.
+func routingMisconfiguration() *Scenario {
+	r := programs.Router()
+	rs := rules.NewSet()
+	rs.Merge(r.Rules)
+	// The misconfigured route: nexthop 99 has no nexthop_mac entry.
+	rs.Add("ipv4_lpm", rules.PRule(24, "set_nexthop", []uint64{99, 3},
+		rules.L("ipv4.dstAddr", 0x0A630000, 24))) // 10.99.0.0/24
+	sp := spec.MustParseOne(`
+spec reachable_prefix {
+  assume ethernet.etherType == 0x0800;
+  assume ipv4.protocol == 6;
+  assume ipv4.dstAddr == 10.99.0.7;
+  assume ipv4.ttl == 9;
+  expect forwarded;
+}
+`)
+	return &Scenario{
+		Index: 1, Name: "Routing misconfiguration", Kind: CodeBug,
+		Prog: r.Prog, Rules: rs, Specs: []*spec.Spec{sp},
+		Production: true, // production rule set semantics
+		UsesP4_16:  true,
+	}
+}
+
+// 2. Unrestricted ACL rules (code bug in the rule set): a permit entry
+// with an over-broad mask admits traffic the operator intended to block.
+func unrestrictedACL() *Scenario {
+	a := programs.ACL()
+	rs := rules.NewSet()
+	rs.Merge(a.Rules)
+	// Intended: deny 192.168.99.0/24. Actual: mask 0xFFFF0000 permits at
+	// top priority, swallowing the deny.
+	rs.Add("acl_filter", rules.PRule(100, "acl_permit", nil,
+		rules.T("ipv4.srcAddr", 0xC0A80000, 0xFFFF0000)))
+	rs.Add("acl_filter", rules.PRule(50, "acl_deny", nil,
+		rules.T("ipv4.srcAddr", 0xC0A86300, 0xFFFFFF00)))
+	sp := spec.MustParseOne(`
+spec blocked_subnet {
+  assume ethernet.etherType == 0x0800;
+  assume ipv4.protocol == 6;
+  assume ipv4.srcAddr == 192.168.99.5;
+  assume ipv4.dstAddr == 10.0.1.9;
+  assume ipv4.ttl == 9;
+  expect dropped;
+}
+`)
+	return &Scenario{
+		Index: 2, Name: "Unrestricted ACL rules", Kind: CodeBug,
+		Prog: a.Prog, Rules: rs, Specs: []*spec.Spec{sp},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// 3. Parser wrong logic (code bug): the forwarding path rewrites
+// etherType to 0x86dd while leaving the IPv4 stack in place, so emitted
+// packets no longer decode — every testing tool sees the malformed
+// output, and verification sees the spec violation.
+func parserWrongLogic() *Scenario {
+	prog := smallFwd("parserbug", `
+    if (ipv4.isValid()) {
+      ethernet.etherType = 0x86dd;
+      meta.port = 1;
+    }
+`)
+	sp := spec.MustParseOne(`
+spec ethertype_consistent {
+  assume ethernet.etherType == 0x0800;
+  expect ethernet.etherType == 0x0800;
+}
+`)
+	return &Scenario{
+		Index: 3, Name: "Parser wrong logic", Kind: CodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Specs:       []*spec.Spec{sp},
+		Handwritten: []*spec.Spec{sp},
+	}
+}
+
+// 4. Ingress wrong logic (code bug): the TTL guard is off by one
+// (ttl > 0 instead of ttl > 1), so TTL-1 packets are forwarded with TTL
+// 0 — caught by the universal sanity check every testing tool applies.
+func ingressWrongLogic() *Scenario {
+	prog := smallFwd("ingressbug", `
+    if (ipv4.isValid()) {
+      if (ipv4.ttl > 0) {
+        ipv4.ttl = ipv4.ttl - 1;
+        meta.port = 2;
+      } else {
+        mark_drop();
+      }
+    }
+`)
+	sp := spec.MustParseOne(`
+spec ttl_positive {
+  assume ethernet.etherType == 0x0800;
+  expect ipv4.ttl > 0;
+}
+`)
+	return &Scenario{
+		Index: 4, Name: "Ingress wrong logic", Kind: CodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Specs:       []*spec.Spec{sp},
+		Handwritten: []*spec.Spec{sp},
+	}
+}
+
+// 5. Wrong deparser emit (code bug): the TCP header is wrongly
+// invalidated before emission, so output packets silently lose it. The
+// wire stays decodable (protocol rewritten to 255), so only intent-aware
+// tools notice.
+func wrongDeparserEmit() *Scenario {
+	prog := smallFwd("deparserbug", `
+    if (tcp.isValid()) {
+      setInvalid(tcp);
+      ipv4.protocol = 255;
+      meta.port = 3;
+    }
+`)
+	sp := spec.MustParseOne(`
+spec tcp_preserved {
+  assume ethernet.etherType == 0x0800;
+  assume ipv4.protocol == 6;
+  expect valid(tcp);
+}
+`)
+	return &Scenario{
+		Index: 5, Name: "Wrong deparser emit", Kind: CodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Specs:       []*spec.Spec{sp},
+		Handwritten: []*spec.Spec{sp},
+	}
+}
+
+// 6. Checksum fail-to-update (code bug, §6 issue #6): the encapsulation
+// path never validates the inner TCP header, so the egress checksum
+// update is skipped and the inner checksum is stale. Only Meissa's
+// driver-side checksum validation catches it ("verifying checksum is not
+// well supported by SMT solvers").
+func checksumFailToUpdate() *Scenario {
+	gw := programs.GW(2, programs.Set1)
+	// The engineers forgot to build the inner TCP header on the encap
+	// path ("our engineers forgot to parse inner TCP in the egress
+	// pipeline, so inner TCP would never be valid and its checksum would
+	// never be updated"). Removing the nat_encap_tcp invocation leaves
+	// innerTcp invalid, so the egress's guarded inner-checksum update
+	// never fires and the emitted inner IPv4 checksum is stale.
+	const hook = `if (tcp.isValid()) {
+          s0_gwig_nat_encap_tcp();
+        }`
+	if !strings.Contains(gw.Source, hook) {
+		panic("bugs: gw-2 encap hook not found")
+	}
+	src := strings.Replace(gw.Source, hook, "", 1)
+	// The inner headers must still exist on the wire for the bug to be a
+	// checksum bug rather than a parse error: keep innerIpv4 population
+	// (nat_encap_ip) intact, which it is.
+	return &Scenario{
+		Index: 6, Name: "Checksum fail-to-update", Kind: CodeBug,
+		Prog: p4.MustParse(src), Rules: gw.Rules,
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// 7. p4c frontend bug 2147 (non-code): a frontend transformation
+// truncates an assignment in the compiled program.
+func p4cFrontend2147() *Scenario {
+	prog := smallFwd("p4c2147", `
+    if (tcp.isValid()) {
+      tcp.dstPort = tcp.srcPort + 256;
+    }
+`)
+	return &Scenario{
+		Index: 7, Name: "p4c frontend bug 2147", Kind: NonCodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Faults:    switchsim.Faults{switchsim.WrongAssign{Field: "hdr.tcp.dstPort", Bits: 8}},
+		UsesP4_16: true,
+	}
+}
+
+// 8. p4c frontend bug 2343 (non-code): strict comparisons are folded to
+// their non-strict forms by a miscompiled rewrite.
+func p4cFrontend2343() *Scenario {
+	prog := smallFwd("p4c2343", `
+    if (tcp.isValid()) {
+      if (tcp.srcPort > 1023) {
+        meta.class = 1;
+        tcp.dstPort = 8080;
+      } else {
+        meta.class = 2;
+        tcp.dstPort = 80;
+      }
+    }
+`)
+	return &Scenario{
+		Index: 8, Name: "p4c frontend bug 2343", Kind: NonCodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Faults:    switchsim.Faults{switchsim.WrongCompare{}},
+		UsesP4_16: true,
+	}
+}
+
+// 9. bf-p4c backend bug 1 (non-code, Tofino-specific): setValid compiled
+// away on one path.
+func bfP4cBackend1() *Scenario {
+	prog := smallFwd("bfp4c1", `
+    if (ipv4.isValid()) {
+      if (ipv4.protocol == 17) {
+        setValid(tcp);
+        tcp.srcPort = 4789;
+        tcp.dstPort = 4789;
+        tcp.seqNo = 0;
+        tcp.ackNo = 0;
+        ipv4.protocol = 6;
+      }
+    }
+`)
+	return &Scenario{
+		Index: 9, Name: "bf-p4c backend bug 1", Kind: NonCodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Faults:         switchsim.Faults{switchsim.SetValidNoOp{Header: "tcp"}},
+		UsesP4_16:      true,
+		TofinoSpecific: true,
+	}
+}
+
+// 10. bf-p4c backend bug 3 (non-code, Tofino-specific): an arithmetic
+// assignment is truncated by PHV allocation.
+func bfP4cBackend3() *Scenario {
+	prog := smallFwd("bfp4c3", `
+    if (tcp.isValid()) {
+      tcp.seqNo = tcp.seqNo + 1000000;
+    }
+`)
+	return &Scenario{
+		Index: 10, Name: "bf-p4c backend bug 3", Kind: NonCodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Faults:         switchsim.Faults{switchsim.WrongAssign{Field: "hdr.tcp.seqNo", Bits: 16}},
+		UsesP4_16:      true,
+		TofinoSpecific: true,
+	}
+}
+
+// 11. bf-p4c backend bug 6 (non-code, Tofino-specific): two fields share
+// a container, so one write clobbers the other.
+func bfP4cBackend6() *Scenario {
+	prog := smallFwd("bfp4c6", `
+    if (tcp.isValid()) {
+      tcp.seqNo = 7777;
+    }
+`)
+	return &Scenario{
+		Index: 11, Name: "bf-p4c backend bug 6", Kind: NonCodeBug,
+		Prog: prog, Rules: rules.NewSet(),
+		Faults:         switchsim.Faults{switchsim.FieldOverlap{A: "hdr.tcp.seqNo", B: "hdr.tcp.ackNo"}},
+		UsesP4_16:      true,
+		TofinoSpecific: true,
+	}
+}
+
+// 12. bf-p4c backend bug A (non-code, production scale): incorrect
+// arithmetic comparison in a gateway program; only boundary-value test
+// generation at production scale exposes it.
+func bfP4cBackendA() *Scenario {
+	gw := programs.GW(2, programs.Set1)
+	return &Scenario{
+		Index: 12, Name: "bf-p4c backend bug A (incorrect arithmetic comparison)", Kind: NonCodeBug,
+		Prog: gwWithStrictCompare(), Rules: gw.Rules,
+		Faults:     switchsim.Faults{switchsim.WrongCompare{}},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// gwWithStrictCompare extends gw-2 with a rate-class stage using a strict
+// port comparison (the shape WrongCompare miscompiles).
+func gwWithStrictCompare() *p4.Program {
+	gw := programs.GW(2, programs.Set1)
+	const hook = "s0_gwig_nat_encap_tcp();"
+	// Ephemeral-port flows get a distinct outer source port; the strict
+	// comparison is the shape the backend miscompiles, and the rewrite is
+	// visible in the emitted packet.
+	const replacement = `if (tcp.srcPort > 1023) {
+          udp.srcPort = 50000;
+        }
+        s0_gwig_nat_encap_tcp();`
+	if !strings.Contains(gw.Source, hook) {
+		panic("bugs: gw-2 hook not found")
+	}
+	return p4.MustParse(strings.Replace(gw.Source, hook, replacement, 1))
+}
+
+// 13. bf-p4c backend bug B (non-code, production scale): incorrect
+// assignment — the VNI metadata write is truncated, derailing every
+// downstream correlated table.
+func bfP4cBackendB() *Scenario {
+	gw := programs.GW(2, programs.Set1)
+	return &Scenario{
+		Index: 13, Name: "bf-p4c backend bug B (incorrect assignment)", Kind: NonCodeBug,
+		Prog: gw.Prog, Rules: gw.Rules,
+		Faults:     switchsim.Faults{switchsim.WrongAssign{Field: "meta.vni", Bits: 8}},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// 14. bf-p4c backend bug C (non-code, §6 issue #14): setValid does not
+// take effect on certain paths, so the encapsulated VXLAN header never
+// appears in the output.
+func bfP4cBackendC() *Scenario {
+	gw := programs.GW(1, programs.Set1)
+	return &Scenario{
+		Index: 14, Name: "bf-p4c backend bug C (setValid)", Kind: NonCodeBug,
+		Prog: gw.Prog, Rules: gw.Rules,
+		Faults:     switchsim.Faults{switchsim.SetValidNoOp{Header: "vxlan"}},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// 15. Misuse of optimization pragmas (non-code, §6 issue #15): pragmas
+// disabled safety checks and hdr.tcp.ackNo overlapped the inner TCP
+// sequence field, exactly the Figure 13 failure. The engineers' test
+// constraints (distinct seq/ack) expose the clobber.
+func misusedOptimizationPragma() *Scenario {
+	gw := programs.GW(2, programs.Set1)
+	sp := spec.MustParseOne(`
+spec inner_tcp_faithful {
+  assume ethernet.etherType == 0x0800;
+  assume ipv4.protocol == 6;
+  assume ipv4.dstAddr == 203.0.113.1;
+  assume tcp.seqNo == 1111;
+  assume tcp.ackNo == 2222;
+  expect valid(innerTcp);
+  expect innerTcp.ackNo == in.tcp.ackNo;
+}
+`)
+	return &Scenario{
+		Index: 15, Name: "Misuse of optimization pragmas", Kind: NonCodeBug,
+		Prog: gw.Prog, Rules: gw.Rules,
+		Specs:      []*spec.Spec{sp},
+		Faults:     switchsim.Faults{switchsim.FieldOverlap{A: "hdr.tcp.ackNo", B: "hdr.innerTcp.seqNo"}},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}
+
+// 16. Missing compilation flags (non-code): the parser's validity
+// tracking is compiled out for the TCP header, so downstream stages see
+// it invalid and the output loses the header.
+func missingCompilationFlags() *Scenario {
+	gw := programs.GW(1, programs.Set1)
+	return &Scenario{
+		Index: 16, Name: "Missing compilation flags", Kind: NonCodeBug,
+		Prog: gw.Prog, Rules: gw.Rules,
+		Faults:     switchsim.Faults{switchsim.ExtractNoValidity{Header: "tcp"}},
+		Production: true,
+		UsesP4_16:  true,
+	}
+}

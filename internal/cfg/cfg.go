@@ -1,0 +1,337 @@
+// Package cfg implements Meissa's intermediate representation: the control
+// flow graph of Figure 3 of the paper. A CFG is a DAG of predicate and
+// action nodes; pipelines are single-entry single-exit regions wired
+// together by traffic-manager guard predicates, mirroring the
+// multi-switch multi-pipeline layouts of Figure 1.
+package cfg
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// NodeID identifies a node within its graph.
+type NodeID int
+
+// None is the invalid node ID.
+const None NodeID = -1
+
+// Kind discriminates node statement types.
+type Kind int
+
+// Node kinds. Predicate and Action are the two statement types of
+// Figure 3; Hash and Checksum are the opaque computations §4 of the paper
+// handles outside the SMT solver ("we directly calculate hashing results
+// if all keys are constrained with one value, and otherwise leave these
+// fields as arbitrary values").
+const (
+	Predicate Kind = iota
+	Action
+	Hash
+	Checksum
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Predicate:
+		return "predicate"
+	case Action:
+		return "action"
+	case Hash:
+		return "hash"
+	case Checksum:
+		return "checksum"
+	}
+	return "?"
+}
+
+// Node is one CFG vertex. Exactly one statement payload is set, selected
+// by Kind.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+
+	// Predicate payload: assume Pred.
+	Pred expr.Bool
+
+	// Action payload: Var ← Val.
+	Var expr.Var
+	Val expr.Arith
+
+	// Hash payload: Var ← hash(Inputs...). Checksum payload: Var ←
+	// checksum over Inputs (the header's non-checksum fields).
+	Inputs []expr.Arith
+
+	// Succs are the successor node IDs (the succ function of Figure 3).
+	Succs []NodeID
+
+	// Pipeline names the owning pipeline region ("" for glue nodes).
+	Pipeline string
+
+	// Comment describes the node's origin for execution traces and bug
+	// localization (§7), e.g. "table ipv4_host entry 3".
+	Comment string
+}
+
+// IsLeaf reports whether the node terminates paths.
+func (n *Node) IsLeaf() bool { return len(n.Succs) == 0 }
+
+// StmtString renders the node's statement in the paper's syntax.
+func (n *Node) StmtString() string {
+	switch n.Kind {
+	case Predicate:
+		return "assume " + n.Pred.String()
+	case Action:
+		return fmt.Sprintf("%s <- %s", n.Var, n.Val)
+	case Hash:
+		parts := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			parts[i] = in.String()
+		}
+		return fmt.Sprintf("%s <- hash(%s)", n.Var, strings.Join(parts, ", "))
+	case Checksum:
+		return fmt.Sprintf("%s <- checksum(...)", n.Var)
+	}
+	return "?"
+}
+
+// Region is a single-entry single-exit pipeline subgraph.
+type Region struct {
+	Name   string
+	Switch string
+	Kind   string // "ingress" or "egress"
+	Entry  NodeID // the pipeline's entry marker node
+	Exit   NodeID // the pipeline's exit marker node
+}
+
+// Graph is a control flow graph (Figure 3): nodes, a distinguished entry,
+// and the pipeline regions in topological order.
+type Graph struct {
+	Nodes []*Node
+	Entry NodeID
+	// Pipelines lists regions in topological order: no path runs from
+	// Pipelines[j] to Pipelines[i] for j > i (§3.4).
+	Pipelines []*Region
+	// Vars records the width of every variable mentioned in the graph.
+	Vars map[expr.Var]expr.Width
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{Entry: None, Vars: make(map[expr.Var]expr.Width)}
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return g.Nodes[id] }
+
+// add inserts a node and returns it.
+func (g *Graph) add(n *Node) *Node {
+	n.ID = NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, n)
+	g.noteVars(n)
+	return n
+}
+
+// noteVars records variable widths mentioned by a node.
+func (g *Graph) noteVars(n *Node) {
+	vars := map[expr.Var]expr.Width{}
+	switch n.Kind {
+	case Predicate:
+		expr.VarsOfBool(n.Pred, vars)
+	case Action:
+		vars[n.Var] = varWidth(n.Val)
+		expr.VarsOfArith(n.Val, vars)
+	case Hash, Checksum:
+		// Var width for hash/checksum destinations must be provided via
+		// AddHash/AddChecksum; inputs contribute their own widths.
+		for _, in := range n.Inputs {
+			expr.VarsOfArith(in, vars)
+		}
+	}
+	for v, w := range vars {
+		if ow, ok := g.Vars[v]; !ok || w > ow {
+			g.Vars[v] = w
+		}
+	}
+}
+
+func varWidth(a expr.Arith) expr.Width { return a.Width() }
+
+// AddPredicate appends a predicate node.
+func (g *Graph) AddPredicate(pred expr.Bool, pipeline, comment string) *Node {
+	return g.add(&Node{Kind: Predicate, Pred: pred, Pipeline: pipeline, Comment: comment})
+}
+
+// AddAction appends an action node.
+func (g *Graph) AddAction(v expr.Var, val expr.Arith, pipeline, comment string) *Node {
+	return g.add(&Node{Kind: Action, Var: v, Val: val, Pipeline: pipeline, Comment: comment})
+}
+
+// AddHash appends a hash node assigning to v (width w).
+func (g *Graph) AddHash(v expr.Var, w expr.Width, inputs []expr.Arith, pipeline, comment string) *Node {
+	n := g.add(&Node{Kind: Hash, Var: v, Inputs: inputs, Pipeline: pipeline, Comment: comment})
+	if ow, ok := g.Vars[v]; !ok || w > ow {
+		g.Vars[v] = w
+	}
+	return n
+}
+
+// AddChecksum appends a checksum node assigning to v (width w) computed
+// over inputs.
+func (g *Graph) AddChecksum(v expr.Var, w expr.Width, inputs []expr.Arith, pipeline, comment string) *Node {
+	n := g.add(&Node{Kind: Checksum, Var: v, Inputs: inputs, Pipeline: pipeline, Comment: comment})
+	if ow, ok := g.Vars[v]; !ok || w > ow {
+		g.Vars[v] = w
+	}
+	return n
+}
+
+// Link adds dst to src's successor list.
+func (g *Graph) Link(src, dst NodeID) {
+	n := g.Nodes[src]
+	n.Succs = append(n.Succs, dst)
+}
+
+// Region returns the region by pipeline name, or nil.
+func (g *Graph) Region(name string) *Region {
+	for _, r := range g.Pipelines {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.Nodes) }
+
+// PossiblePaths returns the number of possible paths (Definition 1) from
+// the entry to any leaf, as a big integer: data plane programs routinely
+// have 10^100+ possible paths (Fig. 11c of the paper).
+func (g *Graph) PossiblePaths() *big.Int {
+	memo := make([]*big.Int, len(g.Nodes))
+	var count func(id NodeID) *big.Int
+	count = func(id NodeID) *big.Int {
+		if memo[id] != nil {
+			return memo[id]
+		}
+		n := g.Nodes[id]
+		res := new(big.Int)
+		if n.IsLeaf() {
+			res.SetInt64(1)
+		} else {
+			for _, s := range n.Succs {
+				res.Add(res, count(s))
+			}
+		}
+		memo[id] = res
+		return res
+	}
+	if g.Entry == None {
+		return big.NewInt(0)
+	}
+	return count(g.Entry)
+}
+
+// PossiblePathsLog10 returns log10 of the possible-path count, the unit of
+// Fig. 11c / Fig. 12c.
+func (g *Graph) PossiblePathsLog10() float64 {
+	n := g.PossiblePaths()
+	if n.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetInt(n)
+	// log10(m * 2^e) = log10(m) + e*log10(2); extract via Mantissa/Exp.
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	if m <= 0 {
+		return 0
+	}
+	return math.Log10(m) + float64(exp)*math.Log10(2)
+}
+
+// RegionPaths counts the possible paths from a region's entry to its exit,
+// treating the exit as a sink. This is the per-pipeline "n" of the paper's
+// complexity analysis (Appendix A).
+func (g *Graph) RegionPaths(r *Region) *big.Int {
+	memo := map[NodeID]*big.Int{}
+	var count func(id NodeID) *big.Int
+	count = func(id NodeID) *big.Int {
+		if id == r.Exit {
+			return big.NewInt(1)
+		}
+		if c, ok := memo[id]; ok {
+			return c
+		}
+		res := new(big.Int)
+		for _, s := range g.Nodes[id].Succs {
+			res.Add(res, count(s))
+		}
+		memo[id] = res
+		return res
+	}
+	return count(r.Entry)
+}
+
+// ReachableFrom returns the set of node IDs reachable from start
+// (inclusive).
+func (g *Graph) ReachableFrom(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.Nodes[id].Succs...)
+	}
+	return seen
+}
+
+// CheckAcyclic verifies the graph has no cycles; the CFG generated from a
+// P4 program is acyclic (§3.1).
+func (g *Graph) CheckAcyclic() error {
+	color := make([]int, len(g.Nodes))
+	var visit func(id NodeID) error
+	visit = func(id NodeID) error {
+		switch color[id] {
+		case 1:
+			return fmt.Errorf("cfg: cycle through node %d (%s)", id, g.Nodes[id].Comment)
+		case 2:
+			return nil
+		}
+		color[id] = 1
+		for _, s := range g.Nodes[id].Succs {
+			if err := visit(s); err != nil {
+				return err
+			}
+		}
+		color[id] = 2
+		return nil
+	}
+	if g.Entry == None {
+		return nil
+	}
+	return visit(g.Entry)
+}
+
+// Dump renders the graph for debugging.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry: %d\n", g.Entry)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%4d [%s] %-40s -> %v", n.ID, n.Pipeline, n.StmtString(), n.Succs)
+		if n.Comment != "" {
+			fmt.Fprintf(&b, "  // %s", n.Comment)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,473 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/hashfn"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/spec"
+	"repro/internal/sym"
+)
+
+// Case is one concrete test case generated from a template.
+type Case struct {
+	Template *sym.Template
+	// Input is the synthesized input packet.
+	Input *packet.Packet
+	// Entry is the injection point (entry pipeline index).
+	Entry int
+	// Wire is the serialized input.
+	Wire []byte
+	// Expected is the predicted output packet, nil when the path drops.
+	Expected *packet.Packet
+	// ID is the unique payload identifier.
+	ID uint64
+	// SkipReason is non-empty when the case could not be concretized
+	// (e.g. a hash post-validation mismatch, per §4 of the paper).
+	SkipReason string
+}
+
+// Outcome is the result of running one case against the target.
+type Outcome struct {
+	Case *Case
+	// Pass is the overall verdict.
+	Pass bool
+	// Output is the captured packet (nil when absent).
+	Output *packet.Packet
+	// Absent reports that no packet was captured.
+	Absent bool
+	// Violations lists failed spec expectations.
+	Violations []spec.Violation
+	// ChecksumErrors lists output headers with invalid checksums.
+	ChecksumErrors []string
+	// Mismatches lists differences between the symbolic prediction and
+	// the observed output — the signal that separates non-code bugs from
+	// code bugs (a correct program whose compiled behaviour diverges).
+	Mismatches []string
+}
+
+// Report aggregates outcomes.
+type Report struct {
+	Program  string
+	Passed   int
+	Failed   int
+	Skipped  int
+	Outcomes []*Outcome
+}
+
+// Failures returns the failing outcomes.
+func (r *Report) Failures() []*Outcome {
+	var out []*Outcome
+	for _, o := range r.Outcomes {
+		if !o.Pass {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: %d passed, %d failed, %d skipped", r.Program, r.Passed, r.Failed, r.Skipped)
+}
+
+// Checks selects which validations the checker applies; different tools
+// in the evaluation wield different subsets (a verifier has no target
+// output to compare, a compiler tester has no intent spec).
+type Checks struct {
+	// Prediction compares the captured output against the symbolic
+	// prediction — this is what exposes non-code bugs.
+	Prediction bool
+	// Checksums recomputes and validates maintained checksum fields.
+	Checksums bool
+	// Specs evaluates intent expectations.
+	Specs bool
+	// Sanity applies universal well-formedness checks (forwarded IPv4
+	// packets must have a nonzero TTL, outputs must carry the test ID).
+	Sanity bool
+}
+
+// AllChecks is the full Meissa checker configuration.
+func AllChecks() Checks {
+	return Checks{Prediction: true, Checksums: true, Specs: true, Sanity: true}
+}
+
+// Driver runs test cases against a target over a link.
+type Driver struct {
+	Prog  *p4.Program
+	Graph *cfg.Graph
+	Link  Link
+	Specs []*spec.Spec
+	// Checks selects the validations to run; New sets AllChecks.
+	Checks Checks
+	// RecvTimeout bounds each capture; loopback links answer instantly.
+	RecvTimeout time.Duration
+	// checksummed lists (header, field) pairs the program maintains via
+	// update_checksum, which the checker validates on every output.
+	checksummed [][2]string
+}
+
+// New builds a driver.
+func New(prog *p4.Program, g *cfg.Graph, link Link, specs []*spec.Spec) *Driver {
+	d := &Driver{Prog: prog, Graph: g, Link: link, Specs: specs, Checks: AllChecks(), RecvTimeout: 200 * time.Millisecond}
+	d.checksummed = collectChecksums(prog)
+	return d
+}
+
+// collectChecksums finds every update_checksum(h, f) in the program.
+func collectChecksums(prog *p4.Program) [][2]string {
+	seen := map[[2]string]bool{}
+	var out [][2]string
+	var walk func(stmts []p4.Stmt)
+	walk = func(stmts []p4.Stmt) {
+		for _, s := range stmts {
+			switch t := s.(type) {
+			case *p4.ChecksumStmt:
+				k := [2]string{t.Header, t.Field}
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, k)
+				}
+			case *p4.IfStmt:
+				walk(t.Then)
+				walk(t.Else)
+			}
+		}
+	}
+	for _, a := range prog.Actions {
+		walk(a.Body)
+	}
+	for _, c := range prog.Controls {
+		walk(c.Apply)
+	}
+	return out
+}
+
+// Concretize turns a template into a runnable case: it completes the
+// model with defaults, resolves hash obligations (§4: compute when fixed,
+// post-validate otherwise), synthesizes the input packet through the entry
+// pipeline's parser, and predicts the expected output.
+func (d *Driver) Concretize(t *sym.Template, id uint64) (*Case, error) {
+	c := &Case{Template: t, ID: id}
+
+	// Complete the model: every graph variable defaults to zero, except
+	// TTL fields which default to a realistic 64 — a sender never emits
+	// TTL-0 packets unless the path condition demands it.
+	model := expr.State{}
+	for v := range d.Graph.Vars {
+		model[v] = 0
+		if _, f, ok := p4.IsHeaderFieldVar(v); ok && f == "ttl" {
+			model[v] = 64
+		}
+	}
+	for v, val := range t.Model {
+		model[v] = val
+	}
+
+	// The sender emits well-formed inputs: checksummed headers carry
+	// valid checksums unless the path condition pins the field.
+	for _, hf := range d.checksummed {
+		header, field := hf[0], hf[1]
+		v := p4.HeaderFieldVar(header, field)
+		if _, constrained := t.Model[v]; constrained {
+			continue
+		}
+		decl := d.Prog.Header(header)
+		if decl == nil || decl.Field(field) == nil {
+			continue
+		}
+		var vals []uint64
+		var widths []expr.Width
+		for _, f := range decl.Fields {
+			if f.Name == field {
+				continue
+			}
+			vals = append(vals, model[p4.HeaderFieldVar(header, f.Name)])
+			widths = append(widths, expr.Width(f.Width))
+		}
+		model[v] = expr.Width(decl.Field(field).Width).Trunc(hashfn.Checksum(vals, widths))
+	}
+
+	// Resolve hash obligations in order; a conflict with a constrained
+	// hash variable invalidates the case ("removes unmatched ones").
+	for _, ob := range t.HashObligations {
+		vals := make([]uint64, len(ob.Inputs))
+		widths := make([]expr.Width, len(ob.Inputs))
+		ok := true
+		for i, in := range ob.Inputs {
+			v, err := expr.EvalArith(in, model)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+			widths[i] = in.Width()
+		}
+		if !ok {
+			continue
+		}
+		var computed uint64
+		if ob.Kind == cfg.Hash {
+			computed = hashfn.Hash(vals, widths, ob.Width)
+		} else {
+			computed = ob.Width.Trunc(hashfn.Checksum(vals, widths))
+		}
+		if prev, constrained := t.Model[ob.Var]; constrained && prev != computed {
+			c.SkipReason = fmt.Sprintf("hash post-validation failed for %s: model %d, computed %d", ob.Var, prev, computed)
+			return c, nil
+		}
+		model[ob.Var] = computed
+	}
+
+	// Entry point.
+	if v, ok := model[cfg.EntryVar]; ok {
+		c.Entry = int(v)
+	}
+	entries := 1
+	if d.Prog.Topology != nil {
+		entries = len(d.Prog.Topology.Entries)
+	}
+	if c.Entry >= entries {
+		c.Entry = 0
+	}
+
+	// Synthesize the input through the entry pipeline's parser.
+	entryName := d.entryPipeline(c.Entry)
+	pl := d.Prog.Pipeline(entryName)
+	if pl == nil || pl.Parser == "" {
+		// Headerless pipelines take raw payload-only packets.
+		c.Input = &packet.Packet{Payload: packet.WithID(id)}
+	} else {
+		in, err := packet.Synthesize(d.Prog, pl.Parser, model, id)
+		if err != nil {
+			return nil, fmt.Errorf("driver: synthesize: %w", err)
+		}
+		c.Input = in
+	}
+	wire, err := c.Input.Marshal(d.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("driver: marshal: %w", err)
+	}
+	c.Wire = wire
+
+	// Predict the output.
+	if t.Dropped {
+		c.Expected = nil
+		return c, nil
+	}
+	final := expr.State{}
+	for v, def := range model {
+		final[v] = def
+	}
+	for v, valExpr := range t.Final {
+		if v.IsAux() {
+			continue
+		}
+		val, err := expr.EvalArith(valExpr, model)
+		if err != nil {
+			continue // unknowable (free hash input path); checker skips it
+		}
+		final[v] = val
+	}
+	c.Expected = packet.FromState(d.Prog, final, packet.WithID(id))
+	return c, nil
+}
+
+func (d *Driver) entryPipeline(idx int) string {
+	if d.Prog.Topology != nil {
+		if idx < len(d.Prog.Topology.Entries) {
+			return d.Prog.Topology.Entries[idx]
+		}
+		return d.Prog.Topology.Entries[0]
+	}
+	return d.Prog.Pipelines[0].Name
+}
+
+// RunTemplates concretizes and executes every template, returning the
+// aggregated report.
+func (d *Driver) RunTemplates(templates []*sym.Template) (*Report, error) {
+	rep := &Report{Program: d.Prog.Name}
+	for i, t := range templates {
+		c, err := d.Concretize(t, uint64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		if c.SkipReason != "" {
+			rep.Skipped++
+			continue
+		}
+		o, err := d.RunCase(c)
+		if err != nil {
+			return nil, err
+		}
+		rep.Outcomes = append(rep.Outcomes, o)
+		if o.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+	}
+	return rep, nil
+}
+
+// RunCase injects one case and checks the capture.
+func (d *Driver) RunCase(c *Case) (*Outcome, error) {
+	if err := d.Link.Send(c.Entry, c.Wire); err != nil {
+		return nil, fmt.Errorf("driver: send: %w", err)
+	}
+	o := &Outcome{Case: c}
+
+	// Receive: match by payload ID (the paper's sender/receiver
+	// correlation). Unrelated captures are requeued conceptually; with
+	// one-in-flight semantics the first capture is ours or absent.
+	wire, got, err := d.Link.Recv(d.RecvTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("driver: recv: %w", err)
+	}
+	if got {
+		out, perr := d.decodeOutput(wire)
+		if perr != nil {
+			o.Mismatches = append(o.Mismatches, fmt.Sprintf("output packet undecodable: %v", perr))
+		} else {
+			if id, ok := out.ID(); !ok || id != c.ID {
+				o.Mismatches = append(o.Mismatches, fmt.Sprintf("output carries wrong ID (want %d)", c.ID))
+			}
+			o.Output = out
+		}
+	} else {
+		o.Absent = true
+	}
+
+	d.check(o)
+	return o, nil
+}
+
+// decodeOutput re-parses a captured packet using the entry parser of the
+// first pipeline (the harness's capture decoder).
+func (d *Driver) decodeOutput(wire []byte) (*packet.Packet, error) {
+	name := d.entryPipeline(0)
+	pl := d.Prog.Pipeline(name)
+	if pl == nil || pl.Parser == "" {
+		return &packet.Packet{Payload: wire}, nil
+	}
+	return packet.Parse(d.Prog, pl.Parser, wire)
+}
+
+// check fills the outcome's verdict: prediction comparison, checksum
+// validation, sanity checks and spec expectations, per d.Checks.
+func (d *Driver) check(o *Outcome) {
+	c := o.Case
+
+	// 1. Compare against the symbolic prediction.
+	if d.Checks.Prediction {
+		switch {
+		case c.Expected == nil && !o.Absent:
+			o.Mismatches = append(o.Mismatches, "predicted drop, but a packet was captured")
+		case c.Expected != nil && o.Absent:
+			o.Mismatches = append(o.Mismatches, "predicted forward, but no packet was captured")
+		case c.Expected != nil && o.Output != nil:
+			o.Mismatches = append(o.Mismatches, diffPackets(c.Expected, o.Output)...)
+		}
+	}
+
+	// 1b. Universal sanity checks.
+	if d.Checks.Sanity && o.Output != nil {
+		if _, ok := o.Output.ID(); !ok {
+			o.Mismatches = append(o.Mismatches, "output payload lacks the test ID (malformed emit)")
+		}
+		// A forwarded IPv4 packet must not leave with TTL 0 when it
+		// arrived alive.
+		if outTTL, ok := o.Output.Field("ipv4", "ttl"); ok && outTTL == 0 {
+			if inTTL, ok := c.Input.Field("ipv4", "ttl"); ok && inTTL > 0 {
+				o.Mismatches = append(o.Mismatches, "forwarded IPv4 packet has TTL 0")
+			}
+		}
+	}
+
+	// 2. Validate checksums on the captured packet.
+	if d.Checks.Checksums && o.Output != nil {
+		for _, hf := range d.checksummed {
+			header, field := hf[0], hf[1]
+			if !o.Output.Has(header) {
+				continue
+			}
+			decl := d.Prog.Header(header)
+			var vals []uint64
+			var widths []expr.Width
+			for _, f := range decl.Fields {
+				if f.Name == field {
+					continue
+				}
+				v, _ := o.Output.Field(header, f.Name)
+				vals = append(vals, v)
+				widths = append(widths, expr.Width(f.Width))
+			}
+			want := hashfn.Checksum(vals, widths)
+			got, _ := o.Output.Field(header, field)
+			fw := expr.Width(decl.Field(field).Width)
+			if fw.Trunc(want) != got {
+				o.ChecksumErrors = append(o.ChecksumErrors,
+					fmt.Sprintf("%s.%s = %#x, recomputed %#x", header, field, got, fw.Trunc(want)))
+			}
+		}
+	}
+
+	// 3. Evaluate intent specs whose assumptions hold for this input.
+	if d.Checks.Specs {
+		for _, s := range d.Specs {
+			if !d.SpecApplies(s, c.Input) {
+				continue
+			}
+			o.Violations = append(o.Violations, s.Check(d.Prog, c.Input, o.Output)...)
+		}
+	}
+
+	o.Pass = len(o.Mismatches) == 0 && len(o.ChecksumErrors) == 0 && len(o.Violations) == 0
+}
+
+// SpecApplies evaluates a spec's assume clauses against the input packet.
+func (d *Driver) SpecApplies(s *spec.Spec, in *packet.Packet) bool {
+	st := expr.State{}
+	for v := range d.Graph.Vars {
+		st[v] = 0
+	}
+	in.ToState(st)
+	bs, err := s.AssumeConstraints(d.Prog)
+	if err != nil {
+		return false
+	}
+	for _, b := range bs {
+		ok, err := expr.EvalBool(b, st)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// diffPackets compares predicted and observed packets field by field.
+func diffPackets(want, got *packet.Packet) []string {
+	var out []string
+	for _, wh := range want.Headers {
+		if !got.Has(wh.Name) {
+			out = append(out, fmt.Sprintf("header %s missing from output", wh.Name))
+			continue
+		}
+		for f, wv := range wh.Fields {
+			gv, _ := got.Field(wh.Name, f)
+			if gv != wv {
+				out = append(out, fmt.Sprintf("%s.%s = %d, predicted %d", wh.Name, f, gv, wv))
+			}
+		}
+	}
+	for _, gh := range got.Headers {
+		if !want.Has(gh.Name) {
+			out = append(out, fmt.Sprintf("unexpected header %s in output", gh.Name))
+		}
+	}
+	return out
+}

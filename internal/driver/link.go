@@ -1,0 +1,212 @@
+// Package driver implements Meissa's test driver (§4 of the paper): a
+// sender that concretizes test case templates into packets, a receiver
+// that captures the target's output, and a checker that validates
+// checksums, relates packets by their unique payload IDs, compares the
+// actual output against the symbolic prediction, and evaluates the
+// developer's intent (spec) — reporting passed and failed test cases.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/switchsim"
+)
+
+// Link transports test packets to a switch under test and captures its
+// output. Implementations: Loopback (in-process) and UDPLink (real
+// sockets to a UDPSwitch, mirroring a lab harness port).
+type Link interface {
+	// Send injects a wire packet at the given entry point.
+	Send(entry int, wire []byte) error
+	// Recv captures one output packet, waiting up to timeout. ok=false
+	// means nothing was captured (the packet was dropped or lost).
+	Recv(timeout time.Duration) (wire []byte, ok bool, err error)
+	// Close releases the link.
+	Close() error
+}
+
+// Loopback connects the driver directly to an in-process target.
+type Loopback struct {
+	target *switchsim.Target
+	mu     sync.Mutex
+	queue  [][]byte
+	// Traces accumulates the target execution traces per injected packet,
+	// for bug localization.
+	traces []*switchsim.Result
+}
+
+// NewLoopback returns a loopback link to the target.
+func NewLoopback(t *switchsim.Target) *Loopback { return &Loopback{target: t} }
+
+// Send implements Link.
+func (l *Loopback) Send(entry int, wire []byte) error {
+	res, err := l.target.Inject(entry, wire)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.traces = append(l.traces, res)
+	if res.Output != nil {
+		data, err := res.Output.Marshal(l.target.Program())
+		if err != nil {
+			return err
+		}
+		l.queue = append(l.queue, data)
+	}
+	return nil
+}
+
+// Recv implements Link.
+func (l *Loopback) Recv(timeout time.Duration) ([]byte, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		return nil, false, nil
+	}
+	out := l.queue[0]
+	l.queue = l.queue[1:]
+	return out, true, nil
+}
+
+// LastTrace returns the most recent target execution trace.
+func (l *Loopback) LastTrace() *switchsim.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.traces) == 0 {
+		return nil
+	}
+	return l.traces[len(l.traces)-1]
+}
+
+// Close implements Link.
+func (l *Loopback) Close() error { return nil }
+
+// --- UDP transport ---
+
+// UDPSwitch serves a target over UDP: each datagram is
+// [1-byte entry index | wire packet]; outputs are sent back to the
+// sender's address. It emulates attaching the test harness to switch
+// front-panel ports.
+type UDPSwitch struct {
+	target *switchsim.Target
+	conn   *net.UDPConn
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ServeUDP starts a UDP switch on addr (e.g. "127.0.0.1:0") and returns
+// it; Addr reports the bound address.
+func ServeUDP(target *switchsim.Target, addr string) (*UDPSwitch, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: listen: %w", err)
+	}
+	s := &UDPSwitch{target: target, conn: conn, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the switch's bound UDP address.
+func (s *UDPSwitch) Addr() string { return s.conn.LocalAddr().String() }
+
+func (s *UDPSwitch) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if n < 1 {
+			continue
+		}
+		entry := int(buf[0])
+		wire := append([]byte(nil), buf[1:n]...)
+		res, err := s.target.Inject(entry, wire)
+		if err != nil || res.Output == nil {
+			continue // dropped: nothing comes back, like real hardware
+		}
+		data, err := res.Output.Marshal(s.target.Program())
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(data, peer); err != nil {
+			continue
+		}
+	}
+}
+
+// Close shuts the switch down.
+func (s *UDPSwitch) Close() error {
+	close(s.closed)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// UDPLink is the driver side of a UDP transport.
+type UDPLink struct {
+	conn *net.UDPConn
+}
+
+// DialUDP connects to a UDPSwitch.
+func DialUDP(addr string) (*UDPLink, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: dial: %w", err)
+	}
+	return &UDPLink{conn: conn}, nil
+}
+
+// Send implements Link.
+func (l *UDPLink) Send(entry int, wire []byte) error {
+	if entry < 0 || entry > 255 {
+		return fmt.Errorf("driver: entry %d out of range", entry)
+	}
+	buf := append([]byte{byte(entry)}, wire...)
+	_, err := l.conn.Write(buf)
+	return err
+}
+
+// Recv implements Link.
+func (l *UDPLink) Recv(timeout time.Duration) ([]byte, bool, error) {
+	if err := l.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, 65536)
+	n, err := l.conn.Read(buf)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return append([]byte(nil), buf[:n]...), true, nil
+}
+
+// Close implements Link.
+func (l *UDPLink) Close() error { return l.conn.Close() }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/programs"
+)
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Pipeline/switch topology is Table 1's hard data.
+	checks := []struct {
+		name            string
+		pipes, switches int
+	}{
+		{"Router", 1, 1}, {"mTag", 1, 1}, {"ACL", 1, 1}, {"switch.p4", 1, 1},
+		{"gw-1", 1, 1}, {"gw-2", 2, 1}, {"gw-3", 4, 1}, {"gw-4", 8, 2},
+	}
+	for _, c := range checks {
+		r, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("missing %s", c.name)
+		}
+		if r.Pipes != c.pipes || r.Switches != c.switches {
+			t.Errorf("%s: %d pipes / %d switches, want %d / %d", c.name, r.Pipes, r.Switches, c.pipes, c.switches)
+		}
+	}
+	// Rule-set sizes grow along the gw series.
+	if !(byName["gw-1"].RuleLOC < byName["gw-2"].RuleLOC &&
+		byName["gw-2"].RuleLOC < byName["gw-3"].RuleLOC &&
+		byName["gw-3"].RuleLOC < byName["gw-4"].RuleLOC) {
+		t.Error("gw rule sets must grow with the program index")
+	}
+}
+
+func TestFig10ShapeMeissaBeatsAquila(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both tools across 8 configurations")
+	}
+	old := Budget
+	Budget = 60 * time.Second
+	defer func() { Budget = old }()
+
+	rows, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 programs x 4 sets)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Meissa.Timeout {
+			t.Errorf("%s/%s: Meissa timed out", r.Program, r.Set)
+		}
+		if r.Aquila.Timeout {
+			continue // a timeout is a win for Meissa
+		}
+		if r.Meissa.Duration > r.Aquila.Duration {
+			t.Errorf("%s/%s: Meissa (%v) slower than Aquila (%v)",
+				r.Program, r.Set, r.Meissa.Duration, r.Aquila.Duration)
+		}
+	}
+	// The advantage grows with the rule set on gw-2 (the Fig. 10 trend):
+	// compare the first and last set ratios.
+	first, last := rows[4], rows[7]
+	if first.Program != "gw-2" || last.Program != "gw-2" {
+		t.Fatalf("unexpected row order: %+v", rows)
+	}
+	if !last.Aquila.Timeout && !first.Aquila.Timeout {
+		r1 := float64(first.Aquila.Duration) / float64(first.Meissa.Duration+1)
+		r4 := float64(last.Aquila.Duration) / float64(last.Meissa.Duration+1)
+		if r4 < r1 {
+			t.Logf("note: advantage did not grow monotonically (%.1fx -> %.1fx)", r1, r4)
+		}
+	}
+}
+
+func TestSummaryEffectShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates gw-3 twice")
+	}
+	p := programs.GW(3, programs.Set2)
+	eff, err := MeasureSummaryEffect(p, "gw-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 11b: fewer SMT calls with summary on a multi-pipeline program.
+	if eff.SMTWith >= eff.SMTWithout {
+		t.Errorf("SMT calls with summary (%d) not below without (%d)", eff.SMTWith, eff.SMTWithout)
+	}
+	// Fig. 11c: orders of magnitude fewer possible paths.
+	if eff.PathsWith+2 > eff.PathsWithout {
+		t.Errorf("possible paths: 10^%.1f with vs 10^%.1f without — want >= 2 orders of magnitude",
+			eff.PathsWith, eff.PathsWithout)
+	}
+	if eff.Templates == 0 {
+		t.Error("no templates")
+	}
+}
+
+func TestWriteRenderers(t *testing.T) {
+	var b strings.Builder
+	WriteTable1(&b)
+	out := b.String()
+	for _, want := range []string{"Router", "gw-4", "switches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+
+	b.Reset()
+	WriteFig9(&b, []Fig9Row{{
+		Program: "demo",
+		Results: []ToolResult{
+			{Tool: "Meissa", Duration: time.Second},
+			{Tool: "Aquila", Timeout: true},
+			{Tool: "p4pktgen", Unsupported: true},
+			{Tool: "Gauntlet", Unsupported: true},
+		},
+	}})
+	out = b.String()
+	if !strings.Contains(out, "o (timeout)") || !strings.Contains(out, "x") {
+		t.Errorf("Fig 9 output missing the o/x marks:\n%s", out)
+	}
+
+	b.Reset()
+	WriteSummaryEffects(&b, "demo", []SummaryEffect{{
+		Label: "gw-9", TimeWith: time.Millisecond, TimeWithout: 2 * time.Millisecond,
+		SMTWith: 10, SMTWithout: 20, PathsWith: 2, PathsWithout: 8,
+	}})
+	if !strings.Contains(b.String(), "gw-9") {
+		t.Error("summary effects output missing the label")
+	}
+}

@@ -1,0 +1,201 @@
+package expr
+
+import "fmt"
+
+// State is a concrete execution state: a mapping from header field
+// variables to concrete values (s in Figure 4 of the paper).
+type State map[Var]uint64
+
+// Clone returns a copy of the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrUnbound is returned when evaluating an expression that references a
+// variable absent from the state.
+type ErrUnbound struct{ Var Var }
+
+func (e ErrUnbound) Error() string { return fmt.Sprintf("expr: unbound variable %s", e.Var) }
+
+// EvalArith evaluates an arithmetic expression under a concrete state,
+// following the Arithmetic-expr rule of Figure 4.
+func EvalArith(a Arith, s State) (uint64, error) {
+	switch t := a.(type) {
+	case Const:
+		return t.Val, nil
+	case Ref:
+		v, ok := s[t.Var]
+		if !ok {
+			return 0, ErrUnbound{Var: t.Var}
+		}
+		return t.W.Trunc(v), nil
+	case Bin:
+		l, err := EvalArith(t.L, s)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalArith(t.R, s)
+		if err != nil {
+			return 0, err
+		}
+		return t.Op.Apply(l, r, t.Width()), nil
+	}
+	return 0, fmt.Errorf("expr: unknown arithmetic expression %T", a)
+}
+
+// EvalBool evaluates a boolean expression under a concrete state, following
+// the Boolean-expr rule of Figure 4.
+func EvalBool(b Bool, s State) (bool, error) {
+	switch t := b.(type) {
+	case BoolConst:
+		return bool(t), nil
+	case Cmp:
+		l, err := EvalArith(t.L, s)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalArith(t.R, s)
+		if err != nil {
+			return false, err
+		}
+		return t.Op.Apply(l, r), nil
+	case Logic:
+		l, err := EvalBool(t.L, s)
+		if err != nil {
+			return false, err
+		}
+		// Short-circuit to match the sequential evaluation semantics.
+		if t.Op == LAnd && !l {
+			return false, nil
+		}
+		if t.Op == LOr && l {
+			return true, nil
+		}
+		return EvalBool(t.R, s)
+	case Not:
+		v, err := EvalBool(t.X, s)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	}
+	return false, fmt.Errorf("expr: unknown boolean expression %T", b)
+}
+
+// Subst is a symbolic value stack: a mapping from header fields to
+// arithmetic expressions (V in §3.2 of the paper).
+type Subst map[Var]Arith
+
+// Clone returns a copy of the substitution.
+func (v Subst) Clone() Subst {
+	out := make(Subst, len(v))
+	for k, e := range v {
+		out[k] = e
+	}
+	return out
+}
+
+// SubstArith substitutes all variables in a with their values in V
+// (the ⟦V⟧a operation of Figure 6). Variables absent from V are left as
+// free symbolic inputs. Expressions untouched by the substitution are
+// returned as-is, without allocation — the common case for table-entry
+// predicates over raw input fields.
+func SubstArith(a Arith, v Subst) Arith {
+	out, _ := substArith(a, v)
+	return out
+}
+
+func substArith(a Arith, v Subst) (Arith, bool) {
+	switch t := a.(type) {
+	case Const:
+		return t, false
+	case Ref:
+		if val, ok := v[t.Var]; ok {
+			return val, true
+		}
+		return t, false
+	case Bin:
+		l, lc := substArith(t.L, v)
+		r, rc := substArith(t.R, v)
+		if !lc && !rc {
+			return t, false
+		}
+		return Simplify(Bin{Op: t.Op, L: l, R: r}), true
+	}
+	return a, false
+}
+
+// SubstBool substitutes all variables in b with their values in V.
+// Untouched expressions are returned as-is, without allocation.
+func SubstBool(b Bool, v Subst) Bool {
+	out, _ := substBool(b, v)
+	return out
+}
+
+func substBool(b Bool, v Subst) (Bool, bool) {
+	switch t := b.(type) {
+	case BoolConst:
+		return t, false
+	case Cmp:
+		l, lc := substArith(t.L, v)
+		r, rc := substArith(t.R, v)
+		if !lc && !rc {
+			return t, false
+		}
+		return SimplifyBool(Cmp{Op: t.Op, L: l, R: r}), true
+	case Logic:
+		l, lc := substBool(t.L, v)
+		r, rc := substBool(t.R, v)
+		if !lc && !rc {
+			return t, false
+		}
+		if t.Op == LAnd {
+			return And(l, r), true
+		}
+		return Or(l, r), true
+	case Not:
+		x, xc := substBool(t.X, v)
+		if !xc {
+			return t, false
+		}
+		return SimplifyBool(Not{X: x}), true
+	}
+	return b, false
+}
+
+// RenameArith replaces variable references according to ren, leaving
+// unmapped variables untouched. Unlike SubstArith it does not simplify,
+// so structure is preserved for round-trip tests.
+func RenameArith(a Arith, ren map[Var]Var) Arith {
+	switch t := a.(type) {
+	case Const:
+		return t
+	case Ref:
+		if nv, ok := ren[t.Var]; ok {
+			return Ref{Var: nv, W: t.W}
+		}
+		return t
+	case Bin:
+		return Bin{Op: t.Op, L: RenameArith(t.L, ren), R: RenameArith(t.R, ren)}
+	}
+	return a
+}
+
+// RenameBool replaces variable references according to ren.
+func RenameBool(b Bool, ren map[Var]Var) Bool {
+	switch t := b.(type) {
+	case BoolConst:
+		return t
+	case Cmp:
+		return Cmp{Op: t.Op, L: RenameArith(t.L, ren), R: RenameArith(t.R, ren)}
+	case Logic:
+		return Logic{Op: t.Op, L: RenameBool(t.L, ren), R: RenameBool(t.R, ren)}
+	case Not:
+		return Not{X: RenameBool(t.X, ren)}
+	}
+	return b
+}

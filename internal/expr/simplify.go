@@ -1,0 +1,190 @@
+package expr
+
+// Simplify performs local algebraic simplification of an arithmetic
+// expression: constant folding and identity/annihilator elimination.
+// Simplification keeps symbolic execution states compact, which is what
+// makes the succinct path encodings of code summary (§3.3) small.
+func Simplify(a Arith) Arith {
+	b, ok := a.(Bin)
+	if !ok {
+		return a
+	}
+	l := Simplify(b.L)
+	r := Simplify(b.R)
+	w := Bin{Op: b.Op, L: l, R: r}.Width()
+
+	lc, lIsC := l.(Const)
+	rc, rIsC := r.(Const)
+
+	// Constant folding.
+	if lIsC && rIsC {
+		return Const{Val: b.Op.Apply(lc.Val, rc.Val, w), W: w}
+	}
+
+	switch b.Op {
+	case OpAdd:
+		if lIsC && lc.Val == 0 {
+			return r
+		}
+		if rIsC && rc.Val == 0 {
+			return l
+		}
+		// (x + c1) + c2 → x + (c1+c2)
+		if rIsC {
+			if lb, ok := l.(Bin); ok && lb.Op == OpAdd {
+				if ic, ok := lb.R.(Const); ok {
+					return Simplify(Bin{Op: OpAdd, L: lb.L, R: Const{Val: w.Trunc(ic.Val + rc.Val), W: w}})
+				}
+			}
+		}
+	case OpSub:
+		if rIsC && rc.Val == 0 {
+			return l
+		}
+		if EqualArith(l, r) {
+			return Const{Val: 0, W: w}
+		}
+	case OpAnd:
+		if (lIsC && lc.Val == 0) || (rIsC && rc.Val == 0) {
+			return Const{Val: 0, W: w}
+		}
+		if lIsC && lc.Val == w.Mask() {
+			return r
+		}
+		if rIsC && rc.Val == w.Mask() {
+			return l
+		}
+		if EqualArith(l, r) {
+			return l
+		}
+	case OpOr:
+		if lIsC && lc.Val == 0 {
+			return r
+		}
+		if rIsC && rc.Val == 0 {
+			return l
+		}
+		if (lIsC && lc.Val == w.Mask()) || (rIsC && rc.Val == w.Mask()) {
+			return Const{Val: w.Mask(), W: w}
+		}
+		if EqualArith(l, r) {
+			return l
+		}
+	case OpXor:
+		if lIsC && lc.Val == 0 {
+			return r
+		}
+		if rIsC && rc.Val == 0 {
+			return l
+		}
+		if EqualArith(l, r) {
+			return Const{Val: 0, W: w}
+		}
+	case OpShl, OpShr:
+		if rIsC && rc.Val == 0 {
+			return l
+		}
+		if lIsC && lc.Val == 0 {
+			return Const{Val: 0, W: w}
+		}
+	case OpMul:
+		if (lIsC && lc.Val == 0) || (rIsC && rc.Val == 0) {
+			return Const{Val: 0, W: w}
+		}
+		if lIsC && lc.Val == 1 {
+			return r
+		}
+		if rIsC && rc.Val == 1 {
+			return l
+		}
+	}
+	return Bin{Op: b.Op, L: l, R: r}
+}
+
+// SimplifyBool performs local simplification of a boolean expression:
+// constant folding of comparisons on constants, trivially-true/false
+// comparisons of identical operands, and connective short-circuiting.
+func SimplifyBool(b Bool) Bool {
+	switch t := b.(type) {
+	case BoolConst:
+		return t
+	case Cmp:
+		l := Simplify(t.L)
+		r := Simplify(t.R)
+		lc, lIsC := l.(Const)
+		rc, rIsC := r.(Const)
+		if lIsC && rIsC {
+			return BoolConst(t.Op.Apply(lc.Val, rc.Val))
+		}
+		if EqualArith(l, r) {
+			switch t.Op {
+			case CmpEq, CmpGe, CmpLe:
+				return True
+			case CmpNe, CmpGt, CmpLt:
+				return False
+			}
+		}
+		// Width-impossible comparisons: x > mask(w) is always false.
+		if rIsC {
+			w := l.Width()
+			switch t.Op {
+			case CmpGt:
+				if rc.Val >= w.Mask() {
+					return False
+				}
+			case CmpLe:
+				if rc.Val >= w.Mask() {
+					return True
+				}
+			case CmpLt:
+				if rc.Val == 0 {
+					return False
+				}
+			case CmpGe:
+				if rc.Val == 0 {
+					return True
+				}
+			case CmpEq, CmpNe:
+				if rc.Val > w.Mask() {
+					if t.Op == CmpEq {
+						return False
+					}
+					return True
+				}
+			}
+		}
+		return Cmp{Op: t.Op, L: l, R: r}
+	case Logic:
+		l := SimplifyBool(t.L)
+		r := SimplifyBool(t.R)
+		if t.Op == LAnd {
+			return And(l, r)
+		}
+		return Or(l, r)
+	case Not:
+		x := SimplifyBool(t.X)
+		if bc, ok := x.(BoolConst); ok {
+			return BoolConst(!bc)
+		}
+		return Negate(x)
+	}
+	return b
+}
+
+// Conjuncts flattens a boolean expression into its top-level conjunction
+// list. A non-conjunction is returned as a single-element slice; True
+// yields an empty slice.
+func Conjuncts(b Bool) []Bool {
+	switch t := b.(type) {
+	case BoolConst:
+		if t {
+			return nil
+		}
+		return []Bool{False}
+	case Logic:
+		if t.Op == LAnd {
+			return append(Conjuncts(t.L), Conjuncts(t.R)...)
+		}
+	}
+	return []Bool{b}
+}

@@ -1,0 +1,146 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyConstFold(t *testing.T) {
+	e := Bin{Op: OpAdd, L: C(3, 16), R: C(4, 16)}
+	got := Simplify(e)
+	if c, ok := got.(Const); !ok || c.Val != 7 {
+		t.Errorf("3+4 = %s, want 7", got)
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	x := V("x", 16)
+	cases := []struct {
+		in   Arith
+		want Arith
+	}{
+		{Bin{Op: OpAdd, L: x, R: C(0, 16)}, x},
+		{Bin{Op: OpAdd, L: C(0, 16), R: x}, x},
+		{Bin{Op: OpSub, L: x, R: C(0, 16)}, x},
+		{Bin{Op: OpSub, L: x, R: x}, C(0, 16)},
+		{Bin{Op: OpAnd, L: x, R: C(0, 16)}, C(0, 16)},
+		{Bin{Op: OpAnd, L: x, R: C(0xffff, 16)}, x},
+		{Bin{Op: OpOr, L: x, R: C(0, 16)}, x},
+		{Bin{Op: OpOr, L: x, R: C(0xffff, 16)}, C(0xffff, 16)},
+		{Bin{Op: OpXor, L: x, R: x}, C(0, 16)},
+		{Bin{Op: OpMul, L: x, R: C(1, 16)}, x},
+		{Bin{Op: OpMul, L: x, R: C(0, 16)}, C(0, 16)},
+		{Bin{Op: OpShl, L: x, R: C(0, 16)}, x},
+	}
+	for i, c := range cases {
+		if got := Simplify(c.in); !EqualArith(got, c.want) {
+			t.Errorf("case %d: Simplify(%s) = %s, want %s", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyNestedAddFold(t *testing.T) {
+	// (x + 3) + 4 → x + 7
+	x := V("x", 16)
+	e := Bin{Op: OpAdd, L: Bin{Op: OpAdd, L: x, R: C(3, 16)}, R: C(4, 16)}
+	got := Simplify(e)
+	want := Bin{Op: OpAdd, L: x, R: C(7, 16)}
+	if !EqualArith(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	// Random expression trees must evaluate identically before and after
+	// simplification.
+	rng := rand.New(rand.NewSource(42))
+	vars := []Var{"a", "b", "c"}
+	var gen func(depth int) Arith
+	gen = func(depth int) Arith {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return C(uint64(rng.Intn(300)), 16)
+			}
+			return V(vars[rng.Intn(len(vars))], 16)
+		}
+		ops := []AOp{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul}
+		return Bin{Op: ops[rng.Intn(len(ops))], L: gen(depth - 1), R: gen(depth - 1)}
+	}
+	for i := 0; i < 500; i++ {
+		e := gen(4)
+		s := State{"a": uint64(rng.Intn(1 << 16)), "b": uint64(rng.Intn(1 << 16)), "c": uint64(rng.Intn(1 << 16))}
+		v1, err1 := EvalArith(e, s)
+		v2, err2 := EvalArith(Simplify(e), s)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval error: %v %v", err1, err2)
+		}
+		if v1 != v2 {
+			t.Fatalf("simplify changed semantics of %s: %d vs %d", e, v1, v2)
+		}
+	}
+}
+
+func TestSimplifyBoolConstFold(t *testing.T) {
+	if got := SimplifyBool(Eq(C(1, 8), C(1, 8))); !EqualBool(got, True) {
+		t.Errorf("1==1 = %s", got)
+	}
+	if got := SimplifyBool(Eq(C(1, 8), C(2, 8))); !EqualBool(got, False) {
+		t.Errorf("1==2 = %s", got)
+	}
+}
+
+func TestSimplifyBoolIdenticalOperands(t *testing.T) {
+	x := V("x", 16)
+	if got := SimplifyBool(Cmp{Op: CmpGe, L: x, R: x}); !EqualBool(got, True) {
+		t.Errorf("x>=x = %s", got)
+	}
+	if got := SimplifyBool(Cmp{Op: CmpLt, L: x, R: x}); !EqualBool(got, False) {
+		t.Errorf("x<x = %s", got)
+	}
+}
+
+func TestSimplifyBoolWidthImpossible(t *testing.T) {
+	x := V("x", 8)
+	// x > 255 at width 8 is impossible.
+	if got := SimplifyBool(Cmp{Op: CmpGt, L: x, R: C(0xff, 16)}); !EqualBool(got, False) {
+		t.Errorf("x>255 (w8) = %s, want False", got)
+	}
+	// x <= 255 is trivially true.
+	if got := SimplifyBool(Cmp{Op: CmpLe, L: x, R: C(0xff, 16)}); !EqualBool(got, True) {
+		t.Errorf("x<=255 (w8) = %s, want True", got)
+	}
+	// x < 0 is impossible.
+	if got := SimplifyBool(Cmp{Op: CmpLt, L: x, R: C(0, 8)}); !EqualBool(got, False) {
+		t.Errorf("x<0 = %s, want False", got)
+	}
+	// x >= 0 is trivially true.
+	if got := SimplifyBool(Cmp{Op: CmpGe, L: x, R: C(0, 8)}); !EqualBool(got, True) {
+		t.Errorf("x>=0 = %s, want True", got)
+	}
+}
+
+func TestSimplifyBoolPreservesSemantics(t *testing.T) {
+	f := func(a, b uint8) bool {
+		st := State{"a": uint64(a), "b": uint64(b)}
+		e := And(
+			Or(Cmp{Op: CmpGt, L: V("a", 8), R: V("b", 8)}, Eq(V("a", 8), C(uint64(b), 8))),
+			Not{X: Eq(V("b", 8), C(0, 8))},
+		)
+		v1, err1 := EvalBool(e, st)
+		v2, err2 := EvalBool(SimplifyBool(e), st)
+		return err1 == nil && err2 == nil && v1 == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyBoolNotFolding(t *testing.T) {
+	if got := SimplifyBool(Not{X: BoolConst(true)}); !EqualBool(got, False) {
+		t.Errorf("~True = %s", got)
+	}
+	if got := SimplifyBool(Not{X: Not{X: Eq(V("x", 8), C(1, 8))}}); !EqualBool(got, Eq(V("x", 8), C(1, 8))) {
+		t.Errorf("double negation = %s", got)
+	}
+}

@@ -1,0 +1,55 @@
+// Package hashfn provides the concrete hash and checksum functions shared
+// by the symbolic executor and the switch simulator. Per §4 of the paper,
+// hashing "is not well supported by the state-of-the-art SMT solvers", so
+// Meissa computes hash results concretely when all keys are fixed by the
+// path condition and post-validates generated packets otherwise. Both
+// sides of that comparison must therefore use the same function.
+package hashfn
+
+import "repro/internal/expr"
+
+// Hash computes the data plane hash over a list of (value, width) inputs.
+// It is a CRC-flavoured mix: deterministic, well-distributed, and
+// obviously not cryptographic — matching switch-ASIC hash units.
+func Hash(vals []uint64, widths []expr.Width, outWidth expr.Width) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i, v := range vals {
+		w := widths[i]
+		v = w.Trunc(v)
+		// Mix byte by byte, most significant first, like a serialized
+		// header field.
+		nbytes := (int(w) + 7) / 8
+		for b := nbytes - 1; b >= 0; b-- {
+			h ^= (v >> (8 * uint(b))) & 0xff
+			h *= prime
+		}
+	}
+	// Fold down to the output width.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return outWidth.Trunc(h)
+}
+
+// Checksum computes the ones'-complement internet checksum over a list of
+// (value, width) inputs, as used by IPv4/TCP/UDP headers. Values wider
+// than 16 bits contribute each of their 16-bit words.
+func Checksum(vals []uint64, widths []expr.Width) uint64 {
+	var sum uint64
+	for i, v := range vals {
+		w := widths[i]
+		v = w.Trunc(v)
+		words := (int(w) + 15) / 16
+		for j := words - 1; j >= 0; j-- {
+			sum += (v >> (16 * uint(j))) & 0xffff
+		}
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return (^sum) & 0xffff
+}

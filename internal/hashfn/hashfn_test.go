@@ -1,0 +1,104 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	v := []uint64{1, 2, 3}
+	w := []expr.Width{16, 16, 8}
+	if Hash(v, w, 16) != Hash(v, w, 16) {
+		t.Error("hash must be deterministic")
+	}
+}
+
+func TestHashRespectsWidth(t *testing.T) {
+	f := func(a, b uint32, out uint8) bool {
+		ow := expr.Width(out%16 + 1)
+		h := Hash([]uint64{uint64(a), uint64(b)}, []expr.Width{32, 32}, ow)
+		return h <= ow.Mask()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSensitiveToInput(t *testing.T) {
+	w := []expr.Width{32}
+	collisions := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Hash([]uint64{i}, w, 16) == Hash([]uint64{i + 1}, w, 16) {
+			collisions++
+		}
+	}
+	if collisions > 10 {
+		t.Errorf("too many adjacent collisions: %d/1000", collisions)
+	}
+}
+
+func TestHashTruncatesInputToWidth(t *testing.T) {
+	// Values beyond the declared width must not affect the hash.
+	a := Hash([]uint64{0x1FF}, []expr.Width{8}, 16)
+	b := Hash([]uint64{0xFF}, []expr.Width{8}, 16)
+	if a != b {
+		t.Error("input must be truncated to its width")
+	}
+}
+
+func TestChecksumKnownValue(t *testing.T) {
+	// Ones' complement of a single 16-bit word.
+	got := Checksum([]uint64{0x1234}, []expr.Width{16})
+	if got != (^uint64(0x1234))&0xffff {
+		t.Errorf("checksum = %#x", got)
+	}
+}
+
+func TestChecksumWideFieldsSplitIntoWords(t *testing.T) {
+	// A 32-bit field contributes both 16-bit halves.
+	a := Checksum([]uint64{0x12345678}, []expr.Width{32})
+	b := Checksum([]uint64{0x1234, 0x5678}, []expr.Width{16, 16})
+	if a != b {
+		t.Errorf("32-bit field: %#x vs split %#x", a, b)
+	}
+}
+
+func TestChecksumCarryFold(t *testing.T) {
+	// 0xFFFF + 0x0001 folds to 0x0001, complement 0xFFFE.
+	got := Checksum([]uint64{0xFFFF, 0x0001}, []expr.Width{16, 16})
+	if got != 0xFFFE {
+		t.Errorf("carry fold = %#x, want 0xFFFE", got)
+	}
+}
+
+func TestChecksumVerifiesToZeroSum(t *testing.T) {
+	// The internet-checksum property: sum of all words including the
+	// checksum is 0xFFFF.
+	f := func(a, b, c uint16) bool {
+		vals := []uint64{uint64(a), uint64(b), uint64(c)}
+		ws := []expr.Width{16, 16, 16}
+		cs := Checksum(vals, ws)
+		var sum uint64
+		for _, v := range append(vals, cs) {
+			sum += v
+		}
+		for sum>>16 != 0 {
+			sum = (sum & 0xffff) + (sum >> 16)
+		}
+		return sum == 0xffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	// The ones'-complement sum is commutative.
+	a := Checksum([]uint64{1, 2, 3}, []expr.Width{16, 16, 16})
+	b := Checksum([]uint64{3, 1, 2}, []expr.Width{16, 16, 16})
+	if a != b {
+		t.Errorf("order dependence: %#x vs %#x", a, b)
+	}
+}

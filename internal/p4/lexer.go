@@ -1,0 +1,269 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single- or multi-char punctuation/operator
+)
+
+// token is a lexical token.
+type token struct {
+	kind tokKind
+	text string
+	val  uint64 // for tokNumber
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokNumber:
+		return fmt.Sprintf("number(%d)", t.val)
+	default:
+		return t.text
+	}
+}
+
+// lexError is a lexical error with position.
+type lexError struct {
+	msg string
+	pos Pos
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("%s: %s", e.pos, e.msg) }
+
+// lexer tokenizes program source.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByteAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &lexError{msg: "unterminated block comment", pos: start}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// multi-char punctuation, longest first.
+var multiPunct = []string{"<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "->", "&&&"}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.peekByte()
+
+	if isIdentStart(c) {
+		b := strings.Builder{}
+		for l.off < len(l.src) && isIdentChar(l.peekByte()) {
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), pos: start}, nil
+	}
+
+	if isDigit(c) {
+		return l.lexNumber(start)
+	}
+
+	// Longest-match punctuation. Check 3-char first ("&&&" ternary mask in
+	// rule files shares this lexer), then 2-char, then single.
+	rest := l.src[l.off:]
+	for _, p := range []string{"&&&"} {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: p, pos: start}, nil
+		}
+	}
+	for _, p := range multiPunct {
+		if len(p) == 2 && strings.HasPrefix(rest, p) {
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: p, pos: start}, nil
+		}
+	}
+	switch c {
+	case '{', '}', '(', ')', '[', ']', ';', ':', '=', ',', '.', '<', '>', '+', '-', '*', '&', '|', '^', '!', '~', '/':
+		l.advance()
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	}
+	return token{}, &lexError{msg: fmt.Sprintf("unexpected character %q", c), pos: start}
+}
+
+// lexNumber lexes decimal, hex (0x...), dotted-quad IPv4 (a.b.c.d) and
+// colon-separated MAC (aa:bb:cc:dd:ee:ff) literals.
+func (l *lexer) lexNumber(start Pos) (token, error) {
+	// Hex.
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		var v uint64
+		n := 0
+		for l.off < len(l.src) && isHexDigit(l.peekByte()) {
+			v = v<<4 | uint64(hexVal(l.advance()))
+			n++
+		}
+		if n == 0 {
+			return token{}, &lexError{msg: "malformed hex literal", pos: start}
+		}
+		return token{kind: tokNumber, val: v, pos: start}, nil
+	}
+
+	// Decimal run.
+	readDec := func() uint64 {
+		var v uint64
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			v = v*10 + uint64(l.advance()-'0')
+		}
+		return v
+	}
+	first := readDec()
+
+	// Dotted-quad IPv4: only if exactly three more dot-separated decimal
+	// runs follow immediately.
+	if l.peekByte() == '.' && isDigit(l.peekByteAt(1)) {
+		// Tentatively parse as IPv4.
+		save := *l
+		parts := []uint64{first}
+		for l.peekByte() == '.' && isDigit(l.peekByteAt(1)) && len(parts) < 4 {
+			l.advance()
+			parts = append(parts, readDec())
+		}
+		if len(parts) == 4 {
+			ok := true
+			var v uint64
+			for _, p := range parts {
+				if p > 255 {
+					ok = false
+					break
+				}
+				v = v<<8 | p
+			}
+			if ok {
+				return token{kind: tokNumber, val: v, pos: start}, nil
+			}
+		}
+		*l = save // not an IPv4 literal; restore
+	}
+	return token{kind: tokNumber, val: first, pos: start}, nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// lexAll tokenizes an entire source string (used by tests and the rules
+// parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to parseable source text. Together with
+// Parse it forms a round trip: Parse(Print(p)) is structurally identical
+// to p. Used by tooling (cmd/meissa dump) and by the grammar round-trip
+// tests.
+func Print(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "program %s;\n\n", p.Name)
+	}
+	for _, h := range p.Headers {
+		fmt.Fprintf(&b, "header %s {\n", h.Name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, "  bit<%d> %s;\n", f.Width, f.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+	if len(p.Metadata) > 0 {
+		b.WriteString("metadata {\n")
+		for _, f := range p.Metadata {
+			fmt.Fprintf(&b, "  bit<%d> %s;\n", f.Width, f.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+	for _, r := range p.Registers {
+		fmt.Fprintf(&b, "register bit<%d> %s[%d];\n\n", r.Width, r.Name, r.Size)
+	}
+	for _, pd := range p.Parsers {
+		printParser(&b, pd)
+	}
+	for _, a := range p.Actions {
+		printAction(&b, a)
+	}
+	for _, t := range p.Tables {
+		printTable(&b, t)
+	}
+	for _, c := range p.Controls {
+		fmt.Fprintf(&b, "control %s {\n  apply {\n", c.Name)
+		printStmts(&b, c.Apply, "    ")
+		b.WriteString("  }\n}\n\n")
+	}
+	for _, pl := range p.Pipelines {
+		fmt.Fprintf(&b, "pipeline %s {\n", pl.Name)
+		if pl.Parser != "" {
+			fmt.Fprintf(&b, "  parser = %s;\n", pl.Parser)
+		}
+		fmt.Fprintf(&b, "  control = %s;\n", pl.Control)
+		fmt.Fprintf(&b, "  kind = %s;\n", pl.Kind)
+		if pl.Switch != "" {
+			fmt.Fprintf(&b, "  switch = %s;\n", pl.Switch)
+		}
+		b.WriteString("}\n\n")
+	}
+	if p.Topology != nil {
+		b.WriteString("topology {\n")
+		for _, e := range p.Topology.Entries {
+			fmt.Fprintf(&b, "  entry %s;\n", e)
+		}
+		for _, e := range p.Topology.Edges {
+			fmt.Fprintf(&b, "  %s -> %s", e.From, e.To)
+			if e.Guard != nil {
+				fmt.Fprintf(&b, " when %s", printExpr(e.Guard))
+			}
+			b.WriteString(";\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func printParser(b *strings.Builder, pd *ParserDecl) {
+	fmt.Fprintf(b, "parser %s {\n", pd.Name)
+	for _, st := range pd.States {
+		fmt.Fprintf(b, "  state %s {\n", st.Name)
+		printStmts(b, st.Body, "    ")
+		tr := st.Transition
+		if len(tr.Select) == 0 {
+			fmt.Fprintf(b, "    transition %s;\n", tr.Default)
+		} else {
+			sels := make([]string, len(tr.Select))
+			for i, s := range tr.Select {
+				sels[i] = s.String()
+			}
+			fmt.Fprintf(b, "    transition select(%s) {\n", strings.Join(sels, ", "))
+			for _, c := range tr.Cases {
+				vals := make([]string, len(c.Values))
+				for i, v := range c.Values {
+					vals[i] = fmt.Sprintf("%d", v)
+				}
+				if len(vals) == 1 {
+					fmt.Fprintf(b, "      %s: %s;\n", vals[0], c.Next)
+				} else {
+					fmt.Fprintf(b, "      (%s): %s;\n", strings.Join(vals, ", "), c.Next)
+				}
+			}
+			if tr.Default != "" {
+				fmt.Fprintf(b, "      default: %s;\n", tr.Default)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n\n")
+}
+
+func printAction(b *strings.Builder, a *ActionDecl) {
+	params := make([]string, len(a.Params))
+	for i, p := range a.Params {
+		params[i] = fmt.Sprintf("bit<%d> %s", p.Width, p.Name)
+	}
+	fmt.Fprintf(b, "action %s(%s) {\n", a.Name, strings.Join(params, ", "))
+	printStmts(b, a.Body, "  ")
+	b.WriteString("}\n\n")
+}
+
+func printTable(b *strings.Builder, t *TableDecl) {
+	fmt.Fprintf(b, "table %s {\n", t.Name)
+	if len(t.Keys) > 0 {
+		b.WriteString("  key = {")
+		for _, k := range t.Keys {
+			fmt.Fprintf(b, " %s : %s;", k.Field, k.Match)
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("  actions = {")
+	for _, a := range t.Actions {
+		fmt.Fprintf(b, " %s;", a)
+	}
+	b.WriteString(" }\n")
+	if t.DefaultAction != nil {
+		fmt.Fprintf(b, "  default_action = %s;\n", printCall(t.DefaultAction))
+	}
+	if t.Size > 0 {
+		fmt.Fprintf(b, "  size = %d;\n", t.Size)
+	}
+	b.WriteString("}\n\n")
+}
+
+func printCall(c *ActionCall) string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = printExpr(a)
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(args, ", "))
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		printStmt(b, s, indent)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch t := s.(type) {
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, t.LHS, printExpr(t.RHS))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, printExpr(t.Cond))
+		printStmts(b, t.Then, indent+"  ")
+		if len(t.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			printStmts(b, t.Else, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *ApplyStmt:
+		fmt.Fprintf(b, "%s%s.apply();\n", indent, t.Table)
+	case *CallStmt:
+		fmt.Fprintf(b, "%s%s;\n", indent, printCall(t.Call))
+	case *ExtractStmt:
+		fmt.Fprintf(b, "%sextract(%s);\n", indent, t.Header)
+	case *SetValidStmt:
+		kw := "setInvalid"
+		if t.Valid {
+			kw = "setValid"
+		}
+		fmt.Fprintf(b, "%s%s(%s);\n", indent, kw, t.Header)
+	case *DropStmt:
+		fmt.Fprintf(b, "%smark_drop();\n", indent)
+	case *HashStmt:
+		ins := make([]string, len(t.Inputs))
+		for i, in := range t.Inputs {
+			ins[i] = printExpr(in)
+		}
+		fmt.Fprintf(b, "%shash(%s, %s);\n", indent, t.Dest, strings.Join(ins, ", "))
+	case *ChecksumStmt:
+		fmt.Fprintf(b, "%supdate_checksum(%s, %s);\n", indent, t.Header, t.Field)
+	case *RegReadStmt:
+		fmt.Fprintf(b, "%s%s = reg_read(%s, %d);\n", indent, t.Dest, t.Reg, t.Index)
+	case *RegWriteStmt:
+		fmt.Fprintf(b, "%sreg_write(%s, %d, %s);\n", indent, t.Reg, t.Index, printExpr(t.Value))
+	}
+}
+
+func printExpr(e Expr) string {
+	switch t := e.(type) {
+	case *NumberExpr:
+		return fmt.Sprintf("%d", t.Val)
+	case *FieldRef:
+		return t.String()
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", printExpr(t.L), t.Op, printExpr(t.R))
+	case *CmpExpr:
+		return fmt.Sprintf("%s %s %s", printExpr(t.L), t.Op, printExpr(t.R))
+	case *LogicExpr:
+		return fmt.Sprintf("(%s %s %s)", printExpr(t.L), t.Op, printExpr(t.R))
+	case *NotExpr:
+		return fmt.Sprintf("!(%s)", printExpr(t.X))
+	case *IsValidExpr:
+		return t.Header + ".isValid()"
+	}
+	return "?"
+}

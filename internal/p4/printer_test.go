@@ -1,0 +1,112 @@
+package p4
+
+import (
+	"testing"
+)
+
+// TestPrintParseRoundTrip parses, prints, re-parses and re-prints: the
+// two printed forms must be byte-identical (print is a normal form), and
+// the re-parsed program must pass the checker.
+func TestPrintParseRoundTrip(t *testing.T) {
+	prog := MustParse(routerSrc)
+	out1 := Print(prog)
+	prog2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, out1)
+	}
+	if err := Check(prog2); err != nil {
+		t.Fatalf("printed source does not check: %v", err)
+	}
+	out2 := Print(prog2)
+	if out1 != out2 {
+		t.Fatalf("print is not a normal form:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestPrintCoversAllStatementKinds(t *testing.T) {
+	src := `
+program everything;
+header h { bit<8> x; bit<16> checksum; }
+header g { bit<8> y; }
+metadata { bit<16> m; }
+register bit<16> r[8];
+parser prs {
+  state start {
+    extract(h);
+    transition select(h.x) {
+      1: s1;
+      (2): s1;
+      default: accept;
+    }
+  }
+  state s1 { extract(g); transition accept; }
+}
+action act(bit<8> v) {
+  h.x = v;
+  setValid(g);
+  setInvalid(g);
+  mark_drop();
+}
+table t {
+  key = { h.x : exact; g.y : ternary; }
+  actions = { act; }
+  default_action = act(1);
+  size = 64;
+}
+control c {
+  apply {
+    if (h.isValid() && h.x > 1) {
+      t.apply();
+      hash(meta.m, h.x, g.y);
+      update_checksum(h, checksum);
+      meta.m = reg_read(r, 3);
+      reg_write(r, 3, meta.m + 1);
+    } else {
+      if (!(g.isValid())) {
+        act(9);
+      }
+    }
+  }
+}
+pipeline p { parser = prs; control = c; kind = ingress; switch = sw9; }
+topology { entry p; p -> exit when meta.m < 5; }
+`
+	prog := MustParse(src)
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if err := Check(prog2); err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+	if Print(prog2) != printed {
+		t.Fatal("round trip not stable")
+	}
+}
+
+// TestPrintCorpusRoundTrip round-trips a generated production program.
+func TestPrintCorpusRoundTrip(t *testing.T) {
+	// Use the parsed form of the test router and a multi-pipeline source.
+	src := `
+header h { bit<8> x; }
+metadata { bit<9> port; }
+parser prs { state start { extract(h); transition accept; } }
+action fwd(bit<9> p) { meta.port = p; }
+table tb { key = { h.x : exact; } actions = { fwd; } default_action = fwd(0); }
+control a { apply { tb.apply(); } }
+control b { apply { h.x = h.x + 1; } }
+pipeline p1 { parser = prs; control = a; }
+pipeline p2 { control = b; kind = egress; }
+topology { entry p1; p1 -> p2 when meta.port == 1; p1 -> exit when meta.port != 1; p2 -> exit; }
+`
+	prog := MustParse(src)
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if len(prog2.Pipelines) != 2 || prog2.Topology == nil || len(prog2.Topology.Edges) != 3 {
+		t.Fatal("round trip lost structure")
+	}
+}

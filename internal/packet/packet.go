@@ -1,0 +1,346 @@
+// Package packet models concrete test packets: bit-exact serialization of
+// program-declared headers, parser-FSM-driven synthesis from solver models
+// and decoding of captured output, plus the unique-ID payload the test
+// driver uses to relate sent and received packets (§4 of the paper).
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/p4"
+)
+
+// Magic marks Meissa test packets' payloads.
+const Magic uint32 = 0x4D455353 // "MESS"
+
+// Header is one concrete header instance in wire order.
+type Header struct {
+	Name   string
+	Fields map[string]uint64
+}
+
+// Packet is a concrete packet: headers in wire order plus payload.
+type Packet struct {
+	Headers []Header
+	Payload []byte
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() *Packet {
+	out := &Packet{Payload: append([]byte(nil), p.Payload...)}
+	for _, h := range p.Headers {
+		nh := Header{Name: h.Name, Fields: make(map[string]uint64, len(h.Fields))}
+		for k, v := range h.Fields {
+			nh.Fields[k] = v
+		}
+		out.Headers = append(out.Headers, nh)
+	}
+	return out
+}
+
+// Has reports whether a header is present.
+func (p *Packet) Has(name string) bool {
+	for _, h := range p.Headers {
+		if h.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Field returns a header field value.
+func (p *Packet) Field(header, field string) (uint64, bool) {
+	for _, h := range p.Headers {
+		if h.Name == header {
+			v, ok := h.Fields[field]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// SetField sets a header field value, adding the header if absent.
+func (p *Packet) SetField(header, field string, v uint64) {
+	for i := range p.Headers {
+		if p.Headers[i].Name == header {
+			p.Headers[i].Fields[field] = v
+			return
+		}
+	}
+	p.Headers = append(p.Headers, Header{Name: header, Fields: map[string]uint64{field: v}})
+}
+
+// ID extracts the unique test-packet ID from the payload, if present.
+func (p *Packet) ID() (uint64, bool) {
+	if len(p.Payload) < 12 {
+		return 0, false
+	}
+	if binary.BigEndian.Uint32(p.Payload[:4]) != Magic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(p.Payload[4:12]), true
+}
+
+// WithID returns a 12-byte payload carrying the magic and the ID.
+func WithID(id uint64) []byte {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint32(buf[:4], Magic)
+	binary.BigEndian.PutUint64(buf[4:12], id)
+	return buf
+}
+
+// String renders the packet compactly.
+func (p *Packet) String() string {
+	var b strings.Builder
+	for i, h := range p.Headers {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(h.Name)
+	}
+	if id, ok := p.ID(); ok {
+		fmt.Fprintf(&b, "#%d", id)
+	}
+	return b.String()
+}
+
+// --- Bit-level wire format ---
+
+// bitWriter packs values MSB-first.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		byteIdx := w.nbit / 8
+		if byteIdx >= len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		bit := (v >> uint(i)) & 1
+		w.buf[byteIdx] |= byte(bit) << uint(7-w.nbit%8)
+		w.nbit++
+	}
+}
+
+// bitReader unpacks values MSB-first.
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) read(bits int) (uint64, error) {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.nbit / 8
+		if byteIdx >= len(r.buf) {
+			return 0, fmt.Errorf("packet: truncated at bit %d", r.nbit)
+		}
+		bit := (r.buf[byteIdx] >> uint(7-r.nbit%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.nbit++
+	}
+	return v, nil
+}
+
+func (r *bitReader) rest() []byte {
+	// Round up to the next byte boundary; headers are byte-aligned in all
+	// corpus programs, so this loses nothing in practice.
+	start := (r.nbit + 7) / 8
+	if start >= len(r.buf) {
+		return nil
+	}
+	return r.buf[start:]
+}
+
+// Marshal serializes the packet: headers in their recorded order, each
+// field MSB-first in declaration order, then the payload.
+func (p *Packet) Marshal(prog *p4.Program) ([]byte, error) {
+	w := &bitWriter{}
+	for _, h := range p.Headers {
+		decl := prog.Header(h.Name)
+		if decl == nil {
+			return nil, fmt.Errorf("packet: unknown header %q", h.Name)
+		}
+		for _, f := range decl.Fields {
+			w.write(expr.Width(f.Width).Trunc(h.Fields[f.Name]), f.Width)
+		}
+	}
+	if w.nbit%8 != 0 {
+		return nil, fmt.Errorf("packet: headers not byte-aligned (%d bits)", w.nbit)
+	}
+	return append(w.buf, p.Payload...), nil
+}
+
+// Parse decodes a wire packet by running a parser state machine
+// concretely: extract reads header fields off the wire, select dispatches
+// on the decoded values. It returns the decoded packet and the set of
+// extracted headers, or an error if the parser rejects.
+func Parse(prog *p4.Program, parserName string, wire []byte) (*Packet, error) {
+	pd := prog.Parser(parserName)
+	if pd == nil {
+		return nil, fmt.Errorf("packet: unknown parser %q", parserName)
+	}
+	r := &bitReader{buf: wire}
+	pkt := &Packet{}
+	state := "start"
+	for steps := 0; steps < 1000; steps++ {
+		switch state {
+		case "accept":
+			pkt.Payload = append([]byte(nil), r.rest()...)
+			return pkt, nil
+		case "reject":
+			return nil, fmt.Errorf("packet: parser rejected")
+		}
+		st := pd.State(state)
+		if st == nil {
+			return nil, fmt.Errorf("packet: parser state %q missing", state)
+		}
+		for _, s := range st.Body {
+			ex, ok := s.(*p4.ExtractStmt)
+			if !ok {
+				continue // parser assignments touch metadata, not the wire
+			}
+			decl := prog.Header(ex.Header)
+			h := Header{Name: ex.Header, Fields: map[string]uint64{}}
+			for _, f := range decl.Fields {
+				v, err := r.read(f.Width)
+				if err != nil {
+					return nil, fmt.Errorf("packet: extracting %s.%s: %w", ex.Header, f.Name, err)
+				}
+				h.Fields[f.Name] = v
+			}
+			pkt.Headers = append(pkt.Headers, h)
+		}
+		tr := st.Transition
+		if len(tr.Select) == 0 {
+			state = tr.Default
+			continue
+		}
+		vals := make([]uint64, len(tr.Select))
+		for i, ref := range tr.Select {
+			v, ok := refValue(pkt, ref)
+			if !ok {
+				return nil, fmt.Errorf("packet: select on unextracted field %s", ref)
+			}
+			vals[i] = v
+		}
+		next := tr.Default
+		for _, c := range tr.Cases {
+			match := true
+			for i := range vals {
+				if vals[i] != c.Values[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				next = c.Next
+				break
+			}
+		}
+		state = next
+	}
+	return nil, fmt.Errorf("packet: parser did not terminate")
+}
+
+func refValue(pkt *Packet, ref *p4.FieldRef) (uint64, bool) {
+	if len(ref.Parts) != 2 {
+		return 0, false
+	}
+	return pkt.Field(ref.Parts[0], ref.Parts[1])
+}
+
+// Synthesize builds a concrete input packet from a solver model: it walks
+// the parser FSM using model values to decide transitions, including
+// exactly the headers the path's parse requires, and fills every field
+// from the model (absent fields default to zero).
+func Synthesize(prog *p4.Program, parserName string, model expr.State, id uint64) (*Packet, error) {
+	pd := prog.Parser(parserName)
+	if pd == nil {
+		return nil, fmt.Errorf("packet: unknown parser %q", parserName)
+	}
+	pkt := &Packet{Payload: WithID(id)}
+	state := "start"
+	for steps := 0; steps < 1000; steps++ {
+		if state == "accept" {
+			return pkt, nil
+		}
+		if state == "reject" {
+			// A path that rejects still needs an input packet; the wire
+			// form is whatever was synthesized so far.
+			return pkt, nil
+		}
+		st := pd.State(state)
+		if st == nil {
+			return nil, fmt.Errorf("packet: parser state %q missing", state)
+		}
+		for _, s := range st.Body {
+			ex, ok := s.(*p4.ExtractStmt)
+			if !ok {
+				continue
+			}
+			decl := prog.Header(ex.Header)
+			h := Header{Name: ex.Header, Fields: map[string]uint64{}}
+			for _, f := range decl.Fields {
+				h.Fields[f.Name] = model[p4.HeaderFieldVar(ex.Header, f.Name)]
+			}
+			pkt.Headers = append(pkt.Headers, h)
+		}
+		tr := st.Transition
+		if len(tr.Select) == 0 {
+			state = tr.Default
+			continue
+		}
+		next := tr.Default
+		for _, c := range tr.Cases {
+			match := true
+			for i, ref := range tr.Select {
+				v, ok := refValue(pkt, ref)
+				if !ok || v != c.Values[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				next = c.Next
+				break
+			}
+		}
+		state = next
+	}
+	return nil, fmt.Errorf("packet: parser did not terminate")
+}
+
+// FromState builds an output packet from an execution state: every header
+// whose validity bit is set, in program declaration order (the implicit
+// deparser), fields taken from the state.
+func FromState(prog *p4.Program, st expr.State, payload []byte) *Packet {
+	pkt := &Packet{Payload: append([]byte(nil), payload...)}
+	for _, hd := range prog.Headers {
+		if st[p4.ValidVar(hd.Name)] != 1 {
+			continue
+		}
+		h := Header{Name: hd.Name, Fields: map[string]uint64{}}
+		for _, f := range hd.Fields {
+			h.Fields[f.Name] = expr.Width(f.Width).Trunc(st[p4.HeaderFieldVar(hd.Name, f.Name)])
+		}
+		pkt.Headers = append(pkt.Headers, h)
+	}
+	return pkt
+}
+
+// ToState loads a packet into an execution state: field values and
+// validity bits for present headers.
+func (p *Packet) ToState(st expr.State) {
+	for _, h := range p.Headers {
+		st[p4.ValidVar(h.Name)] = 1
+		for f, v := range h.Fields {
+			st[p4.HeaderFieldVar(h.Name, f)] = v
+		}
+	}
+}

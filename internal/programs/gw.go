@@ -1,0 +1,613 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// gwConfig sizes one gateway program.
+type gwConfig struct {
+	name string
+	desc string
+	// switches is 1 or 2; pipes is the per-switch pipeline count
+	// (1: gw ingress only; 2: gw ingress+egress; 4: + standard-switch
+	// ingress/egress, the Figure 1 layout).
+	switches int
+	pipes    int
+	// nEIP is the elastic IP count (the set-k scaling axis of §5.1).
+	nEIP int
+	// nACL is the ternary ACL entry count in the standard-switch stage.
+	nACL int
+}
+
+// GW builds gw-n at the given rule scale, mirroring Table 1:
+//
+//	gw-1: VXLAN processing, 1 pipe, 1 switch
+//	gw-2: VXLAN + ACL + routing, 2 pipes, 1 switch
+//	gw-3: + proprietary protocols and switch.p4 stages, 4 pipes, 1 switch
+//	gw-4: two switches for higher availability/throughput, 8 pipes, 2 switches
+func GW(n int, scale RuleScale) *Program {
+	e := scale.ElasticIPs()
+	var cfg gwConfig
+	switch n {
+	case 1:
+		cfg = gwConfig{name: "gw-1", desc: "Production program for hardware gateway, processing VXLAN.",
+			switches: 1, pipes: 1, nEIP: e / 4, nACL: 0}
+	case 2:
+		cfg = gwConfig{name: "gw-2", desc: "Production program for hardware gateway, processing VXLAN, ACL, routing, etc.",
+			switches: 1, pipes: 2, nEIP: e / 2, nACL: 4}
+	case 3:
+		cfg = gwConfig{name: "gw-3", desc: "Production program for hardware gateway, including proprietary protocols and switch.p4.",
+			switches: 1, pipes: 4, nEIP: (e * 3) / 4, nACL: 6}
+	case 4:
+		cfg = gwConfig{name: "gw-4", desc: "Production program for hardware gateway, using two switches for higher availability and throughput.",
+			switches: 2, pipes: 4, nEIP: e, nACL: 6}
+	default:
+		panic(fmt.Sprintf("programs: no gw-%d", n))
+	}
+	if cfg.nEIP < 2 {
+		cfg.nEIP = 2
+	}
+	src, rs := genGW(cfg)
+	return finish(cfg.name, cfg.desc, src, rs, cfg.switches*cfg.pipes, cfg.switches)
+}
+
+// gwHeaders declares the tunnel header stack.
+const gwHeaders = `
+header ethernet {
+  bit<48> dstAddr;
+  bit<48> srcAddr;
+  bit<16> etherType;
+}
+
+header ipv4 {
+  bit<8>  ttl;
+  bit<8>  protocol;
+  bit<16> checksum;
+  bit<32> srcAddr;
+  bit<32> dstAddr;
+}
+
+header udp {
+  bit<16> srcPort;
+  bit<16> dstPort;
+  bit<16> length;
+  bit<16> checksum;
+}
+
+header tcp {
+  bit<16> srcPort;
+  bit<16> dstPort;
+  bit<32> seqNo;
+  bit<32> ackNo;
+}
+
+header vxlan {
+  bit<32> vni;
+  bit<32> reserved;
+}
+
+header innerIpv4 {
+  bit<8>  ttl;
+  bit<8>  protocol;
+  bit<16> checksum;
+  bit<32> srcAddr;
+  bit<32> dstAddr;
+}
+
+header innerTcp {
+  bit<16> srcPort;
+  bit<16> dstPort;
+  bit<32> seqNo;
+  bit<32> ackNo;
+}
+
+metadata {
+  bit<32> vni;
+  bit<1>  eip_hit;
+  bit<1>  to_peer;
+  bit<9>  egress_port;
+  bit<32> nexthop;
+  bit<1>  acl_deny;
+  bit<16> feature_tag;
+}
+`
+
+// gwParser parses the outer stack. Tunneled input (decap direction) is
+// recognized by UDP port 4789.
+const gwParser = `
+parser gw_prs {
+  state start {
+    extract(ethernet);
+    transition select(ethernet.etherType) {
+      0x0800: parse_ipv4;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    transition select(ipv4.protocol) {
+      6: parse_tcp;
+      17: parse_udp;
+      default: accept;
+    }
+  }
+  state parse_tcp { extract(tcp); transition accept; }
+  state parse_udp {
+    extract(udp);
+    transition select(udp.dstPort) {
+      4789: parse_vxlan;
+      default: accept;
+    }
+  }
+  state parse_vxlan {
+    extract(vxlan);
+    extract(innerIpv4);
+    transition select(innerIpv4.protocol) {
+      6: parse_inner_tcp;
+      default: accept;
+    }
+  }
+  state parse_inner_tcp { extract(innerTcp); transition accept; }
+}
+`
+
+// genGW emits source text and rules for a gateway config.
+func genGW(cfg gwConfig) (string, *rules.Set) {
+	var b strings.Builder
+	rs := rules.NewSet()
+
+	fmt.Fprintf(&b, "program %s;\n", sanitize(cfg.name))
+	b.WriteString(gwHeaders)
+	b.WriteString(gwParser)
+
+	switches := []string{"s0"}
+	if cfg.switches == 2 {
+		switches = append(switches, "s1")
+	}
+	for _, sw := range switches {
+		emitGatewayIngress(&b, rs, sw, cfg)
+		if cfg.pipes >= 2 {
+			emitGatewayEgress(&b, rs, sw, cfg)
+		}
+		if cfg.pipes >= 4 {
+			emitSwitchEgress(&b, rs, sw, cfg)
+			emitSwitchIngress(&b, rs, sw, cfg)
+		}
+	}
+
+	emitPipelines(&b, cfg, switches)
+	emitTopology(&b, cfg, switches)
+	return b.String(), rs
+}
+
+func sanitize(name string) string { return strings.ReplaceAll(name, "-", "_") }
+
+// emitGatewayIngress writes the elastic-IP VXLAN encapsulation pipeline:
+// eip lookup (exact, the scaling table) → vni stats (correlated) → encap
+// parameters (correlated) → nat encapsulation (the Figure 13 actions).
+func emitGatewayIngress(b *strings.Builder, rs *rules.Set, sw string, cfg gwConfig) {
+	p := sw + "_gwig"
+	fmt.Fprintf(b, `
+action %[1]s_set_vm(bit<32> vni, bit<1> to_peer) {
+  meta.vni = vni;
+  meta.to_peer = to_peer;
+  meta.eip_hit = 1;
+}
+
+action %[1]s_eip_miss() {
+  meta.eip_hit = 0;
+}
+
+action %[1]s_count_vni(bit<16> tag) {
+  meta.feature_tag = tag;
+}
+
+action %[1]s_nat_encap_ip(bit<32> outerDst) {
+  setValid(innerIpv4);
+  innerIpv4.srcAddr = ipv4.srcAddr;
+  innerIpv4.dstAddr = ipv4.dstAddr;
+  innerIpv4.ttl = ipv4.ttl;
+  innerIpv4.protocol = ipv4.protocol;
+  setValid(vxlan);
+  vxlan.vni = meta.vni;
+  vxlan.reserved = 0;
+  setValid(udp);
+  udp.srcPort = 49152;
+  udp.dstPort = 4789;
+  ipv4.dstAddr = outerDst;
+  ipv4.srcAddr = 10.200.0.1;
+  ipv4.protocol = 17;
+}
+
+action %[1]s_nat_encap_tcp() {
+  setValid(innerTcp);
+  innerTcp.srcPort = tcp.srcPort;
+  innerTcp.dstPort = tcp.dstPort;
+  innerTcp.seqNo = tcp.seqNo;
+  innerTcp.ackNo = tcp.ackNo;
+  setInvalid(tcp);
+}
+
+table %[1]s_eip {
+  key = { ipv4.dstAddr : exact; }
+  actions = { %[1]s_set_vm; %[1]s_eip_miss; }
+  default_action = %[1]s_eip_miss();
+  size = 65536;
+}
+
+table %[1]s_vni_stats {
+  key = { meta.vni : exact; }
+  actions = { %[1]s_count_vni; }
+  default_action = %[1]s_count_vni(0);
+  size = 65536;
+}
+
+table %[1]s_encap {
+  key = { meta.vni : exact; }
+  actions = { %[1]s_nat_encap_ip; }
+  default_action = %[1]s_nat_encap_ip(0);
+  size = 65536;
+}
+
+action %[1]s_route(bit<32> nh) {
+  meta.nexthop = nh;
+  ipv4.ttl = ipv4.ttl - 1;
+}
+
+action %[1]s_route_miss() {
+  meta.nexthop = 0;
+}
+
+action %[1]s_dmac(bit<48> mac) {
+  ethernet.dstAddr = mac;
+}
+
+action %[1]s_dmac_miss() {
+}
+
+table %[1]s_route {
+  key = { ipv4.dstAddr : lpm; }
+  actions = { %[1]s_route; %[1]s_route_miss; }
+  default_action = %[1]s_route_miss();
+  size = 16384;
+}
+
+table %[1]s_dmac {
+  key = { meta.nexthop : exact; }
+  actions = { %[1]s_dmac; %[1]s_dmac_miss; }
+  default_action = %[1]s_dmac_miss();
+  size = 16384;
+}
+
+control %[1]s_c {
+  apply {
+    if (ipv4.isValid() && ipv4.protocol == 6) {
+      %[1]s_eip.apply();
+      if (meta.eip_hit == 1) {
+        %[1]s_vni_stats.apply();
+        %[1]s_encap.apply();
+        if (tcp.isValid()) {
+          %[1]s_nat_encap_tcp();
+        }
+        %[1]s_route.apply();
+        %[1]s_dmac.apply();
+      } else {
+        mark_drop();
+      }
+    } else {
+      mark_drop();
+    }
+  }
+}
+`, p)
+
+	for i := 1; i <= cfg.nEIP; i++ {
+		toPeer := uint64(0)
+		if cfg.switches == 2 && sw == "s0" && i%2 == 1 {
+			toPeer = 1 // odd elastic IPs take the flow-B cross-switch path
+		}
+		vni := uint64(1000 + i)
+		rs.Add(p+"_eip", rules.Rule(p+"_set_vm", []uint64{vni, toPeer},
+			rules.E("ipv4.dstAddr", eipAddr(i))))
+		rs.Add(p+"_vni_stats", rules.Rule(p+"_count_vni", []uint64{uint64(i)},
+			rules.E("meta.vni", vni)))
+		rs.Add(p+"_encap", rules.Rule(p+"_nat_encap_ip", []uint64{tunnelAddr(i)},
+			rules.E("meta.vni", vni)))
+	}
+	// Tunnel-space routes and nexthop MACs: correlated with the encap
+	// output within this pipeline, so they fold during both kinds of
+	// exploration (the Figure 7 structure).
+	for i := 0; i < 8; i++ {
+		rs.Add(p+"_route", rules.PRule(24, p+"_route", []uint64{uint64(100 + i)},
+			rules.L("ipv4.dstAddr", 0x0AC80000+uint64(i)<<8, 24)))
+		rs.Add(p+"_dmac", rules.Rule(p+"_dmac", []uint64{0x02DD00000000 + uint64(i)},
+			rules.E("meta.nexthop", uint64(100+i))))
+	}
+	// The backup switch also terminates flow-B traffic arriving from its
+	// peer on the tunnel endpoint addresses (Figure 1: "the two switches
+	// serve as the backup of each other").
+	if cfg.switches == 2 && sw == "s1" {
+		for i := 1; i <= cfg.nEIP; i += 2 {
+			vni := uint64(2000 + i)
+			rs.Add(p+"_eip", rules.Rule(p+"_set_vm", []uint64{vni, 0},
+				rules.E("ipv4.dstAddr", tunnelAddr(i))))
+			rs.Add(p+"_vni_stats", rules.Rule(p+"_count_vni", []uint64{uint64(1000 + i)},
+				rules.E("meta.vni", vni)))
+			rs.Add(p+"_encap", rules.Rule(p+"_nat_encap_ip", []uint64{tunnelAddr(i) + 0x10000},
+				rules.E("meta.vni", vni)))
+		}
+	}
+}
+
+// eipAddr is the i-th elastic IP (203.0.113.0/24 then onward).
+func eipAddr(i int) uint64 { return 0xCB007100 + uint64(i) }
+
+// tunnelAddr is the i-th tunnel endpoint.
+func tunnelAddr(i int) uint64 { return 0x0AC80000 + uint64(i) }
+
+// emitGatewayEgress writes the gateway egress pipeline: checksum
+// finalization and a vni-keyed port rewrite (correlated with the ingress
+// eip chain).
+func emitGatewayEgress(b *strings.Builder, rs *rules.Set, sw string, cfg gwConfig) {
+	p := sw + "_gweg"
+	fmt.Fprintf(b, `
+action %[1]s_set_port(bit<9> port) {
+  meta.egress_port = port;
+}
+
+table %[1]s_port {
+  key = { ethernet.srcAddr : exact; }
+  actions = { %[1]s_set_port; }
+  default_action = %[1]s_set_port(0);
+  size = 65536;
+}
+
+control %[1]s_c {
+  apply {
+    %[1]s_port.apply();
+    if (innerTcp.isValid()) {
+      update_checksum(innerIpv4, checksum);
+    }
+    update_checksum(ipv4, checksum);
+  }
+}
+`, p)
+	for i := 0; i < max(cfg.nEIP/8, 2); i++ {
+		rs.Add(p+"_port", rules.Rule(p+"_set_port", []uint64{uint64(i % 32)},
+			rules.E("ethernet.srcAddr", profileMAC(i))))
+	}
+}
+
+// srcBlock returns the i-th top-8-bit source-MAC block used by the
+// QoS/ACL chains. Ethernet source addresses are never rewritten by the
+// gateway stages, so these matches stay symbolic along every path — in
+// both the basic framework and during summarization.
+func srcBlock(i int) uint64 {
+	blocks := []uint64{0x020000000000, 0x0A0000000000, 0x1E0000000000, 0x320000000000}
+	return blocks[i%len(blocks)]
+}
+
+// emitSwitchEgress writes the standard-switch egress: outer routing (LPM
+// over tunnel endpoints, correlated with the encap output) plus a
+// two-level QoS chain matched on the packet's source address. The QoS
+// tables match an input field no upstream stage determines, so their
+// cross-products stay symbolic: the basic framework re-prunes the invalid
+// mark/queue combinations with solver calls for every upstream path,
+// while code summary eliminates them once per pipeline — the Fig. 11
+// structure.
+func emitSwitchEgress(b *strings.Builder, rs *rules.Set, sw string, cfg gwConfig) {
+	p := sw + "_sweg"
+	fmt.Fprintf(b, `
+action %[1]s_mark(bit<16> dscp) {
+  meta.feature_tag = dscp;
+}
+
+action %[1]s_queue(bit<9> q) {
+  meta.egress_port = q;
+}
+
+table %[1]s_qos_mark {
+  key = { ethernet.srcAddr : ternary; }
+  actions = { %[1]s_mark; }
+  default_action = %[1]s_mark(0);
+  size = 1024;
+}
+
+table %[1]s_qos_queue {
+  key = { ethernet.srcAddr : lpm; }
+  actions = { %[1]s_queue; }
+  default_action = %[1]s_queue(0);
+  size = 1024;
+}
+
+control %[1]s_c {
+  apply {
+    %[1]s_qos_mark.apply();
+    %[1]s_qos_queue.apply();
+%[2]s  }
+}
+`, p, profileApplies(p, profileDepth))
+	emitProfileTables(b, rs, p, cfg)
+	// QoS marks on /16 prefixes nested inside the /8 queue blocks: only
+	// nested mark/queue pairs are satisfiable.
+	for i := 0; i < cfg.nACL/3+2; i++ {
+		rs.Add(p+"_qos_mark", rules.PRule(10-i, p+"_mark", []uint64{uint64(40 + i)},
+			rules.T("ethernet.srcAddr", srcBlock(i)|uint64(i+1)<<24, 0xFFFFFF000000)))
+		rs.Add(p+"_qos_queue", rules.PRule(8, p+"_queue", []uint64{uint64(i + 1)},
+			rules.L("ethernet.srcAddr", srcBlock(i), 8)))
+	}
+}
+
+// emitSwitchIngress writes the standard-switch ingress: a ternary ACL
+// over source prefixes followed by a source-class LPM stage (the second
+// level of the symbolic chain), then a dmac rewrite keyed on the nexthop
+// chosen by the egress stage (which folds statically).
+func emitSwitchIngress(b *strings.Builder, rs *rules.Set, sw string, cfg gwConfig) {
+	p := sw + "_swig"
+	fmt.Fprintf(b, `
+action %[1]s_permit() {
+  meta.acl_deny = 0;
+}
+
+action %[1]s_deny() {
+  meta.acl_deny = 1;
+}
+
+action %[1]s_class(bit<16> c) {
+  meta.feature_tag = c;
+}
+
+table %[1]s_acl {
+  key = { ethernet.srcAddr : ternary; }
+  actions = { %[1]s_permit; %[1]s_deny; }
+  default_action = %[1]s_permit();
+  size = 4096;
+}
+
+table %[1]s_src_class {
+  key = { ethernet.srcAddr : lpm; }
+  actions = { %[1]s_class; }
+  default_action = %[1]s_class(0);
+  size = 4096;
+}
+
+control %[1]s_c {
+  apply {
+    %[1]s_acl.apply();
+    if (meta.acl_deny == 1) {
+      mark_drop();
+    } else {
+      %[1]s_src_class.apply();
+    }
+  }
+}
+`, p)
+	// ACL entries on /16 prefixes nested in the /8 class blocks; only
+	// nested acl/class combinations are satisfiable, which the basic
+	// framework re-discovers per upstream path.
+	for i := 0; i < cfg.nACL/3+2; i++ {
+		act := p + "_permit"
+		if i%3 == 2 {
+			act = p + "_deny"
+		}
+		rs.Add(p+"_acl", rules.PRule(10-i, act, nil,
+			rules.T("ethernet.srcAddr", srcBlock(i)|uint64(i+1)<<24, 0xFFFFFF000000)))
+		rs.Add(p+"_src_class", rules.PRule(8, p+"_class", []uint64{uint64(10 + i)},
+			rules.L("ethernet.srcAddr", srcBlock(i), 8)))
+	}
+}
+
+// emitPipelines declares the pipeline bindings.
+func emitPipelines(b *strings.Builder, cfg gwConfig, switches []string) {
+	for _, sw := range switches {
+		fmt.Fprintf(b, "\npipeline %s_gwig { parser = gw_prs; control = %s_gwig_c; kind = ingress; switch = %s; }\n", sw, sw, sw)
+		if cfg.pipes >= 2 {
+			fmt.Fprintf(b, "pipeline %s_gweg { control = %s_gweg_c; kind = egress; switch = %s; }\n", sw, sw, sw)
+		}
+		if cfg.pipes >= 4 {
+			fmt.Fprintf(b, "pipeline %s_sweg { control = %s_sweg_c; kind = egress; switch = %s; }\n", sw, sw, sw)
+			fmt.Fprintf(b, "pipeline %s_swig { control = %s_swig_c; kind = ingress; switch = %s; }\n", sw, sw, sw)
+		}
+	}
+}
+
+// emitTopology wires the Figure 1 paths: flow A stays on one switch
+// (ingress0 → egress1 → ingress1 → egress0), flow B crosses to the peer
+// (ingress0 → egress0, then the peer's full path).
+func emitTopology(b *strings.Builder, cfg gwConfig, switches []string) {
+	b.WriteString("\ntopology {\n")
+	for _, sw := range switches {
+		fmt.Fprintf(b, "  entry %s_gwig;\n", sw)
+	}
+	switch cfg.pipes {
+	case 1:
+		for _, sw := range switches {
+			fmt.Fprintf(b, "  %s_gwig -> exit;\n", sw)
+		}
+	case 2:
+		for _, sw := range switches {
+			fmt.Fprintf(b, "  %s_gwig -> %s_gweg;\n", sw, sw)
+			fmt.Fprintf(b, "  %s_gweg -> exit;\n", sw)
+		}
+	case 4:
+		if len(switches) == 1 {
+			sw := switches[0]
+			fmt.Fprintf(b, "  %s_gwig -> %s_sweg;\n", sw, sw)
+			fmt.Fprintf(b, "  %s_sweg -> %s_swig;\n", sw, sw)
+			fmt.Fprintf(b, "  %s_swig -> %s_gweg;\n", sw, sw)
+			fmt.Fprintf(b, "  %s_gweg -> exit;\n", sw)
+		} else {
+			s0, s1 := switches[0], switches[1]
+			// Flow A within s0.
+			fmt.Fprintf(b, "  %s_gwig -> %s_sweg when meta.to_peer == 0;\n", s0, s0)
+			fmt.Fprintf(b, "  %s_sweg -> %s_swig;\n", s0, s0)
+			fmt.Fprintf(b, "  %s_swig -> %s_gweg;\n", s0, s0)
+			fmt.Fprintf(b, "  %s_gweg -> exit when meta.to_peer == 0;\n", s0)
+			// Flow B: s0 gwig → s0 gweg → s1 full path.
+			fmt.Fprintf(b, "  %s_gwig -> %s_gweg when meta.to_peer == 1;\n", s0, s0)
+			fmt.Fprintf(b, "  %s_gweg -> %s_gwig when meta.to_peer == 1;\n", s0, s1)
+			// s1 serves its own entry traffic plus flow B arrivals.
+			fmt.Fprintf(b, "  %s_gwig -> %s_sweg;\n", s1, s1)
+			fmt.Fprintf(b, "  %s_sweg -> %s_swig;\n", s1, s1)
+			fmt.Fprintf(b, "  %s_swig -> %s_gweg;\n", s1, s1)
+			fmt.Fprintf(b, "  %s_gweg -> exit;\n", s1)
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// profileDepth is the number of sequential processing-profile tables per
+// standard-switch pipeline (the "proprietary protocols" of gw-3/gw-4).
+const profileDepth = 3
+
+// profileMAC is the i-th customer profile source MAC. Profiles nest
+// inside the QoS source blocks so the solver — not constant folding —
+// decides which cross-table combinations are feasible.
+func profileMAC(i int) uint64 {
+	return srcBlock(i) | uint64(i%3+1)<<24 | uint64(i+1)<<8
+}
+
+// emitProfileTables writes profileDepth sequential exact-match tables
+// over ethernet.srcAddr, each holding the same customer-profile entries.
+// Only the diagonal combinations (the same profile at every level, in
+// every pipeline) are satisfiable, which the basic framework must
+// re-derive with solver calls for every upstream path — the redundancy
+// intra-pipeline elimination removes once (Figure 7's n² → n shape, but
+// solver-pruned rather than foldable).
+func emitProfileTables(b *strings.Builder, rs *rules.Set, prefix string, cfg gwConfig) {
+	n := cfg.nEIP / 8
+	if n < 2 {
+		n = 2
+	}
+	for d := 0; d < profileDepth; d++ {
+		fmt.Fprintf(b, `
+action %[1]s_prof%[2]d_set(bit<16> v) {
+  meta.feature_tag = v;
+}
+
+table %[1]s_prof%[2]d {
+  key = { ethernet.srcAddr : exact; }
+  actions = { %[1]s_prof%[2]d_set; }
+  default_action = %[1]s_prof%[2]d_set(0);
+  size = 4096;
+}
+`, prefix, d)
+		for i := 0; i < n; i++ {
+			rs.Add(fmt.Sprintf("%s_prof%d", prefix, d),
+				rules.Rule(fmt.Sprintf("%s_prof%d_set", prefix, d),
+					[]uint64{uint64(d<<8 | i)},
+					rules.E("ethernet.srcAddr", profileMAC(i))))
+		}
+	}
+}
+
+func profileApplies(prefix string, depth int) string {
+	var b strings.Builder
+	for d := 0; d < depth; d++ {
+		fmt.Fprintf(&b, "    %s_prof%d.apply();\n", prefix, d)
+	}
+	return b.String()
+}

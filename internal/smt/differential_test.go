@@ -1,0 +1,149 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestDifferentialBruteForce cross-checks the solver against exhaustive
+// enumeration on randomly generated conjunctions over small-width
+// variables: every SAT verdict must come with a model satisfying all
+// constraints, every UNSAT verdict must have no satisfying assignment in
+// the brute-force sweep. This is the solver's ground-truth test.
+func TestDifferentialBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []expr.Var{"a", "b", "c"}
+	const width = expr.Width(4) // 16 values per var → 4096 assignments
+
+	genAtom := func() expr.Bool {
+		v := expr.V(vars[rng.Intn(len(vars))], width)
+		c := expr.C(uint64(rng.Intn(16)), width)
+		switch rng.Intn(7) {
+		case 0:
+			return expr.Eq(v, c)
+		case 1:
+			return expr.Ne(v, c)
+		case 2:
+			return expr.Cmp{Op: expr.CmpLt, L: v, R: c}
+		case 3:
+			return expr.Cmp{Op: expr.CmpGe, L: v, R: c}
+		case 4:
+			// masked equality (ternary match shape)
+			mask := expr.C(uint64(rng.Intn(16)), width)
+			val := expr.C(uint64(rng.Intn(16)), width)
+			return expr.Eq(expr.Bin{Op: expr.OpAnd, L: v, R: mask}, val)
+		case 5:
+			// arithmetic definition (summary shape)
+			u := expr.V(vars[rng.Intn(len(vars))], width)
+			return expr.Eq(v, expr.Simplify(expr.Bin{Op: expr.OpAdd, L: u, R: c}))
+		default:
+			// disjunction (deferred shape)
+			c2 := expr.C(uint64(rng.Intn(16)), width)
+			return expr.Or(expr.Eq(v, c), expr.Eq(v, c2))
+		}
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		atoms := make([]expr.Bool, n)
+		for i := range atoms {
+			atoms[i] = genAtom()
+		}
+
+		// Brute force.
+		bruteSAT := false
+	brute:
+		for a := uint64(0); a < 16; a++ {
+			for b := uint64(0); b < 16; b++ {
+				for c := uint64(0); c < 16; c++ {
+					st := expr.State{"a": a, "b": b, "c": c}
+					ok := true
+					for _, at := range atoms {
+						v, err := expr.EvalBool(at, st)
+						if err != nil || !v {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						bruteSAT = true
+						break brute
+					}
+				}
+			}
+		}
+
+		// Solver.
+		s := New(DefaultOptions())
+		for _, at := range atoms {
+			s.Assert(at)
+		}
+		model, res := s.Model()
+
+		switch res {
+		case Sat:
+			if !bruteSAT {
+				t.Fatalf("trial %d: solver says SAT, brute force says UNSAT\natoms: %v", trial, atoms)
+			}
+			// The model must satisfy every constraint (fill gaps with 0).
+			st := expr.State{"a": 0, "b": 0, "c": 0}
+			for k, v := range model {
+				st[k] = v
+			}
+			for _, at := range atoms {
+				ok, err := expr.EvalBool(at, st)
+				if err != nil || !ok {
+					t.Fatalf("trial %d: model %v violates %s", trial, st, at)
+				}
+			}
+		case Unsat:
+			if bruteSAT {
+				t.Fatalf("trial %d: solver says UNSAT, brute force found a model\natoms: %v", trial, atoms)
+			}
+		case Unknown:
+			// Allowed but must not happen on this tiny fragment.
+			t.Fatalf("trial %d: Unknown on a 3-var width-4 problem", trial)
+		}
+	}
+}
+
+// TestDifferentialIncrementalConsistency checks that Push/Assert/Pop
+// sequences reach the same verdicts as one-shot solving.
+func TestDifferentialIncrementalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width = expr.Width(6)
+	for trial := 0; trial < 100; trial++ {
+		var atoms []expr.Bool
+		for i := 0; i < 4; i++ {
+			v := expr.V(expr.Var([]string{"x", "y"}[rng.Intn(2)]), width)
+			c := expr.C(uint64(rng.Intn(64)), width)
+			ops := []expr.CmpOp{expr.CmpEq, expr.CmpNe, expr.CmpLt, expr.CmpGe}
+			atoms = append(atoms, expr.Cmp{Op: ops[rng.Intn(len(ops))], L: v, R: c})
+		}
+
+		oneShot := New(DefaultOptions())
+		for _, a := range atoms {
+			oneShot.Assert(a)
+		}
+		want := oneShot.Check()
+
+		incr := New(DefaultOptions())
+		for _, a := range atoms {
+			incr.Push()
+			incr.Assert(a)
+		}
+		got := incr.Check()
+		if got != want {
+			t.Fatalf("trial %d: incremental %s vs one-shot %s for %v", trial, got, want, atoms)
+		}
+		// Unwind and confirm the solver returns to SAT (no constraints).
+		for range atoms {
+			incr.Pop()
+		}
+		if r := incr.Check(); r != Sat {
+			t.Fatalf("trial %d: after full unwind got %s", trial, r)
+		}
+	}
+}

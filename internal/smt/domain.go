@@ -1,0 +1,239 @@
+// Package smt implements the incremental constraint solver Meissa uses for
+// path validity checking and test-packet model generation (the role Z3
+// plays in §3.2 of the paper).
+//
+// The solver decides conjunctions of comparisons over bit-vector packet
+// fields — the exact fragment produced by encoding P4 branching statements
+// and match-action rules into the CFG. It supports the push/pop
+// incremental-solving pattern that early termination relies on
+// ("Meissa pushes an additional constraint into the SMT solver on a
+// predicate node, and pops when it backtracks").
+//
+// Internally it combines:
+//   - an interval + known-bits abstract domain per variable, refined by
+//     propagation over the asserted atoms;
+//   - exclusion sets for disequalities;
+//   - directional propagation for equality-defined variables
+//     (v == e with all variables of e fixed);
+//   - a bounded backtracking search for the remaining free variables;
+//   - a final concrete evaluation of every asserted constraint against the
+//     candidate model, which makes reported models sound even for atoms the
+//     abstract domains cannot reason about.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// maxTrackedExclusions bounds the per-variable disequality set; beyond it
+// the domain keeps only interval/bit information and relies on the final
+// model check.
+const maxTrackedExclusions = 4096
+
+// domain is the abstract value of one variable: an inclusive interval
+// [lo, hi], bits known to be one (setBits) and zero (clrBits), and a set of
+// individually excluded values.
+type domain struct {
+	w       expr.Width
+	lo, hi  uint64
+	setBits uint64
+	clrBits uint64
+	excl    map[uint64]struct{}
+}
+
+func newDomain(w expr.Width) *domain {
+	return &domain{w: w, lo: 0, hi: w.Mask()}
+}
+
+func (d *domain) clone() *domain {
+	nd := &domain{w: d.w, lo: d.lo, hi: d.hi, setBits: d.setBits, clrBits: d.clrBits}
+	if len(d.excl) > 0 {
+		nd.excl = make(map[uint64]struct{}, len(d.excl))
+		for v := range d.excl {
+			nd.excl[v] = struct{}{}
+		}
+	}
+	return nd
+}
+
+// empty reports whether the domain is certainly unsatisfiable.
+func (d *domain) empty() bool {
+	if d.lo > d.hi {
+		return true
+	}
+	if d.setBits&d.clrBits != 0 {
+		return true
+	}
+	// A fixed value that is excluded is empty.
+	if d.lo == d.hi {
+		if _, ok := d.excl[d.lo]; ok {
+			return true
+		}
+		if d.lo&d.setBits != d.setBits || (^d.lo)&d.clrBits != d.clrBits {
+			return true
+		}
+	}
+	return false
+}
+
+// fixed reports whether the domain pins exactly one value.
+func (d *domain) fixed() (uint64, bool) {
+	if d.lo == d.hi && !d.empty() {
+		return d.lo, true
+	}
+	// All bits known.
+	if d.setBits|d.clrBits == d.w.Mask() {
+		v := d.setBits
+		if v >= d.lo && v <= d.hi {
+			if _, ok := d.excl[v]; !ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// contains reports whether v is consistent with the domain.
+func (d *domain) contains(v uint64) bool {
+	if v < d.lo || v > d.hi {
+		return false
+	}
+	if v&d.setBits != d.setBits {
+		return false
+	}
+	if v&d.clrBits != 0 {
+		return false
+	}
+	if _, ok := d.excl[v]; ok {
+		return false
+	}
+	return true
+}
+
+// intersectInterval refines the interval; returns whether it changed.
+func (d *domain) intersectInterval(lo, hi uint64) bool {
+	changed := false
+	if lo > d.lo {
+		d.lo = lo
+		changed = true
+	}
+	if hi < d.hi {
+		d.hi = hi
+		changed = true
+	}
+	return changed
+}
+
+// requireBits records that (v & mask) == val; returns whether it changed.
+func (d *domain) requireBits(mask, val uint64) bool {
+	set := val & mask
+	clr := (^val) & mask
+	changed := false
+	if d.setBits|set != d.setBits {
+		d.setBits |= set
+		changed = true
+	}
+	if d.clrBits|clr != d.clrBits {
+		d.clrBits |= clr
+		changed = true
+	}
+	return changed
+}
+
+// exclude records v != x; returns whether it changed.
+func (d *domain) exclude(x uint64) bool {
+	if x == d.lo && d.lo < d.hi {
+		d.lo++
+		return true
+	}
+	if x == d.hi && d.hi > d.lo {
+		d.hi--
+		return true
+	}
+	if x < d.lo || x > d.hi {
+		return false
+	}
+	if d.excl == nil {
+		d.excl = make(map[uint64]struct{})
+	}
+	if _, ok := d.excl[x]; ok {
+		return false
+	}
+	if len(d.excl) >= maxTrackedExclusions {
+		return false
+	}
+	d.excl[x] = struct{}{}
+	return true
+}
+
+// tightenToBits pulls lo up and hi down to the nearest values consistent
+// with the known-bits constraints. This is a cheap partial normalization;
+// full consistency is enforced by contains() during search.
+func (d *domain) tightenToBits() bool {
+	changed := false
+	for i := 0; i < 64 && !d.contains(d.lo) && d.lo < d.hi; i++ {
+		d.lo++
+		changed = true
+		if _, excluded := d.excl[d.lo-1]; excluded {
+			continue
+		}
+		if d.lo > d.hi {
+			break
+		}
+	}
+	for i := 0; i < 64 && !d.contains(d.hi) && d.hi > d.lo; i++ {
+		d.hi--
+		changed = true
+	}
+	return changed
+}
+
+// candidates yields up to max candidate values to try during search, in a
+// deterministic order designed to satisfy typical packet-field constraints
+// quickly: the bit-pattern canonical value, interval endpoints, and a few
+// interior probes.
+func (d *domain) candidates(max int, hints []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, max)
+	out := make([]uint64, 0, max)
+	add := func(v uint64) {
+		if len(out) >= max {
+			return
+		}
+		if !d.contains(v) {
+			return
+		}
+		if _, ok := seen[v]; ok {
+			return
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	for _, h := range hints {
+		add(h)
+	}
+	// Canonical bit-pattern value: known set bits on, everything else off,
+	// adjusted into the interval if needed.
+	add(d.setBits)
+	add(d.setBits | (d.lo &^ d.clrBits))
+	add(d.lo)
+	add(d.hi)
+	if d.hi > d.lo {
+		add(d.lo + (d.hi-d.lo)/2)
+	}
+	// Walk forward from lo to skirt exclusion clusters.
+	v := d.lo
+	for i := 0; i < 256 && len(out) < max && v <= d.hi; i++ {
+		add(v)
+		if v == d.hi {
+			break
+		}
+		v++
+	}
+	return out
+}
+
+func (d *domain) String() string {
+	return fmt.Sprintf("[%d,%d] set=%#x clr=%#x excl=%d", d.lo, d.hi, d.setBits, d.clrBits, len(d.excl))
+}

@@ -1,0 +1,235 @@
+package smt
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// search performs bounded backtracking over the free variables, guided by
+// the propagated domains, and validates every candidate assignment against
+// the full original constraint list. This final concrete check is what
+// makes models sound even for deferred atoms the domains cannot encode.
+func (s *Solver) search(doms map[expr.Var]*domain) (Result, expr.State) {
+	atoms := s.allAtoms()
+
+	// Fast path: domains already empty.
+	for _, d := range doms {
+		if d.empty() {
+			return Unsat, nil
+		}
+	}
+
+	// Collect variables: fixed ones go straight into the assignment,
+	// free ones into the search order.
+	assignment := expr.State{}
+	var free []expr.Var
+	for v, d := range doms {
+		if val, ok := d.fixed(); ok {
+			assignment[v] = val
+		} else {
+			free = append(free, v)
+		}
+	}
+	// Deterministic order: smallest interval first (fail-first heuristic),
+	// ties by name.
+	sort.Slice(free, func(i, j int) bool {
+		di, dj := doms[free[i]], doms[free[j]]
+		ri, rj := di.hi-di.lo, dj.hi-dj.lo
+		if ri != rj {
+			return ri < rj
+		}
+		return free[i] < free[j]
+	})
+
+	// Value hints: constants appearing in deferred/defining atoms often
+	// satisfy them (e.g. v == u + 1 wants u near a constant elsewhere).
+	hints := constantHints(atoms)
+
+	budget := s.opts.SearchBudget
+	ok := s.assign(free, 0, assignment, doms, atoms, hints, &budget)
+	if ok {
+		return Sat, assignment
+	}
+	if budget <= 0 {
+		return Unknown, nil
+	}
+	return Unsat, nil
+}
+
+// assign recursively assigns free variables and finally validates the
+// complete model.
+func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.Var]*domain, atoms []atom, hints map[expr.Var][]uint64, budget *int) bool {
+	if *budget <= 0 {
+		return false
+	}
+	*budget--
+
+	if idx == len(free) {
+		return s.validate(st, atoms)
+	}
+
+	v := free[idx]
+	d := doms[v]
+
+	// Directional propagation at search time: if v is defined by an
+	// expression whose variables are all assigned, compute it directly.
+	if val, ok := definedValue(v, atoms, st); ok {
+		if !d.contains(val) {
+			return false
+		}
+		st[v] = val
+		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, hints, budget) {
+			return true
+		}
+		delete(st, v)
+		s.stats.Backtracks++
+		return false
+	}
+
+	for _, cand := range d.candidates(s.opts.CandidatesPerVar, hints[v]) {
+		st[v] = cand
+		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, hints, budget) {
+			return true
+		}
+		delete(st, v)
+		s.stats.Backtracks++
+		if *budget <= 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// definedValue looks for an atomDefine or atomVarEq fixing v given the
+// current partial assignment.
+func definedValue(v expr.Var, atoms []atom, st expr.State) (uint64, bool) {
+	for _, a := range atoms {
+		switch a.kind {
+		case atomDefine:
+			if a.v != v {
+				continue
+			}
+			val, err := expr.EvalArith(a.e, st)
+			if err == nil {
+				return a.w.Trunc(val), true
+			}
+		case atomVarEq:
+			if a.v == v {
+				if uv, ok := st[a.u]; ok {
+					return a.w.Trunc(uv), true
+				}
+			}
+			if a.u == v {
+				if vv, ok := st[a.v]; ok {
+					return a.w.Trunc(vv), true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// partialConsistent rejects partial assignments that already falsify some
+// constraint whose variables are all assigned.
+func (s *Solver) partialConsistent(st expr.State, atoms []atom) bool {
+	for _, a := range atoms {
+		if a.orig == nil {
+			continue
+		}
+		ok, err := expr.EvalBool(a.orig, st)
+		if err != nil {
+			continue // some variable still unassigned
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the complete assignment against every original
+// constraint.
+func (s *Solver) validate(st expr.State, atoms []atom) bool {
+	for _, a := range atoms {
+		if a.orig == nil {
+			continue
+		}
+		ok, err := expr.EvalBool(a.orig, st)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// constantHints extracts constants adjacent to each variable in the atom
+// list, used as first candidates during search.
+func constantHints(atoms []atom) map[expr.Var][]uint64 {
+	hints := make(map[expr.Var][]uint64)
+	add := func(v expr.Var, val uint64) {
+		hints[v] = append(hints[v], val)
+	}
+	for _, a := range atoms {
+		switch a.kind {
+		case atomInterval, atomBits:
+			add(a.v, a.c)
+			add(a.v, a.c+1)
+			if a.c > 0 {
+				add(a.v, a.c-1)
+			}
+		case atomExclude:
+			add(a.v, a.c+1)
+		case atomDefine, atomDeferred:
+			vars := map[expr.Var]expr.Width{}
+			if a.e != nil {
+				expr.VarsOfArith(a.e, vars)
+			}
+			if a.orig != nil {
+				expr.VarsOfBool(a.orig, vars)
+			}
+			consts := collectConsts(a.orig)
+			for v := range vars {
+				for _, c := range consts {
+					add(v, c)
+					add(v, c+1)
+					if c > 0 {
+						add(v, c-1)
+					}
+				}
+			}
+		}
+	}
+	return hints
+}
+
+func collectConsts(b expr.Bool) []uint64 {
+	var out []uint64
+	var walkA func(a expr.Arith)
+	walkA = func(a expr.Arith) {
+		switch t := a.(type) {
+		case expr.Const:
+			out = append(out, t.Val)
+		case expr.Bin:
+			walkA(t.L)
+			walkA(t.R)
+		}
+	}
+	var walkB func(b expr.Bool)
+	walkB = func(b expr.Bool) {
+		switch t := b.(type) {
+		case expr.Cmp:
+			walkA(t.L)
+			walkA(t.R)
+		case expr.Logic:
+			walkB(t.L)
+			walkB(t.R)
+		case expr.Not:
+			walkB(t.X)
+		}
+	}
+	if b != nil {
+		walkB(b)
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package smt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result int
+
+// Satisfiability results. Unknown is returned when the bounded search
+// exhausts its budget; callers treat Unknown conservatively (keep the path)
+// so path coverage is never silently lost.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "UNSAT"
+	case Sat:
+		return "SAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats counts solver activity. Fig. 11b / Fig. 12b of the paper report the
+// number of SMT calls; Checks is that counter.
+type Stats struct {
+	Checks       uint64 // satisfiability checks (the paper's "SMT calls")
+	SatResults   uint64
+	UnsatResults uint64
+	Unknowns     uint64
+	Propagations uint64
+	Backtracks   uint64
+	Models       uint64
+	CacheHits    uint64 // incremental reuse: frames whose domains were kept
+}
+
+// Options configure a Solver.
+type Options struct {
+	// Incremental enables reuse of domain state across Push/Pop
+	// (the paper's incremental-solving optimization). When false, every
+	// check recomputes propagation from scratch — the configuration the
+	// non-incremental ablation benchmarks use.
+	Incremental bool
+	// SearchBudget bounds the number of backtracking steps per check.
+	SearchBudget int
+	// CandidatesPerVar bounds how many values are tried per free variable.
+	CandidatesPerVar int
+	// PerCheckOverhead adds a fixed cost to every satisfiability check,
+	// emulating out-of-process SMT solvers (the paper drove Z3 over IPC,
+	// where each call costs on the order of a millisecond). Used by the
+	// solver-cost sensitivity ablation; zero for production.
+	PerCheckOverhead time.Duration
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{Incremental: true, SearchBudget: 200000, CandidatesPerVar: 24}
+}
+
+// frame is one push level of the assertion stack.
+type frame struct {
+	atoms []atom
+	// domSnapshot holds, for incremental mode, the domains as they were
+	// before this frame's atoms were propagated (copy-on-write: only
+	// domains this frame changed are present).
+	domSnapshot map[expr.Var]*domain
+	// newVars lists variables first seen in this frame.
+	newVars []expr.Var
+	failed  bool // propagation in this frame already derived bottom
+}
+
+// Solver is an incremental conjunction solver with push/pop.
+//
+// The zero value is not usable; construct with New.
+type Solver struct {
+	opts    Options
+	frames  []*frame
+	domains map[expr.Var]*domain
+	stats   Stats
+	// widths remembers the declared width of each variable.
+	widths map[expr.Var]expr.Width
+	// normCache memoizes atom normalization per constraint value. Path
+	// conditions over raw input fields are asserted verbatim on every
+	// visit of their predicate node (copy-on-write substitution preserves
+	// identity), so summarized-chain conjunctions hit this cache hard.
+	normCache map[expr.Bool][]atom
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.SearchBudget <= 0 {
+		opts.SearchBudget = DefaultOptions().SearchBudget
+	}
+	if opts.CandidatesPerVar <= 0 {
+		opts.CandidatesPerVar = DefaultOptions().CandidatesPerVar
+	}
+	s := &Solver{
+		opts:      opts,
+		domains:   make(map[expr.Var]*domain),
+		widths:    make(map[expr.Var]expr.Width),
+		normCache: make(map[expr.Bool][]atom),
+	}
+	s.frames = []*frame{{domSnapshot: map[expr.Var]*domain{}}}
+	return s
+}
+
+// Stats returns a copy of the solver's counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// Depth returns the current number of pushed frames (excluding the root).
+func (s *Solver) Depth() int { return len(s.frames) - 1 }
+
+// Push opens a new assertion frame.
+func (s *Solver) Push() {
+	s.frames = append(s.frames, &frame{domSnapshot: map[expr.Var]*domain{}})
+}
+
+// Pop discards the top assertion frame, restoring domains to their state
+// before the frame was pushed.
+func (s *Solver) Pop() {
+	if len(s.frames) <= 1 {
+		panic("smt: Pop on empty frame stack")
+	}
+	top := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	if s.opts.Incremental {
+		for v, d := range top.domSnapshot {
+			s.domains[v] = d
+		}
+		for _, v := range top.newVars {
+			delete(s.domains, v)
+		}
+	}
+}
+
+// Assert adds a constraint to the current frame. In incremental mode the
+// constraint's atoms are propagated into the domains immediately, so a
+// subsequent Check can often answer from the refined domains alone.
+func (s *Solver) Assert(b expr.Bool) {
+	top := s.frames[len(s.frames)-1]
+	atoms, ok := s.normCache[b]
+	if !ok {
+		atoms = normalize(b)
+		if len(s.normCache) < 1<<16 {
+			s.normCache[b] = atoms
+		}
+	}
+	top.atoms = append(top.atoms, atoms...)
+	if s.opts.Incremental {
+		for _, a := range atoms {
+			if !s.propagateAtom(top, a) {
+				top.failed = true
+			}
+		}
+		if !top.failed {
+			if !s.propagateDefines() {
+				top.failed = true
+			}
+		}
+	}
+}
+
+// saveDomain records a copy-on-write snapshot of v's domain in the top
+// frame before mutating it, and returns the mutable domain.
+func (s *Solver) saveDomain(v expr.Var, w expr.Width) *domain {
+	top := s.frames[len(s.frames)-1]
+	d, ok := s.domains[v]
+	if !ok {
+		d = newDomain(w)
+		s.domains[v] = d
+		top.newVars = append(top.newVars, v)
+		s.widths[v] = w
+		return d
+	}
+	if _, saved := top.domSnapshot[v]; !saved {
+		top.domSnapshot[v] = d.clone()
+	}
+	return d
+}
+
+// propagateAtom applies one atom to the domains. Returns false if the atom
+// makes the state certainly unsatisfiable.
+func (s *Solver) propagateAtom(fr *frame, a atom) bool {
+	s.stats.Propagations++
+	switch a.kind {
+	case atomFalse:
+		return false
+	case atomInterval:
+		d := s.saveDomain(a.v, a.w)
+		switch a.op {
+		case expr.CmpEq:
+			d.intersectInterval(a.c, a.c)
+		case expr.CmpGt:
+			if a.c >= a.w.Mask() {
+				return false
+			}
+			d.intersectInterval(a.c+1, d.hi)
+		case expr.CmpGe:
+			d.intersectInterval(a.c, d.hi)
+		case expr.CmpLt:
+			if a.c == 0 {
+				return false
+			}
+			d.intersectInterval(d.lo, a.c-1)
+		case expr.CmpLe:
+			d.intersectInterval(d.lo, a.c)
+		}
+		d.tightenToBits()
+		return !d.empty()
+	case atomBits:
+		d := s.saveDomain(a.v, a.w)
+		d.requireBits(a.mask, a.c)
+		d.tightenToBits()
+		return !d.empty()
+	case atomExclude:
+		d := s.saveDomain(a.v, a.w)
+		d.exclude(a.c)
+		return !d.empty()
+	case atomVarEq:
+		dv := s.saveDomain(a.v, a.w)
+		du := s.saveDomain(a.u, a.w)
+		// Intersect both domains (single pass; fixed point is rebuilt on
+		// each Check for the deferred list).
+		lo, hi := maxU(dv.lo, du.lo), minU(dv.hi, du.hi)
+		dv.intersectInterval(lo, hi)
+		du.intersectInterval(lo, hi)
+		set, clr := dv.setBits|du.setBits, dv.clrBits|du.clrBits
+		dv.requireBits(set|clr, set)
+		du.requireBits(set|clr, set)
+		return !dv.empty() && !du.empty()
+	case atomDefine:
+		// Handled by propagateDefines when the defining expression
+		// becomes constant under current domains.
+		s.touchVars(a)
+		return true
+	case atomDeferred:
+		s.touchVars(a)
+		return true
+	}
+	return true
+}
+
+// touchVars registers domains for all variables mentioned by an atom so
+// the search knows about them.
+func (s *Solver) touchVars(a atom) {
+	vars := map[expr.Var]expr.Width{}
+	if a.e != nil {
+		expr.VarsOfArith(a.e, vars)
+	}
+	if a.orig != nil {
+		expr.VarsOfBool(a.orig, vars)
+	}
+	if a.v != "" {
+		vars[a.v] = a.w
+	}
+	for v, w := range vars {
+		s.saveDomain(v, w)
+	}
+}
+
+// propagateDefines fixes variables whose defining expressions have become
+// constant under the current domains (directional propagation). Returns
+// false on contradiction.
+func (s *Solver) propagateDefines() bool {
+	changed := true
+	for iter := 0; changed && iter < 64; iter++ {
+		changed = false
+		for _, fr := range s.frames {
+			for _, a := range fr.atoms {
+				if a.kind != atomDefine {
+					continue
+				}
+				val, ok := s.evalUnderFixed(a.e)
+				if !ok {
+					continue
+				}
+				d := s.domains[a.v]
+				if d == nil {
+					d = s.saveDomain(a.v, a.w)
+				}
+				if f, isFixed := d.fixed(); isFixed {
+					if f != a.w.Trunc(val) {
+						return false
+					}
+					continue
+				}
+				d = s.saveDomain(a.v, a.w)
+				d.intersectInterval(a.w.Trunc(val), a.w.Trunc(val))
+				if d.empty() {
+					return false
+				}
+				changed = true
+				s.stats.Propagations++
+			}
+		}
+	}
+	return true
+}
+
+// evalUnderFixed evaluates e if every variable it references is fixed by
+// its domain.
+func (s *Solver) evalUnderFixed(e expr.Arith) (uint64, bool) {
+	vars := map[expr.Var]expr.Width{}
+	expr.VarsOfArith(e, vars)
+	st := expr.State{}
+	for v := range vars {
+		d, ok := s.domains[v]
+		if !ok {
+			return 0, false
+		}
+		f, isFixed := d.fixed()
+		if !isFixed {
+			return 0, false
+		}
+		st[v] = f
+	}
+	val, err := expr.EvalArith(e, st)
+	if err != nil {
+		return 0, false
+	}
+	return val, true
+}
+
+// allAtoms returns the atoms of every frame, bottom-up.
+func (s *Solver) allAtoms() []atom {
+	var out []atom
+	for _, fr := range s.frames {
+		out = append(out, fr.atoms...)
+	}
+	return out
+}
+
+// anyFrameFailed reports whether incremental propagation already derived
+// bottom in some frame.
+func (s *Solver) anyFrameFailed() bool {
+	for _, fr := range s.frames {
+		if fr.failed {
+			return true
+		}
+	}
+	return false
+}
+
+// Check decides satisfiability of the conjunction of all asserted
+// constraints. It increments the Checks counter (the paper's "SMT calls").
+func (s *Solver) Check() Result {
+	r, _ := s.check(false)
+	return r
+}
+
+// Model checks satisfiability and, when satisfiable, returns a concrete
+// assignment for every variable mentioned by the constraints.
+func (s *Solver) Model() (expr.State, Result) {
+	r, m := s.check(true)
+	if r == Sat {
+		s.stats.Models++
+	}
+	return m, r
+}
+
+func (s *Solver) check(wantModel bool) (Result, expr.State) {
+	s.stats.Checks++
+	if s.opts.PerCheckOverhead > 0 {
+		for start := time.Now(); time.Since(start) < s.opts.PerCheckOverhead; {
+		}
+	}
+	if s.anyFrameFailed() {
+		s.stats.UnsatResults++
+		return Unsat, nil
+	}
+
+	doms := s.domains
+	if !s.opts.Incremental {
+		// Rebuild domains from scratch for every check.
+		rebuilt, ok := s.rebuildDomains()
+		if !ok {
+			s.stats.UnsatResults++
+			return Unsat, nil
+		}
+		doms = rebuilt
+	} else {
+		s.stats.CacheHits++
+		for _, d := range doms {
+			if d.empty() {
+				s.stats.UnsatResults++
+				return Unsat, nil
+			}
+		}
+	}
+
+	res, model := s.search(doms)
+	switch res {
+	case Sat:
+		s.stats.SatResults++
+		if !wantModel {
+			return Sat, nil
+		}
+		return Sat, model
+	case Unsat:
+		s.stats.UnsatResults++
+		return Unsat, nil
+	default:
+		s.stats.Unknowns++
+		return Unknown, nil
+	}
+}
+
+// rebuildDomains recomputes all domains from the atom list (non-incremental
+// mode).
+func (s *Solver) rebuildDomains() (map[expr.Var]*domain, bool) {
+	saved := s.domains
+	savedFrames := make([]map[expr.Var]*domain, len(s.frames))
+	savedNew := make([][]expr.Var, len(s.frames))
+	for i, fr := range s.frames {
+		savedFrames[i] = fr.domSnapshot
+		savedNew[i] = fr.newVars
+		fr.domSnapshot = map[expr.Var]*domain{}
+		fr.newVars = nil
+	}
+	s.domains = make(map[expr.Var]*domain)
+	ok := true
+	for _, fr := range s.frames {
+		for _, a := range fr.atoms {
+			if !s.propagateAtom(fr, a) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		ok = s.propagateDefines()
+	}
+	rebuilt := s.domains
+	s.domains = saved
+	for i, fr := range s.frames {
+		fr.domSnapshot = savedFrames[i]
+		fr.newVars = savedNew[i]
+	}
+	return rebuilt, ok
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String summarizes the solver state for debugging.
+func (s *Solver) String() string {
+	return fmt.Sprintf("smt.Solver{frames=%d vars=%d checks=%d}", len(s.frames), len(s.domains), s.stats.Checks)
+}

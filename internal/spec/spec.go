@@ -1,0 +1,475 @@
+// Package spec implements the LPI-style declarative intent language Meissa
+// takes as input (Figure 2: "Developers express their high-level intents
+// with LPI"). A spec constrains the input packets of interest (assume
+// clauses — the "base constraints" plus "test-case-specific constraints"
+// of §6) and states the expected end-to-end behaviour (expect clauses):
+//
+//	spec nat_ingress_tcp {
+//	  assume eth.etherType == 0x0800;
+//	  assume ipv4.protocol == 6;
+//	  expect forwarded;
+//	  expect valid(innerTcp);
+//	  expect innerTcp.ackno == in.tcp.ackno;
+//	  expect ipv4.dstAddr == 192.168.0.1;
+//	}
+//
+// Expect field expressions may reference `in.<header>.<field>` for the
+// input packet's value — "the received packet should contain the same
+// headers as the input, except that certain IP address and port number are
+// updated" (§6).
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/p4"
+	"repro/internal/packet"
+)
+
+// ExpectKind classifies an expectation.
+type ExpectKind int
+
+// Expectation kinds.
+const (
+	ExpectForwarded ExpectKind = iota
+	ExpectDropped
+	ExpectValid
+	ExpectInvalid
+	ExpectField
+)
+
+// Expectation is one expected property of the output.
+type Expectation struct {
+	Kind   ExpectKind
+	Header string  // for ExpectValid / ExpectInvalid
+	Cond   p4.Expr // for ExpectField
+	Text   string  // source text, for reports
+}
+
+// Spec is a parsed intent.
+type Spec struct {
+	Name    string
+	Assumes []p4.Expr
+	Expects []Expectation
+}
+
+// Parse reads one or more specs from text.
+func Parse(src string) ([]*Spec, error) {
+	p := &parser{src: src}
+	return p.parse()
+}
+
+// ParseOne reads exactly one spec.
+func ParseOne(src string) (*Spec, error) {
+	specs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != 1 {
+		return nil, fmt.Errorf("spec: expected exactly one spec, got %d", len(specs))
+	}
+	return specs[0], nil
+}
+
+// MustParseOne parses one spec, panicking on error.
+func MustParseOne(src string) *Spec {
+	s, err := ParseOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// parser is a line-oriented parser reusing the p4 expression grammar for
+// clause bodies.
+type parser struct {
+	src string
+}
+
+func (pp *parser) parse() ([]*Spec, error) {
+	var specs []*Spec
+	var cur *Spec
+	for lineNo, raw := range strings.Split(pp.src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "spec "):
+			if cur != nil {
+				return nil, fmt.Errorf("spec:%d: nested spec", lineNo+1)
+			}
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "spec "), "{"))
+			if name == "" {
+				return nil, fmt.Errorf("spec:%d: missing spec name", lineNo+1)
+			}
+			cur = &Spec{Name: name}
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("spec:%d: unmatched '}'", lineNo+1)
+			}
+			specs = append(specs, cur)
+			cur = nil
+		case strings.HasPrefix(line, "assume "):
+			if cur == nil {
+				return nil, fmt.Errorf("spec:%d: assume outside spec", lineNo+1)
+			}
+			body := strings.TrimSuffix(strings.TrimPrefix(line, "assume "), ";")
+			e, err := parseExpr(body)
+			if err != nil {
+				return nil, fmt.Errorf("spec:%d: %w", lineNo+1, err)
+			}
+			cur.Assumes = append(cur.Assumes, e)
+		case strings.HasPrefix(line, "expect "):
+			if cur == nil {
+				return nil, fmt.Errorf("spec:%d: expect outside spec", lineNo+1)
+			}
+			body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "expect "), ";"))
+			exp, err := parseExpect(body)
+			if err != nil {
+				return nil, fmt.Errorf("spec:%d: %w", lineNo+1, err)
+			}
+			cur.Expects = append(cur.Expects, exp)
+		default:
+			return nil, fmt.Errorf("spec:%d: unrecognized clause %q", lineNo+1, line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spec: unterminated spec %q", cur.Name)
+	}
+	return specs, nil
+}
+
+func parseExpect(body string) (Expectation, error) {
+	switch {
+	case body == "forwarded":
+		return Expectation{Kind: ExpectForwarded, Text: body}, nil
+	case body == "dropped":
+		return Expectation{Kind: ExpectDropped, Text: body}, nil
+	case strings.HasPrefix(body, "valid(") && strings.HasSuffix(body, ")"):
+		h := strings.TrimSuffix(strings.TrimPrefix(body, "valid("), ")")
+		return Expectation{Kind: ExpectValid, Header: strings.TrimSpace(h), Text: body}, nil
+	case strings.HasPrefix(body, "invalid(") && strings.HasSuffix(body, ")"):
+		h := strings.TrimSuffix(strings.TrimPrefix(body, "invalid("), ")")
+		return Expectation{Kind: ExpectInvalid, Header: strings.TrimSpace(h), Text: body}, nil
+	default:
+		e, err := parseExpr(body)
+		if err != nil {
+			return Expectation{}, err
+		}
+		return Expectation{Kind: ExpectField, Cond: e, Text: body}, nil
+	}
+}
+
+// parseExpr parses a standalone expression using the p4 grammar, by
+// wrapping it in a minimal control block.
+func parseExpr(body string) (p4.Expr, error) {
+	// Reuse the program parser: an if-condition is a full expression.
+	src := fmt.Sprintf("control __spec { apply { if (%s) { } } }", body)
+	prog, err := p4.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("bad expression %q: %w", body, err)
+	}
+	ifs := prog.Controls[0].Apply[0].(*p4.IfStmt)
+	return ifs.Cond, nil
+}
+
+// --- Translation of assume clauses to solver constraints ---
+
+// AssumeConstraints translates the spec's assume clauses to CFG boolean
+// expressions over input variables, for seeding test generation.
+func (s *Spec) AssumeConstraints(prog *p4.Program) ([]expr.Bool, error) {
+	env := p4.NewEnv(prog)
+	out := make([]expr.Bool, 0, len(s.Assumes))
+	for _, a := range s.Assumes {
+		b, err := toBool(env, a)
+		if err != nil {
+			return nil, fmt.Errorf("spec %s: %w", s.Name, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func toBool(env *p4.Env, e p4.Expr) (expr.Bool, error) {
+	switch t := e.(type) {
+	case *p4.CmpExpr:
+		l, err := toArith(env, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toArith(env, t.R)
+		if err != nil {
+			return nil, err
+		}
+		l, r = reconcile(l, r)
+		var op expr.CmpOp
+		switch t.Op {
+		case "==":
+			op = expr.CmpEq
+		case "!=":
+			op = expr.CmpNe
+		case "<":
+			op = expr.CmpLt
+		case ">":
+			op = expr.CmpGt
+		case "<=":
+			op = expr.CmpLe
+		case ">=":
+			op = expr.CmpGe
+		}
+		return expr.SimplifyBool(expr.Cmp{Op: op, L: l, R: r}), nil
+	case *p4.LogicExpr:
+		l, err := toBool(env, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toBool(env, t.R)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "&&" {
+			return expr.And(l, r), nil
+		}
+		return expr.Or(l, r), nil
+	case *p4.NotExpr:
+		x, err := toBool(env, t.X)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Negate(x), nil
+	case *p4.IsValidExpr:
+		return expr.Eq(expr.V(p4.ValidVar(t.Header), 1), expr.C(1, 1)), nil
+	}
+	return nil, fmt.Errorf("expression %T is not boolean", e)
+}
+
+func toArith(env *p4.Env, e p4.Expr) (expr.Arith, error) {
+	switch t := e.(type) {
+	case *p4.NumberExpr:
+		return expr.C(t.Val, expr.MaxWidth), nil
+	case *p4.FieldRef:
+		v, w, err := env.ResolveRef(t)
+		if err != nil {
+			return nil, err
+		}
+		return expr.V(v, w), nil
+	case *p4.BinExpr:
+		l, err := toArith(env, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toArith(env, t.R)
+		if err != nil {
+			return nil, err
+		}
+		l, r = reconcile(l, r)
+		var op expr.AOp
+		switch t.Op {
+		case "+":
+			op = expr.OpAdd
+		case "-":
+			op = expr.OpSub
+		case "&":
+			op = expr.OpAnd
+		case "|":
+			op = expr.OpOr
+		case "^":
+			op = expr.OpXor
+		case "<<":
+			op = expr.OpShl
+		case ">>":
+			op = expr.OpShr
+		case "*":
+			op = expr.OpMul
+		}
+		return expr.Simplify(expr.Bin{Op: op, L: l, R: r}), nil
+	}
+	return nil, fmt.Errorf("expression %T is not arithmetic", e)
+}
+
+func reconcile(l, r expr.Arith) (expr.Arith, expr.Arith) {
+	lc, lIsC := l.(expr.Const)
+	rc, rIsC := r.(expr.Const)
+	if lIsC && !rIsC && lc.W == expr.MaxWidth && lc.Val <= r.Width().Mask() {
+		return expr.C(lc.Val, r.Width()), r
+	}
+	if rIsC && !lIsC && rc.W == expr.MaxWidth && rc.Val <= l.Width().Mask() {
+		return l, expr.C(rc.Val, l.Width())
+	}
+	return l, r
+}
+
+// --- Checking expectations against concrete packets ---
+
+// Violation describes one failed expectation.
+type Violation struct {
+	Spec   string
+	Expect string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("spec %s: expect %s: %s", v.Spec, v.Expect, v.Detail)
+}
+
+// Check evaluates the spec's expectations against an input/output packet
+// pair. Output nil means the packet was dropped (or absent). It returns
+// all violations (empty means the test passed).
+func (s *Spec) Check(prog *p4.Program, in, out *packet.Packet) []Violation {
+	var vs []Violation
+	add := func(e Expectation, detail string) {
+		vs = append(vs, Violation{Spec: s.Name, Expect: e.Text, Detail: detail})
+	}
+	for _, e := range s.Expects {
+		switch e.Kind {
+		case ExpectForwarded:
+			if out == nil {
+				add(e, "packet was dropped or absent")
+			}
+		case ExpectDropped:
+			if out != nil {
+				add(e, "packet was forwarded")
+			}
+		case ExpectValid:
+			if out == nil {
+				add(e, "packet was dropped or absent")
+			} else if !out.Has(e.Header) {
+				add(e, fmt.Sprintf("header %s not present in output", e.Header))
+			}
+		case ExpectInvalid:
+			if out != nil && out.Has(e.Header) {
+				add(e, fmt.Sprintf("header %s unexpectedly present in output", e.Header))
+			}
+		case ExpectField:
+			if out == nil {
+				add(e, "packet was dropped or absent")
+				continue
+			}
+			ok, err := evalCond(e.Cond, in, out)
+			if err != nil {
+				add(e, err.Error())
+			} else if !ok {
+				add(e, describeMismatch(e.Cond, in, out))
+			}
+		}
+	}
+	return vs
+}
+
+// evalCond evaluates an expectation condition: bare refs read the output
+// packet; in.<header>.<field> reads the input packet.
+func evalCond(e p4.Expr, in, out *packet.Packet) (bool, error) {
+	switch t := e.(type) {
+	case *p4.CmpExpr:
+		l, err := evalVal(t.L, in, out)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalVal(t.R, in, out)
+		if err != nil {
+			return false, err
+		}
+		switch t.Op {
+		case "==":
+			return l == r, nil
+		case "!=":
+			return l != r, nil
+		case "<":
+			return l < r, nil
+		case ">":
+			return l > r, nil
+		case "<=":
+			return l <= r, nil
+		case ">=":
+			return l >= r, nil
+		}
+		return false, fmt.Errorf("bad comparison %q", t.Op)
+	case *p4.LogicExpr:
+		l, err := evalCond(t.L, in, out)
+		if err != nil {
+			return false, err
+		}
+		if t.Op == "&&" && !l {
+			return false, nil
+		}
+		if t.Op == "||" && l {
+			return true, nil
+		}
+		return evalCond(t.R, in, out)
+	case *p4.NotExpr:
+		v, err := evalCond(t.X, in, out)
+		return !v, err
+	case *p4.IsValidExpr:
+		return out.Has(t.Header), nil
+	}
+	return false, fmt.Errorf("expression %T is not a condition", e)
+}
+
+func evalVal(e p4.Expr, in, out *packet.Packet) (uint64, error) {
+	switch t := e.(type) {
+	case *p4.NumberExpr:
+		return t.Val, nil
+	case *p4.FieldRef:
+		switch len(t.Parts) {
+		case 2:
+			v, ok := out.Field(t.Parts[0], t.Parts[1])
+			if !ok {
+				return 0, fmt.Errorf("output has no %s", t)
+			}
+			return v, nil
+		case 3:
+			if t.Parts[0] != "in" {
+				return 0, fmt.Errorf("bad reference %s (want in.<header>.<field>)", t)
+			}
+			v, ok := in.Field(t.Parts[1], t.Parts[2])
+			if !ok {
+				return 0, fmt.Errorf("input has no %s.%s", t.Parts[1], t.Parts[2])
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("bad reference %s", t)
+	case *p4.BinExpr:
+		l, err := evalVal(t.L, in, out)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalVal(t.R, in, out)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "<<":
+			return l << (r & 63), nil
+		case ">>":
+			return l >> (r & 63), nil
+		case "*":
+			return l * r, nil
+		}
+		return 0, fmt.Errorf("bad operator %q", t.Op)
+	}
+	return 0, fmt.Errorf("expression %T is not a value", e)
+}
+
+func describeMismatch(e p4.Expr, in, out *packet.Packet) string {
+	if c, ok := e.(*p4.CmpExpr); ok {
+		l, el := evalVal(c.L, in, out)
+		r, er := evalVal(c.R, in, out)
+		if el == nil && er == nil {
+			return fmt.Sprintf("left = %d, right = %d", l, r)
+		}
+	}
+	return "condition is false"
+}

@@ -1,0 +1,282 @@
+package summary
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/sym"
+)
+
+// facts is the must-hold information at a point in the pipeline graph: the
+// public pre-condition lattice. It refines Algorithm 2's per-pipeline
+// intersection (lines 4–7) into a compositional dataflow over region
+// summaries: instead of enumerating every path from the program entry to
+// each pipeline entry (which costs O(k · m^k) prefix explorations), each
+// region's summary contributes its guaranteed effects once, and entry
+// facts are the meet over incoming edges. The meet is always a subset of
+// the true all-paths intersection, so filtering stays sound (Lemma 1
+// requires only that the pre-condition encapsulate every valid path).
+type facts struct {
+	// values maps variables to constants guaranteed on every live path.
+	// Constants are frame-invariant, so they may seed the within-pipeline
+	// value stack directly.
+	values expr.Subst
+	// conds are conjuncts guaranteed on every live path, keyed by their
+	// rendering; they reference only virgin variables (never assigned on
+	// any path), making them frame-invariant too.
+	conds map[string]expr.Bool
+	// modified is the set of variables possibly assigned on some path.
+	modified map[expr.Var]bool
+}
+
+func newFacts() *facts {
+	return &facts{values: expr.Subst{}, conds: map[string]expr.Bool{}, modified: map[expr.Var]bool{}}
+}
+
+func (f *facts) clone() *facts {
+	nf := newFacts()
+	for k, v := range f.values {
+		nf.values[k] = v
+	}
+	for k, v := range f.conds {
+		nf.conds[k] = v
+	}
+	for k := range f.modified {
+		nf.modified[k] = true
+	}
+	return nf
+}
+
+// markModified records an assignment to v: its constant (if any) is
+// dropped unless re-established, and conditions mentioning it become
+// frame-variant and are discarded.
+func (f *facts) markModified(v expr.Var) {
+	f.modified[v] = true
+	delete(f.values, v)
+	for k, c := range f.conds {
+		vars := map[expr.Var]expr.Width{}
+		expr.VarsOfBool(c, vars)
+		if _, ok := vars[v]; ok {
+			delete(f.conds, k)
+		}
+	}
+}
+
+// addCond records a guaranteed conjunct if it is stable (virgin vars
+// only).
+func (f *facts) addCond(c expr.Bool) {
+	vars := map[expr.Var]expr.Width{}
+	expr.VarsOfBool(c, vars)
+	for v := range vars {
+		if f.modified[v] {
+			return
+		}
+	}
+	f.conds[c.String()] = c
+}
+
+// meetFacts intersects two fact sets; nil means unreachable and is the
+// identity.
+func meetFacts(a, b *facts) *facts {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := newFacts()
+	for v, val := range a.values {
+		if bv, ok := b.values[v]; ok && expr.EqualArith(val, bv) {
+			out.values[v] = val
+		}
+	}
+	for k, c := range a.conds {
+		if _, ok := b.conds[k]; ok {
+			out.conds[k] = c
+		}
+	}
+	for v := range a.modified {
+		out.modified[v] = true
+	}
+	for v := range b.modified {
+		out.modified[v] = true
+	}
+	// Conditions must stay virgin under the merged modified set.
+	for k, c := range out.conds {
+		vars := map[expr.Var]expr.Width{}
+		expr.VarsOfBool(c, vars)
+		for v := range vars {
+			if out.modified[v] {
+				delete(out.conds, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sortedConds renders the condition set deterministically.
+func (f *facts) sortedConds() []expr.Bool {
+	keys := make([]string, 0, len(f.conds))
+	for k := range f.conds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]expr.Bool, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.conds[k])
+	}
+	return out
+}
+
+// flow runs the pre-condition dataflow over the glue structure of the
+// graph (traffic-manager guards, drop checks, init chain) and the region
+// summaries.
+type flow struct {
+	g          *cfg.Graph
+	preds      map[cfg.NodeID][]cfg.NodeID
+	exitRegion map[cfg.NodeID]string
+	regionOut  map[string]*facts
+	memo       map[cfg.NodeID]*facts
+	memoSet    map[cfg.NodeID]bool
+}
+
+// newFlow captures the predecessor structure once; summarization rewrites
+// only region interiors, never the glue.
+func newFlow(g *cfg.Graph, initConds []expr.Bool) *flow {
+	fl := &flow{
+		g:          g,
+		preds:      map[cfg.NodeID][]cfg.NodeID{},
+		exitRegion: map[cfg.NodeID]string{},
+		regionOut:  map[string]*facts{},
+		memo:       map[cfg.NodeID]*facts{},
+		memoSet:    map[cfg.NodeID]bool{},
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fl.preds[s] = append(fl.preds[s], n.ID)
+		}
+	}
+	for _, r := range g.Pipelines {
+		fl.exitRegion[r.Exit] = r.Name
+	}
+	// The program entry carries the intent's assume clauses (§7: "we
+	// group pre-conditions according to packet type").
+	entry := newFacts()
+	for _, c := range initConds {
+		for _, cj := range expr.Conjuncts(c) {
+			entry.addCond(cj)
+		}
+	}
+	fl.memo[g.Entry] = applyGlueNode(g.Node(g.Entry), entry)
+	fl.memoSet[g.Entry] = true
+	return fl
+}
+
+// factsAfter returns the facts holding immediately after the node, or nil
+// when the node is unreachable. Region exits resolve to the region's
+// summary-out facts; other nodes are glue and are interpreted abstractly.
+func (fl *flow) factsAfter(id cfg.NodeID) *facts {
+	if name, ok := fl.exitRegion[id]; ok {
+		return fl.regionOut[name]
+	}
+	if fl.memoSet[id] {
+		return fl.memo[id]
+	}
+	fl.memoSet[id] = true // break accidental cycles defensively
+	var in *facts
+	for _, p := range fl.preds[id] {
+		in = meetFacts(in, fl.factsAfter(p))
+	}
+	var out *facts
+	if in != nil {
+		out = applyGlueNode(fl.g.Node(id), in.clone())
+	}
+	fl.memo[id] = out
+	return out
+}
+
+// applyGlueNode interprets one glue node abstractly. Returns nil when the
+// node's predicate is definitely false under the incoming constants (a
+// dead edge, e.g. a traffic-manager guard excluded by the upstream
+// summary).
+func applyGlueNode(n *cfg.Node, f *facts) *facts {
+	switch n.Kind {
+	case cfg.Predicate:
+		cond := expr.SubstBool(n.Pred, f.values)
+		if expr.EqualBool(cond, expr.False) {
+			return nil
+		}
+		if !expr.EqualBool(cond, expr.True) {
+			f.addCond(cond)
+		}
+	case cfg.Action:
+		val := expr.SubstArith(n.Val, f.values)
+		f.markModified(n.Var)
+		if c, ok := val.(expr.Const); ok {
+			f.values[n.Var] = c
+		}
+	case cfg.Hash, cfg.Checksum:
+		f.markModified(n.Var)
+	}
+	return f
+}
+
+// entryFacts computes the facts at a region's entry: the meet over its
+// incoming edges. nil means the region is unreachable.
+func (fl *flow) entryFacts(region *cfg.Region) (*facts, int) {
+	var in *facts
+	live := 0
+	for _, p := range fl.preds[region.Entry] {
+		pf := fl.factsAfter(p)
+		if pf != nil {
+			live++
+		}
+		in = meetFacts(in, pf)
+	}
+	if in == nil {
+		return nil, 0
+	}
+	// Apply the region entry marker itself (a True predicate).
+	return applyGlueNode(fl.g.Node(region.Entry), in.clone()), live
+}
+
+// setRegionOut records a region's out-facts from its summarized chains:
+// the meet over the non-dropping chains of the entry facts updated by
+// each chain's effects, plus the chain-common stable constraints.
+func (fl *flow) setRegionOut(region *cfg.Region, in *facts, templates []*sym.Template, initC []expr.Bool, initV expr.Subst, g *cfg.Graph) {
+	var out *facts
+	for _, t := range templates {
+		if t.Dropped {
+			continue // drop chains never feed downstream pipelines
+		}
+		f := in.clone()
+		// Effects: constants survive, symbolic values invalidate.
+		for v, val := range t.Final {
+			if v.IsAux() {
+				continue
+			}
+			entryVal, wasPublic := initV[v]
+			if !wasPublic {
+				entryVal = expr.V(v, g.Vars[v])
+			}
+			if expr.EqualArith(val, entryVal) {
+				continue // unchanged
+			}
+			f.markModified(v)
+			if c, ok := val.(expr.Const); ok {
+				f.values[v] = c
+			}
+		}
+		// Constraints collected inside the pipeline (skip the seeded
+		// public pre-conditions, already in f.conds).
+		for _, c := range t.Constraints[len(initC):] {
+			for _, cj := range expr.Conjuncts(c) {
+				f.addCond(cj)
+			}
+		}
+		out = meetFacts(out, f)
+	}
+	fl.regionOut[region.Name] = out
+}

@@ -1,0 +1,294 @@
+// Package summary implements Meissa's core contribution: the code summary
+// technique of §3.3 (Algorithm 2). It decomposes a multi-pipeline CFG
+// into individual pipelines, summarizes each pipeline into a succinct set
+// of valid-path encodings, and rewrites the graph in place — preserving
+// every valid path and its path condition (the loop invariant of §3.4),
+// while reducing test case generation from O(n^k) to O(k·n) (Appendix A).
+//
+// Two mechanisms combine local and global information:
+//
+//   - intra-pipeline redundancy elimination: symbolic execution within the
+//     pipeline discards invalid paths stemming from the pipeline's own code
+//     logic (Figure 7: 10,000 possible paths → 100 valid ones);
+//   - inter-pipeline public pre-condition filtering: the conditions common
+//     to all valid paths from the program entry to the pipeline entry seed
+//     the within-pipeline execution, pruning paths that can never be
+//     reached (Figure 8: proto == UDP is discarded under the public
+//     pre-condition proto == TCP).
+package summary
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/smt"
+	"repro/internal/sym"
+)
+
+// Options configure summarization.
+type Options struct {
+	// Sym configures the symbolic executions used for prefix and
+	// within-pipeline exploration.
+	Sym sym.Options
+	// UsePreconditions enables inter-pipeline public pre-condition
+	// filtering. Disabling it (intra-pipeline elimination only) is the
+	// ablation configuration.
+	UsePreconditions bool
+	// InitConstraints are seeded into every prefix exploration — the
+	// intent's assume clauses, and the packet-type grouping of §7
+	// ("we group pre-conditions according to packet type").
+	InitConstraints []expr.Bool
+}
+
+// DefaultOptions is the production configuration.
+func DefaultOptions() Options {
+	o := sym.DefaultOptions()
+	o.WantModels = false // summaries need conditions, not witnesses
+	return Options{Sym: o, UsePreconditions: true}
+}
+
+// PipelineStat records the effect of summarizing one pipeline.
+type PipelineStat struct {
+	Name string
+	// PossibleBefore / PossibleAfter are the region's possible-path
+	// counts before and after summarization (log10).
+	PossibleBefore float64
+	PossibleAfter  float64
+	// ValidPaths is the number of valid paths found within the pipeline —
+	// the size of its summary.
+	ValidPaths int
+	// PrefixPaths is the number of valid paths from the program entry to
+	// the pipeline entry used to compute the public pre-condition.
+	PrefixPaths int
+	// PublicConstraints is the number of conjuncts in the public
+	// pre-condition.
+	PublicConstraints int
+}
+
+// Stats aggregates summarization work.
+type Stats struct {
+	Pipelines     []PipelineStat
+	SMT           smt.Stats
+	PathsExplored uint64
+	// Truncated reports that some exploration hit its path or time
+	// budget, so the summary may be incomplete.
+	Truncated bool
+}
+
+// Summarize rewrites g in place, pipeline by pipeline in topological order
+// (Algorithm 2 lines 1–25). After it returns, running the basic framework
+// (Algorithm 1) over g generates test case templates with full path
+// coverage (Corollary 1).
+func Summarize(g *cfg.Graph, opts Options) (*Stats, error) {
+	stats := &Stats{}
+	var fl *flow
+	if opts.UsePreconditions {
+		fl = newFlow(g, opts.InitConstraints)
+	}
+	for _, region := range g.Pipelines {
+		st, err := summarizeRegion(g, region, opts, fl, stats)
+		if err != nil {
+			return nil, fmt.Errorf("summary: pipeline %s: %w", region.Name, err)
+		}
+		stats.Pipelines = append(stats.Pipelines, *st)
+	}
+	return stats, nil
+}
+
+func summarizeRegion(g *cfg.Graph, region *cfg.Region, opts Options, fl *flow, agg *Stats) (*PipelineStat, error) {
+	st := &PipelineStat{Name: region.Name}
+	st.PossibleBefore = log10Big(g, region)
+
+	// --- Compute public pre-conditions (Algorithm 2 lines 4–7) ---
+	// The pre-conditions are the meet, over every path from the program
+	// entry to this pipeline's entry, of the conditions and values those
+	// paths establish. The flow computes this compositionally from the
+	// already-summarized upstream pipelines ("Because of the topological
+	// sorting, all pipelines along the path are already summarized to
+	// reduce the search overhead").
+	var initC []expr.Bool
+	initV := expr.Subst{}
+	prefixPaths := 0
+	if fl != nil {
+		in, live := fl.entryFacts(region)
+		if in == nil {
+			// Unreachable pipeline: clear it entirely.
+			g.Node(region.Entry).Succs = []cfg.NodeID{region.Exit}
+			st.PossibleAfter = log10Big(g, region)
+			fl.regionOut[region.Name] = nil
+			return st, nil
+		}
+		prefixPaths = live
+		initC = in.sortedConds()
+		for v, val := range in.values {
+			initV[v] = val
+		}
+		st.PublicConstraints = len(initC)
+	}
+	st.PrefixPaths = prefixPaths
+
+	// --- Find valid paths within the pipeline (Algorithm 2 lines 8–9) ---
+	innerOpts := opts.Sym
+	innerRes, err := sym.Explore(sym.Config{
+		Graph:           g,
+		Start:           region.Entry,
+		StopAt:          map[cfg.NodeID]bool{region.Exit: true},
+		InitConstraints: initC,
+		InitValues:      initV,
+		Options:         innerOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	accumulate(agg, innerRes)
+	st.ValidPaths = len(innerRes.Templates)
+
+	// --- Summarize the pipeline (Algorithm 2 lines 10–25) ---
+	entryNode := g.Node(region.Entry)
+	entryNode.Succs = nil // pipeline.clear()
+
+	for _, t := range innerRes.Templates {
+		head, tail := encodePath(g, region, t, initC, initV)
+		entryNode.Succs = append(entryNode.Succs, head)
+		g.Link(tail, region.Exit)
+	}
+	if len(innerRes.Templates) == 0 {
+		// No valid path through the pipeline under the public
+		// pre-condition: sever it.
+		entryNode.Succs = nil
+	}
+	if fl != nil {
+		// Record this region's guaranteed effects for downstream
+		// pre-condition computation.
+		in, _ := fl.entryFacts(region)
+		if in == nil {
+			in = newFacts()
+		}
+		fl.setRegionOut(region, in, innerRes.Templates, initC, initV, g)
+	}
+	st.PossibleAfter = log10Big(g, region)
+	return st, nil
+}
+
+// encodePath builds the succinct chain for one valid path: a predicate
+// node carrying the conjunction of the constraints collected inside the
+// pipeline, then @var saves for every changed variable, then the
+// simultaneous assignment encoded with entry-value auxiliaries
+// (Algorithm 2 lines 13–24 and the @srcPort example of §3.3).
+// It returns the chain's head and tail node IDs.
+func encodePath(g *cfg.Graph, region *cfg.Region, t *sym.Template, initC []expr.Bool, initV expr.Subst) (head, tail cfg.NodeID) {
+	// Chain layout: saves → hash/checksum obligations → guard predicate →
+	// assignments. The obligations must precede the predicate because the
+	// path condition may constrain their outputs (e.g. an ECMP range
+	// match over a hash value): the outer execution has to re-bind the
+	// hash symbol before the constraint over it is asserted.
+	head = cfg.None
+	tail = cfg.None
+	appendNode := func(n *cfg.Node) {
+		if head == cfg.None {
+			head = n.ID
+		} else {
+			g.Link(tail, n.ID)
+		}
+		tail = n.ID
+	}
+
+	// Changed variables: final value differs from the entry value. The
+	// entry value of v is initV[v] when public, else the free symbol v.
+	var changed []expr.Var
+	for v, val := range t.Final {
+		if v.IsAux() {
+			// Auxiliaries from earlier summaries are chain-local
+			// temporaries: each chain saves its own before reading them,
+			// so they never carry live values across pipelines.
+			continue
+		}
+		entryVal, wasPublic := initV[v]
+		if !wasPublic {
+			entryVal = expr.V(v, g.Vars[v])
+		}
+		if !expr.EqualArith(val, entryVal) {
+			changed = append(changed, v)
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+
+	// Rename map: references to changed variables inside final values must
+	// read the entry snapshot (@var), since the assignments in a CFG lack
+	// atomicity (§3.3's srcPort/dstPort example).
+	ren := map[expr.Var]expr.Var{}
+	for _, v := range changed {
+		ren[v] = v.Aux()
+	}
+
+	// Saves: @v ← v for every changed variable.
+	for _, v := range changed {
+		w := g.Vars[v]
+		g.Vars[v.Aux()] = w
+		appendNode(g.AddAction(v.Aux(), expr.V(v, w), region.Name, "save entry value of "+string(v)))
+	}
+	// Re-emit deferred hash/checksum obligations as opaque nodes, before
+	// the guard predicate and the assignments that consume their outputs,
+	// so the final full-program execution re-evaluates them (possibly
+	// concretely, if the outer context fixes their inputs).
+	for _, ob := range t.HashObligations {
+		inputs := make([]expr.Arith, len(ob.Inputs))
+		for i, in := range ob.Inputs {
+			inputs[i] = expr.RenameArith(in, ren)
+		}
+		if ob.Kind == cfg.Hash {
+			appendNode(g.AddHash(ob.Var, ob.Width, inputs, region.Name, "summary hash"))
+		} else {
+			appendNode(g.AddChecksum(ob.Var, ob.Width, inputs, region.Name, "summary checksum"))
+		}
+	}
+	// Guard: the conjunction of the constraints collected inside the
+	// pipeline, stripped of the seeded public pre-conditions (the first
+	// len(initC) entries). Entry-value references to changed variables go
+	// through the @ snapshots.
+	inner := t.Constraints[len(initC):]
+	pred := expr.RenameBool(expr.AndAll(inner), ren)
+	appendNode(g.AddPredicate(pred, region.Name, fmt.Sprintf("summary path %d of %s", t.ID, region.Name)))
+	// Assignments: v ← final value with changed references renamed to
+	// their @ snapshots.
+	for _, v := range changed {
+		val := expr.RenameArith(t.Final[v], ren)
+		appendNode(g.AddAction(v, val, region.Name, "summary assign "+string(v)))
+	}
+	return head, tail
+}
+
+func accumulate(agg *Stats, r *sym.Result) {
+	agg.SMT.Checks += r.SMT.Checks
+	agg.SMT.SatResults += r.SMT.SatResults
+	agg.SMT.UnsatResults += r.SMT.UnsatResults
+	agg.SMT.Unknowns += r.SMT.Unknowns
+	agg.SMT.Propagations += r.SMT.Propagations
+	agg.SMT.Backtracks += r.SMT.Backtracks
+	agg.SMT.Models += r.SMT.Models
+	agg.SMT.CacheHits += r.SMT.CacheHits
+	agg.PathsExplored += r.PathsExplored
+	if r.Truncated {
+		agg.Truncated = true
+	}
+}
+
+// log10Big computes log10 of the region's possible-path count.
+func log10Big(g *cfg.Graph, region *cfg.Region) float64 {
+	n := g.RegionPaths(region)
+	if n.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetInt(n)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	if m <= 0 {
+		return 0
+	}
+	return math.Log10(m) + float64(exp)*math.Log10(2)
+}

@@ -1,0 +1,651 @@
+package switchsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/hashfn"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// Target is a compiled multi-switch multi-pipeline data plane, ready to
+// process packets. Register state persists across packets.
+type Target struct {
+	prog   *p4.Program
+	rs     *rules.Set
+	faults Faults
+	env    *p4.Env
+	// regs is the persistent register file.
+	regs map[expr.Var]uint64
+	// order caches the pipeline names reachable from each entry.
+	entries []string
+}
+
+// Compile builds a target from a program, rule set and injected faults.
+// A nil rule set means empty tables (defaults only).
+func Compile(prog *p4.Program, rs *rules.Set, faults Faults) (*Target, error) {
+	if err := p4.Check(prog); err != nil {
+		return nil, fmt.Errorf("switchsim: %w", err)
+	}
+	if rs == nil {
+		rs = rules.NewSet()
+	}
+	t := &Target{
+		prog:   prog,
+		rs:     rs,
+		faults: faults,
+		env:    p4.NewEnv(prog),
+		regs:   map[expr.Var]uint64{},
+	}
+	if prog.Topology != nil {
+		t.entries = prog.Topology.Entries
+	} else {
+		t.entries = []string{prog.Pipelines[0].Name}
+	}
+	return t, nil
+}
+
+// Entries returns the number of injection points (entry pipelines).
+func (t *Target) Entries() int { return len(t.entries) }
+
+// Faults exposes the injected faults (for reporting).
+func (t *Target) Faults() Faults { return t.faults }
+
+// Program exposes the compiled program.
+func (t *Target) Program() *p4.Program { return t.prog }
+
+// Result is the outcome of processing one packet.
+type Result struct {
+	// Output is the emitted packet; nil when the packet was dropped.
+	Output *packet.Packet
+	// Dropped reports an explicit drop (including parser reject).
+	Dropped bool
+	// Trace lists executed steps in order, for bug localization (§7).
+	Trace []string
+	// Pipelines lists the pipelines traversed.
+	Pipelines []string
+	// Final is the raw execution state at exit.
+	Final expr.State
+}
+
+// exec carries the per-packet interpreter state.
+type exec struct {
+	t     *Target
+	st    expr.State
+	trace []string
+	drop  bool
+}
+
+func (e *exec) tracef(format string, args ...any) {
+	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+}
+
+// Inject processes a wire packet through the data plane starting at entry
+// pipeline entryIdx, following traffic manager edges until exit or drop.
+func (t *Target) Inject(entryIdx int, wire []byte) (*Result, error) {
+	if entryIdx < 0 || entryIdx >= len(t.entries) {
+		return nil, fmt.Errorf("switchsim: entry %d out of range [0,%d)", entryIdx, len(t.entries))
+	}
+	e := &exec{t: t, st: expr.State{}}
+	// Zero-initialize metadata and validity, matching P4 semantics.
+	for _, h := range t.prog.Headers {
+		e.st[p4.ValidVar(h.Name)] = 0
+		for _, f := range h.Fields {
+			e.st[p4.HeaderFieldVar(h.Name, f.Name)] = 0
+		}
+	}
+	for _, f := range t.prog.Metadata {
+		e.st[p4.MetaVar(f.Name)] = 0
+	}
+	e.st[p4.DropVar] = 0
+
+	cur := t.entries[entryIdx]
+	res := &Result{}
+
+	// Parse once at injection using the entry pipeline's parser.
+	entryPl := t.prog.Pipeline(cur)
+	var payload []byte
+	if entryPl.Parser != "" {
+		pkt, err := t.parse(e, entryPl.Parser, wire)
+		if err != nil {
+			e.tracef("parser rejected: %v", err)
+			res.Dropped = true
+			res.Trace = e.trace
+			res.Final = e.st
+			return res, nil
+		}
+		payload = pkt.Payload
+	} else {
+		payload = wire
+	}
+
+	for hop := 0; hop < 64; hop++ {
+		pl := t.prog.Pipeline(cur)
+		if pl == nil {
+			return nil, fmt.Errorf("switchsim: unknown pipeline %q", cur)
+		}
+		res.Pipelines = append(res.Pipelines, cur)
+		e.tracef("enter pipeline %s (switch %s)", cur, pl.Switch)
+		ctl := t.prog.Control(pl.Control)
+		if err := e.stmts(ctl.Apply, nil, pl.Name); err != nil {
+			return nil, err
+		}
+		if e.drop || e.st[p4.DropVar] == 1 {
+			e.tracef("packet dropped in %s", cur)
+			res.Dropped = true
+			res.Trace = e.trace
+			res.Final = e.st
+			return res, nil
+		}
+		next, exited := t.route(e, cur)
+		if exited {
+			break
+		}
+		if next == "" {
+			// No matching traffic manager edge: the packet is lost — a
+			// target behaviour the checker flags as absent.
+			e.tracef("no traffic manager edge matched from %s; packet lost", cur)
+			res.Dropped = true
+			res.Trace = e.trace
+			res.Final = e.st
+			return res, nil
+		}
+		cur = next
+	}
+
+	res.Output = packet.FromState(t.prog, e.st, payload)
+	res.Trace = e.trace
+	res.Final = e.st
+	return res, nil
+}
+
+// route evaluates traffic manager edges from pipeline cur; returns the
+// next pipeline, or exited=true for the exit edge.
+func (t *Target) route(e *exec, cur string) (next string, exited bool) {
+	if t.prog.Topology == nil {
+		return "", true
+	}
+	for _, edge := range t.prog.Topology.Edges {
+		if edge.From != cur {
+			continue
+		}
+		if edge.Guard != nil {
+			v, err := e.boolExpr(edge.Guard, nil)
+			if err != nil || !v {
+				continue
+			}
+		}
+		e.tracef("traffic manager: %s -> %s", edge.From, edge.To)
+		if edge.To == "exit" {
+			return "", true
+		}
+		return edge.To, false
+	}
+	return "", false
+}
+
+// parse runs the entry parser over the wire bytes, loading extracted
+// fields and validity bits into the state (subject to parser faults).
+func (t *Target) parse(e *exec, parserName string, wire []byte) (*packet.Packet, error) {
+	pkt, err := packet.Parse(t.prog, parserName, wire)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range pkt.Headers {
+		if t.faults.extractNoValidity(h.Name) {
+			e.tracef("extract %s (validity NOT set: %s)", h.Name, "missing compilation flag")
+		} else {
+			e.st[p4.ValidVar(h.Name)] = 1
+		}
+		for f, v := range h.Fields {
+			e.st[p4.HeaderFieldVar(h.Name, f)] = v
+		}
+		e.tracef("extract %s", h.Name)
+	}
+	// Parser-state assignments (metadata setup) run after their state's
+	// extracts; replay them in FSM order.
+	if err := e.replayParserAssigns(parserName, pkt); err != nil {
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// replayParserAssigns executes assignment statements of visited parser
+// states. The visited set is re-derived by walking the FSM with the
+// now-loaded state.
+func (e *exec) replayParserAssigns(parserName string, pkt *packet.Packet) error {
+	pd := e.t.prog.Parser(parserName)
+	state := "start"
+	for steps := 0; steps < 1000; steps++ {
+		if state == "accept" || state == "reject" {
+			return nil
+		}
+		st := pd.State(state)
+		for _, s := range st.Body {
+			if as, ok := s.(*p4.AssignStmt); ok {
+				if err := e.assign(as.LHS, as.RHS, nil, "parser"); err != nil {
+					return err
+				}
+			}
+		}
+		tr := st.Transition
+		next := tr.Default
+		if len(tr.Select) > 0 {
+			for _, c := range tr.Cases {
+				match := true
+				for i, ref := range tr.Select {
+					v, ok := pkt.Field(ref.Parts[0], ref.Parts[1])
+					if len(ref.Parts) == 2 && ref.Parts[0] == "meta" {
+						v, ok = e.st[p4.MetaVar(ref.Parts[1])], true
+					}
+					if !ok || v != c.Values[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					next = c.Next
+					break
+				}
+			}
+		}
+		state = next
+	}
+	return fmt.Errorf("switchsim: parser replay did not terminate")
+}
+
+// --- Statement interpreter ---
+
+func (e *exec) stmts(list []p4.Stmt, sc map[string]uint64, pipe string) error {
+	for _, s := range list {
+		if e.drop {
+			return nil
+		}
+		if err := e.stmt(s, sc, pipe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
+	switch t := s.(type) {
+	case *p4.AssignStmt:
+		return e.assign(t.LHS, t.RHS, sc, pipe)
+	case *p4.IfStmt:
+		c, err := e.boolExpr(t.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if c {
+			e.tracef("[%s] if (%s) -> then", pipe, exprString(t.Cond))
+			return e.stmts(t.Then, sc, pipe)
+		}
+		e.tracef("[%s] if (%s) -> else", pipe, exprString(t.Cond))
+		return e.stmts(t.Else, sc, pipe)
+	case *p4.ApplyStmt:
+		return e.applyTable(t.Table, pipe)
+	case *p4.CallStmt:
+		return e.call(t.Call, sc, pipe)
+	case *p4.SetValidStmt:
+		if t.Valid && e.t.faults.setValidNoOp(t.Header) {
+			e.tracef("[%s] setValid(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			return nil
+		}
+		v := uint64(0)
+		if t.Valid {
+			v = 1
+		}
+		e.st[p4.ValidVar(t.Header)] = v
+		e.tracef("[%s] setValid(%s)=%d", pipe, t.Header, v)
+		return nil
+	case *p4.DropStmt:
+		e.st[p4.DropVar] = 1
+		e.drop = true
+		e.tracef("[%s] mark_drop()", pipe)
+		return nil
+	case *p4.HashStmt:
+		dv, dw, err := e.resolve(t.Dest)
+		if err != nil {
+			return err
+		}
+		vals := make([]uint64, len(t.Inputs))
+		widths := make([]expr.Width, len(t.Inputs))
+		for i, in := range t.Inputs {
+			v, w, err := e.arithWidth(in, sc)
+			if err != nil {
+				return err
+			}
+			vals[i], widths[i] = v, w
+		}
+		h := hashfn.Hash(vals, widths, dw)
+		e.setVar(dv, dw, h, pipe)
+		e.tracef("[%s] hash -> %s = %d", pipe, dv, h)
+		return nil
+	case *p4.ChecksumStmt:
+		if e.t.faults.checksumSkip(t.Header) {
+			e.tracef("[%s] update_checksum(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			return nil
+		}
+		h := e.t.prog.Header(t.Header)
+		var vals []uint64
+		var widths []expr.Width
+		for _, f := range h.Fields {
+			if f.Name == t.Field {
+				continue
+			}
+			vals = append(vals, e.st[p4.HeaderFieldVar(t.Header, f.Name)])
+			widths = append(widths, expr.Width(f.Width))
+		}
+		cs := hashfn.Checksum(vals, widths)
+		fw := expr.Width(h.Field(t.Field).Width)
+		e.setVar(p4.HeaderFieldVar(t.Header, t.Field), fw, cs, pipe)
+		e.tracef("[%s] update_checksum(%s) = %#x", pipe, t.Header, cs)
+		return nil
+	case *p4.RegReadStmt:
+		dv, dw, err := e.resolve(t.Dest)
+		if err != nil {
+			return err
+		}
+		rv := p4.RegisterVar(t.Reg, t.Index)
+		val := e.t.regs[rv]
+		e.setVar(dv, dw, val, pipe)
+		e.tracef("[%s] %s = reg_read(%s, %d) = %d", pipe, dv, t.Reg, t.Index, val)
+		return nil
+	case *p4.RegWriteStmt:
+		reg := e.t.prog.Register(t.Reg)
+		v, err := e.arith(t.Value, sc)
+		if err != nil {
+			return err
+		}
+		v = expr.Width(reg.Width).Trunc(v)
+		e.t.regs[p4.RegisterVar(t.Reg, t.Index)] = v
+		e.tracef("[%s] reg_write(%s, %d, %d)", pipe, t.Reg, t.Index, v)
+		return nil
+	case *p4.ExtractStmt:
+		return fmt.Errorf("switchsim: extract outside parser")
+	}
+	return fmt.Errorf("switchsim: unknown statement %T", s)
+}
+
+// applyTable performs concrete match-action lookup: highest-priority
+// matching entry wins, otherwise the default action runs.
+func (e *exec) applyTable(name, pipe string) error {
+	tbl := e.t.prog.Table(name)
+	entries := e.t.rs.Entries(name)
+	if e.t.faults.tableMissDefault(name) {
+		entries = nil
+	}
+	for i, en := range entries {
+		match := true
+		for _, k := range tbl.Keys {
+			v, w, err := e.refValue(k.Field)
+			if err != nil {
+				return err
+			}
+			if !en.Match(k.Field.String()).Covers(v, int(w)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			e.tracef("[%s] table %s hit entry %d -> %s", pipe, name, i, en.Action)
+			return e.call(&p4.ActionCall{Name: en.Action, Args: numArgs(en.Args)}, nil, pipe)
+		}
+	}
+	def := tbl.DefaultAction
+	if def == nil {
+		def = &p4.ActionCall{Name: "NoAction"}
+	}
+	e.tracef("[%s] table %s miss -> %s", pipe, name, def.Name)
+	return e.call(def, nil, pipe)
+}
+
+func numArgs(args []uint64) []p4.Expr {
+	out := make([]p4.Expr, len(args))
+	for i, a := range args {
+		out[i] = &p4.NumberExpr{Val: a}
+	}
+	return out
+}
+
+// call executes an action with bound arguments.
+func (e *exec) call(c *p4.ActionCall, sc map[string]uint64, pipe string) error {
+	if c.Name == "NoAction" {
+		return nil
+	}
+	a := e.t.prog.Action(c.Name)
+	if a == nil {
+		return fmt.Errorf("switchsim: unknown action %q", c.Name)
+	}
+	inner := make(map[string]uint64, len(a.Params))
+	for i, p := range a.Params {
+		v, err := e.arith(c.Args[i], sc)
+		if err != nil {
+			return err
+		}
+		inner[p.Name] = expr.Width(p.Width).Trunc(v)
+	}
+	return e.stmts(a.Body, inner, pipe)
+}
+
+// assign evaluates and stores, honouring WrongAssign and FieldOverlap
+// faults.
+func (e *exec) assign(lhs *p4.FieldRef, rhs p4.Expr, sc map[string]uint64, pipe string) error {
+	v, w, err := e.resolve(lhs)
+	if err != nil {
+		return err
+	}
+	val, err := e.arith(rhs, sc)
+	if err != nil {
+		return err
+	}
+	val = w.Trunc(val)
+	if bits, ok := e.t.faults.wrongAssign(string(v)); ok {
+		val = expr.Width(bits).Trunc(val)
+		e.tracef("[%s] %s = %d (TRUNCATED by backend bug)", pipe, v, val)
+	} else {
+		e.tracef("[%s] %s = %d", pipe, v, val)
+	}
+	e.setVar(v, w, val, pipe)
+	return nil
+}
+
+// setVar stores a value, propagating to overlapping fields (pragma-misuse
+// fault).
+func (e *exec) setVar(v expr.Var, w expr.Width, val uint64, pipe string) {
+	e.st[v] = w.Trunc(val)
+	for _, other := range e.t.faults.overlapsOf(string(v)) {
+		ov := expr.Var(other)
+		e.st[ov] = e.varWidth(ov).Trunc(val)
+		e.tracef("[%s] %s clobbered via pragma overlap with %s", pipe, other, v)
+	}
+}
+
+func (e *exec) varWidth(v expr.Var) expr.Width {
+	if h, f, ok := p4.IsHeaderFieldVar(v); ok {
+		if hd := e.t.prog.Header(h); hd != nil {
+			if fd := hd.Field(f); fd != nil {
+				return expr.Width(fd.Width)
+			}
+		}
+	}
+	if f, ok := p4.IsMetaVar(v); ok {
+		for _, fd := range e.t.prog.Metadata {
+			if fd.Name == f {
+				return expr.Width(fd.Width)
+			}
+		}
+	}
+	return 64
+}
+
+func (e *exec) resolve(ref *p4.FieldRef) (expr.Var, expr.Width, error) {
+	v, w, err := e.t.env.ResolveRef(ref)
+	if err != nil {
+		return "", 0, err
+	}
+	return v, w, nil
+}
+
+func (e *exec) refValue(ref *p4.FieldRef) (uint64, expr.Width, error) {
+	v, w, err := e.resolve(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	return w.Trunc(e.st[v]), w, nil
+}
+
+// arith evaluates a source arithmetic expression concretely.
+func (e *exec) arith(x p4.Expr, sc map[string]uint64) (uint64, error) {
+	v, _, err := e.arithWidth(x, sc)
+	return v, err
+}
+
+func (e *exec) arithWidth(x p4.Expr, sc map[string]uint64) (uint64, expr.Width, error) {
+	switch t := x.(type) {
+	case *p4.NumberExpr:
+		return t.Val, expr.MaxWidth, nil
+	case *p4.FieldRef:
+		if len(t.Parts) == 1 && sc != nil {
+			if v, ok := sc[t.Parts[0]]; ok {
+				return v, expr.MaxWidth, nil
+			}
+		}
+		v, w, err := e.refValue(t)
+		return v, w, err
+	case *p4.BinExpr:
+		l, lw, err := e.arithWidth(t.L, sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, rw, err := e.arithWidth(t.R, sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		w := lw
+		if rw > w {
+			w = rw
+		}
+		var op expr.AOp
+		switch t.Op {
+		case "+":
+			op = expr.OpAdd
+		case "-":
+			op = expr.OpSub
+		case "&":
+			op = expr.OpAnd
+		case "|":
+			op = expr.OpOr
+		case "^":
+			op = expr.OpXor
+		case "<<":
+			op = expr.OpShl
+		case ">>":
+			op = expr.OpShr
+		case "*":
+			op = expr.OpMul
+		default:
+			return 0, 0, fmt.Errorf("switchsim: operator %q", t.Op)
+		}
+		return op.Apply(l, r, w), w, nil
+	case *p4.NotExpr:
+		v, w, err := e.arithWidth(t.X, sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		return w.Trunc(^v), w, nil
+	}
+	return 0, 0, fmt.Errorf("switchsim: expression %T is not arithmetic", x)
+}
+
+// boolExpr evaluates a source boolean expression concretely, honouring the
+// WrongCompare fault.
+func (e *exec) boolExpr(x p4.Expr, sc map[string]uint64) (bool, error) {
+	switch t := x.(type) {
+	case *p4.CmpExpr:
+		l, err := e.arith(t.L, sc)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.arith(t.R, sc)
+		if err != nil {
+			return false, err
+		}
+		op := t.Op
+		if e.t.faults.wrongCompare() {
+			switch op {
+			case ">":
+				op = ">="
+			case "<":
+				op = "<="
+			}
+		}
+		switch op {
+		case "==":
+			return l == r, nil
+		case "!=":
+			return l != r, nil
+		case "<":
+			return l < r, nil
+		case ">":
+			return l > r, nil
+		case "<=":
+			return l <= r, nil
+		case ">=":
+			return l >= r, nil
+		}
+		return false, fmt.Errorf("switchsim: comparison %q", t.Op)
+	case *p4.LogicExpr:
+		l, err := e.boolExpr(t.L, sc)
+		if err != nil {
+			return false, err
+		}
+		if t.Op == "&&" && !l {
+			return false, nil
+		}
+		if t.Op == "||" && l {
+			return true, nil
+		}
+		return e.boolExpr(t.R, sc)
+	case *p4.NotExpr:
+		v, err := e.boolExpr(t.X, sc)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	case *p4.IsValidExpr:
+		return e.st[p4.ValidVar(t.Header)] == 1, nil
+	}
+	return false, fmt.Errorf("switchsim: expression %T is not boolean", x)
+}
+
+// exprString renders a source expression for traces.
+func exprString(x p4.Expr) string {
+	switch t := x.(type) {
+	case *p4.NumberExpr:
+		return fmt.Sprintf("%d", t.Val)
+	case *p4.FieldRef:
+		return t.String()
+	case *p4.BinExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(t.L), t.Op, exprString(t.R))
+	case *p4.CmpExpr:
+		return fmt.Sprintf("%s %s %s", exprString(t.L), t.Op, exprString(t.R))
+	case *p4.LogicExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(t.L), t.Op, exprString(t.R))
+	case *p4.NotExpr:
+		return "!" + exprString(t.X)
+	case *p4.IsValidExpr:
+		return t.Header + ".isValid()"
+	}
+	return "?"
+}
+
+// ResetRegisters zeroes the persistent register file.
+func (t *Target) ResetRegisters() { t.regs = map[expr.Var]uint64{} }
+
+// TraceString joins a trace for display.
+func TraceString(trace []string) string { return strings.Join(trace, "\n") }

@@ -1,0 +1,333 @@
+// Package sym implements Meissa's basic test case generation framework
+// (§3.2, Algorithm 1): depth-first enumeration of CFG paths with symbolic
+// execution, maintaining the value stack V and condition stack C, pruning
+// invalid prefixes by early termination through the incremental solver,
+// and emitting a test case template for every valid path.
+package sym
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/hashfn"
+	"repro/internal/p4"
+	"repro/internal/smt"
+)
+
+// Template is a test case template for one valid path (§2.1: "a test case
+// template, which specifies the pattern of inputs that can trigger this
+// path and the pattern of outputs at the end of the path").
+type Template struct {
+	ID int
+	// Path is the node sequence of the covered path.
+	Path []cfg.NodeID
+	// Constraints is the path condition: the conjunction of all collected
+	// guard conditions over free input variables.
+	Constraints []expr.Bool
+	// Final is the final symbolic state V: output field patterns in terms
+	// of input variables.
+	Final expr.Subst
+	// Model is one concrete input satisfying the path condition.
+	Model expr.State
+	// HashObligations lists hash/checksum assignments whose inputs were
+	// not fixed by the path condition; per §4 these are validated after
+	// concrete packet generation and unmatched packets are discarded.
+	HashObligations []HashObligation
+	// Dropped reports whether the path ends with the packet dropped.
+	Dropped bool
+	// Uncertain marks templates whose final satisfiability check returned
+	// Unknown (kept, to preserve coverage; the driver re-validates).
+	Uncertain bool
+}
+
+// HashObligation is a deferred hash/checksum consistency check.
+type HashObligation struct {
+	Var    expr.Var
+	Kind   cfg.Kind // cfg.Hash or cfg.Checksum
+	Inputs []expr.Arith
+	Width  expr.Width
+}
+
+// Options configure an exploration.
+type Options struct {
+	// EarlyTermination checks satisfiability at every predicate node and
+	// prunes unsatisfiable prefixes (§3.2 "Path pruning with early
+	// termination"). Disabling it checks only at leaves — the ablation
+	// configuration.
+	EarlyTermination bool
+	// Solver configures the underlying constraint solver; zero value
+	// means smt.DefaultOptions.
+	Solver smt.Options
+	// MaxPaths bounds the number of DFS descents; 0 means unlimited.
+	// When exceeded, Result.Truncated is set.
+	MaxPaths uint64
+	// Deadline aborts exploration after a wall-clock budget (zero means
+	// none); Result.Truncated is set. This is how the benchmark harness
+	// applies the paper's one-hour verification budget to baselines.
+	Deadline time.Duration
+	// WantModels extracts a concrete witness per template.
+	WantModels bool
+	// NoValidation emits templates without consulting the solver at all:
+	// statically-infeasible prefixes are still pruned by constant
+	// folding, but solver-dependent invalid paths are kept. The result is
+	// a superset of the valid paths — exactly what public pre-condition
+	// intersection needs, since intersecting over a superset of paths
+	// yields a sound subset of conditions (Algorithm 2 line 6 without the
+	// per-prefix SMT cost).
+	NoValidation bool
+}
+
+// DefaultOptions is the production configuration.
+func DefaultOptions() Options {
+	return Options{EarlyTermination: true, Solver: smt.DefaultOptions(), WantModels: true}
+}
+
+// Config describes one exploration task.
+type Config struct {
+	Graph *cfg.Graph
+	// Start is the node to begin at; cfg.None means Graph.Entry.
+	Start cfg.NodeID
+	// StopAt, when non-nil, marks nodes at which exploration stops and
+	// emits a template for the path prefix instead of descending. Used by
+	// code summary to collect all valid paths from the program entry to a
+	// pipeline entry (Algorithm 2, line 5).
+	StopAt map[cfg.NodeID]bool
+	// InitConstraints seeds the condition stack (public pre-conditions,
+	// Algorithm 2 line 6).
+	InitConstraints []expr.Bool
+	// InitValues seeds the value stack (public pre-condition values,
+	// Algorithm 2 line 7).
+	InitValues expr.Subst
+	Options    Options
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	Templates []*Template
+	// PathsExplored counts maximal DFS descents (valid, invalid and
+	// pruned).
+	PathsExplored uint64
+	// PrunedPaths counts prefixes cut by early termination.
+	PrunedPaths uint64
+	// SMT is the solver's counters; SMT.Checks is the paper's
+	// "# of SMT calls" (Fig. 11b / 12b).
+	SMT smt.Stats
+	// Truncated reports that MaxPaths was hit.
+	Truncated bool
+}
+
+// Explore runs Algorithm 1 over the CFG.
+func Explore(c Config) (*Result, error) {
+	if c.Graph == nil {
+		return nil, fmt.Errorf("sym: nil graph")
+	}
+	opts := c.Options
+	if opts.Solver == (smt.Options{}) {
+		opts.Solver = smt.DefaultOptions()
+	}
+	start := c.Start
+	if start == cfg.None {
+		start = c.Graph.Entry
+	}
+	e := &executor{
+		g:      c.Graph,
+		opts:   opts,
+		stop:   c.StopAt,
+		solver: smt.New(opts.Solver),
+		values: expr.Subst{},
+		res:    &Result{},
+	}
+	if opts.Deadline > 0 {
+		e.deadline = time.Now().Add(opts.Deadline)
+	}
+	for _, b := range c.InitConstraints {
+		e.solver.Assert(b)
+		e.constraints = append(e.constraints, b)
+	}
+	for v, a := range c.InitValues {
+		e.values[v] = a
+	}
+	e.dfs(start)
+	e.res.SMT = e.solver.Stats()
+	return e.res, nil
+}
+
+type executor struct {
+	g           *cfg.Graph
+	opts        Options
+	stop        map[cfg.NodeID]bool
+	solver      *smt.Solver
+	values      expr.Subst
+	constraints []expr.Bool
+	hashSeq     int
+	obligations []HashObligation
+	path        []cfg.NodeID
+	res         *Result
+	deadline    time.Time
+}
+
+// dfs implements Algorithm 1: on predicate nodes update the condition
+// stack and early-terminate when unsatisfiable; on action nodes update the
+// value stack; at leaves generate a test case template; restore on
+// backtrack.
+func (e *executor) dfs(id cfg.NodeID) {
+	if e.res.Truncated {
+		return
+	}
+	if e.opts.MaxPaths > 0 && e.res.PathsExplored >= e.opts.MaxPaths {
+		e.res.Truncated = true
+		return
+	}
+	// Check the wall-clock budget periodically (time.Now per node would
+	// dominate small graphs).
+	if !e.deadline.IsZero() && e.res.PathsExplored%64 == 0 && time.Now().After(e.deadline) {
+		e.res.Truncated = true
+		return
+	}
+	if e.stop != nil && e.stop[id] {
+		e.res.PathsExplored++
+		e.emit()
+		return
+	}
+	n := e.g.Node(id)
+	e.path = append(e.path, id)
+	defer func() { e.path = e.path[:len(e.path)-1] }()
+
+	switch n.Kind {
+	case cfg.Predicate:
+		cond := expr.SubstBool(n.Pred, e.values)
+		if expr.EqualBool(cond, expr.False) {
+			// Statically invalid (e.g. Figure 5(b)): prune without an SMT
+			// call.
+			e.res.PathsExplored++
+			e.res.PrunedPaths++
+			return
+		}
+		if !expr.EqualBool(cond, expr.True) {
+			if e.opts.NoValidation {
+				e.constraints = append(e.constraints, cond)
+				defer func() {
+					e.constraints = e.constraints[:len(e.constraints)-1]
+				}()
+			} else {
+				e.solver.Push()
+				e.solver.Assert(cond)
+				e.constraints = append(e.constraints, cond)
+				defer func() {
+					e.solver.Pop()
+					e.constraints = e.constraints[:len(e.constraints)-1]
+				}()
+				if e.opts.EarlyTermination {
+					if e.solver.Check() == smt.Unsat {
+						e.res.PathsExplored++
+						e.res.PrunedPaths++
+						return
+					}
+				}
+			}
+		}
+	case cfg.Action:
+		old, had := e.values[n.Var]
+		e.values[n.Var] = expr.SubstArith(n.Val, e.values)
+		defer func() { e.restore(n.Var, old, had) }()
+	case cfg.Hash, cfg.Checksum:
+		old, had := e.values[n.Var]
+		val, ob := e.evalOpaque(n)
+		e.values[n.Var] = val
+		if ob != nil {
+			e.obligations = append(e.obligations, *ob)
+			defer func() { e.obligations = e.obligations[:len(e.obligations)-1] }()
+		}
+		defer func() { e.restore(n.Var, old, had) }()
+	}
+
+	if n.IsLeaf() {
+		e.res.PathsExplored++
+		e.emit()
+		return
+	}
+	for _, s := range n.Succs {
+		e.dfs(s)
+		if e.res.Truncated {
+			return
+		}
+	}
+}
+
+func (e *executor) restore(v expr.Var, old expr.Arith, had bool) {
+	if had {
+		e.values[v] = old
+	} else {
+		delete(e.values, v)
+	}
+}
+
+// evalOpaque implements the paper's §4 hash treatment: "we directly
+// calculate hashing results if all keys are constrained with one value,
+// and otherwise leave these fields as arbitrary values" (with a deferred
+// post-generation check). Checksums are handled identically.
+func (e *executor) evalOpaque(n *cfg.Node) (expr.Arith, *HashObligation) {
+	w := e.g.Vars[n.Var]
+	inputs := make([]expr.Arith, len(n.Inputs))
+	vals := make([]uint64, len(n.Inputs))
+	widths := make([]expr.Width, len(n.Inputs))
+	allConst := true
+	for i, in := range n.Inputs {
+		inputs[i] = expr.SubstArith(in, e.values)
+		widths[i] = in.Width()
+		if c, ok := inputs[i].(expr.Const); ok {
+			vals[i] = c.Val
+		} else {
+			allConst = false
+		}
+	}
+	if allConst {
+		var v uint64
+		if n.Kind == cfg.Hash {
+			v = hashfn.Hash(vals, widths, w)
+		} else {
+			v = hashfn.Checksum(vals, widths)
+			v = w.Trunc(v)
+		}
+		return expr.C(v, w), nil
+	}
+	e.hashSeq++
+	fresh := expr.Var(fmt.Sprintf("hash$%d", e.hashSeq))
+	return expr.V(fresh, w), &HashObligation{Var: fresh, Kind: n.Kind, Inputs: inputs, Width: w}
+}
+
+// emit records a template for the current path if its condition is
+// satisfiable (always, in NoValidation mode).
+func (e *executor) emit() {
+	var model expr.State
+	r := smt.Sat
+	if !e.opts.NoValidation {
+		if e.opts.WantModels {
+			model, r = e.solver.Model()
+		} else {
+			r = e.solver.Check()
+		}
+	}
+	if r == smt.Unsat {
+		return
+	}
+	t := &Template{
+		ID:          len(e.res.Templates),
+		Path:        append([]cfg.NodeID(nil), e.path...),
+		Constraints: append([]expr.Bool(nil), e.constraints...),
+		Final:       e.values.Clone(),
+		Model:       model,
+		Uncertain:   r == smt.Unknown,
+	}
+	if len(e.obligations) > 0 {
+		t.HashObligations = append([]HashObligation(nil), e.obligations...)
+	}
+	if d, ok := t.Final[p4.DropVar]; ok {
+		if c, isC := d.(expr.Const); isC && c.Val == 1 {
+			t.Dropped = true
+		}
+	}
+	e.res.Templates = append(e.res.Templates, t)
+}

@@ -1,0 +1,292 @@
+// Package meissa is a from-scratch reproduction of "Meissa: Scalable
+// Network Testing for Programmable Data Planes" (SIGCOMM 2022): a testing
+// system for multi-switch multi-pipeline data plane programs that achieves
+// 100% path coverage through a domain-specific code summary technique.
+//
+// The pipeline mirrors Figure 2 of the paper:
+//
+//	LPI spec + P4 program + table rules
+//	    → control flow graph        (internal/cfg)
+//	    → code summary              (internal/summary)
+//	    → test case templates       (internal/sym)
+//	    → test driver               (internal/driver)
+//	    → test report
+//
+// Quick start:
+//
+//	prog := p4.MustParse(src)
+//	sys, _ := meissa.New(prog, ruleSet, specs, meissa.DefaultOptions())
+//	gen, _ := sys.Generate()
+//	target, _ := switchsim.Compile(prog, ruleSet, nil)
+//	report, _ := sys.Test(driver.NewLoopback(target), gen)
+//	fmt.Println(report.Summary())
+package meissa
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/driver"
+	"repro/internal/expr"
+	"repro/internal/p4"
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/summary"
+	"repro/internal/switchsim"
+	"repro/internal/sym"
+)
+
+// Options configure the system.
+type Options struct {
+	// CodeSummary enables the paper's core technique (§3.3). Disabling it
+	// runs the basic framework (Algorithm 1) over the whole program — the
+	// "w/o code summary" configuration of Fig. 11/12.
+	CodeSummary bool
+	// UsePreconditions toggles inter-pipeline public pre-condition
+	// filtering within code summary (ablation).
+	UsePreconditions bool
+	// EarlyTermination toggles §3.2 path pruning (ablation).
+	EarlyTermination bool
+	// IncrementalSolving toggles solver push/pop state reuse (ablation).
+	IncrementalSolving bool
+	// MaxPaths caps DFS descents per exploration (0 = unlimited); the
+	// harness uses it as a timeout substitute for intractable baselines.
+	MaxPaths uint64
+	// Deadline bounds each exploration's wall-clock time (0 = none).
+	Deadline time.Duration
+	// SolverOverhead adds a fixed per-check solver cost, emulating
+	// out-of-process SMT solvers (ablation only; see smt.Options).
+	SolverOverhead time.Duration
+}
+
+// DefaultOptions is the full Meissa configuration.
+func DefaultOptions() Options {
+	return Options{
+		CodeSummary:        true,
+		UsePreconditions:   true,
+		EarlyTermination:   true,
+		IncrementalSolving: true,
+	}
+}
+
+// System is a data plane program under test.
+type System struct {
+	Prog  *p4.Program
+	Rules *rules.Set
+	Specs []*spec.Spec
+	Opts  Options
+}
+
+// New validates the program and builds a system.
+func New(prog *p4.Program, rs *rules.Set, specs []*spec.Spec, opts Options) (*System, error) {
+	if err := p4.Check(prog); err != nil {
+		return nil, fmt.Errorf("meissa: %w", err)
+	}
+	if rs == nil {
+		rs = rules.NewSet()
+	}
+	return &System{Prog: prog, Rules: rs, Specs: specs, Opts: opts}, nil
+}
+
+// GenResult is the output of test case generation.
+type GenResult struct {
+	// Templates are the generated test case templates, one per valid
+	// path (full path coverage, §3.4).
+	Templates []*sym.Template
+	// Graph is the (possibly summarized) CFG.
+	Graph *cfg.Graph
+	// SummaryStats holds per-pipeline summarization statistics; nil when
+	// code summary is disabled.
+	SummaryStats *summary.Stats
+	// PathsExplored counts DFS descents across all phases.
+	PathsExplored uint64
+	// FinalPathsExplored counts DFS descents of the final template
+	// generation pass alone (excluding summarization work).
+	FinalPathsExplored uint64
+	// SMTCalls counts solver checks across all phases (Fig. 11b unit).
+	SMTCalls uint64
+	// FinalSMTCalls counts solver checks of the final pass alone.
+	FinalSMTCalls uint64
+	// PossiblePathsLog10Before/After record the whole-graph possible-path
+	// counts (Fig. 11c unit).
+	PossiblePathsLog10Before float64
+	PossiblePathsLog10After  float64
+	// Duration is the wall-clock generation time (Fig. 9/10 unit).
+	Duration time.Duration
+	// Truncated reports that MaxPaths was hit — coverage is incomplete.
+	Truncated bool
+}
+
+// Generate builds the CFG, applies code summary when enabled, and runs
+// the final template generation (Algorithm 2 line 27 / Algorithm 1).
+func (s *System) Generate() (*GenResult, error) {
+	start := time.Now()
+	g, err := cfg.Build(s.Prog, s.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("meissa: build CFG: %w", err)
+	}
+	res := &GenResult{Graph: g}
+	res.PossiblePathsLog10Before = g.PossiblePathsLog10()
+
+	symOpts := sym.Options{
+		EarlyTermination: s.Opts.EarlyTermination,
+		Solver:           s.solverOptions(),
+		MaxPaths:         s.Opts.MaxPaths,
+		Deadline:         s.Opts.Deadline,
+		WantModels:       false,
+	}
+
+	// Assume clauses of all specs that share identical assumptions scope
+	// generation; with multiple differing specs, generation stays
+	// unscoped and the checker applies each spec to matching inputs.
+	initC, err := s.commonAssumes()
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Opts.CodeSummary {
+		sumOpts := summary.Options{
+			Sym:              symOpts,
+			UsePreconditions: s.Opts.UsePreconditions,
+			InitConstraints:  initC,
+		}
+		stats, err := summary.Summarize(g, sumOpts)
+		if err != nil {
+			return nil, fmt.Errorf("meissa: %w", err)
+		}
+		res.SummaryStats = stats
+		res.SMTCalls += stats.SMT.Checks
+		res.PathsExplored += stats.PathsExplored
+		if stats.Truncated {
+			res.Truncated = true
+		}
+	}
+
+	finalOpts := symOpts
+	finalOpts.WantModels = true
+	exp, err := sym.Explore(sym.Config{
+		Graph:           g,
+		Start:           cfg.None,
+		InitConstraints: initC,
+		Options:         finalOpts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("meissa: %w", err)
+	}
+	res.Templates = exp.Templates
+	res.SMTCalls += exp.SMT.Checks
+	res.FinalSMTCalls = exp.SMT.Checks
+	res.PathsExplored += exp.PathsExplored
+	res.FinalPathsExplored = exp.PathsExplored
+	if exp.Truncated {
+		res.Truncated = true
+	}
+	res.PossiblePathsLog10After = g.PossiblePathsLog10()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func (s *System) solverOptions() smt.Options {
+	o := smt.DefaultOptions()
+	o.Incremental = s.Opts.IncrementalSolving
+	o.PerCheckOverhead = s.Opts.SolverOverhead
+	return o
+}
+
+// commonAssumes translates spec assume clauses shared by every spec.
+func (s *System) commonAssumes() ([]expr.Bool, error) {
+	if len(s.Specs) == 0 {
+		return nil, nil
+	}
+	first, err := s.Specs[0].AssumeConstraints(s.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("meissa: %w", err)
+	}
+	if len(s.Specs) == 1 {
+		return first, nil
+	}
+	keep := make(map[string]bool, len(first))
+	for _, b := range first {
+		keep[b.String()] = true
+	}
+	for _, sp := range s.Specs[1:] {
+		bs, err := sp.AssumeConstraints(s.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("meissa: %w", err)
+		}
+		have := map[string]bool{}
+		for _, b := range bs {
+			have[b.String()] = true
+		}
+		for k := range keep {
+			if !have[k] {
+				delete(keep, k)
+			}
+		}
+	}
+	var out []expr.Bool
+	for _, b := range first {
+		if keep[b.String()] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Test runs the generated templates against a target over the link and
+// returns the report.
+func (s *System) Test(link driver.Link, gen *GenResult) (*driver.Report, error) {
+	d := driver.New(s.Prog, gen.Graph, link, s.Specs)
+	return d.RunTemplates(gen.Templates)
+}
+
+// TestTarget compiles nothing — it wires a loopback link to the given
+// target and runs the full test suite.
+func (s *System) TestTarget(target *switchsim.Target, gen *GenResult) (*driver.Report, error) {
+	return s.Test(driver.NewLoopback(target), gen)
+}
+
+// Localize produces the §7 bug-localization trace for a failing outcome:
+// the symbolic path (executed actions, hit table rules, branching) from
+// the template, side by side with the target's physical trace when the
+// link captured one.
+func Localize(gen *GenResult, o *driver.Outcome, target *switchsim.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Bug localization for test case %d ===\n", o.Case.ID)
+	if len(o.Mismatches) > 0 {
+		b.WriteString("prediction mismatches (likely NON-CODE bug — compiled target diverges from source semantics):\n")
+		for _, m := range o.Mismatches {
+			fmt.Fprintf(&b, "  - %s\n", m)
+		}
+	}
+	if len(o.Violations) > 0 {
+		b.WriteString("intent violations (code bug if prediction matches output, else non-code):\n")
+		for _, v := range o.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	if len(o.ChecksumErrors) > 0 {
+		b.WriteString("checksum errors:\n")
+		for _, c := range o.ChecksumErrors {
+			fmt.Fprintf(&b, "  - %s\n", c)
+		}
+	}
+	b.WriteString("symbolic trace (source semantics):\n")
+	for _, id := range o.Case.Template.Path {
+		n := gen.Graph.Node(id)
+		if n.Comment == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", n.Comment, n.StmtString())
+	}
+	if target != nil {
+		b.WriteString("physical trace (compiled target):\n")
+		for _, line := range target.Trace {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package meissa
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/programs"
+	"repro/internal/spec"
+	"repro/internal/switchsim"
+)
+
+// TestCorpusCleanTargetsPass is the fundamental no-false-positive check:
+// every corpus program, generated with full coverage and executed against
+// a fault-free target, must pass every test case.
+func TestCorpusCleanTargetsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	for _, p := range programs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			sys, err := New(p.Prog, p.Rules, nil, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := sys.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen.Truncated {
+				t.Fatal("generation truncated")
+			}
+			if len(gen.Templates) == 0 {
+				t.Fatal("no templates generated")
+			}
+			target, err := switchsim.Compile(p.Prog, p.Rules, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sys.TestTarget(target, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed != 0 {
+				f := rep.Failures()[0]
+				t.Fatalf("%s: %d false positives; first: case %d mismatches=%v checksums=%v violations=%v",
+					p.Name, rep.Failed, f.Case.ID, f.Mismatches, f.ChecksumErrors, f.Violations)
+			}
+		})
+	}
+}
+
+// TestSummaryPreservesCoverage verifies the §3.4 theorem operationally:
+// generation with and without code summary yields the same number of
+// valid paths on every corpus program small enough to run both ways.
+func TestSummaryPreservesCoverage(t *testing.T) {
+	for _, p := range []*programs.Program{
+		programs.Router(), programs.MTag(), programs.ACL(),
+		programs.GW(1, programs.Set1), programs.GW(2, programs.Set1),
+	} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			with, err := New(p.Prog, p.Rules, nil, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			genWith, err := with.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			optsNo := DefaultOptions()
+			optsNo.CodeSummary = false
+			without, err := New(p.Prog, p.Rules, nil, optsNo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genWithout, err := without.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(genWith.Templates) != len(genWithout.Templates) {
+				t.Fatalf("coverage differs: %d templates with summary, %d without",
+					len(genWith.Templates), len(genWithout.Templates))
+			}
+		})
+	}
+}
+
+// TestSummaryReducesWork verifies the Fig. 11 shape on a multi-pipeline
+// program: with code summary, the final generation pass needs fewer SMT
+// calls and the CFG has fewer possible paths.
+func TestSummaryReducesWork(t *testing.T) {
+	p := programs.GW(3, programs.Set1)
+	with, _ := New(p.Prog, p.Rules, nil, DefaultOptions())
+	genWith, err := with.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsNo := DefaultOptions()
+	optsNo.CodeSummary = false
+	without, _ := New(p.Prog, p.Rules, nil, optsNo)
+	genWithout, err := without.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genWith.PossiblePathsLog10After >= genWithout.PossiblePathsLog10After {
+		t.Errorf("summary did not reduce possible paths: %.1f vs %.1f",
+			genWith.PossiblePathsLog10After, genWithout.PossiblePathsLog10After)
+	}
+	// The final generation pass over the summarized CFG must be cheaper
+	// than exploring the original whole program (the summarization cost
+	// itself amortizes at production scale — Fig. 11a).
+	if genWith.FinalPathsExplored >= genWithout.FinalPathsExplored {
+		t.Errorf("summary did not reduce final-pass exploration: %d vs %d",
+			genWith.FinalPathsExplored, genWithout.FinalPathsExplored)
+	}
+	if len(genWith.Templates) != len(genWithout.Templates) {
+		t.Errorf("coverage differs: %d vs %d templates", len(genWith.Templates), len(genWithout.Templates))
+	}
+}
+
+// TestUDPTransport runs the Router suite over real UDP sockets: the
+// switch serves on a loopback UDP port, the driver injects datagrams and
+// captures replies.
+func TestUDPTransport(t *testing.T) {
+	p := programs.Router()
+	sys, err := New(p.Prog, p.Rules, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := switchsim.Compile(p.Prog, p.Rules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := driver.ServeUDP(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	link, err := driver.DialUDP(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	rep, err := sys.Test(link, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("UDP run failed: %s", rep.Summary())
+	}
+	if rep.Passed == 0 {
+		t.Fatal("no cases ran")
+	}
+}
+
+// TestSpecScopedGeneration checks that assume clauses narrow generation
+// (§6's NAT sub-case workflow): with a TCP-only spec, no template's model
+// carries a non-TCP protocol.
+func TestSpecScopedGeneration(t *testing.T) {
+	p := programs.Router()
+	sp := spec.MustParseOne(`
+spec tcp_only {
+  assume ethernet.etherType == 0x0800;
+  assume ipv4.protocol == 6;
+  expect forwarded;
+}
+`)
+	sys, err := New(p.Prog, p.Rules, []*spec.Spec{sp}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Templates) == 0 {
+		t.Fatal("no templates")
+	}
+	for _, tm := range gen.Templates {
+		if proto, ok := tm.Model["hdr.ipv4.protocol"]; ok && proto != 6 {
+			t.Errorf("template %d model has protocol %d, want 6", tm.ID, proto)
+		}
+	}
+}
+
+// TestDetectsInjectedFault is the end-to-end non-code bug check at the
+// public API level.
+func TestDetectsInjectedFault(t *testing.T) {
+	p := programs.GW(1, programs.Set1)
+	sys, err := New(p.Prog, p.Rules, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := switchsim.Compile(p.Prog, p.Rules,
+		switchsim.Faults{switchsim.SetValidNoOp{Header: "vxlan"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.TestTarget(target, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 {
+		t.Fatal("injected setValid fault went undetected")
+	}
+}
+
+// TestLocalize exercises the §7 bug-localization trace.
+func TestLocalize(t *testing.T) {
+	p := programs.GW(1, programs.Set1)
+	sys, _ := New(p.Prog, p.Rules, nil, DefaultOptions())
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := switchsim.Compile(p.Prog, p.Rules,
+		switchsim.Faults{switchsim.SetValidNoOp{Header: "vxlan"}})
+	link := driver.NewLoopback(target)
+	rep, err := sys.Test(link, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatal("expected failures")
+	}
+	out := Localize(gen, fails[0], link.LastTrace())
+	for _, want := range []string{"Bug localization", "symbolic trace", "physical trace"} {
+		if !contains(out, want) {
+			t.Errorf("localization output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestNewRejectsBrokenPrograms checks input validation at the API
+// boundary.
+func TestNewRejectsBrokenPrograms(t *testing.T) {
+	prog := &p4.Program{Name: "broken"}
+	prog.Pipelines = []*p4.PipelineDecl{{Name: "p", Control: "missing"}}
+	if _, err := New(prog, nil, nil, DefaultOptions()); err == nil {
+		t.Fatal("expected error for unresolvable control")
+	}
+}
