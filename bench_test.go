@@ -12,6 +12,8 @@ package meissa_test
 // paper. cmd/meissa-bench prints the same data as the paper's rows.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -44,6 +46,49 @@ func benchGenerate(b *testing.B, p *programs.Program, opts meissa.Options) {
 	b.ReportMetric(float64(last.SMTCalls), "smt-calls")
 	b.ReportMetric(float64(len(last.Templates)), "templates")
 	b.ReportMetric(last.PossiblePathsLog10After, "log10-paths")
+}
+
+// --- Parallel exploration scaling ---
+
+// BenchmarkParallelScaling measures the frontier-splitting engine on the
+// largest corpus program at P = 1/2/4/NCPU. The speedup metric is
+// wall-clock time at P=1 divided by time at P (≈P on idle multi-core
+// hardware; ~1 when GOMAXPROCS=1). smt-calls must stay within ±10% of
+// sequential; cache-hits and pruned-paths expose where the time goes.
+func BenchmarkParallelScaling(b *testing.B) {
+	p := programs.GW(3, programs.Set3)
+
+	seqOpts := meissa.DefaultOptions()
+	seqOpts.Parallelism = 1
+	start := time.Now()
+	base := genWith(b, p, seqOpts)
+	baseline := time.Since(start)
+
+	ps := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		ps = append(ps, n)
+	}
+	for _, par := range ps {
+		par := par
+		b.Run(fmt.Sprintf("P=%d", par), func(b *testing.B) {
+			opts := meissa.DefaultOptions()
+			opts.Parallelism = par
+			var last *meissa.GenResult
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				last = genWith(b, p, opts)
+			}
+			perOp := time.Since(start) / time.Duration(b.N)
+			if len(last.Templates) != len(base.Templates) {
+				b.Fatalf("P=%d produced %d templates, sequential %d",
+					par, len(last.Templates), len(base.Templates))
+			}
+			b.ReportMetric(float64(baseline)/float64(perOp), "speedup")
+			b.ReportMetric(float64(last.SMTCalls), "smt-calls")
+			b.ReportMetric(float64(last.SMTCacheHits), "cache-hits")
+			b.ReportMetric(float64(last.PrunedPaths), "pruned-paths")
+		})
+	}
 }
 
 // --- Table 1: corpus construction ---

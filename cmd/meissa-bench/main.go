@@ -19,8 +19,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig9, fig10, fig11, fig12, table2, all")
 	budget := flag.Duration("budget", experiments.Budget, "per-tool time budget")
+	parallel := flag.Int("parallel", 0, "Meissa exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	experiments.Budget = *budget
+	experiments.Parallelism = *parallel
 
 	run := func(name string, f func() error) {
 		fmt.Printf("==== %s ====\n", name)

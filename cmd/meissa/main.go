@@ -55,8 +55,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-v]
-  meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace]
+  meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v]
+  meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
   meissa corpus
   meissa dump -corpus <name>`)
 }
@@ -119,6 +119,7 @@ func loadInputs(fs *flag.FlagSet, args []string) (*p4.Program, *rules.Set, []*sp
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	noSummary := fs.Bool("no-summary", false, "disable code summary (basic framework)")
+	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	verbose := fs.Bool("v", false, "print each template's constraints")
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
@@ -126,6 +127,7 @@ func cmdGen(args []string) error {
 	}
 	opts := meissa.DefaultOptions()
 	opts.CodeSummary = !*noSummary
+	opts.Parallelism = *parallel
 	sys, err := meissa.New(prog, rs, specs, opts)
 	if err != nil {
 		return err
@@ -197,6 +199,7 @@ func cmdTest(args []string) error {
 	faultSpec := fs.String("fault", "", "inject compiler faults: kind:arg[,kind:arg...]")
 	trace := fs.Bool("trace", false, "print bug localization for the first failure")
 	udp := fs.Bool("udp", false, "drive the target over a real UDP loopback socket")
+	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
 		return err
@@ -205,7 +208,9 @@ func cmdTest(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := meissa.New(prog, rs, specs, meissa.DefaultOptions())
+	opts := meissa.DefaultOptions()
+	opts.Parallelism = *parallel
+	sys, err := meissa.New(prog, rs, specs, opts)
 	if err != nil {
 		return err
 	}

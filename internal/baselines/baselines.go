@@ -85,9 +85,12 @@ func (P4Pktgen) Generate(prog *p4.Program, rs *rules.Set, budget time.Duration) 
 		Options: sym.Options{
 			EarlyTermination: true,
 			// p4pktgen issues an independent solver query per check.
-			Solver:     smt.Options{Incremental: false},
-			Deadline:   budget,
-			WantModels: true,
+			Solver:    smt.Options{Incremental: false},
+			SolverSet: true,
+			// Baselines model single-threaded tools: legacy sequential DFS.
+			Parallelism: 1,
+			Deadline:    budget,
+			WantModels:  true,
 		},
 	})
 	if err != nil {
@@ -125,6 +128,8 @@ func (Gauntlet) Generate(prog *p4.Program, rs *rules.Set, budget time.Duration) 
 			// satisfiability only at the end.
 			EarlyTermination: false,
 			Solver:           smt.Options{Incremental: false},
+			SolverSet:        true,
+			Parallelism:      1,
 			Deadline:         budget,
 			WantModels:       true,
 		},
@@ -179,6 +184,8 @@ func (Aquila) Verify(prog *p4.Program, rs *rules.Set, budget time.Duration) (*Ge
 		Options: sym.Options{
 			EarlyTermination: true,
 			Solver:           smt.DefaultOptions(),
+			SolverSet:        true,
+			Parallelism:      1,
 			Deadline:         budget,
 			WantModels:       false,
 		},

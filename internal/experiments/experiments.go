@@ -24,6 +24,11 @@ import (
 // one-hour verification budget at our reduced program scale.
 var Budget = 120 * time.Second
 
+// Parallelism is the exploration worker count used for Meissa runs
+// (0 = GOMAXPROCS, 1 = legacy sequential engine). Baselines model
+// single-threaded tools and always run sequentially.
+var Parallelism int
+
 // --- Table 1 ---
 
 // Table1Row is one program inventory line.
@@ -64,6 +69,11 @@ type ToolResult struct {
 	Duration  time.Duration
 	SMTCalls  uint64
 	Templates int
+	// PrunedPaths counts prefixes cut by early termination; CacheHits
+	// counts solver checks answered by the shared verdict cache (only
+	// Meissa populates these — baselines run without the cache).
+	PrunedPaths uint64
+	CacheHits   uint64
 	// Timeout and Unsupported reproduce the ◦ and × marks of Fig. 9.
 	Timeout     bool
 	Unsupported bool
@@ -79,6 +89,7 @@ type Fig9Row struct {
 func RunMeissa(p *programs.Program) (ToolResult, error) {
 	opts := meissa.DefaultOptions()
 	opts.Deadline = Budget
+	opts.Parallelism = Parallelism
 	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
 	if err != nil {
 		return ToolResult{}, err
@@ -90,6 +101,7 @@ func RunMeissa(p *programs.Program) (ToolResult, error) {
 	return ToolResult{
 		Tool: "Meissa", Duration: gen.Duration, SMTCalls: gen.SMTCalls,
 		Templates: len(gen.Templates), Timeout: gen.Truncated,
+		PrunedPaths: gen.PrunedPaths, CacheHits: gen.SMTCacheHits,
 	}, nil
 }
 
@@ -128,12 +140,18 @@ func Fig9() ([]Fig9Row, error) {
 }
 
 // WriteFig9 renders Fig. 9 as the paper's series: one column per tool,
-// ◦ for timeout, × for no-support.
+// ◦ for timeout, × for no-support, plus Meissa's pruning and verdict-cache
+// counters so the perf trajectory is visible in the bench logs.
 func WriteFig9(w io.Writer, rows []Fig9Row) {
-	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "Program", "Meissa", "Aquila", "p4pktgen", "Gauntlet")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %8s %9s\n",
+		"Program", "Meissa", "Aquila", "p4pktgen", "Gauntlet", "pruned", "cachehits")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s", r.Program)
+		var meissa ToolResult
 		for _, res := range r.Results {
+			if res.Tool == "Meissa" {
+				meissa = res
+			}
 			switch {
 			case res.Unsupported:
 				fmt.Fprintf(w, " %12s", "x")
@@ -143,7 +161,7 @@ func WriteFig9(w io.Writer, rows []Fig9Row) {
 				fmt.Fprintf(w, " %12s", res.Duration.Round(time.Millisecond))
 			}
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintf(w, " %8d %9d\n", meissa.PrunedPaths, meissa.CacheHits)
 	}
 }
 
@@ -212,6 +230,7 @@ func MeasureSummaryEffect(p *programs.Program, label string) (SummaryEffect, err
 		opts := meissa.DefaultOptions()
 		opts.CodeSummary = withSummary
 		opts.Deadline = Budget
+		opts.Parallelism = Parallelism
 		sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
 		if err != nil {
 			return eff, err

@@ -1,0 +1,125 @@
+package smt
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// VerdictCache memoizes satisfiability verdicts across solvers. It is
+// keyed by a normalized hash of the asserted condition set, so solvers
+// replaying the same path-prefix conjunction in any assertion order (and
+// any Push/Pop frame partitioning) hit the same entry. The parallel
+// exploration engine shares one cache among all workers: sibling path
+// suffixes re-derive the same infeasible prefixes, and the cache turns
+// those repeated Unsat proofs into lookups (counted in Stats.CacheHits).
+//
+// The cache is sharded and lock-striped: the key's low bits select one of
+// cacheShards independently-locked maps, so concurrent workers rarely
+// contend on the same mutex.
+//
+// Soundness: a cached verdict is valid for any solver deciding the same
+// conjunction, because verdicts depend only on the constraint set. Unknown
+// verdicts are never cached (they depend on the per-check search budget).
+// Callers must not share a cache between solvers with different
+// SearchBudget/CandidatesPerVar configurations: a Sat proved under a large
+// budget could mask an Unknown under a small one, which is sound but
+// perturbs ablation counters.
+type VerdictCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 64
+
+// cacheShardCap bounds each shard's map so a pathological exploration
+// cannot grow the cache without limit (~64 shards × 1<<14 entries).
+const cacheShardCap = 1 << 14
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[condKey]Result
+}
+
+// condKey is an order-independent digest of a constraint multiset: the sum
+// and xor of the per-constraint FNV-1a hashes plus the multiset size.
+// Collisions require two different constraint sets to agree on all three
+// components of 160 bits of accumulated state — negligible in practice.
+type condKey struct {
+	sum, xor uint64
+	n        uint32
+}
+
+// NewVerdictCache returns an empty cache safe for concurrent use.
+func NewVerdictCache() *VerdictCache {
+	c := &VerdictCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[condKey]Result)
+	}
+	return c
+}
+
+func (c *VerdictCache) shard(k condKey) *cacheShard {
+	return &c.shards[(k.sum^k.xor)%cacheShards]
+}
+
+func (c *VerdictCache) lookup(k condKey) (Result, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	r, ok := sh.m[k]
+	sh.mu.Unlock()
+	return r, ok
+}
+
+func (c *VerdictCache) store(k condKey, r Result) {
+	if r == Unknown {
+		return
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if len(sh.m) < cacheShardCap {
+		sh.m[k] = r
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of cached verdicts (for tests and debugging).
+func (c *VerdictCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// boolHash returns the FNV-1a hash of the constraint's rendering,
+// memoized per expression value (path conditions are asserted verbatim on
+// every visit of their predicate node, so the same values recur).
+func (s *Solver) boolHash(b expr.Bool) uint64 {
+	if h, ok := s.hashCache[b]; ok {
+		return h
+	}
+	f := fnv.New64a()
+	f.Write([]byte(b.String()))
+	h := f.Sum64()
+	if len(s.hashCache) < 1<<16 {
+		s.hashCache[b] = h
+	}
+	return h
+}
+
+// condKey digests the currently-asserted constraint multiset across all
+// frames. Frame counts are path-depth-sized, so summing per-frame
+// accumulators on demand is cheaper than subtract-on-Pop bookkeeping.
+func (s *Solver) condKey() condKey {
+	var k condKey
+	for _, fr := range s.frames {
+		k.sum += fr.hsum
+		k.xor ^= fr.hxor
+		k.n += fr.hn
+	}
+	return k
+}

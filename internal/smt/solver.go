@@ -40,7 +40,22 @@ type Stats struct {
 	Propagations uint64
 	Backtracks   uint64
 	Models       uint64
-	CacheHits    uint64 // incremental reuse: frames whose domains were kept
+	// CacheHits counts checks answered from a shared VerdictCache without
+	// running the solver; cache hits do not increment Checks.
+	CacheHits uint64
+}
+
+// Add accumulates another solver's counters, the merge step for parallel
+// exploration and multi-phase aggregation.
+func (s *Stats) Add(o Stats) {
+	s.Checks += o.Checks
+	s.SatResults += o.SatResults
+	s.UnsatResults += o.UnsatResults
+	s.Unknowns += o.Unknowns
+	s.Propagations += o.Propagations
+	s.Backtracks += o.Backtracks
+	s.Models += o.Models
+	s.CacheHits += o.CacheHits
 }
 
 // Options configure a Solver.
@@ -57,8 +72,14 @@ type Options struct {
 	// PerCheckOverhead adds a fixed cost to every satisfiability check,
 	// emulating out-of-process SMT solvers (the paper drove Z3 over IPC,
 	// where each call costs on the order of a millisecond). Used by the
-	// solver-cost sensitivity ablation; zero for production.
+	// solver-cost sensitivity ablation; zero for production. Checks
+	// answered from the verdict cache skip the overhead, modeling the
+	// avoided IPC round-trip.
 	PerCheckOverhead time.Duration
+	// Cache, when non-nil, shares satisfiability verdicts across solvers
+	// (and across the workers of a parallel exploration). Model extraction
+	// is never cached — only plain Check verdicts.
+	Cache *VerdictCache
 }
 
 // DefaultOptions returns the production configuration.
@@ -76,6 +97,10 @@ type frame struct {
 	// newVars lists variables first seen in this frame.
 	newVars []expr.Var
 	failed  bool // propagation in this frame already derived bottom
+	// hsum/hxor/hn accumulate the multiset digest of the constraints
+	// asserted in this frame, for the shared verdict cache key.
+	hsum, hxor uint64
+	hn         uint32
 }
 
 // Solver is an incremental conjunction solver with push/pop.
@@ -93,6 +118,8 @@ type Solver struct {
 	// visit of their predicate node (copy-on-write substitution preserves
 	// identity), so summarized-chain conjunctions hit this cache hard.
 	normCache map[expr.Bool][]atom
+	// hashCache memoizes per-constraint digests for the verdict cache key.
+	hashCache map[expr.Bool]uint64
 }
 
 // New returns a solver with the given options.
@@ -108,6 +135,7 @@ func New(opts Options) *Solver {
 		domains:   make(map[expr.Var]*domain),
 		widths:    make(map[expr.Var]expr.Width),
 		normCache: make(map[expr.Bool][]atom),
+		hashCache: make(map[expr.Bool]uint64),
 	}
 	s.frames = []*frame{{domSnapshot: map[expr.Var]*domain{}}}
 	return s
@@ -150,6 +178,12 @@ func (s *Solver) Pop() {
 // subsequent Check can often answer from the refined domains alone.
 func (s *Solver) Assert(b expr.Bool) {
 	top := s.frames[len(s.frames)-1]
+	if s.opts.Cache != nil {
+		h := s.boolHash(b)
+		top.hsum += h
+		top.hxor ^= h
+		top.hn++
+	}
 	atoms, ok := s.normCache[b]
 	if !ok {
 		atoms = normalize(b)
@@ -371,6 +405,18 @@ func (s *Solver) Model() (expr.State, Result) {
 }
 
 func (s *Solver) check(wantModel bool) (Result, expr.State) {
+	// Shared verdict cache: plain checks whose condition set was already
+	// decided (by this solver or a sibling worker) answer without running
+	// the solver at all — no Checks increment, no emulated IPC overhead.
+	var key condKey
+	cacheable := !wantModel && s.opts.Cache != nil
+	if cacheable {
+		key = s.condKey()
+		if r, ok := s.opts.Cache.lookup(key); ok {
+			s.stats.CacheHits++
+			return r, nil
+		}
+	}
 	s.stats.Checks++
 	if s.opts.PerCheckOverhead > 0 {
 		for start := time.Now(); time.Since(start) < s.opts.PerCheckOverhead; {
@@ -378,6 +424,9 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 	}
 	if s.anyFrameFailed() {
 		s.stats.UnsatResults++
+		if cacheable {
+			s.opts.Cache.store(key, Unsat)
+		}
 		return Unsat, nil
 	}
 
@@ -387,20 +436,28 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 		rebuilt, ok := s.rebuildDomains()
 		if !ok {
 			s.stats.UnsatResults++
+			if cacheable {
+				s.opts.Cache.store(key, Unsat)
+			}
 			return Unsat, nil
 		}
 		doms = rebuilt
 	} else {
-		s.stats.CacheHits++
 		for _, d := range doms {
 			if d.empty() {
 				s.stats.UnsatResults++
+				if cacheable {
+					s.opts.Cache.store(key, Unsat)
+				}
 				return Unsat, nil
 			}
 		}
 	}
 
 	res, model := s.search(doms)
+	if cacheable {
+		s.opts.Cache.store(key, res) // Unknown is dropped by store
+	}
 	switch res {
 	case Sat:
 		s.stats.SatResults++

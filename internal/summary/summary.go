@@ -74,6 +74,9 @@ type Stats struct {
 	Pipelines     []PipelineStat
 	SMT           smt.Stats
 	PathsExplored uint64
+	// PrunedPaths counts prefixes cut by early termination across all
+	// prefix and within-pipeline explorations.
+	PrunedPaths uint64
 	// Truncated reports that some exploration hit its path or time
 	// budget, so the summary may be incomplete.
 	Truncated bool
@@ -263,15 +266,9 @@ func encodePath(g *cfg.Graph, region *cfg.Region, t *sym.Template, initC []expr.
 }
 
 func accumulate(agg *Stats, r *sym.Result) {
-	agg.SMT.Checks += r.SMT.Checks
-	agg.SMT.SatResults += r.SMT.SatResults
-	agg.SMT.UnsatResults += r.SMT.UnsatResults
-	agg.SMT.Unknowns += r.SMT.Unknowns
-	agg.SMT.Propagations += r.SMT.Propagations
-	agg.SMT.Backtracks += r.SMT.Backtracks
-	agg.SMT.Models += r.SMT.Models
-	agg.SMT.CacheHits += r.SMT.CacheHits
+	agg.SMT.Add(r.SMT)
 	agg.PathsExplored += r.PathsExplored
+	agg.PrunedPaths += r.PrunedPaths
 	if r.Truncated {
 		agg.Truncated = true
 	}

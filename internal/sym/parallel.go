@@ -1,0 +1,198 @@
+package sym
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/smt"
+)
+
+// Parallel exploration splits Algorithm 1's DFS into two phases.
+//
+// Phase 1 (the splitter) runs the ordinary sequential executor over the
+// top of the tree, but with a spill hook: once the product of branch
+// widths along the current path reaches ~4× the worker count (so there
+// are enough pending sibling subtrees to balance the pool), the subtree
+// rooted at the current node is packaged as a task — path prefix,
+// condition stack, value-stack snapshot, hash obligations — instead of
+// being explored. Leaf- and stop-nodes below the split frontier also
+// spill, so the splitter itself never emits templates; tasks therefore
+// appear in exactly the order sequential DFS would first reach them.
+//
+// Phase 2 runs a worker pool. Each worker owns one smt.Solver for its
+// whole lifetime (solver construction and init-constraint assertion are
+// amortized across tasks) and claims tasks from an atomic counter. Per
+// task it replays the prefix condition stack via Push/Assert — no Check,
+// so replay adds zero SMT calls — explores the subtree with the same
+// executor code, and Pops back. All workers share one VerdictCache, so an
+// Unsat prefix proved by one worker prunes the same prefix everywhere
+// else for the cost of a map lookup.
+//
+// Determinism: templates are collected per task and spliced in task
+// order, then IDs are renumbered sequentially. Since task order equals
+// sequential visit order and the executor code below a split point is
+// the same code sequential mode runs (with identical solver inputs in
+// identical order), the resulting template set — paths, constraints,
+// models, obligations, ordering, IDs — is byte-identical to
+// Parallelism: 1. The only exception is budget truncation (MaxPaths /
+// Deadline), which is cooperative across workers and therefore cuts a
+// nondeterministic suffix; untruncated runs are exactly reproducible.
+
+// sharedState carries the cross-worker counters and the cooperative
+// cancel used by parallel exploration.
+type sharedState struct {
+	paths    atomic.Uint64
+	pruned   atomic.Uint64
+	halted   atomic.Bool
+	maxPaths uint64
+	deadline time.Time
+}
+
+// task is one pending branch of the DFS frontier: everything needed to
+// resume Algorithm 1 at start as if sequential DFS had just descended
+// to it.
+type task struct {
+	start cfg.NodeID
+	// path is the node prefix (not including start).
+	path []cfg.NodeID
+	// constraints is the full condition stack, init constraints included.
+	constraints []expr.Bool
+	// values is a snapshot of the value stack V.
+	values expr.Subst
+	// obligations are the hash/checksum obligations pending on the prefix.
+	obligations []HashObligation
+	// templates receives the subtree's emissions, spliced in task order.
+	templates []*Template
+}
+
+func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Result, error) {
+	if opts.Solver.Cache == nil {
+		opts.Solver.Cache = smt.NewVerdictCache()
+	}
+	shared := &sharedState{maxPaths: opts.MaxPaths}
+	if opts.Deadline > 0 {
+		shared.deadline = time.Now().Add(opts.Deadline)
+	}
+
+	// Phase 1: enumerate the frontier. targetWidth is the pending-subtree
+	// count at which a path spills; hardCap bounds the task list when the
+	// graph branches far wider than the target (each extra sibling then
+	// spills as one coarse task, which is still balanced because coarse
+	// siblings at the same depth have similar subtree sizes).
+	targetWidth := 4 * workers
+	hardCap := 64 * workers
+	var tasks []*task
+	splitter := &executor{
+		g:         c.Graph,
+		opts:      opts,
+		stop:      c.StopAt,
+		solver:    smt.New(opts.Solver),
+		values:    expr.Subst{},
+		res:       &Result{},
+		shared:    shared,
+		widthProd: 1,
+	}
+	splitter.spill = func(id cfg.NodeID) bool {
+		n := c.Graph.Node(id)
+		atEnd := n.IsLeaf() || (splitter.stop != nil && splitter.stop[id])
+		if !atEnd && splitter.widthProd < targetWidth && len(tasks) < hardCap {
+			return false // keep splitting above the frontier
+		}
+		tasks = append(tasks, &task{
+			start:       id,
+			path:        append([]cfg.NodeID(nil), splitter.path...),
+			constraints: append([]expr.Bool(nil), splitter.constraints...),
+			values:      splitter.values.Clone(),
+			obligations: append([]HashObligation(nil), splitter.obligations...),
+		})
+		return true
+	}
+	for _, b := range c.InitConstraints {
+		splitter.solver.Assert(b)
+		splitter.constraints = append(splitter.constraints, b)
+	}
+	for v, a := range c.InitValues {
+		splitter.values[v] = a
+	}
+	splitter.dfs(start)
+
+	// Phase 2: drain the task list. Tasks are claimed via an atomic index
+	// so fast workers steal the slack of slow ones.
+	nInit := len(c.InitConstraints)
+	var next atomic.Int64
+	workerStats := make([]smt.Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			solver := smt.New(opts.Solver)
+			for _, b := range c.InitConstraints {
+				solver.Assert(b)
+			}
+			res := &Result{}
+			var visits uint64
+			for !shared.halted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				t := tasks[i]
+				e := &executor{
+					g:           c.Graph,
+					opts:        opts,
+					stop:        c.StopAt,
+					solver:      solver,
+					values:      t.values,
+					constraints: t.constraints,
+					obligations: t.obligations,
+					path:        t.path,
+					res:         res,
+					shared:      shared,
+					visits:      visits, // deadline ticks span tasks
+				}
+				replay := t.constraints[nInit:]
+				if !opts.NoValidation && len(replay) > 0 {
+					solver.Push()
+					for _, b := range replay {
+						solver.Assert(b)
+					}
+				}
+				base := len(res.Templates)
+				e.dfs(t.start)
+				if !opts.NoValidation && len(replay) > 0 {
+					solver.Pop()
+				}
+				t.templates = res.Templates[base:]
+				visits = e.visits
+				// A worker that hit the budget keeps its Truncated flag per
+				// executor; clear the per-result copy so the next task is
+				// gated by shared.halted alone.
+				res.Truncated = false
+			}
+			workerStats[w] = solver.Stats()
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 3: splice per-task emissions in frontier enumeration order and
+	// renumber IDs, reproducing sequential output exactly.
+	res := &Result{}
+	for _, t := range tasks {
+		for _, tm := range t.templates {
+			tm.ID = len(res.Templates)
+			res.Templates = append(res.Templates, tm)
+		}
+	}
+	res.PathsExplored = shared.paths.Load()
+	res.PrunedPaths = shared.pruned.Load()
+	res.Truncated = shared.halted.Load()
+	res.SMT = splitter.solver.Stats()
+	for _, st := range workerStats {
+		res.SMT.Add(st)
+	}
+	return res, nil
+}

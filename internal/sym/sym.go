@@ -7,6 +7,7 @@ package sym
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cfg"
@@ -57,11 +58,26 @@ type Options struct {
 	// termination"). Disabling it checks only at leaves — the ablation
 	// configuration.
 	EarlyTermination bool
-	// Solver configures the underlying constraint solver; zero value
-	// means smt.DefaultOptions.
+	// Solver configures the underlying constraint solver. It is honored
+	// only when SolverSet is true; otherwise smt.DefaultOptions applies.
 	Solver smt.Options
+	// SolverSet marks Solver as intentional. Without it, an all-false
+	// smt.Options is indistinguishable from "not configured", and ablations
+	// asking for Incremental: false would silently be resurrected to
+	// defaults. DefaultOptions sets it; literal Options constructions that
+	// configure Solver must set it too.
+	SolverSet bool
+	// Parallelism is the worker count for path exploration: 0 uses
+	// GOMAXPROCS, 1 runs the exact legacy sequential code path (the
+	// paper-faithful ablation baseline), and N > 1 splits the DFS frontier
+	// across N workers with per-worker solvers (see parallel.go).
+	// Templates are byte-identical to sequential mode at any setting.
+	Parallelism int
 	// MaxPaths bounds the number of DFS descents; 0 means unlimited.
-	// When exceeded, Result.Truncated is set.
+	// When exceeded, Result.Truncated is set. Under parallel exploration
+	// the bound is enforced cooperatively across workers, so the set of
+	// truncated templates is not deterministic (the total never exceeds
+	// the bound by more than the worker count's in-flight descents).
 	MaxPaths uint64
 	// Deadline aborts exploration after a wall-clock budget (zero means
 	// none); Result.Truncated is set. This is how the benchmark harness
@@ -81,7 +97,7 @@ type Options struct {
 
 // DefaultOptions is the production configuration.
 func DefaultOptions() Options {
-	return Options{EarlyTermination: true, Solver: smt.DefaultOptions(), WantModels: true}
+	return Options{EarlyTermination: true, Solver: smt.DefaultOptions(), SolverSet: true, WantModels: true}
 }
 
 // Config describes one exploration task.
@@ -118,18 +134,23 @@ type Result struct {
 	Truncated bool
 }
 
-// Explore runs Algorithm 1 over the CFG.
+// Explore runs Algorithm 1 over the CFG. With Options.Parallelism != 1 it
+// dispatches to the frontier-splitting parallel engine; the template set
+// (paths, constraints, models, ordering, IDs) is byte-identical either way.
 func Explore(c Config) (*Result, error) {
 	if c.Graph == nil {
 		return nil, fmt.Errorf("sym: nil graph")
 	}
 	opts := c.Options
-	if opts.Solver == (smt.Options{}) {
+	if !opts.SolverSet {
 		opts.Solver = smt.DefaultOptions()
 	}
 	start := c.Start
 	if start == cfg.None {
 		start = c.Graph.Entry
+	}
+	if workers := opts.Workers(); workers > 1 {
+		return exploreParallel(c, opts, start, workers)
 	}
 	e := &executor{
 		g:      c.Graph,
@@ -154,6 +175,14 @@ func Explore(c Config) (*Result, error) {
 	return e.res, nil
 }
 
+// Workers resolves Parallelism to the effective worker count.
+func (o Options) Workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
 type executor struct {
 	g           *cfg.Graph
 	opts        Options
@@ -161,11 +190,77 @@ type executor struct {
 	solver      *smt.Solver
 	values      expr.Subst
 	constraints []expr.Bool
-	hashSeq     int
 	obligations []HashObligation
 	path        []cfg.NodeID
 	res         *Result
 	deadline    time.Time
+	// visits counts dfs node entries; the wall-clock budget is tested
+	// every 64 visits. (PathsExplored only moves at leaves and prunes, so
+	// gating the deadline on it let a single deep descent — or a counter
+	// parked on a non-multiple of 64 — blow far past the budget.)
+	visits uint64
+	// widthProd is the product of the branch widths (successor counts > 1)
+	// along the current path — an estimate of how many sibling subtrees
+	// exist at this depth. The parallel splitter spills a task once it
+	// reaches the target frontier width.
+	widthProd int
+	// spill, when set, is consulted at every dfs entry: returning true
+	// means the node's subtree has been packaged as a parallel task and
+	// must not be explored here.
+	spill func(id cfg.NodeID) bool
+	// shared, when set, carries the cross-worker counters and the
+	// cooperative cancel used by parallel exploration.
+	shared *sharedState
+}
+
+// countPath registers one completed DFS descent (leaf, stop, or prune).
+func (e *executor) countPath() {
+	e.res.PathsExplored++
+	if e.shared != nil {
+		e.shared.paths.Add(1)
+	}
+}
+
+// countPruned registers one early-terminated prefix.
+func (e *executor) countPruned() {
+	e.res.PrunedPaths++
+	if e.shared != nil {
+		e.shared.pruned.Add(1)
+	}
+}
+
+// stopNow reports whether exploration must halt (budget exceeded or a
+// sibling worker requested cancellation), setting Truncated.
+func (e *executor) stopNow() bool {
+	if e.res.Truncated {
+		return true
+	}
+	if e.shared != nil {
+		if e.shared.halted.Load() {
+			e.res.Truncated = true
+			return true
+		}
+		if e.shared.maxPaths > 0 && e.shared.paths.Load() >= e.shared.maxPaths {
+			e.shared.halted.Store(true)
+			e.res.Truncated = true
+			return true
+		}
+		if !e.shared.deadline.IsZero() && e.visits%64 == 0 && time.Now().After(e.shared.deadline) {
+			e.shared.halted.Store(true)
+			e.res.Truncated = true
+			return true
+		}
+		return false
+	}
+	if e.opts.MaxPaths > 0 && e.res.PathsExplored >= e.opts.MaxPaths {
+		e.res.Truncated = true
+		return true
+	}
+	if !e.deadline.IsZero() && e.visits%64 == 0 && time.Now().After(e.deadline) {
+		e.res.Truncated = true
+		return true
+	}
+	return false
 }
 
 // dfs implements Algorithm 1: on predicate nodes update the condition
@@ -173,21 +268,19 @@ type executor struct {
 // value stack; at leaves generate a test case template; restore on
 // backtrack.
 func (e *executor) dfs(id cfg.NodeID) {
-	if e.res.Truncated {
+	// Periodic budget checks are keyed to the visit counter (incremented
+	// on every node entry) so a single deep descent still observes the
+	// deadline; time.Now per node would dominate small graphs.
+	e.visits++
+	if e.stopNow() {
 		return
 	}
-	if e.opts.MaxPaths > 0 && e.res.PathsExplored >= e.opts.MaxPaths {
-		e.res.Truncated = true
-		return
-	}
-	// Check the wall-clock budget periodically (time.Now per node would
-	// dominate small graphs).
-	if !e.deadline.IsZero() && e.res.PathsExplored%64 == 0 && time.Now().After(e.deadline) {
-		e.res.Truncated = true
+	if e.spill != nil && e.spill(id) {
+		// The subtree rooted here was packaged as a parallel task.
 		return
 	}
 	if e.stop != nil && e.stop[id] {
-		e.res.PathsExplored++
+		e.countPath()
 		e.emit()
 		return
 	}
@@ -201,8 +294,8 @@ func (e *executor) dfs(id cfg.NodeID) {
 		if expr.EqualBool(cond, expr.False) {
 			// Statically invalid (e.g. Figure 5(b)): prune without an SMT
 			// call.
-			e.res.PathsExplored++
-			e.res.PrunedPaths++
+			e.countPath()
+			e.countPruned()
 			return
 		}
 		if !expr.EqualBool(cond, expr.True) {
@@ -221,8 +314,8 @@ func (e *executor) dfs(id cfg.NodeID) {
 				}()
 				if e.opts.EarlyTermination {
 					if e.solver.Check() == smt.Unsat {
-						e.res.PathsExplored++
-						e.res.PrunedPaths++
+						e.countPath()
+						e.countPruned()
 						return
 					}
 				}
@@ -244,9 +337,16 @@ func (e *executor) dfs(id cfg.NodeID) {
 	}
 
 	if n.IsLeaf() {
-		e.res.PathsExplored++
+		e.countPath()
 		e.emit()
 		return
+	}
+	if len(n.Succs) > 1 {
+		old := e.widthProd
+		if e.widthProd < 1<<30 { // saturate instead of overflowing
+			e.widthProd *= len(n.Succs)
+		}
+		defer func() { e.widthProd = old }()
 	}
 	for _, s := range n.Succs {
 		e.dfs(s)
@@ -293,8 +393,13 @@ func (e *executor) evalOpaque(n *cfg.Node) (expr.Arith, *HashObligation) {
 		}
 		return expr.C(v, w), nil
 	}
-	e.hashSeq++
-	fresh := expr.Var(fmt.Sprintf("hash$%d", e.hashSeq))
+	// Fresh symbols are named after the opaque node itself, not a global
+	// visit sequence: a DAG path enters each node at most once, so the
+	// name is unique within any template, and — unlike a traversal-order
+	// counter — identical no matter which worker (or split point) reaches
+	// the node, which parallel exploration's byte-identical-output
+	// guarantee relies on.
+	fresh := expr.Var(fmt.Sprintf("hash$n%d", n.ID))
 	return expr.V(fresh, w), &HashObligation{Var: fresh, Kind: n.Kind, Inputs: inputs, Width: w}
 }
 

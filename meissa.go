@@ -52,6 +52,13 @@ type Options struct {
 	EarlyTermination bool
 	// IncrementalSolving toggles solver push/pop state reuse (ablation).
 	IncrementalSolving bool
+	// Parallelism is the exploration worker count, applied to both the
+	// within-pipeline summarization runs and the final generation pass:
+	// 0 uses GOMAXPROCS, 1 runs the exact legacy sequential engine (the
+	// paper-faithful ablation baseline), N > 1 splits the DFS frontier
+	// across N workers sharing one solver-verdict cache. Templates are
+	// byte-identical at any setting.
+	Parallelism int
 	// MaxPaths caps DFS descents per exploration (0 = unlimited); the
 	// harness uses it as a timeout substitute for intractable baselines.
 	MaxPaths uint64
@@ -110,6 +117,12 @@ type GenResult struct {
 	SMTCalls uint64
 	// FinalSMTCalls counts solver checks of the final pass alone.
 	FinalSMTCalls uint64
+	// PrunedPaths counts prefixes cut by early termination across all
+	// phases.
+	PrunedPaths uint64
+	// SMTCacheHits counts solver checks answered from the shared verdict
+	// cache (parallel mode only; such checks are not in SMTCalls).
+	SMTCacheHits uint64
 	// PossiblePathsLog10Before/After record the whole-graph possible-path
 	// counts (Fig. 11c unit).
 	PossiblePathsLog10Before float64
@@ -134,9 +147,16 @@ func (s *System) Generate() (*GenResult, error) {
 	symOpts := sym.Options{
 		EarlyTermination: s.Opts.EarlyTermination,
 		Solver:           s.solverOptions(),
+		SolverSet:        true,
+		Parallelism:      s.Opts.Parallelism,
 		MaxPaths:         s.Opts.MaxPaths,
 		Deadline:         s.Opts.Deadline,
 		WantModels:       false,
+	}
+	if symOpts.Workers() > 1 {
+		// One verdict cache spans the whole run, so Unsat prefixes proved
+		// during summarization of one pipeline also answer the final pass.
+		symOpts.Solver.Cache = smt.NewVerdictCache()
 	}
 
 	// Assume clauses of all specs that share identical assumptions scope
@@ -159,7 +179,9 @@ func (s *System) Generate() (*GenResult, error) {
 		}
 		res.SummaryStats = stats
 		res.SMTCalls += stats.SMT.Checks
+		res.SMTCacheHits += stats.SMT.CacheHits
 		res.PathsExplored += stats.PathsExplored
+		res.PrunedPaths += stats.PrunedPaths
 		if stats.Truncated {
 			res.Truncated = true
 		}
@@ -179,8 +201,10 @@ func (s *System) Generate() (*GenResult, error) {
 	res.Templates = exp.Templates
 	res.SMTCalls += exp.SMT.Checks
 	res.FinalSMTCalls = exp.SMT.Checks
+	res.SMTCacheHits += exp.SMT.CacheHits
 	res.PathsExplored += exp.PathsExplored
 	res.FinalPathsExplored = exp.PathsExplored
+	res.PrunedPaths += exp.PrunedPaths
 	if exp.Truncated {
 		res.Truncated = true
 	}
