@@ -8,6 +8,7 @@
 //
 //	meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary]
 //	meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault setvalid:hdr] [-trace]
+//	            [-udp] [-retries N] [-case-timeout D] [-shake drop=0.3,seed=42]
 //	meissa corpus            # list the built-in evaluation corpus
 //	meissa dump -corpus gw-2 # print a corpus program's source and rules
 package main
@@ -57,6 +58,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
+              [-udp] [-retries N] [-case-timeout D] [-recv-timeout D]
+              [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
   meissa corpus
   meissa dump -corpus <name>`)
 }
@@ -200,11 +203,19 @@ func cmdTest(args []string) error {
 	trace := fs.Bool("trace", false, "print bug localization for the first failure")
 	udp := fs.Bool("udp", false, "drive the target over a real UDP loopback socket")
 	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
+	retries := fs.Int("retries", 2, "retransmissions per case after the first attempt")
+	caseTimeout := fs.Duration("case-timeout", 0, "per-case deadline across all attempts (0 = derived)")
+	recvTimeout := fs.Duration("recv-timeout", 200*time.Millisecond, "per-attempt capture window")
+	shake := fs.String("shake", "", "inject link faults: drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N")
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
 		return err
 	}
 	faults, err := parseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	linkFaults, err := driver.ParseLinkFaults(*shake)
 	if err != nil {
 		return err
 	}
@@ -231,8 +242,9 @@ func cmdTest(args []string) error {
 
 	var link driver.Link
 	var loop *driver.Loopback
+	var sw *driver.UDPSwitch
 	if *udp {
-		sw, err := driver.ServeUDP(target, "127.0.0.1:0")
+		sw, err = driver.ServeUDP(target, "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -249,13 +261,27 @@ func cmdTest(args []string) error {
 		link = loop
 	}
 
-	rep, err := sys.Test(link, gen)
+	var shaken *driver.FaultyLink
+	if linkFaults.Active() {
+		shaken = driver.NewFaultyLink(link, linkFaults)
+		link = shaken
+		fmt.Println("link faults:", linkFaults)
+	}
+
+	d := sys.NewDriver(link, gen)
+	d.Retries = *retries
+	d.CaseTimeout = *caseTimeout
+	d.RecvTimeout = *recvTimeout
+	rep, err := d.RunTemplates(gen.Templates)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep.Summary())
+	for _, c := range rep.Skips {
+		fmt.Printf("SKIP case %d: %s\n", c.ID, c.SkipReason)
+	}
 	for _, o := range rep.Failures() {
-		fmt.Printf("FAIL case %d:\n", o.Case.ID)
+		fmt.Printf("%s case %d (%d attempts):\n", strings.ToUpper(o.Verdict.String()), o.Case.ID, o.Attempts)
 		for _, m := range o.Mismatches {
 			fmt.Println("  mismatch:", m)
 		}
@@ -266,11 +292,18 @@ func cmdTest(args []string) error {
 			fmt.Println("  intent:", v)
 		}
 	}
+	if shaken != nil {
+		fmt.Println("link noise injected:", shaken.Stats())
+	}
+	if sw != nil && (sw.Crashes() > 0 || sw.Errors() > 0) {
+		fmt.Printf("switch under test: %d target crashes, %d dropped, %d errors absorbed\n",
+			sw.Crashes(), sw.Dropped(), sw.Errors())
+	}
 	if *trace && rep.Failed > 0 && loop != nil {
 		fmt.Println()
 		fmt.Println(meissa.Localize(gen, rep.Failures()[0], loop.LastTrace()))
 	}
-	if rep.Failed > 0 {
+	if rep.Failed > 0 || rep.Lost > 0 {
 		os.Exit(1)
 	}
 	return nil

@@ -1,6 +1,9 @@
 package driver
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"repro/internal/p4"
 	"repro/internal/packet"
 	"repro/internal/spec"
+	"repro/internal/switchsim"
 	"repro/internal/sym"
 )
 
@@ -31,11 +35,56 @@ type Case struct {
 	SkipReason string
 }
 
+// Verdict classifies a case's end-to-end result. Separating Flaky and
+// Lost from Fail is what lets a hardware-in-the-loop run distinguish link
+// noise from data-plane bugs: a case that fails once but passes on a
+// clean retransmit is link noise, not a bug, and the report says so.
+type Verdict int
+
+// Verdicts, from best to worst.
+const (
+	// VerdictPass: the first attempt passed every enabled check.
+	VerdictPass Verdict = iota
+	// VerdictFlaky: the case passed, but only after at least one
+	// retransmission — the earlier attempt was absorbed link noise.
+	VerdictFlaky
+	// VerdictFail: every attempt failed with observed target behaviour
+	// (a capture that violates the checks, or a predicted drop that
+	// forwarded) — a real data-plane divergence.
+	VerdictFail
+	// VerdictLost: the link exhausted its retries without ever observing
+	// the target's behaviour where a capture was expected. Ambiguous
+	// between link loss and a drop bug; never silently folded into Fail.
+	VerdictLost
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictFlaky:
+		return "flaky"
+	case VerdictFail:
+		return "fail"
+	case VerdictLost:
+		return "lost"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
 // Outcome is the result of running one case against the target.
 type Outcome struct {
 	Case *Case
-	// Pass is the overall verdict.
+	// Pass is the overall verdict (true for VerdictPass and VerdictFlaky).
 	Pass bool
+	// Verdict is the four-way classification.
+	Verdict Verdict
+	// Attempts counts transmissions performed for this case (>= 1).
+	Attempts int
+	// Crashed reports that at least one attempt made the target panic
+	// (observable only on links that surface injection errors).
+	Crashed bool
 	// Output is the captured packet (nil when absent).
 	Output *packet.Packet
 	// Absent reports that no packet was captured.
@@ -52,10 +101,21 @@ type Outcome struct {
 
 // Report aggregates outcomes.
 type Report struct {
-	Program  string
-	Passed   int
-	Failed   int
-	Skipped  int
+	Program string
+	Passed  int
+	Failed  int
+	Skipped int
+	// Flaky counts cases that passed only after retransmission (link
+	// noise absorbed by the retry engine, never silently).
+	Flaky int
+	// Lost counts cases whose retries were exhausted without observing
+	// the target (see VerdictLost).
+	Lost int
+	// Retransmissions counts extra attempts beyond each case's first.
+	Retransmissions int
+	// Skips lists the skipped cases with their SkipReason, so a skip is
+	// never just an anonymous counter.
+	Skips    []*Case
 	Outcomes []*Outcome
 }
 
@@ -72,7 +132,11 @@ func (r *Report) Failures() []*Outcome {
 
 // Summary renders a one-line result.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%s: %d passed, %d failed, %d skipped", r.Program, r.Passed, r.Failed, r.Skipped)
+	s := fmt.Sprintf("%s: %d passed, %d failed, %d skipped", r.Program, r.Passed, r.Failed, r.Skipped)
+	if r.Flaky > 0 || r.Lost > 0 || r.Retransmissions > 0 {
+		s += fmt.Sprintf(" (%d flaky, %d lost, %d retransmissions)", r.Flaky, r.Lost, r.Retransmissions)
+	}
+	return s
 }
 
 // Checks selects which validations the checker applies; different tools
@@ -104,18 +168,55 @@ type Driver struct {
 	Specs []*spec.Spec
 	// Checks selects the validations to run; New sets AllChecks.
 	Checks Checks
-	// RecvTimeout bounds each capture; loopback links answer instantly.
+	// RecvTimeout bounds each capture window; loopback links answer
+	// instantly.
 	RecvTimeout time.Duration
+	// Retries is the number of retransmissions per case after the first
+	// attempt. Each retransmission carries a fresh payload ID so stale
+	// captures from earlier attempts remain identifiable.
+	Retries int
+	// CaseTimeout bounds one case end to end across every attempt and
+	// backoff; 0 derives a budget from Retries, RecvTimeout and Backoff.
+	CaseTimeout time.Duration
+	// Backoff is the delay before the first retransmission, doubling on
+	// each further retry.
+	Backoff time.Duration
 	// checksummed lists (header, field) pairs the program maintains via
 	// update_checksum, which the checker validates on every output.
 	checksummed [][2]string
+	// nextID allocates monotonically increasing payload IDs: every
+	// transmission (including retries) gets a never-reused ID.
+	nextID uint64
+	// pending holds captures demultiplexed away from the in-flight case,
+	// keyed by payload ID — requeued, not discarded.
+	pending map[uint64][]byte
 }
+
+// maxPending bounds the requeue buffer; beyond it, stale captures are
+// dropped (they can only belong to already-decided cases).
+const maxPending = 1024
 
 // New builds a driver.
 func New(prog *p4.Program, g *cfg.Graph, link Link, specs []*spec.Spec) *Driver {
-	d := &Driver{Prog: prog, Graph: g, Link: link, Specs: specs, Checks: AllChecks(), RecvTimeout: 200 * time.Millisecond}
+	d := &Driver{
+		Prog:        prog,
+		Graph:       g,
+		Link:        link,
+		Specs:       specs,
+		Checks:      AllChecks(),
+		RecvTimeout: 200 * time.Millisecond,
+		Retries:     2,
+		Backoff:     10 * time.Millisecond,
+		pending:     map[uint64][]byte{},
+	}
 	d.checksummed = collectChecksums(prog)
 	return d
+}
+
+// allocID returns the next unused payload ID.
+func (d *Driver) allocID() uint64 {
+	d.nextID++
+	return d.nextID
 }
 
 // collectChecksums finds every update_checksum(h, f) in the program.
@@ -290,43 +391,161 @@ func (d *Driver) entryPipeline(idx int) string {
 // RunTemplates concretizes and executes every template, returning the
 // aggregated report.
 func (d *Driver) RunTemplates(templates []*sym.Template) (*Report, error) {
+	return d.RunTemplatesCtx(context.Background(), templates)
+}
+
+// RunTemplatesCtx is RunTemplates under a caller-supplied context; the
+// whole suite stops at its deadline or cancellation.
+func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template) (*Report, error) {
 	rep := &Report{Program: d.Prog.Name}
-	for i, t := range templates {
-		c, err := d.Concretize(t, uint64(i+1))
+	for _, t := range templates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		c, err := d.Concretize(t, d.allocID())
 		if err != nil {
 			return nil, err
 		}
 		if c.SkipReason != "" {
 			rep.Skipped++
+			rep.Skips = append(rep.Skips, c)
 			continue
 		}
-		o, err := d.RunCase(c)
+		o, err := d.RunCaseCtx(ctx, c)
 		if err != nil {
 			return nil, err
 		}
 		rep.Outcomes = append(rep.Outcomes, o)
-		if o.Pass {
+		rep.Retransmissions += o.Attempts - 1
+		switch o.Verdict {
+		case VerdictPass:
 			rep.Passed++
-		} else {
+		case VerdictFlaky:
+			rep.Flaky++
+		case VerdictFail:
 			rep.Failed++
+		case VerdictLost:
+			rep.Lost++
 		}
 	}
 	return rep, nil
 }
 
-// RunCase injects one case and checks the capture.
+// RunCase injects one case, retransmitting with exponential backoff and a
+// fresh payload ID on each failed attempt, and returns the final outcome
+// with its verdict.
 func (d *Driver) RunCase(c *Case) (*Outcome, error) {
-	if err := d.Link.Send(c.Entry, c.Wire); err != nil {
-		return nil, fmt.Errorf("driver: send: %w", err)
+	return d.RunCaseCtx(context.Background(), c)
+}
+
+// caseBudget derives the per-case deadline when CaseTimeout is unset:
+// every attempt's capture window, plus the full backoff ladder, plus
+// slack for transport latency.
+func (d *Driver) caseBudget() time.Duration {
+	if d.CaseTimeout > 0 {
+		return d.CaseTimeout
 	}
+	attempts := time.Duration(d.Retries + 1)
+	backoff := time.Duration(0)
+	step := d.Backoff
+	for i := 0; i < d.Retries; i++ {
+		backoff += step
+		step *= 2
+	}
+	return attempts*d.RecvTimeout + backoff + 250*time.Millisecond
+}
+
+// RunCaseCtx runs one case under a per-case deadline. The retry state
+// machine: attempt → (pass → Pass/Flaky) | (fail → backoff, fresh-ID
+// retransmit) until retries or the deadline are exhausted; then Fail when
+// target behaviour was observed, Lost when it never was.
+func (d *Driver) RunCaseCtx(ctx context.Context, c *Case) (*Outcome, error) {
+	ctx, cancel := context.WithTimeout(ctx, d.caseBudget())
+	defer cancel()
+	// The requeue buffer only ever holds captures for the in-flight case's
+	// attempts; at case end everything left is stale.
+	defer d.flushPending()
+
+	cur := c
+	backoff := d.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	var last *Outcome
+	observed := false // some attempt captured target behaviour
+	crashed := false  // some attempt surfaced a target panic
+	for attempt := 0; ; attempt++ {
+		o := d.runAttempt(ctx, cur)
+		o.Attempts = attempt + 1
+		if !o.Absent {
+			observed = true
+		}
+		crashed = crashed || o.Crashed
+		if o.Pass {
+			o.Verdict = VerdictPass
+			if attempt > 0 {
+				o.Verdict = VerdictFlaky
+			}
+			o.Crashed = crashed
+			return o, nil
+		}
+		last = o
+		if attempt >= d.Retries || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		backoff *= 2
+		// Fresh payload ID per retransmission: stale captures from the
+		// previous attempt stay identifiable and never pollute this one.
+		nc, err := d.Concretize(c.Template, d.allocID())
+		if err != nil {
+			return nil, err
+		}
+		if nc.SkipReason != "" {
+			break
+		}
+		cur = nc
+	}
+	last.Crashed = crashed
+	if !observed && !crashed && last.Case.Expected != nil {
+		last.Verdict = VerdictLost
+	} else {
+		last.Verdict = VerdictFail
+	}
+	return last, nil
+}
+
+// runAttempt performs one transmission and capture. Link-level errors are
+// attempt failures (retried), not run aborts — resilience against a noisy
+// harness is the point.
+func (d *Driver) runAttempt(ctx context.Context, c *Case) *Outcome {
 	o := &Outcome{Case: c}
+	if err := d.Link.Send(c.Entry, c.Wire); err != nil {
+		var ce *switchsim.CrashError
+		if errors.As(err, &ce) {
+			o.Crashed = true
+			o.Mismatches = append(o.Mismatches, err.Error())
+		} else {
+			o.Mismatches = append(o.Mismatches, fmt.Sprintf("send failed: %v", err))
+		}
+		o.Absent = true
+		return o
+	}
 
 	// Receive: match by payload ID (the paper's sender/receiver
-	// correlation). Unrelated captures are requeued conceptually; with
-	// one-in-flight semantics the first capture is ours or absent.
-	wire, got, err := d.Link.Recv(d.RecvTimeout)
+	// correlation), requeueing unrelated captures instead of discarding
+	// or — worse — charging them to this case.
+	wire, got, err := d.recvMatching(ctx, c.ID)
 	if err != nil {
-		return nil, fmt.Errorf("driver: recv: %w", err)
+		o.Mismatches = append(o.Mismatches, fmt.Sprintf("recv failed: %v", err))
+		o.Absent = true
+		return o
 	}
 	if got {
 		out, perr := d.decodeOutput(wire)
@@ -343,7 +562,65 @@ func (d *Driver) RunCase(c *Case) (*Outcome, error) {
 	}
 
 	d.check(o)
-	return o, nil
+	return o
+}
+
+// recvMatching reads captures until one carries the wanted payload ID or
+// the window closes. Captures with other IDs are requeued for whoever
+// awaits them; captures with no identifiable ID are delivered to the
+// in-flight case (the checker decides what they mean).
+func (d *Driver) recvMatching(ctx context.Context, id uint64) ([]byte, bool, error) {
+	if w, ok := d.pending[id]; ok {
+		delete(d.pending, id)
+		return w, true, nil
+	}
+	deadline := time.Now().Add(d.RecvTimeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false, nil
+		}
+		wire, got, err := d.Link.Recv(remaining)
+		if err != nil {
+			return nil, false, err
+		}
+		if !got {
+			return nil, false, nil
+		}
+		got2, ok2 := wireID(wire)
+		if !ok2 || got2 == id {
+			return wire, true, nil
+		}
+		if len(d.pending) < maxPending {
+			if _, dup := d.pending[got2]; !dup {
+				d.pending[got2] = wire
+			}
+		}
+	}
+}
+
+// flushPending clears the requeue buffer.
+func (d *Driver) flushPending() {
+	for k := range d.pending {
+		delete(d.pending, k)
+	}
+}
+
+// wireID extracts the payload ID from a raw capture without a full parse:
+// Marshal appends the payload last, so a well-formed test capture ends in
+// the 12-byte magic+ID trailer.
+func wireID(wire []byte) (uint64, bool) {
+	if len(wire) < 12 {
+		return 0, false
+	}
+	tail := wire[len(wire)-12:]
+	if binary.BigEndian.Uint32(tail[:4]) != packet.Magic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(tail[4:12]), true
 }
 
 // decodeOutput re-parses a captured packet using the entry parser of the

@@ -92,12 +92,47 @@ func (l *Loopback) Close() error { return nil }
 // [1-byte entry index | wire packet]; outputs are sent back to the
 // sender's address. It emulates attaching the test harness to switch
 // front-panel ports.
+//
+// The switch is hardened against a hostile harness: a per-packet panic in
+// the target is recovered and counted as a crash rather than killing the
+// serve loop, transient socket errors are counted and served through, and
+// concurrent packet handling is bounded by a fixed worker pool with an
+// overload queue that sheds excess load (counted as drops, like real
+// hardware back-pressure). Close drains queued packets before releasing
+// the socket.
 type UDPSwitch struct {
 	target *switchsim.Target
 	conn   *net.UDPConn
-	wg     sync.WaitGroup
-	closed chan struct{}
+	// readerWG tracks the socket reader; workerWG the handler pool.
+	readerWG sync.WaitGroup
+	workerWG sync.WaitGroup
+	work     chan datagram
+	closed   chan struct{}
+	once     sync.Once
+	closeErr error
+
+	// injectMu serializes target execution: the simulated pipeline holds
+	// persistent register state and is not reentrant.
+	injectMu sync.Mutex
+
+	mu      sync.Mutex
+	crashes uint64
+	dropped uint64
+	errs    uint64
 }
+
+type datagram struct {
+	entry int
+	wire  []byte
+	peer  *net.UDPAddr
+}
+
+// udpWorkers bounds concurrent packet handling; udpBacklog bounds queued
+// datagrams beyond which the switch sheds load.
+const (
+	udpWorkers = 4
+	udpBacklog = 256
+)
 
 // ServeUDP starts a UDP switch on addr (e.g. "127.0.0.1:0") and returns
 // it; Addr reports the bound address.
@@ -110,17 +145,64 @@ func ServeUDP(target *switchsim.Target, addr string) (*UDPSwitch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver: listen: %w", err)
 	}
-	s := &UDPSwitch{target: target, conn: conn, closed: make(chan struct{})}
-	s.wg.Add(1)
-	go s.serve()
+	s := &UDPSwitch{
+		target: target,
+		conn:   conn,
+		work:   make(chan datagram, udpBacklog),
+		closed: make(chan struct{}),
+	}
+	s.readerWG.Add(1)
+	go s.read()
+	for i := 0; i < udpWorkers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for d := range s.work {
+				s.handle(d)
+			}
+		}()
+	}
 	return s, nil
 }
 
 // Addr returns the switch's bound UDP address.
 func (s *UDPSwitch) Addr() string { return s.conn.LocalAddr().String() }
 
-func (s *UDPSwitch) serve() {
-	defer s.wg.Done()
+// Crashes counts packets whose processing panicked in the target.
+func (s *UDPSwitch) Crashes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes
+}
+
+// Dropped counts packets that produced no reply: data-plane drops,
+// malformed datagrams, and load shed by the bounded queue.
+func (s *UDPSwitch) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Errors counts inject, marshal, read and write errors absorbed while
+// serving.
+func (s *UDPSwitch) Errors() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errs
+}
+
+func (s *UDPSwitch) count(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+// read pulls datagrams off the socket into the bounded work queue. It
+// never exits on a transient error — only on Close (or the socket dying
+// underneath it), after which it closes the queue so workers drain.
+func (s *UDPSwitch) read() {
+	defer s.readerWG.Done()
+	defer close(s.work)
 	buf := make([]byte, 65536)
 	for {
 		n, peer, err := s.conn.ReadFromUDP(buf)
@@ -130,37 +212,82 @@ func (s *UDPSwitch) serve() {
 				return
 			default:
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
-			return
+			// Transient socket error: count it and keep serving.
+			s.count(&s.errs)
+			continue
 		}
 		if n < 1 {
+			s.count(&s.dropped)
 			continue
 		}
-		entry := int(buf[0])
-		wire := append([]byte(nil), buf[1:n]...)
-		res, err := s.target.Inject(entry, wire)
-		if err != nil || res.Output == nil {
-			continue // dropped: nothing comes back, like real hardware
-		}
-		data, err := res.Output.Marshal(s.target.Program())
-		if err != nil {
-			continue
-		}
-		if _, err := s.conn.WriteToUDP(data, peer); err != nil {
-			continue
+		d := datagram{entry: int(buf[0]), wire: append([]byte(nil), buf[1:n]...), peer: peer}
+		select {
+		case s.work <- d:
+		default:
+			// Queue full: shed load like an oversubscribed ingress port.
+			s.count(&s.dropped)
 		}
 	}
 }
 
-// Close shuts the switch down.
+// handle processes one datagram: inject, marshal, reply. Target panics
+// are recovered (twice over: Inject recovers its own, and this guards the
+// worker against everything else) and counted as crashes.
+func (s *UDPSwitch) handle(d datagram) {
+	res, err := func() (res *switchsim.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("driver: packet handler panicked: %v", r)
+				s.count(&s.crashes)
+			}
+		}()
+		s.injectMu.Lock()
+		defer s.injectMu.Unlock()
+		return s.target.Inject(d.entry, d.wire)
+	}()
+	if err != nil {
+		var ce *switchsim.CrashError
+		if errors.As(err, &ce) {
+			s.count(&s.crashes)
+		} else {
+			s.count(&s.errs)
+		}
+		return
+	}
+	if res.Output == nil {
+		s.count(&s.dropped) // dropped: nothing comes back, like real hardware
+		return
+	}
+	data, err := res.Output.Marshal(s.target.Program())
+	if err != nil {
+		s.count(&s.errs)
+		return
+	}
+	if _, err := s.conn.WriteToUDP(data, d.peer); err != nil {
+		s.count(&s.errs)
+	}
+}
+
+// Close shuts the switch down gracefully: it stops the reader, lets the
+// workers drain every queued packet (replies still flush over the open
+// socket), then releases the socket. Safe to call more than once.
 func (s *UDPSwitch) Close() error {
-	close(s.closed)
-	err := s.conn.Close()
-	s.wg.Wait()
-	return err
+	s.once.Do(func() {
+		close(s.closed)
+		// Unblock the reader without tearing the socket down yet.
+		s.conn.SetReadDeadline(time.Now())
+		s.readerWG.Wait()
+		s.workerWG.Wait()
+		s.closeErr = s.conn.Close()
+	})
+	return s.closeErr
 }
 
 // UDPLink is the driver side of a UDP transport.

@@ -1,0 +1,451 @@
+package driver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/hashfn"
+	"repro/internal/p4"
+	"repro/internal/rules"
+	"repro/internal/switchsim"
+	"repro/internal/sym"
+)
+
+// --- stub links for deterministic retry/demux tests ---
+
+// preloadLink serves scripted captures before delegating to the inner
+// link — it simulates late traffic from a previous case arriving first.
+type preloadLink struct {
+	Link
+	pre [][]byte
+}
+
+func (p *preloadLink) Recv(timeout time.Duration) ([]byte, bool, error) {
+	if len(p.pre) > 0 {
+		w := p.pre[0]
+		p.pre = p.pre[1:]
+		return w, true, nil
+	}
+	return p.Link.Recv(timeout)
+}
+
+// dropFirstLink records every transmission and swallows the first N.
+type dropFirstLink struct {
+	Link
+	sent  [][]byte
+	drops int
+}
+
+func (l *dropFirstLink) Send(entry int, wire []byte) error {
+	l.sent = append(l.sent, append([]byte(nil), wire...))
+	if len(l.sent) <= l.drops {
+		return nil
+	}
+	return l.Link.Send(entry, wire)
+}
+
+// blackholeLink accepts everything and captures nothing.
+type blackholeLink struct{}
+
+func (blackholeLink) Send(int, []byte) error { return nil }
+func (blackholeLink) Recv(time.Duration) ([]byte, bool, error) {
+	return nil, false, nil
+}
+func (blackholeLink) Close() error { return nil }
+
+// forwardedCase concretizes the first template whose path forwards (the
+// prediction expects a capture).
+func forwardedCase(t *testing.T, d *Driver, templates []*sym.Template) (*sym.Template, *Case) {
+	t.Helper()
+	for _, tm := range templates {
+		c, err := d.Concretize(tm, d.allocID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.SkipReason == "" && c.Expected != nil {
+			return tm, c
+		}
+	}
+	t.Fatal("no forwarded template in suite")
+	return nil, nil
+}
+
+// TestDemuxRequeuesInterleavedOutputs is the regression test for the
+// wrong-ID capture bug: a late output from another case arriving first
+// must be requeued, not charged to the in-flight case. Before the demux
+// fix this produced a false "wrong ID" failure on the first attempt.
+func TestDemuxRequeuesInterleavedOutputs(t *testing.T) {
+	prog, _, templates, d := setup(t, nil)
+	tm, caseA := forwardedCase(t, d, templates)
+
+	// Fabricate the other case's late output: same template, different ID.
+	caseB, err := d.Concretize(tm, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleWire, err := caseB.Expected.Marshal(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.Link = &preloadLink{Link: d.Link, pre: [][]byte{staleWire}}
+	o, err := d.RunCase(caseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Pass || o.Verdict != VerdictPass {
+		t.Fatalf("interleaved stale output broke the case: verdict %s, mismatches %v",
+			o.Verdict, o.Mismatches)
+	}
+	if o.Attempts != 1 {
+		t.Errorf("demux should absorb the stale capture without retrying (attempts = %d)", o.Attempts)
+	}
+	// The stale capture was requeued under its own ID, not discarded...
+	if _, ok := d.pending[9999]; ok {
+		t.Error("requeue buffer must be flushed at case end")
+	}
+}
+
+// TestRetryAssignsFreshIDs: a dropped first transmission is retransmitted
+// with a fresh payload ID and the case converges to Flaky — link noise,
+// not a data-plane bug.
+func TestRetryAssignsFreshIDs(t *testing.T) {
+	_, _, templates, d := setup(t, nil)
+	tm, _ := forwardedCase(t, d, templates)
+	fl := &dropFirstLink{Link: d.Link, drops: 1}
+	d.Link = fl
+	d.Backoff = time.Millisecond
+
+	c, err := d.Concretize(tm, d.allocID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := d.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Verdict != VerdictFlaky || !o.Pass {
+		t.Fatalf("verdict = %s (pass=%v), want flaky", o.Verdict, o.Pass)
+	}
+	if o.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", o.Attempts)
+	}
+	if len(fl.sent) != 2 {
+		t.Fatalf("transmissions = %d, want 2", len(fl.sent))
+	}
+	id0, ok0 := wireID(fl.sent[0])
+	id1, ok1 := wireID(fl.sent[1])
+	if !ok0 || !ok1 || id0 == id1 {
+		t.Errorf("retransmission reused payload ID: %d vs %d", id0, id1)
+	}
+}
+
+// TestLostVerdict: a link that never delivers exhausts its retries and
+// reports Lost — explicitly ambiguous, never a silent Fail.
+func TestLostVerdict(t *testing.T) {
+	_, _, templates, d := setup(t, nil)
+	tm, _ := forwardedCase(t, d, templates)
+	d.Link = blackholeLink{}
+	d.Retries = 2
+	d.Backoff = time.Millisecond
+	d.RecvTimeout = 5 * time.Millisecond
+
+	c, err := d.Concretize(tm, d.allocID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := d.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Verdict != VerdictLost || o.Pass {
+		t.Fatalf("verdict = %s, want lost", o.Verdict)
+	}
+	if o.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", o.Attempts)
+	}
+}
+
+// TestPersistentFailureStaysFail: a deterministic target fault must fail
+// on every attempt and keep the Fail verdict — retries never launder a
+// real data-plane bug into Flaky.
+func TestPersistentFailureStaysFail(t *testing.T) {
+	_, _, templates, d := setup(t, switchsim.Faults{switchsim.ChecksumSkip{Header: "ipv4"}})
+	d.Backoff = time.Millisecond
+	rep, err := d.RunTemplates(templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 {
+		t.Fatal("fault undetected")
+	}
+	if rep.Flaky != 0 || rep.Lost != 0 {
+		t.Errorf("deterministic fault misclassified: %d flaky, %d lost", rep.Flaky, rep.Lost)
+	}
+	for _, o := range rep.Failures() {
+		if o.Verdict != VerdictFail {
+			t.Errorf("case %d verdict = %s, want fail", o.Case.ID, o.Verdict)
+		}
+		if o.Attempts != d.Retries+1 {
+			t.Errorf("case %d gave up after %d attempts, want %d", o.Case.ID, o.Attempts, d.Retries+1)
+		}
+	}
+}
+
+// TestSkippedCasesRecorded: a hash post-validation conflict must land in
+// Report.Skips with its reason, not vanish into a bare counter.
+func TestSkippedCasesRecorded(t *testing.T) {
+	_, _, _, d := setup(t, nil)
+	v := p4.HeaderFieldVar("ipv4", "checksum")
+	computed := expr.Width(16).Trunc(hashfn.Checksum([]uint64{5}, []expr.Width{16}))
+	tm := &sym.Template{
+		Model: expr.State{v: expr.Width(16).Trunc(computed + 1)},
+		HashObligations: []sym.HashObligation{{
+			Var:    v,
+			Kind:   cfg.Checksum,
+			Inputs: []expr.Arith{expr.C(5, 16)},
+			Width:  16,
+		}},
+	}
+	rep, err := d.RunTemplates([]*sym.Template{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 1 || len(rep.Skips) != 1 {
+		t.Fatalf("skipped = %d, skips = %d, want 1/1", rep.Skipped, len(rep.Skips))
+	}
+	if rep.Skips[0].SkipReason == "" {
+		t.Error("skip recorded without a reason")
+	}
+}
+
+// TestSummaryIncludesResilienceCounters.
+func TestSummaryIncludesResilienceCounters(t *testing.T) {
+	r := &Report{Program: "x", Passed: 2, Failed: 1, Skipped: 3, Flaky: 4, Lost: 5, Retransmissions: 6}
+	s := r.Summary()
+	for _, want := range []string{"2 passed", "1 failed", "3 skipped", "4 flaky", "5 lost", "6 retransmissions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	// Clean runs keep the legacy one-liner.
+	clean := (&Report{Program: "x", Passed: 2}).Summary()
+	if strings.Contains(clean, "flaky") {
+		t.Errorf("clean summary %q should omit resilience counters", clean)
+	}
+}
+
+// TestOversizedDatagramIsAttemptFailure: a wire too large for the UDP
+// transport must fail the attempt (and the case), not abort the run.
+func TestOversizedDatagramIsAttemptFailure(t *testing.T) {
+	prog := p4.MustParse(driverProg)
+	rs := rules.MustParse("table host {\n ipv4.dstAddr=10.0.0.1 -> fwd(3);\n}")
+	target, _ := switchsim.Compile(prog, rs, nil)
+	sw, err := ServeUDP(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	link, err := DialUDP(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	g, err := cfg.Build(prog, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sym.Explore(sym.Config{Graph: g, Options: sym.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(prog, g, link, nil)
+	d.Retries = 0
+	d.RecvTimeout = 20 * time.Millisecond
+
+	tm, c := forwardedCase(t, d, res.Templates)
+	c.Wire = make([]byte, 70000) // exceeds the maximum UDP datagram
+	o, err := d.RunCase(c)
+	if err != nil {
+		t.Fatalf("oversized datagram aborted the run: %v", err)
+	}
+	if o.Pass {
+		t.Fatal("oversized datagram cannot pass")
+	}
+
+	// The suite continues: a normal-sized case still round-trips.
+	d.Retries = 2
+	c2, err := d.Concretize(tm, d.allocID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := d.RunCase(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o2.Pass {
+		t.Errorf("normal case after oversized failure: verdict %s, %v", o2.Verdict, o2.Mismatches)
+	}
+}
+
+// TestUDPSwitchSurvivesGarbage: empty, malformed and out-of-range
+// datagrams are counted and served through, never fatal.
+func TestUDPSwitchSurvivesGarbage(t *testing.T) {
+	prog := p4.MustParse(driverProg)
+	rs := rules.MustParse("table host {\n ipv4.dstAddr=10.0.0.1 -> fwd(3);\n}")
+	target, _ := switchsim.Compile(prog, rs, nil)
+	sw, err := ServeUDP(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+
+	raw, err := net.Dial("udp", sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.Write([]byte{})                       // empty datagram
+	raw.Write([]byte{255, 1, 2, 3})           // entry 255 out of range
+	raw.Write(append([]byte{0}, make([]byte, 400)...)) // parser garbage
+
+	// The switch still serves real traffic afterwards.
+	link, err := DialUDP(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	g, _ := cfg.Build(prog, rs)
+	res, _ := sym.Explore(sym.Config{Graph: g, Options: sym.DefaultOptions()})
+	d := New(prog, g, link, nil)
+	d.RecvTimeout = 100 * time.Millisecond
+	_, c := forwardedCase(t, d, res.Templates)
+	o, err := d.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Pass {
+		t.Fatalf("switch unhealthy after garbage: verdict %s, %v", o.Verdict, o.Mismatches)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Errors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sw.Errors() == 0 {
+		t.Error("out-of-range entry not counted as an error")
+	}
+}
+
+// TestUDPSwitchAbsorbsMidSuitePanic is the acceptance scenario: one case's
+// traffic panics the target on every attempt. The switch keeps serving,
+// the affected case reports Lost (the crash is visible in the switch's
+// crash counter), and the rest of the suite completes with its normal
+// verdicts.
+func TestUDPSwitchAbsorbsMidSuitePanic(t *testing.T) {
+	prog := p4.MustParse(driverProg)
+	rs := rules.MustParse("table host {\n ipv4.dstAddr=10.0.0.1 -> fwd(3);\n}")
+	// The forwarded case's traffic (dstAddr 10.0.0.1) crashes the target.
+	target, err := switchsim.Compile(prog, rs, switchsim.Faults{
+		switchsim.CrashWhen{Header: "ipv4", Field: "dstAddr", Value: 0x0A000001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ServeUDP(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	link, err := DialUDP(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	g, err := cfg.Build(prog, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sym.Explore(sym.Config{Graph: g, Options: sym.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(prog, g, link, nil)
+	d.Retries = 2
+	d.Backoff = time.Millisecond
+	d.RecvTimeout = 50 * time.Millisecond
+	rep, err := d.RunTemplates(res.Templates)
+	if err != nil {
+		t.Fatalf("suite aborted by target panic: %v", err)
+	}
+	if rep.Lost != 1 {
+		t.Errorf("lost = %d, want exactly the crashing case", rep.Lost)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d; a target crash must not masquerade as a data-plane failure", rep.Failed)
+	}
+	if rep.Passed != len(rep.Outcomes)-1 {
+		t.Errorf("remaining suite incomplete: %d passed of %d", rep.Passed, len(rep.Outcomes))
+	}
+	if sw.Crashes() == 0 {
+		t.Error("switch did not count the target crashes")
+	}
+}
+
+// TestLoopbackCrashReportsTargetCrash: over a loopback link the crash is
+// directly observable — the case fails with crash evidence, and the rest
+// of the suite still runs.
+func TestLoopbackCrashReportsTargetCrash(t *testing.T) {
+	_, _, templates, d := setup(t, switchsim.Faults{
+		switchsim.CrashWhen{Header: "ipv4", Field: "dstAddr", Value: 0x0A000001},
+	})
+	d.Backoff = time.Millisecond
+	rep, err := d.RunTemplates(templates)
+	if err != nil {
+		t.Fatalf("suite aborted by target panic: %v", err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want exactly the crashing case", rep.Failed)
+	}
+	o := rep.Failures()[0]
+	if !o.Crashed {
+		t.Error("outcome does not carry the crash flag")
+	}
+	found := false
+	for _, m := range o.Mismatches {
+		if strings.Contains(m, "target crashed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("crash not reported in mismatches: %v", o.Mismatches)
+	}
+	if rep.Passed == 0 {
+		t.Error("remaining suite did not complete")
+	}
+}
+
+// TestTransientCrashBecomesFlaky: a one-shot panic on the very first
+// packet is absorbed by the retry engine — the case passes on the clean
+// retransmit and is reported Flaky with crash evidence.
+func TestTransientCrashBecomesFlaky(t *testing.T) {
+	_, _, templates, d := setup(t, switchsim.Faults{switchsim.CrashOnPacket{N: 1}})
+	d.Backoff = time.Millisecond
+	rep, err := d.RunTemplates(templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flaky != 1 || rep.Failed != 0 || rep.Lost != 0 {
+		t.Fatalf("flaky/failed/lost = %d/%d/%d, want 1/0/0", rep.Flaky, rep.Failed, rep.Lost)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Verdict == VerdictFlaky && !o.Crashed {
+			t.Error("flaky outcome lost its crash evidence")
+		}
+	}
+}

@@ -107,6 +107,34 @@ func (f TableMissDefault) Describe() string {
 	return fmt.Sprintf("driver bug: rules for table %s not installed", f.Table)
 }
 
+// CrashOnPacket makes the target panic while processing its N-th injected
+// packet (1-based), once — a transient pipeline lockup the harness must
+// absorb without killing the serving goroutine.
+type CrashOnPacket struct{ N uint64 }
+
+func (CrashOnPacket) fault() {}
+
+// Describe names the fault.
+func (f CrashOnPacket) Describe() string {
+	return fmt.Sprintf("target crashes while processing packet %d", f.N)
+}
+
+// CrashWhen makes the target panic on every packet whose parsed
+// Header.Field equals Value — a persistent per-packet crash tied to
+// specific traffic, so one test case crashes deterministically while the
+// rest of the suite is unaffected.
+type CrashWhen struct {
+	Header, Field string
+	Value         uint64
+}
+
+func (CrashWhen) fault() {}
+
+// Describe names the fault.
+func (f CrashWhen) Describe() string {
+	return fmt.Sprintf("target crashes when %s.%s == %d", f.Header, f.Field, f.Value)
+}
+
 // Faults is a set of injected defects.
 type Faults []Fault
 
@@ -177,6 +205,25 @@ func (fs Faults) extractNoValidity(header string) bool {
 		}
 	}
 	return false
+}
+
+func (fs Faults) crashOnPacket(n uint64) bool {
+	for _, f := range fs {
+		if t, ok := f.(CrashOnPacket); ok && t.N == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (fs Faults) crashWhen() []CrashWhen {
+	var out []CrashWhen
+	for _, f := range fs {
+		if t, ok := f.(CrashWhen); ok {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 func (fs Faults) tableMissDefault(table string) bool {

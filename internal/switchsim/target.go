@@ -22,7 +22,18 @@ type Target struct {
 	regs map[expr.Var]uint64
 	// order caches the pipeline names reachable from each entry.
 	entries []string
+	// injects counts processed packets (for CrashOnPacket).
+	injects uint64
 }
+
+// CrashError reports that the target panicked while processing a packet —
+// the software analogue of a switch pipeline lockup on one datagram.
+// Inject recovers such panics and returns them as errors so a serving
+// harness counts a crashed packet instead of dying with the target.
+type CrashError struct{ Panic string }
+
+// Error implements error.
+func (e *CrashError) Error() string { return "switchsim: target crashed: " + e.Panic }
 
 // Compile builds a target from a program, rule set and injected faults.
 // A nil rule set means empty tables (defaults only).
@@ -85,9 +96,21 @@ func (e *exec) tracef(format string, args ...any) {
 
 // Inject processes a wire packet through the data plane starting at entry
 // pipeline entryIdx, following traffic manager edges until exit or drop.
-func (t *Target) Inject(entryIdx int, wire []byte) (*Result, error) {
+// A panic during processing (real bug or injected CrashOnPacket/CrashWhen
+// fault) is recovered and returned as a *CrashError: one packet crashing
+// the pipeline must not take the whole target down.
+func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &CrashError{Panic: fmt.Sprint(r)}
+		}
+	}()
 	if entryIdx < 0 || entryIdx >= len(t.entries) {
 		return nil, fmt.Errorf("switchsim: entry %d out of range [0,%d)", entryIdx, len(t.entries))
+	}
+	t.injects++
+	if t.faults.crashOnPacket(t.injects) {
+		panic(fmt.Sprintf("injected crash on packet %d", t.injects))
 	}
 	e := &exec{t: t, st: expr.State{}}
 	// Zero-initialize metadata and validity, matching P4 semantics.
@@ -103,7 +126,7 @@ func (t *Target) Inject(entryIdx int, wire []byte) (*Result, error) {
 	e.st[p4.DropVar] = 0
 
 	cur := t.entries[entryIdx]
-	res := &Result{}
+	res = &Result{}
 
 	// Parse once at injection using the entry pipeline's parser.
 	entryPl := t.prog.Pipeline(cur)
@@ -120,6 +143,12 @@ func (t *Target) Inject(entryIdx int, wire []byte) (*Result, error) {
 		payload = pkt.Payload
 	} else {
 		payload = wire
+	}
+
+	for _, cw := range t.faults.crashWhen() {
+		if e.st[p4.ValidVar(cw.Header)] == 1 && e.st[p4.HeaderFieldVar(cw.Header, cw.Field)] == cw.Value {
+			panic(fmt.Sprintf("injected crash: %s.%s == %d", cw.Header, cw.Field, cw.Value))
+		}
 	}
 
 	for hop := 0; hop < 64; hop++ {

@@ -1,6 +1,7 @@
 package switchsim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -341,5 +342,55 @@ func TestTableMissDefaultFault(t *testing.T) {
 	res, _ := target.Inject(0, mkWire(t, prog, 0x0A000001, 64, 1))
 	if !res.Dropped {
 		t.Error("uninstalled rules must fall through to the default action")
+	}
+}
+
+func TestInjectRecoversCrashWhen(t *testing.T) {
+	prog := p4.MustParse(fwdProg)
+	target, err := Compile(prog, fwdRules(), Faults{CrashWhen{Header: "ipv4", Field: "dstAddr", Value: 0x0A000001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The matching packet crashes the pipeline — recovered, not a panic.
+	_, err = target.Inject(0, mkWire(t, prog, 0x0A000001, 64, 1))
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	// The target keeps working for other traffic afterwards.
+	res, err := target.Inject(0, mkWire(t, prog, 0x0A000002, 64, 2))
+	if err != nil {
+		t.Fatalf("target dead after recovered crash: %v", err)
+	}
+	if !res.Dropped {
+		t.Error("miss traffic should still hit the default deny")
+	}
+}
+
+func TestCrashOnPacketIsOneShot(t *testing.T) {
+	prog := p4.MustParse(fwdProg)
+	target, err := Compile(prog, fwdRules(), Faults{CrashOnPacket{N: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Inject(0, mkWire(t, prog, 0x0A000001, 64, 1)); err != nil {
+		t.Fatalf("packet 1: %v", err)
+	}
+	_, err = target.Inject(0, mkWire(t, prog, 0x0A000001, 64, 2))
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("packet 2: want *CrashError, got %v", err)
+	}
+	if _, err := target.Inject(0, mkWire(t, prog, 0x0A000001, 64, 3)); err != nil {
+		t.Fatalf("packet 3: %v", err)
+	}
+}
+
+func TestCrashFaultDescriptions(t *testing.T) {
+	fs := Faults{CrashOnPacket{N: 3}, CrashWhen{Header: "ipv4", Field: "ttl", Value: 7}}
+	for i, d := range fs.Describe() {
+		if d == "" {
+			t.Errorf("fault %d has empty description", i)
+		}
 	}
 }

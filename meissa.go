@@ -260,11 +260,17 @@ func (s *System) commonAssumes() ([]expr.Bool, error) {
 	return out, nil
 }
 
+// NewDriver builds the system's test driver over a link, for callers
+// that tune resilience knobs (Retries, CaseTimeout, RecvTimeout, Backoff)
+// before running the suite.
+func (s *System) NewDriver(link driver.Link, gen *GenResult) *driver.Driver {
+	return driver.New(s.Prog, gen.Graph, link, s.Specs)
+}
+
 // Test runs the generated templates against a target over the link and
 // returns the report.
 func (s *System) Test(link driver.Link, gen *GenResult) (*driver.Report, error) {
-	d := driver.New(s.Prog, gen.Graph, link, s.Specs)
-	return d.RunTemplates(gen.Templates)
+	return s.NewDriver(link, gen).RunTemplates(gen.Templates)
 }
 
 // TestTarget compiles nothing — it wires a loopback link to the given
