@@ -1,0 +1,310 @@
+package meissa_test
+
+// Crash-safety acceptance tests for checkpoint/resume (the journal), the
+// per-path panic isolation, and the solver-budget degradation — at the
+// whole-system level, over real corpus programs.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	meissa "repro"
+	"repro/internal/cfg"
+	"repro/internal/programs"
+	"repro/internal/sym"
+)
+
+// renderSansID renders one template with its (position-dependent) ID
+// stripped, for comparisons across runs where a skipped path shifts the
+// numbering of everything after it.
+func renderSansID(tm *sym.Template) string {
+	r := renderTemplates([]*sym.Template{tm})
+	if i := strings.IndexByte(r, ' '); i >= 0 {
+		return r[i:]
+	}
+	return r
+}
+
+func corpusProgram(t *testing.T, name string) *programs.Program {
+	t.Helper()
+	for _, p := range programs.All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("corpus program %q not found", name)
+	return nil
+}
+
+// generateCheckpoint runs one generation with the given checkpoint
+// configuration, sequential mode (deterministic solver-call counters).
+func generateCheckpoint(t *testing.T, p *programs.Program, journal string, resume bool) *meissa.GenResult {
+	t.Helper()
+	opts := meissa.DefaultOptions()
+	opts.Parallelism = 1
+	opts.Checkpoint = journal
+	opts.Resume = resume
+	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestCheckpointKillHelper is the subprocess body of the SIGKILL test:
+// it runs a checkpointed generation slowed by an emulated per-check
+// solver overhead (which does not enter the journal fingerprint — it
+// changes no verdict) so the parent can kill it mid-exploration.
+func TestCheckpointKillHelper(t *testing.T) {
+	if os.Getenv("MEISSA_CHECKPOINT_HELPER") != "1" {
+		t.Skip("subprocess helper")
+	}
+	p := corpusProgram(t, os.Getenv("MEISSA_HELPER_CORPUS"))
+	opts := meissa.DefaultOptions()
+	opts.Parallelism = 1
+	opts.Checkpoint = os.Getenv("MEISSA_HELPER_JOURNAL")
+	opts.SolverOverhead = 2 * time.Millisecond
+	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Generate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillResumeByteIdentical is the headline acceptance test: start a
+// checkpointed generation in a subprocess, SIGKILL it mid-run, resume
+// from the surviving journal, and require (a) test-case output
+// byte-identical to an uninterrupted run and (b) no journaled path
+// re-solved — every solver interaction is either a journal hit or a
+// fresh call, never both, so hits + calls must equal the clean run's
+// calls exactly.
+func TestKillResumeByteIdentical(t *testing.T) {
+	for _, name := range []string{"Router", "gw-1"} {
+		t.Run(name, func(t *testing.T) {
+			p := corpusProgram(t, name)
+			jpath := filepath.Join(t.TempDir(), "journal.bin")
+
+			cmd := exec.Command(os.Args[0], "-test.run=TestCheckpointKillHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"MEISSA_CHECKPOINT_HELPER=1",
+				"MEISSA_HELPER_CORPUS="+name,
+				"MEISSA_HELPER_JOURNAL="+jpath,
+			)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// Kill as soon as the journal holds a few records beyond the
+			// header — mid-exploration, with most of the run still ahead.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if st, err := os.Stat(jpath); err == nil && st.Size() > 200 {
+					break
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatal("journal never grew; helper did not start exploring")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			cmd.Wait() // reap; the kill error state is expected
+
+			clean := generateCheckpoint(t, p, "", false)
+			resumed := generateCheckpoint(t, p, jpath, true)
+
+			if got, want := renderTemplates(resumed.Templates), renderTemplates(clean.Templates); got != want {
+				t.Fatalf("resumed output differs from clean run (%d vs %d templates)",
+					len(resumed.Templates), len(clean.Templates))
+			}
+			if resumed.JournalHits == 0 {
+				t.Error("resume answered nothing from the journal despite surviving records")
+			}
+			if resumed.SMTCalls+resumed.JournalHits != clean.SMTCalls {
+				t.Errorf("journaled paths were re-solved: resumed calls %d + hits %d != clean calls %d",
+					resumed.SMTCalls, resumed.JournalHits, clean.SMTCalls)
+			}
+			if resumed.SMTCalls >= clean.SMTCalls {
+				t.Errorf("resume saved no solver work: %d calls vs clean %d",
+					resumed.SMTCalls, clean.SMTCalls)
+			}
+		})
+	}
+}
+
+// TestTruncatedJournalResume simulates the torn-write crash
+// deterministically: write a complete journal, chop it mid-record, and
+// resume. The loader must fall back to the last intact record boundary
+// and the resumed run must still be byte-identical.
+func TestTruncatedJournalResume(t *testing.T) {
+	for _, name := range []string{"Router", "gw-1"} {
+		t.Run(name, func(t *testing.T) {
+			p := corpusProgram(t, name)
+			jpath := filepath.Join(t.TempDir(), "journal.bin")
+
+			clean := generateCheckpoint(t, p, jpath, false)
+			want := renderTemplates(clean.Templates)
+
+			data, err := os.ReadFile(jpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 60% of the file, an arbitrary offset almost surely inside a
+			// record — exactly what a crash mid-write leaves behind.
+			if err := os.WriteFile(jpath, data[:len(data)*6/10], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed := generateCheckpoint(t, p, jpath, true)
+			if got := renderTemplates(resumed.Templates); got != want {
+				t.Fatalf("resume from truncated journal diverged (%d vs %d templates)",
+					len(resumed.Templates), len(clean.Templates))
+			}
+			if resumed.JournalHits == 0 {
+				t.Error("no journal hits after truncation to 60%")
+			}
+			if resumed.SMTCalls+resumed.JournalHits != clean.SMTCalls {
+				t.Errorf("resumed calls %d + hits %d != clean calls %d",
+					resumed.SMTCalls, resumed.JournalHits, clean.SMTCalls)
+			}
+		})
+	}
+}
+
+// TestResumeFingerprintMismatch: a journal written under verdict-
+// affecting options must refuse to resume a run with different ones —
+// silently mixing them would corrupt verdicts.
+func TestResumeFingerprintMismatch(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	jpath := filepath.Join(t.TempDir(), "journal.bin")
+	generateCheckpoint(t, p, jpath, false)
+
+	opts := meissa.DefaultOptions()
+	opts.Parallelism = 1
+	opts.Checkpoint = jpath
+	opts.Resume = true
+	opts.EarlyTermination = false // changes which queries are posed and journal keys' meaning
+	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Generate(); err == nil {
+		t.Fatal("resume with mismatched options succeeded; want fingerprint error")
+	}
+}
+
+// TestSystemPanicIsolationRouter injects a per-path panic through the
+// public Options.PathHook on the Router corpus and requires generation
+// to complete with the panicking path recorded and every other verdict
+// identical — in sequential and parallel mode.
+func TestSystemPanicIsolationRouter(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	base := meissa.DefaultOptions()
+	base.CodeSummary = false // 1:1 path-to-template for exact comparison
+	base.Parallelism = 1
+	sysClean, err := meissa.New(p.Prog, p.Rules, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := sysClean.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Templates) < 3 {
+		t.Fatalf("Router produced only %d templates", len(clean.Templates))
+	}
+	victim := fmt.Sprint(clean.Templates[1].Path)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := base
+			opts.Parallelism = workers
+			opts.PathHook = func(path []cfg.NodeID) {
+				if fmt.Sprint(path) == victim {
+					panic("injected corpus fault")
+				}
+			}
+			sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := sys.Generate()
+			if err != nil {
+				t.Fatalf("generation did not survive the injected panic: %v", err)
+			}
+			if gen.Recovered != 1 {
+				t.Fatalf("Recovered = %d, want 1", gen.Recovered)
+			}
+			if len(gen.PathErrors) != 1 || fmt.Sprint(gen.PathErrors[0].Path) != victim {
+				t.Fatalf("PathErrors = %v, want exactly the victim path", gen.PathErrors)
+			}
+			if len(gen.Templates) != len(clean.Templates)-1 {
+				t.Fatalf("templates = %d, want %d", len(gen.Templates), len(clean.Templates)-1)
+			}
+			// Every surviving verdict identical to the clean run's.
+			byPath := map[string]string{}
+			for _, tm := range clean.Templates {
+				byPath[fmt.Sprint(tm.Path)] = renderSansID(tm)
+			}
+			for _, tm := range gen.Templates {
+				k := fmt.Sprint(tm.Path)
+				if k == victim {
+					t.Fatalf("panicked path still produced a template")
+				}
+				if byPath[k] != renderSansID(tm) {
+					t.Errorf("path %s verdict diverged after recovery", k)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetSupersetRouter: acceptance for graceful degradation — a
+// budget-limited run keeps a superset of the unlimited run's paths on a
+// real corpus program.
+func TestBudgetSupersetRouter(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	run := func(budget int) *meissa.GenResult {
+		opts := meissa.DefaultOptions()
+		opts.Parallelism = 1
+		opts.SolverSearchBudget = budget
+		sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := sys.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+	unlimited := run(0)
+	limited := run(1) // one backtracking step per query: nearly everything Unknown
+
+	kept := map[string]bool{}
+	for _, tm := range limited.Templates {
+		kept[fmt.Sprint(tm.Path)] = true
+	}
+	for _, tm := range unlimited.Templates {
+		if !kept[fmt.Sprint(tm.Path)] {
+			t.Errorf("unlimited-run path %v missing under budget", tm.Path)
+		}
+	}
+	if limited.SMTUnknowns == 0 || limited.SMTBudgetExhausted == 0 {
+		t.Errorf("budget run reported no unknowns (unknowns=%d budget=%d)",
+			limited.SMTUnknowns, limited.SMTBudgetExhausted)
+	}
+}

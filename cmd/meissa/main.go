@@ -14,19 +14,24 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	meissa "repro"
 	"repro/internal/driver"
+	"repro/internal/expr"
 	"repro/internal/p4"
 	"repro/internal/programs"
 	"repro/internal/rules"
 	"repro/internal/spec"
 	"repro/internal/switchsim"
+	"repro/internal/sym"
 )
 
 func main() {
@@ -57,6 +62,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v]
+              [-checkpoint FILE [-resume]] [-strict] [-solver-budget N] [-solver-timeout D]
+              [-o cases.txt]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
               [-udp] [-retries N] [-case-timeout D] [-recv-timeout D]
               [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
@@ -124,13 +131,27 @@ func cmdGen(args []string) error {
 	noSummary := fs.Bool("no-summary", false, "disable code summary (basic framework)")
 	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	verbose := fs.Bool("v", false, "print each template's constraints")
+	checkpoint := fs.String("checkpoint", "", "journal file making generation crash-safe")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint journal of an interrupted run")
+	strict := fs.Bool("strict", false, "fail fast on per-path panics instead of isolating them")
+	solverBudget := fs.Int("solver-budget", 0, "per-query solver backtracking-step budget (0 = default)")
+	solverTimeout := fs.Duration("solver-timeout", 0, "per-query solver wall-clock budget (0 = none)")
+	outPath := fs.String("o", "", "write generated test cases to this file (deterministic format)")
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
 		return err
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 	opts := meissa.DefaultOptions()
 	opts.CodeSummary = !*noSummary
 	opts.Parallelism = *parallel
+	opts.Checkpoint = *checkpoint
+	opts.Resume = *resume
+	opts.Strict = *strict
+	opts.SolverSearchBudget = *solverBudget
+	opts.SolverCheckTimeout = *solverTimeout
 	sys, err := meissa.New(prog, rs, specs, opts)
 	if err != nil {
 		return err
@@ -145,9 +166,40 @@ func cmdGen(args []string) error {
 		gen.PossiblePathsLog10Before, gen.PossiblePathsLog10After, gen.SMTCalls)
 	if gen.SummaryStats != nil {
 		for _, ps := range gen.SummaryStats.Pipelines {
-			fmt.Printf("  pipeline %-12s valid paths %5d, public pre-conditions %d\n",
+			fmt.Printf("  pipeline %-12s valid paths %5d, public pre-conditions %d",
 				ps.Name, ps.ValidPaths, ps.PublicConstraints)
+			if ps.Unknowns > 0 {
+				fmt.Printf(", unknown verdicts %d (%d budget-exhausted)", ps.Unknowns, ps.BudgetExhausted)
+			}
+			fmt.Println()
 		}
+	}
+	if gen.SMTUnknowns > 0 {
+		fmt.Printf("  unknown verdicts: %d (%d budget-exhausted); affected paths kept conservatively\n",
+			gen.SMTUnknowns, gen.SMTBudgetExhausted)
+	}
+	if gen.JournalHits > 0 {
+		fmt.Printf("  journal: %d solver interactions answered from checkpoint\n", gen.JournalHits)
+	}
+	if gen.Recovered > 0 {
+		fmt.Printf("  WARNING: %d path(s) panicked and were skipped:\n", gen.Recovered)
+		for _, pe := range gen.PathErrors {
+			fmt.Printf("    %v\n", pe)
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := writeTemplates(f, gen.Templates); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %d test cases to %s\n", len(gen.Templates), *outPath)
 	}
 	if *verbose {
 		for _, t := range gen.Templates {
@@ -158,6 +210,28 @@ func cmdGen(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeTemplates renders templates in a deterministic text format: runs
+// of the same program + rules + options produce byte-identical files, so
+// a resumed run can be diffed against an uninterrupted one.
+func writeTemplates(w io.Writer, ts []*sym.Template) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		fmt.Fprintf(bw, "#%d path=%v dropped=%v uncertain=%v\n", t.ID, t.Path, t.Dropped, t.Uncertain)
+		for _, c := range t.Constraints {
+			fmt.Fprintf(bw, "  cond %s\n", c)
+		}
+		vars := make([]string, 0, len(t.Model))
+		for v := range t.Model {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			fmt.Fprintf(bw, "  model %s=%d\n", v, t.Model[expr.Var(v)])
+		}
+	}
+	return bw.Flush()
 }
 
 // parseFaults parses -fault kind:arg[,kind:arg...].

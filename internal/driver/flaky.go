@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -58,7 +59,9 @@ func ParseLinkFaults(s string) (LinkFaults, error) {
 		switch key {
 		case "drop", "dup", "reorder", "corrupt":
 			p, err := strconv.ParseFloat(val, 64)
-			if err != nil || p < 0 || p > 1 {
+			// The negated comparison also rejects NaN, which compares
+			// false against both bounds.
+			if err != nil || !(p >= 0 && p <= 1) {
 				return f, fmt.Errorf("driver: link fault %s=%q wants a probability in [0,1]", key, val)
 			}
 			switch key {
@@ -115,6 +118,12 @@ type FaultyLink struct {
 	inner Link
 	cfg   LinkFaults
 
+	// closed is closed (once) by Close, cancelling any in-flight delay
+	// sleep so a delayed transmission never races the inner link's
+	// teardown (send-on-closed) and Close never waits out the delay.
+	closed    chan struct{}
+	closeOnce sync.Once
+
 	mu    sync.Mutex
 	rng   *rand.Rand
 	stats LinkStats
@@ -132,7 +141,12 @@ type sendReq struct {
 
 // NewFaultyLink wraps inner with the configured faults.
 func NewFaultyLink(inner Link, cfg LinkFaults) *FaultyLink {
-	return &FaultyLink{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FaultyLink{
+		inner:  inner,
+		cfg:    cfg,
+		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
 }
 
 // Stats returns the injected-fault counters so far.
@@ -179,8 +193,22 @@ func (l *FaultyLink) Send(entry int, wire []byte) error {
 func (l *FaultyLink) flushLocked(queue []sendReq) error {
 	for _, q := range queue {
 		if l.cfg.Delay > 0 {
-			time.Sleep(time.Duration(l.rng.Int63n(int64(l.cfg.Delay)) + 1))
-			l.stats.Delayed++
+			t := time.NewTimer(time.Duration(l.rng.Int63n(int64(l.cfg.Delay)) + 1))
+			select {
+			case <-t.C:
+				l.stats.Delayed++
+			case <-l.closed:
+				// Close cancelled the delay: the link is going away, so
+				// the rest of the queue is dropped, not delivered late
+				// into a torn-down inner link.
+				t.Stop()
+				return errLinkClosed
+			}
+		}
+		select {
+		case <-l.closed:
+			return errLinkClosed
+		default:
 		}
 		if err := l.inner.Send(q.entry, q.wire); err != nil {
 			return err
@@ -234,5 +262,16 @@ func (l *FaultyLink) Recv(timeout time.Duration) ([]byte, bool, error) {
 	}
 }
 
-// Close implements Link.
-func (l *FaultyLink) Close() error { return l.inner.Close() }
+// errLinkClosed reports a transmission abandoned because the link was
+// closed while it was delayed. Idempotent Close is part of the Link
+// contract, so the sentinel is internal: callers observe only the error.
+var errLinkClosed = errors.New("driver: faulty link closed")
+
+// Close implements Link. It first wakes any Send sleeping out a delay
+// fault (the sleeper aborts with an error instead of transmitting into
+// the closing inner link), then closes the inner link. Safe to call more
+// than once.
+func (l *FaultyLink) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return l.inner.Close()
+}

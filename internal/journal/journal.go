@@ -1,0 +1,296 @@
+// Package journal implements the crash-safe exploration checkpoint: an
+// append-only log of solver verdicts keyed by (salted) path-prefix
+// hashes. A run that journals every satisfiability verdict it derives can
+// be SIGKILLed at any instant and resumed: the resumed exploration walks
+// the same deterministic DFS, answers every already-journaled solver
+// interaction from the log (no re-solving), and re-derives byte-identical
+// templates for the completed prefix before continuing live where the
+// dead run stopped.
+//
+// Record framing is length-prefixed and checksummed:
+//
+//	[u32 LE payload length][payload][u32 LE CRC32(payload)]
+//
+// so a record torn by a mid-write kill is detected on load; the loader
+// keeps every intact record before the tear, discards the tail, and
+// truncates the file back to the last intact boundary before appending
+// resumes. The first record is a header carrying a magic string and the
+// caller's fingerprint (a digest of the program, rules and exploration
+// options); resuming against a journal written for different inputs is
+// an error rather than silent corruption.
+//
+// Concurrency: the lookup map is populated once at Open and never mutated
+// afterwards, so Lookup is lock-free and safe from any number of
+// exploration workers; Append serializes file writes behind a mutex.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two solver interactions a path exploration
+// journals.
+type Kind byte
+
+const (
+	// KindHeader is the file header record (internal).
+	KindHeader Kind = 0
+	// KindCheck is an early-termination satisfiability check at a path
+	// prefix (Algorithm 1's prune test).
+	KindCheck Kind = 1
+	// KindEmit is a leaf/stop-node emission verdict, optionally carrying
+	// the model extracted for the template.
+	KindEmit Kind = 2
+)
+
+// Verdict mirrors smt.Result without importing it (journal sits below the
+// solver in the dependency order).
+type Verdict byte
+
+// Verdict values. Unknown verdicts ARE journaled — unlike the in-memory
+// verdict cache — because a resumed run must reproduce the interrupted
+// run's conservative keep decisions byte-for-byte, and the fingerprint
+// pins the budget options that produced them.
+const (
+	Unsat   Verdict = 0
+	Sat     Verdict = 1
+	Unknown Verdict = 2
+)
+
+// VarVal is one model binding. Models are stored sorted by variable name
+// so the journal encoding of a given state is canonical.
+type VarVal struct {
+	Var string
+	Val uint64
+}
+
+// Record is one journaled solver verdict.
+type Record struct {
+	Kind    Kind
+	Key     uint64 // salted path-prefix hash
+	Verdict Verdict
+	Model   []VarVal // KindEmit with a Sat verdict only; sorted by Var
+}
+
+type mapKey struct {
+	kind Kind
+	key  uint64
+}
+
+// Journal is an open checkpoint file.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[mapKey]Record // loaded at Open; read-only afterwards
+
+	loaded   int
+	appended atomic.Uint64
+	epoch    atomic.Uint64
+}
+
+const magic = "MEISSAJ1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Open opens a checkpoint file. With resume=false the file is created or
+// truncated and a fresh header is written. With resume=true the existing
+// file is loaded: the header fingerprint must match, intact records
+// populate the lookup map, and a torn or corrupt tail is discarded (the
+// file is truncated back to the last intact record) so appends continue
+// from a clean boundary.
+func Open(path string, fingerprint uint64, resume bool) (*Journal, error) {
+	if !resume {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: create %s: %w", path, err)
+		}
+		j := &Journal{f: f, seen: map[mapKey]Record{}}
+		hdr := Record{Kind: KindHeader, Key: fingerprint}
+		if _, err := f.Write(encode(hdr)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: write header: %w", err)
+		}
+		return j, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: resume %s: %w", path, err)
+	}
+	j := &Journal{f: f, seen: map[mapKey]Record{}}
+	good, err := j.load(fingerprint)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop the torn tail (if any) so new appends start at a record
+	// boundary.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	return j, nil
+}
+
+// load scans the file, populating seen, and returns the offset just past
+// the last intact record. A short, torn, or checksum-failing record ends
+// the scan without error — that is the tolerated kill artifact. A missing
+// or mismatched header is an error: the journal belongs to different
+// inputs.
+func (j *Journal) load(fingerprint uint64) (int64, error) {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return 0, fmt.Errorf("journal: read: %w", err)
+	}
+	off := int64(0)
+	first := true
+	for {
+		rec, n, ok := decode(data[off:])
+		if !ok {
+			break
+		}
+		if first {
+			if rec.Kind != KindHeader || rec.Key != fingerprint {
+				return 0, fmt.Errorf("journal: checkpoint written for a different program or options (fingerprint %#x, want %#x)", rec.Key, fingerprint)
+			}
+			first = false
+		} else {
+			j.seen[mapKey{rec.Kind, rec.Key}] = rec
+			j.loaded++
+		}
+		off += int64(n)
+	}
+	if first {
+		return 0, fmt.Errorf("journal: no checkpoint header (empty or torn file)")
+	}
+	return off, nil
+}
+
+// Lookup returns the journaled record for a key, if the interrupted run
+// completed it. Safe for concurrent use without locking: the map is
+// frozen after Open.
+func (j *Journal) Lookup(kind Kind, key uint64) (Record, bool) {
+	r, ok := j.seen[mapKey{kind, key}]
+	return r, ok
+}
+
+// Append journals one verdict. The record is written with a single
+// write(2) call, so a kill tears at most the final record — which load
+// tolerates. Thread-safe.
+func (j *Journal) Append(r Record) error {
+	buf := encode(r)
+	j.mu.Lock()
+	_, err := j.f.Write(buf)
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appended.Add(1)
+	return nil
+}
+
+// NextEpoch returns consecutive integers (1, 2, 3, …). Each exploration
+// in a run takes one and salts its path hashes with it, so two
+// explorations over graphs that happen to share node-ID sequences (the
+// summarization passes and the final pass reuse IDs) cannot collide in
+// the journal. Exploration order is deterministic, so the resumed run
+// assigns the same epochs.
+func (j *Journal) NextEpoch() uint64 { return j.epoch.Add(1) }
+
+// Loaded returns the number of records recovered at Open (resume only).
+func (j *Journal) Loaded() int { return j.loaded }
+
+// Appended returns the number of records written by this process.
+func (j *Journal) Appended() uint64 { return j.appended.Load() }
+
+// Sync flushes the journal to stable storage. Not required for
+// kill-safety (the page cache survives process death); call it when the
+// threat model includes machine crashes.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Close releases the file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// SortModel canonicalizes a model for journaling.
+func SortModel(m []VarVal) {
+	sort.Slice(m, func(i, k int) bool { return m[i].Var < m[k].Var })
+}
+
+// encode frames one record.
+func encode(r Record) []byte {
+	// payload: kind(1) verdict(1) key(8) nmodel(2) {varlen(2) var val(8)}*
+	n := 1 + 1 + 8 + 2
+	for _, vv := range r.Model {
+		n += 2 + len(vv.Var) + 8
+	}
+	payload := make([]byte, 0, n)
+	payload = append(payload, byte(r.Kind), byte(r.Verdict))
+	payload = binary.LittleEndian.AppendUint64(payload, r.Key)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Model)))
+	for _, vv := range r.Model {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(vv.Var)))
+		payload = append(payload, vv.Var...)
+		payload = binary.LittleEndian.AppendUint64(payload, vv.Val)
+	}
+	if r.Kind == KindHeader {
+		payload = append(payload, magic...)
+	}
+	out := make([]byte, 0, 4+len(payload)+4)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return out
+}
+
+// decode parses the first record in data. ok=false means data holds no
+// intact record (empty, short, or corrupt) — the torn-tail condition.
+func decode(data []byte) (Record, int, bool) {
+	if len(data) < 4 {
+		return Record{}, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(data))
+	total := 4 + plen + 4
+	if plen < 12 || len(data) < total {
+		return Record{}, 0, false
+	}
+	payload := data[4 : 4+plen]
+	want := binary.LittleEndian.Uint32(data[4+plen:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return Record{}, 0, false
+	}
+	var r Record
+	r.Kind = Kind(payload[0])
+	r.Verdict = Verdict(payload[1])
+	r.Key = binary.LittleEndian.Uint64(payload[2:])
+	nm := int(binary.LittleEndian.Uint16(payload[10:]))
+	off := 12
+	for i := 0; i < nm; i++ {
+		if off+2 > plen {
+			return Record{}, 0, false
+		}
+		vl := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+vl+8 > plen {
+			return Record{}, 0, false
+		}
+		r.Model = append(r.Model, VarVal{Var: string(payload[off : off+vl]), Val: binary.LittleEndian.Uint64(payload[off+vl:])})
+		off += vl + 8
+	}
+	if r.Kind == KindHeader {
+		if plen < off+len(magic) || string(payload[off:off+len(magic)]) != magic {
+			return Record{}, 0, false
+		}
+	}
+	return r, total, true
+}

@@ -1,0 +1,195 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func tmpFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ck.journal")
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 0xfeed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindCheck, Key: 1, Verdict: Unsat},
+		{Kind: KindCheck, Key: 2, Verdict: Sat},
+		{Kind: KindEmit, Key: 3, Verdict: Sat, Model: []VarVal{{"a", 7}, {"ipv4.dstAddr", 0xffffffff}}},
+		{Kind: KindEmit, Key: 4, Verdict: Unknown},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, 0xfeed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Loaded() != len(recs) {
+		t.Fatalf("loaded %d records, want %d", r.Loaded(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := r.Lookup(want.Kind, want.Key)
+		if !ok {
+			t.Fatalf("record %v not found", want)
+		}
+		if got.Verdict != want.Verdict || len(got.Model) != len(want.Model) {
+			t.Fatalf("record %v loaded as %v", want, got)
+		}
+		for i := range want.Model {
+			if got.Model[i] != want.Model[i] {
+				t.Fatalf("model mismatch: %v vs %v", got.Model, want.Model)
+			}
+		}
+	}
+}
+
+// TestTornTailTolerated is the kill-mid-write property: truncating the
+// file at every possible byte offset must load cleanly with some prefix
+// of the records, never an error or a corrupt record.
+func TestTornTailTolerated(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := j.Append(Record{Kind: KindEmit, Key: i, Verdict: Sat, Model: []VarVal{{"v", i}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := len(encode(Record{Kind: KindHeader, Key: 42}))
+
+	for cut := len(full); cut > headerLen; cut-- {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path, 42, true)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		// Every loaded record must be intact and a prefix of the appends.
+		for i := 0; i < r.Loaded(); i++ {
+			rec, ok := r.Lookup(KindEmit, uint64(i))
+			if !ok || rec.Model[0].Val != uint64(i) {
+				t.Fatalf("cut at %d: record %d corrupt or missing", cut, i)
+			}
+		}
+		// Appending after a torn-tail load must produce a readable file.
+		if err := r.Append(Record{Kind: KindCheck, Key: 999, Verdict: Unsat}); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		r2, err := Open(path, 42, true)
+		if err != nil {
+			t.Fatalf("cut at %d reopen: %v", cut, err)
+		}
+		if _, ok := r2.Lookup(KindCheck, 999); !ok {
+			t.Fatalf("cut at %d: post-tear append lost", cut)
+		}
+		r2.Close()
+	}
+}
+
+func TestTornHeaderRejected(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, _ := os.ReadFile(path)
+	os.WriteFile(path, full[:len(full)-1], 0o644)
+	if _, err := Open(path, 42, true); err == nil {
+		t.Fatal("torn header accepted")
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := Open(path, 2, true); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+}
+
+func TestResumeMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), 1, true); err == nil {
+		t.Fatal("resume of missing file accepted")
+	}
+}
+
+func TestCorruptRecordEndsScan(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindCheck, Key: 1, Verdict: Sat})
+	j.Append(Record{Kind: KindCheck, Key: 2, Verdict: Sat})
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-6] ^= 0xff // flip a payload byte of the last record
+	os.WriteFile(path, data, 0o644)
+	r, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Loaded() != 1 {
+		t.Fatalf("loaded %d, want 1 (corrupt record must end the scan)", r.Loaded())
+	}
+}
+
+// TestConcurrentAppend exercises Append from many goroutines (the
+// parallel exploration workers share one journal); run under -race.
+func TestConcurrentAppend(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(Record{Kind: KindCheck, Key: uint64(w*per + i), Verdict: Sat})
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+	r, err := Open(path, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Loaded() != workers*per {
+		t.Fatalf("loaded %d, want %d", r.Loaded(), workers*per)
+	}
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 )
@@ -26,8 +27,39 @@ import (
 // SearchBudget/CandidatesPerVar configurations: a Sat proved under a large
 // budget could mask an Unknown under a small one, which is sound but
 // perturbs ablation counters.
+// Counter discipline: per-solver Stats live on each worker's private
+// Solver and need no synchronization; the CACHE-level counters below are
+// the only counters shared across workers, and they are atomics — never
+// bare increments — because every worker's hot path bumps them
+// concurrently outside the shard locks.
 type VerdictCache struct {
 	shards [cacheShards]cacheShard
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+	rejects atomic.Uint64
+}
+
+// CacheStats is a snapshot of the cross-worker cache counters.
+type CacheStats struct {
+	// Hits / Misses count lookups by outcome.
+	Hits, Misses uint64
+	// Stores counts verdicts inserted; Rejects counts verdicts dropped
+	// because the shard was at capacity (or the verdict was Unknown).
+	Stores, Rejects uint64
+}
+
+// Stats returns a snapshot of the shared counters. Safe to call
+// concurrently with lookups and stores; the fields are read individually
+// so the snapshot is only per-counter consistent (fine for reporting).
+func (c *VerdictCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Rejects: c.rejects.Load(),
+	}
 }
 
 const cacheShards = 64
@@ -68,19 +100,31 @@ func (c *VerdictCache) lookup(k condKey) (Result, bool) {
 	sh.mu.Lock()
 	r, ok := sh.m[k]
 	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return r, ok
 }
 
 func (c *VerdictCache) store(k condKey, r Result) {
 	if r == Unknown {
+		c.rejects.Add(1)
 		return
 	}
 	sh := c.shard(k)
 	sh.mu.Lock()
-	if len(sh.m) < cacheShardCap {
+	stored := len(sh.m) < cacheShardCap
+	if stored {
 		sh.m[k] = r
 	}
 	sh.mu.Unlock()
+	if stored {
+		c.stores.Add(1)
+	} else {
+		c.rejects.Add(1)
+	}
 }
 
 // Len returns the number of cached verdicts (for tests and debugging).

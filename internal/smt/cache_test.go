@@ -154,6 +154,20 @@ func TestVerdictCacheConcurrent(t *testing.T) {
 	if cache.Len() == 0 {
 		t.Error("concurrent solvers cached nothing")
 	}
+	// The shared counters are atomics; under -race this test fails if any
+	// increment is a bare read-modify-write. Consistency: every lookup is
+	// a hit or a miss, every store was preceded by a miss, and the
+	// resident entry count never exceeds the successful stores.
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("hammer produced no hits or no misses: %+v", st)
+	}
+	if st.Stores < uint64(cache.Len()) {
+		t.Errorf("stores %d < resident entries %d", st.Stores, cache.Len())
+	}
+	if st.Misses < st.Stores {
+		t.Errorf("stores %d without matching misses %d", st.Stores, st.Misses)
+	}
 }
 
 func TestStatsAdd(t *testing.T) {

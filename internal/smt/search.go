@@ -2,21 +2,49 @@ package smt
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/expr"
 )
+
+// searchBudget enforces the per-query limits: a backtracking-step count
+// and an optional wall-clock deadline. The clock is consulted only every
+// 256 steps — time.Now per step would dominate small queries.
+type searchBudget struct {
+	steps    int
+	deadline time.Time
+	timedOut bool
+}
+
+// spend consumes one step and reports whether the budget is exhausted.
+func (b *searchBudget) spend() bool {
+	if b.steps <= 0 {
+		return true
+	}
+	b.steps--
+	if !b.deadline.IsZero() && b.steps&255 == 0 && time.Now().After(b.deadline) {
+		b.timedOut = true
+		b.steps = 0
+		return true
+	}
+	return false
+}
+
+func (b *searchBudget) exhausted() bool { return b.steps <= 0 }
 
 // search performs bounded backtracking over the free variables, guided by
 // the propagated domains, and validates every candidate assignment against
 // the full original constraint list. This final concrete check is what
 // makes models sound even for deferred atoms the domains cannot encode.
-func (s *Solver) search(doms map[expr.Var]*domain) (Result, expr.State) {
+// The error is a *BudgetError when the result is Unknown because a step
+// or time budget ran out; nil otherwise.
+func (s *Solver) search(doms map[expr.Var]*domain) (Result, expr.State, error) {
 	atoms := s.allAtoms()
 
 	// Fast path: domains already empty.
 	for _, d := range doms {
 		if d.empty() {
-			return Unsat, nil
+			return Unsat, nil, nil
 		}
 	}
 
@@ -46,24 +74,29 @@ func (s *Solver) search(doms map[expr.Var]*domain) (Result, expr.State) {
 	// satisfy them (e.g. v == u + 1 wants u near a constant elsewhere).
 	hints := constantHints(atoms)
 
-	budget := s.opts.SearchBudget
-	ok := s.assign(free, 0, assignment, doms, atoms, hints, &budget)
+	budget := &searchBudget{steps: s.opts.SearchBudget}
+	if s.opts.CheckTimeout > 0 {
+		budget.deadline = time.Now().Add(s.opts.CheckTimeout)
+	}
+	ok := s.assign(free, 0, assignment, doms, atoms, hints, budget)
 	if ok {
-		return Sat, assignment
+		return Sat, assignment, nil
 	}
-	if budget <= 0 {
-		return Unknown, nil
+	if budget.exhausted() {
+		if budget.timedOut {
+			return Unknown, nil, &BudgetError{Timeout: s.opts.CheckTimeout}
+		}
+		return Unknown, nil, &BudgetError{Steps: s.opts.SearchBudget}
 	}
-	return Unsat, nil
+	return Unsat, nil, nil
 }
 
 // assign recursively assigns free variables and finally validates the
 // complete model.
-func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.Var]*domain, atoms []atom, hints map[expr.Var][]uint64, budget *int) bool {
-	if *budget <= 0 {
+func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.Var]*domain, atoms []atom, hints map[expr.Var][]uint64, budget *searchBudget) bool {
+	if budget.spend() {
 		return false
 	}
-	*budget--
 
 	if idx == len(free) {
 		return s.validate(st, atoms)
@@ -94,7 +127,7 @@ func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.V
 		}
 		delete(st, v)
 		s.stats.Backtracks++
-		if *budget <= 0 {
+		if budget.exhausted() {
 			return false
 		}
 	}

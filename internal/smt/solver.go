@@ -1,11 +1,39 @@
 package smt
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/expr"
 )
+
+// ErrBudget is the sentinel for a query that exhausted its step or time
+// budget. Such a query answers Unknown — never Unsat — so callers that
+// treat Unknown conservatively (keep the path) stay sound under any
+// budget. Use errors.Is(err, ErrBudget) against LastUnknown.
+var ErrBudget = errors.New("smt: query budget exhausted")
+
+// BudgetError is the typed budget-exhaustion report: which limit was
+// binding for the query that returned Unknown.
+type BudgetError struct {
+	// Steps is the backtracking-step budget, when it was the binding
+	// limit (0 otherwise).
+	Steps int
+	// Timeout is the per-query wall-clock budget, when it was the
+	// binding limit (0 otherwise).
+	Timeout time.Duration
+}
+
+func (e *BudgetError) Error() string {
+	if e.Timeout > 0 {
+		return fmt.Sprintf("smt: query exceeded wall-clock budget %v", e.Timeout)
+	}
+	return fmt.Sprintf("smt: query exceeded step budget %d", e.Steps)
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) true.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
 
 // Result is the outcome of a satisfiability check.
 type Result int
@@ -43,6 +71,11 @@ type Stats struct {
 	// CacheHits counts checks answered from a shared VerdictCache without
 	// running the solver; cache hits do not increment Checks.
 	CacheHits uint64
+	// BudgetExhausted counts Unknown results caused specifically by the
+	// step or wall-clock budget running out (a subset of Unknowns). The
+	// exploration layer surfaces this per pipeline so degraded-but-sound
+	// coverage is visible rather than silent.
+	BudgetExhausted uint64
 }
 
 // Add accumulates another solver's counters, the merge step for parallel
@@ -56,6 +89,7 @@ func (s *Stats) Add(o Stats) {
 	s.Backtracks += o.Backtracks
 	s.Models += o.Models
 	s.CacheHits += o.CacheHits
+	s.BudgetExhausted += o.BudgetExhausted
 }
 
 // Options configure a Solver.
@@ -67,6 +101,13 @@ type Options struct {
 	Incremental bool
 	// SearchBudget bounds the number of backtracking steps per check.
 	SearchBudget int
+	// CheckTimeout bounds the wall-clock time of a single satisfiability
+	// check (zero means none). A check that exceeds it returns Unknown
+	// with a typed *BudgetError rather than running on — the graceful
+	// degradation path for production-scale programs where one
+	// pathological query must not stall the whole exploration. Callers
+	// keep Unknown paths conservatively, so no coverage is silently lost.
+	CheckTimeout time.Duration
 	// CandidatesPerVar bounds how many values are tried per free variable.
 	CandidatesPerVar int
 	// PerCheckOverhead adds a fixed cost to every satisfiability check,
@@ -120,6 +161,9 @@ type Solver struct {
 	normCache map[expr.Bool][]atom
 	// hashCache memoizes per-constraint digests for the verdict cache key.
 	hashCache map[expr.Bool]uint64
+	// lastUnknown is the typed reason the most recent Check/Model
+	// returned Unknown (a *BudgetError), nil otherwise.
+	lastUnknown error
 }
 
 // New returns a solver with the given options.
@@ -143,6 +187,12 @@ func New(opts Options) *Solver {
 
 // Stats returns a copy of the solver's counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// LastUnknown explains the most recent Check/Model that returned
+// Unknown: a *BudgetError (errors.Is(err, ErrBudget)) when a budget was
+// the cause, nil when the last query did not end Unknown. The value is
+// overwritten by every check.
+func (s *Solver) LastUnknown() error { return s.lastUnknown }
 
 // ResetStats zeroes the counters.
 func (s *Solver) ResetStats() { s.stats = Stats{} }
@@ -405,6 +455,7 @@ func (s *Solver) Model() (expr.State, Result) {
 }
 
 func (s *Solver) check(wantModel bool) (Result, expr.State) {
+	s.lastUnknown = nil
 	// Shared verdict cache: plain checks whose condition set was already
 	// decided (by this solver or a sibling worker) answer without running
 	// the solver at all — no Checks increment, no emulated IPC overhead.
@@ -454,7 +505,7 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 		}
 	}
 
-	res, model := s.search(doms)
+	res, model, uerr := s.search(doms)
 	if cacheable {
 		s.opts.Cache.store(key, res) // Unknown is dropped by store
 	}
@@ -470,6 +521,10 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 		return Unsat, nil
 	default:
 		s.stats.Unknowns++
+		s.lastUnknown = uerr
+		if uerr != nil {
+			s.stats.BudgetExhausted++
+		}
 		return Unknown, nil
 	}
 }

@@ -67,6 +67,14 @@ type PipelineStat struct {
 	// PublicConstraints is the number of conjuncts in the public
 	// pre-condition.
 	PublicConstraints int
+	// Unknowns / BudgetExhausted report solver queries within this
+	// pipeline's exploration that came back undecided (and, of those, the
+	// ones cut off by the per-query SearchBudget/CheckTimeout). Undecided
+	// paths are conservatively kept in the summary, so a non-zero count
+	// means the summary may be a superset of the valid-path set but never
+	// misses a valid path.
+	Unknowns        uint64
+	BudgetExhausted uint64
 }
 
 // Stats aggregates summarization work.
@@ -80,6 +88,14 @@ type Stats struct {
 	// Truncated reports that some exploration hit its path or time
 	// budget, so the summary may be incomplete.
 	Truncated bool
+	// Recovered counts per-path panics recovered across all explorations
+	// (Strict off); PathErrors holds the recorded details, capped at the
+	// sym layer's limit.
+	Recovered  uint64
+	PathErrors []*sym.PathError
+	// JournalHits counts solver interactions answered from a resume
+	// journal instead of being re-solved.
+	JournalHits uint64
 }
 
 // Summarize rewrites g in place, pipeline by pipeline in topological order
@@ -149,6 +165,8 @@ func summarizeRegion(g *cfg.Graph, region *cfg.Region, opts Options, fl *flow, a
 	}
 	accumulate(agg, innerRes)
 	st.ValidPaths = len(innerRes.Templates)
+	st.Unknowns = innerRes.SMT.Unknowns
+	st.BudgetExhausted = innerRes.SMT.BudgetExhausted
 
 	// --- Summarize the pipeline (Algorithm 2 lines 10–25) ---
 	entryNode := g.Node(region.Entry)
@@ -272,6 +290,9 @@ func accumulate(agg *Stats, r *sym.Result) {
 	if r.Truncated {
 		agg.Truncated = true
 	}
+	agg.Recovered += r.Recovered
+	agg.PathErrors = append(agg.PathErrors, r.PathErrors...)
+	agg.JournalHits += r.JournalHits
 }
 
 // log10Big computes log10 of the region's possible-path count.

@@ -1,0 +1,258 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/expr"
+	"repro/internal/smt"
+)
+
+// pathKey renders a path for comparison across runs.
+func pathKey(p []cfg.NodeID) string {
+	var b strings.Builder
+	for _, id := range p {
+		fmt.Fprintf(&b, "%d.", id)
+	}
+	return b.String()
+}
+
+// templateKeys renders every template's verdict-relevant content (path,
+// constraints, final state), ignoring IDs, which shift when a path is
+// skipped.
+func templateKeys(res *Result) map[string]string {
+	out := make(map[string]string, len(res.Templates))
+	for _, tm := range res.Templates {
+		var b strings.Builder
+		for _, c := range tm.Constraints {
+			fmt.Fprintf(&b, "cond %s\n", c)
+		}
+		fmt.Fprintf(&b, "dropped=%v uncertain=%v", tm.Dropped, tm.Uncertain)
+		out[pathKey(tm.Path)] = b.String()
+	}
+	return out
+}
+
+// TestPanicIsolation injects a panic on one specific completed path and
+// checks that exploration finishes with exactly that path missing and
+// every other verdict identical, in both sequential and parallel mode.
+func TestPanicIsolation(t *testing.T) {
+	const n = 8
+	clean := explore(t, fig7Src(), fig7Rules(n), DefaultOptions())
+	if len(clean.Templates) < 3 {
+		t.Fatalf("need at least 3 templates, got %d", len(clean.Templates))
+	}
+	victim := pathKey(clean.Templates[1].Path)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Parallelism = workers
+			var mu sync.Mutex
+			fired := 0
+			opts.PathHook = func(path []cfg.NodeID) {
+				if pathKey(path) == victim {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+					panic("injected path fault")
+				}
+			}
+			res := explore(t, fig7Src(), fig7Rules(n), opts)
+			if fired != 1 {
+				t.Fatalf("hook fired %d times, want 1", fired)
+			}
+			if res.Recovered != 1 {
+				t.Fatalf("Recovered = %d, want 1", res.Recovered)
+			}
+			if len(res.PathErrors) != 1 {
+				t.Fatalf("PathErrors = %d, want 1", len(res.PathErrors))
+			}
+			pe := res.PathErrors[0]
+			if pe.Value != "injected path fault" {
+				t.Errorf("PathError.Value = %v", pe.Value)
+			}
+			if pathKey(pe.Path) != victim {
+				t.Errorf("PathError.Path = %v, want the victim path", pe.Path)
+			}
+			if pe.Stack == "" {
+				t.Error("PathError.Stack is empty")
+			}
+			if len(res.Templates) != len(clean.Templates)-1 {
+				t.Fatalf("templates = %d, want %d", len(res.Templates), len(clean.Templates)-1)
+			}
+			got := templateKeys(res)
+			for k, v := range templateKeys(clean) {
+				if k == victim {
+					continue
+				}
+				if got[k] != v {
+					t.Errorf("path %s: verdict diverged after recovery", k)
+				}
+			}
+			if _, still := got[victim]; still {
+				t.Error("panicked path still produced a template")
+			}
+		})
+	}
+}
+
+// TestPanicIsolationRestoresState checks that recovery unwinds through
+// the state-restoring defers: after a panic deep in one subtree, sibling
+// subtrees still see the pre-fault solver and value stacks (verdicts
+// unchanged), even when the panic fires on a shared interior prefix
+// rather than the final path.
+func TestPanicIsolationMidPath(t *testing.T) {
+	// Panic the *first* completed descent; everything after must match the
+	// clean run's remaining templates.
+	const n = 6
+	clean := explore(t, fig7Src(), fig7Rules(n), DefaultOptions())
+	opts := DefaultOptions()
+	first := true
+	opts.PathHook = func(path []cfg.NodeID) {
+		if first {
+			first = false
+			panic("first-path fault")
+		}
+	}
+	res := explore(t, fig7Src(), fig7Rules(n), opts)
+	if res.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", res.Recovered)
+	}
+	if len(res.Templates) != len(clean.Templates)-1 {
+		t.Fatalf("templates = %d, want %d", len(res.Templates), len(clean.Templates)-1)
+	}
+	got := templateKeys(res)
+	want := templateKeys(clean)
+	for k, v := range got {
+		if want[k] != v {
+			t.Errorf("path %s diverged after mid-run recovery", k)
+		}
+	}
+}
+
+// TestStrictPropagatesPanic checks that Strict mode restores fail-fast:
+// the injected panic escapes Explore.
+func TestStrictPropagatesPanic(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Strict = true
+	opts.PathHook = func([]cfg.NodeID) { panic("strict fault") }
+	defer func() {
+		if r := recover(); r != "strict fault" {
+			t.Fatalf("recovered %v, want the injected panic", r)
+		}
+	}()
+	explore(t, fig7Src(), fig7Rules(3), opts)
+	t.Fatal("panic did not propagate in Strict mode")
+}
+
+// TestDeadlineOnStraightLinePath checks the satellite property that the
+// wall-clock deadline is honoured within bounded overshoot even when the
+// exploration is a single deep straight-line descent (no backtracking,
+// so only the periodic visit-counter check can observe the clock).
+func TestDeadlineOnStraightLinePath(t *testing.T) {
+	const chain = 4096
+	g := cfg.NewGraph()
+	prev := cfg.None
+	for i := 0; i < chain; i++ {
+		v := expr.Var(fmt.Sprintf("v%d", i))
+		g.Vars[v] = 16
+		n := g.AddPredicate(expr.Eq(expr.V(v, 16), expr.C(1, 16)), "p", "")
+		if prev == cfg.None {
+			g.Entry = n.ID
+		} else {
+			g.Link(prev, n.ID)
+		}
+		prev = n.ID
+	}
+
+	opts := DefaultOptions()
+	opts.Deadline = 50 * time.Millisecond
+	// Make each node visit expensive: early termination issues one check
+	// per predicate, and the emulated solver overhead makes each check
+	// ~2ms, so the full descent would take ~8s without the deadline.
+	opts.Solver = smt.Options{Incremental: true, PerCheckOverhead: 2 * time.Millisecond}
+	opts.SolverSet = true
+
+	start := time.Now()
+	res, err := Explore(Config{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !res.Truncated {
+		t.Fatal("deadline did not truncate the straight-line descent")
+	}
+	// The clock is consulted every 64 visits; with ~2ms per visit the
+	// overshoot is bounded by ~128ms plus scheduling noise. 2s is a
+	// generous ceiling that still proves the descent was cut off early.
+	if elapsed > 2*time.Second {
+		t.Fatalf("descent ran %v past a %v deadline", elapsed, opts.Deadline)
+	}
+}
+
+// TestUnknownVerdictKeepsPath checks graceful degradation: a solver
+// budget too small to decide the path condition yields Unknown, and the
+// path is conservatively kept (marked Uncertain), never dropped.
+func TestBudgetUnknownKeepsPath(t *testing.T) {
+	// One predicate the bounded search cannot decide in a single step.
+	g := cfg.NewGraph()
+	p := g.AddPredicate(expr.Eq(
+		expr.Bin{Op: expr.OpAdd, L: expr.V("a", 16), R: expr.V("b", 16)},
+		expr.C(7, 16)), "p", "a + b == 7")
+	g.Entry = p.ID
+	leaf := g.AddAction("x", expr.C(1, 8), "p", "")
+	g.Link(p.ID, leaf.ID)
+
+	opts := DefaultOptions()
+	opts.Solver = smt.Options{Incremental: true, SearchBudget: 1, CandidatesPerVar: 1}
+	opts.SolverSet = true
+	opts.EarlyTermination = false // exercise the final emit check
+
+	res, err := Explore(Config{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 1 {
+		t.Fatalf("templates = %d, want 1 (Unknown must keep the path)", len(res.Templates))
+	}
+	if !res.Templates[0].Uncertain {
+		t.Error("budget-exhausted verdict should mark the template Uncertain")
+	}
+	if res.SMT.Unknowns == 0 {
+		t.Error("expected an Unknown verdict in solver stats")
+	}
+	if res.SMT.BudgetExhausted == 0 {
+		t.Error("expected BudgetExhausted to count the cut-off query")
+	}
+}
+
+// TestBudgetSuperset checks the acceptance property: a budget-limited
+// run's kept paths are a superset of the unlimited run's.
+func TestBudgetSuperset(t *testing.T) {
+	const n = 8
+	unlimited := explore(t, etSrc, etRules(n), DefaultOptions())
+
+	opts := DefaultOptions()
+	opts.Solver = smt.Options{Incremental: true, SearchBudget: 2, CandidatesPerVar: 2}
+	opts.SolverSet = true
+	limited := explore(t, etSrc, etRules(n), opts)
+
+	kept := map[string]bool{}
+	for _, tm := range limited.Templates {
+		kept[pathKey(tm.Path)] = true
+	}
+	for _, tm := range unlimited.Templates {
+		if !kept[pathKey(tm.Path)] {
+			t.Errorf("unlimited-run path %v missing from budget-limited run", tm.Path)
+		}
+	}
+	if len(limited.Templates) < len(unlimited.Templates) {
+		t.Errorf("budget-limited run kept %d paths, unlimited kept %d",
+			len(limited.Templates), len(unlimited.Templates))
+	}
+}

@@ -1,6 +1,7 @@
 package sym
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,10 @@ type sharedState struct {
 	halted   atomic.Bool
 	maxPaths uint64
 	deadline time.Time
+	// recovered counts per-path panic recoveries across all workers;
+	// jhits counts journal-answered solver interactions.
+	recovered atomic.Uint64
+	jhits     atomic.Uint64
 }
 
 // task is one pending branch of the DFS frontier: everything needed to
@@ -64,14 +69,19 @@ type task struct {
 	values expr.Subst
 	// obligations are the hash/checksum obligations pending on the prefix.
 	obligations []HashObligation
+	// hash is the journal key of the prefix (0 when journaling is off),
+	// seeding the worker's path-hash stack so journal keys below the
+	// split point are identical to sequential mode's.
+	hash uint64
 	// templates receives the subtree's emissions, spliced in task order.
 	templates []*Template
 }
 
-func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Result, error) {
+func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoch uint64) (*Result, error) {
 	if opts.Solver.Cache == nil {
 		opts.Solver.Cache = smt.NewVerdictCache()
 	}
+	journaling := opts.Journal != nil && !opts.NoValidation
 	shared := &sharedState{maxPaths: opts.MaxPaths}
 	if opts.Deadline > 0 {
 		shared.deadline = time.Now().Add(opts.Deadline)
@@ -95,6 +105,9 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 		shared:    shared,
 		widthProd: 1,
 	}
+	if journaling {
+		splitter.hashes = []uint64{hashMix(fnvOffset64, epoch)}
+	}
 	splitter.spill = func(id cfg.NodeID) bool {
 		n := c.Graph.Node(id)
 		atEnd := n.IsLeaf() || (splitter.stop != nil && splitter.stop[id])
@@ -107,6 +120,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 			constraints: append([]expr.Bool(nil), splitter.constraints...),
 			values:      splitter.values.Clone(),
 			obligations: append([]HashObligation(nil), splitter.obligations...),
+			hash:        splitter.curHash(),
 		})
 		return true
 	}
@@ -124,6 +138,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 	nInit := len(c.InitConstraints)
 	var next atomic.Int64
 	workerStats := make([]smt.Stats, workers)
+	workerErrs := make([][]*PathError, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -135,12 +150,13 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 			}
 			res := &Result{}
 			var visits uint64
-			for !shared.halted.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					break
-				}
-				t := tasks[i]
+			// runTask executes one frontier task. In non-strict mode a
+			// task-level recover backstops panics raised outside the dfs
+			// frames (prefix replay assertion), restoring the solver's
+			// frame depth so the worker survives to claim its next task;
+			// panics inside dfs are already arrested per path.
+			runTask := func(t *task) {
+				baseDepth := solver.Depth()
 				e := &executor{
 					g:           c.Graph,
 					opts:        opts,
@@ -153,6 +169,29 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 					res:         res,
 					shared:      shared,
 					visits:      visits, // deadline ticks span tasks
+				}
+				if journaling {
+					e.hashes = []uint64{t.hash}
+				}
+				if !opts.Strict {
+					defer func() {
+						if r := recover(); r != nil {
+							for solver.Depth() > baseDepth {
+								solver.Pop()
+							}
+							res.Recovered++
+							shared.recovered.Add(1)
+							if len(res.PathErrors) < maxPathErrors {
+								res.PathErrors = append(res.PathErrors, &PathError{
+									Path:  append([]cfg.NodeID(nil), t.path...),
+									Value: r,
+									Stack: string(debug.Stack()),
+								})
+							}
+						}
+						visits = e.visits
+						res.Truncated = false
+					}()
 				}
 				replay := t.constraints[nInit:]
 				if !opts.NoValidation && len(replay) > 0 {
@@ -173,7 +212,15 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 				// gated by shared.halted alone.
 				res.Truncated = false
 			}
+			for !shared.halted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				runTask(tasks[i])
+			}
 			workerStats[w] = solver.Stats()
+			workerErrs[w] = res.PathErrors
 		}(w)
 	}
 	wg.Wait()
@@ -190,6 +237,20 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int) (*Re
 	res.PathsExplored = shared.paths.Load()
 	res.PrunedPaths = shared.pruned.Load()
 	res.Truncated = shared.halted.Load()
+	res.Recovered = shared.recovered.Load()
+	res.JournalHits = shared.jhits.Load()
+	for _, pe := range splitter.res.PathErrors {
+		if len(res.PathErrors) < maxPathErrors {
+			res.PathErrors = append(res.PathErrors, pe)
+		}
+	}
+	for _, errs := range workerErrs {
+		for _, pe := range errs {
+			if len(res.PathErrors) < maxPathErrors {
+				res.PathErrors = append(res.PathErrors, pe)
+			}
+		}
+	}
 	res.SMT = splitter.solver.Stats()
 	for _, st := range workerStats {
 		res.SMT.Add(st)

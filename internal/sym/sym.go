@@ -8,14 +8,40 @@ package sym
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/expr"
 	"repro/internal/hashfn"
+	"repro/internal/journal"
 	"repro/internal/p4"
 	"repro/internal/smt"
 )
+
+// PathError records one per-path panic that was recovered during
+// exploration: the path prefix that was executing, the panic value, and
+// the stack. The faulted subtree is skipped; every other path's verdict
+// is unaffected (fault isolation, the property production-scale runs
+// need so one bad path cannot throw away hours of work).
+type PathError struct {
+	// Path is the node prefix up to and including the node whose
+	// processing panicked.
+	Path []cfg.NodeID
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (p *PathError) Error() string {
+	return fmt.Sprintf("sym: panic on path %v: %v", p.Path, p.Value)
+}
+
+// maxPathErrors bounds the recorded PathError list; Recovered still
+// counts every recovery, so a systematically-faulting run is visible
+// without unbounded memory.
+const maxPathErrors = 64
 
 // Template is a test case template for one valid path (§2.1: "a test case
 // template, which specifies the pattern of inputs that can trigger this
@@ -85,6 +111,28 @@ type Options struct {
 	Deadline time.Duration
 	// WantModels extracts a concrete witness per template.
 	WantModels bool
+	// Strict disables per-path panic isolation: a panic while executing
+	// or solving a path propagates out of Explore (the pre-fault-tolerance
+	// fail-fast behavior, useful when debugging the engine itself). The
+	// default recovers the panic into Result.PathErrors, skips the
+	// faulted subtree, and continues exploring.
+	Strict bool
+	// Journal, when non-nil, makes the exploration crash-safe: every
+	// early-termination check and emission verdict is appended to the
+	// journal as it is derived, and verdicts already present (from an
+	// interrupted run) are answered from the journal without consulting
+	// the solver. The DFS is deterministic, so a resumed run re-derives
+	// byte-identical templates for the journaled prefix and continues
+	// live from the kill point. Journal keys are salted per exploration
+	// (Journal.NextEpoch), making one journal safe across the many
+	// explorations of a summarization + generation run.
+	Journal *journal.Journal
+	// PathHook, when non-nil, is invoked at every completed descent
+	// (leaf or stop node) with the descent's path prefix, before the
+	// template is emitted. It exists as a fault-injection point for
+	// crash-safety tests — a hook that panics exercises per-path
+	// isolation on real corpora — and must not retain the slice.
+	PathHook func(path []cfg.NodeID)
 	// NoValidation emits templates without consulting the solver at all:
 	// statically-infeasible prefixes are still pruned by constant
 	// folding, but solver-dependent invalid paths are kept. The result is
@@ -132,6 +180,18 @@ type Result struct {
 	SMT smt.Stats
 	// Truncated reports that MaxPaths was hit.
 	Truncated bool
+	// Recovered counts per-path panics that were recovered (Strict off);
+	// each one skipped the faulted subtree and left every other path's
+	// verdict intact.
+	Recovered uint64
+	// PathErrors records the recovered panics (capped at maxPathErrors;
+	// Recovered is the true total). In parallel mode the order
+	// interleaves worker completion and is not deterministic.
+	PathErrors []*PathError
+	// JournalHits counts solver interactions answered from a resume
+	// journal instead of the solver — the work a resumed run did NOT
+	// redo.
+	JournalHits uint64
 }
 
 // Explore runs Algorithm 1 over the CFG. With Options.Parallelism != 1 it
@@ -149,8 +209,16 @@ func Explore(c Config) (*Result, error) {
 	if start == cfg.None {
 		start = c.Graph.Entry
 	}
+	// The epoch is taken unconditionally (and before the parallel
+	// dispatch) so the Nth exploration of a run salts its journal keys
+	// identically whether it runs sequentially or parallel, and whether
+	// earlier explorations answered from the journal or solved live.
+	var epoch uint64
+	if opts.Journal != nil {
+		epoch = opts.Journal.NextEpoch()
+	}
 	if workers := opts.Workers(); workers > 1 {
-		return exploreParallel(c, opts, start, workers)
+		return exploreParallel(c, opts, start, workers, epoch)
 	}
 	e := &executor{
 		g:      c.Graph,
@@ -159,6 +227,9 @@ func Explore(c Config) (*Result, error) {
 		solver: smt.New(opts.Solver),
 		values: expr.Subst{},
 		res:    &Result{},
+	}
+	if opts.Journal != nil && !opts.NoValidation {
+		e.hashes = []uint64{hashMix(fnvOffset64, epoch)}
 	}
 	if opts.Deadline > 0 {
 		e.deadline = time.Now().Add(opts.Deadline)
@@ -211,6 +282,41 @@ type executor struct {
 	// shared, when set, carries the cross-worker counters and the
 	// cooperative cancel used by parallel exploration.
 	shared *sharedState
+	// hashes is the salted path-hash stack paralleling path, maintained
+	// only while journaling is active (nil = journaling off). The top is
+	// the journal key for the current prefix; a journal append failure
+	// nils the stack, degrading to a non-journaled exploration rather
+	// than aborting the run.
+	hashes []uint64
+}
+
+// FNV-1a constants for the incremental path hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashMix folds one 64-bit word into a path hash, FNV-1a over its
+// little-endian bytes. Position-dependence comes from the fold order, so
+// the hash of a node sequence is independent of which worker (or split
+// point) derives it — the property journal portability across
+// sequential and parallel modes rests on.
+func hashMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// curHash is the journal key of the current path prefix (0 when
+// journaling is off).
+func (e *executor) curHash() uint64 {
+	if e.hashes == nil {
+		return 0
+	}
+	return e.hashes[len(e.hashes)-1]
 }
 
 // countPath registers one completed DFS descent (leaf, stop, or prune).
@@ -268,6 +374,16 @@ func (e *executor) stopNow() bool {
 // value stack; at leaves generate a test case template; restore on
 // backtrack.
 func (e *executor) dfs(id cfg.NodeID) {
+	// Per-path panic isolation: the recover defer is registered FIRST so
+	// it runs LAST in this frame — after the state-restoring defers below
+	// (solver Pop, stack truncation) have already unwound, leaving the
+	// executor consistent. A panic in a child frame is arrested by the
+	// child's own defer, so recovery always happens at the deepest
+	// in-flight frame and skips exactly the faulted node's remaining
+	// subtree; siblings keep exploring.
+	if !e.opts.Strict {
+		defer e.recoverPath(id)
+	}
 	// Periodic budget checks are keyed to the visit counter (incremented
 	// on every node entry) so a single deep descent still observes the
 	// deadline; time.Now per node would dominate small graphs.
@@ -281,12 +397,30 @@ func (e *executor) dfs(id cfg.NodeID) {
 	}
 	if e.stop != nil && e.stop[id] {
 		e.countPath()
-		e.emit()
+		if e.opts.PathHook != nil {
+			e.opts.PathHook(e.path)
+		}
+		// The stop node is not on e.path, so fold it into the emit key
+		// here: distinct stop nodes reached from one prefix must not
+		// share a journal record.
+		key := e.curHash()
+		if e.hashes != nil {
+			key = hashMix(key, uint64(id))
+		}
+		e.emit(key)
 		return
 	}
 	n := e.g.Node(id)
 	e.path = append(e.path, id)
-	defer func() { e.path = e.path[:len(e.path)-1] }()
+	if e.hashes != nil {
+		e.hashes = append(e.hashes, hashMix(e.hashes[len(e.hashes)-1], uint64(id)))
+	}
+	defer func() {
+		e.path = e.path[:len(e.path)-1]
+		if e.hashes != nil {
+			e.hashes = e.hashes[:len(e.hashes)-1]
+		}
+	}()
 
 	switch n.Kind {
 	case cfg.Predicate:
@@ -313,7 +447,7 @@ func (e *executor) dfs(id cfg.NodeID) {
 					e.constraints = e.constraints[:len(e.constraints)-1]
 				}()
 				if e.opts.EarlyTermination {
-					if e.solver.Check() == smt.Unsat {
+					if e.pruneCheck() == smt.Unsat {
 						e.countPath()
 						e.countPruned()
 						return
@@ -338,7 +472,10 @@ func (e *executor) dfs(id cfg.NodeID) {
 
 	if n.IsLeaf() {
 		e.countPath()
-		e.emit()
+		if e.opts.PathHook != nil {
+			e.opts.PathHook(e.path)
+		}
+		e.emit(e.curHash())
 		return
 	}
 	if len(n.Succs) > 1 {
@@ -403,17 +540,134 @@ func (e *executor) evalOpaque(n *cfg.Node) (expr.Arith, *HashObligation) {
 	return expr.V(fresh, w), &HashObligation{Var: fresh, Kind: n.Kind, Inputs: inputs, Width: w}
 }
 
+// recoverPath arrests a panic raised while processing node id or its
+// subtree, recording it as a PathError on the result. By the time it
+// runs, the frame's state-restoring defers have already executed, so the
+// executor (solver stack, value/condition/path stacks) is exactly as it
+// was before the faulted node was entered.
+func (e *executor) recoverPath(id cfg.NodeID) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	e.res.Recovered++
+	if e.shared != nil {
+		e.shared.recovered.Add(1)
+	}
+	if len(e.res.PathErrors) < maxPathErrors {
+		prefix := append(append([]cfg.NodeID(nil), e.path...), id)
+		e.res.PathErrors = append(e.res.PathErrors, &PathError{
+			Path:  prefix,
+			Value: r,
+			Stack: string(debug.Stack()),
+		})
+	}
+}
+
+func (e *executor) countJournalHit() {
+	e.res.JournalHits++
+	if e.shared != nil {
+		e.shared.jhits.Add(1)
+	}
+}
+
+// appendJournal writes one verdict record. Journaling is an aid, not a
+// correctness requirement: on a write failure (disk full, fd revoked)
+// further journaling is disabled and exploration continues — the
+// checkpoint simply ends early and a future resume re-solves from there.
+func (e *executor) appendJournal(rec journal.Record) {
+	if err := e.opts.Journal.Append(rec); err != nil {
+		e.hashes = nil
+	}
+}
+
+// pruneCheck is the early-termination satisfiability check, answered
+// from the resume journal when the interrupted run already decided this
+// prefix, and journaled when derived fresh.
+func (e *executor) pruneCheck() smt.Result {
+	if e.hashes != nil {
+		if rec, ok := e.opts.Journal.Lookup(journal.KindCheck, e.curHash()); ok {
+			e.countJournalHit()
+			return fromVerdict(rec.Verdict)
+		}
+	}
+	r := e.solver.Check()
+	if e.hashes != nil {
+		e.appendJournal(journal.Record{Kind: journal.KindCheck, Key: e.curHash(), Verdict: toVerdict(r)})
+	}
+	return r
+}
+
+// emitVerdict decides the path-final satisfiability (and model),
+// answering from the resume journal when possible and journaling fresh
+// verdicts together with their models, so a resumed run reconstructs
+// byte-identical templates without any solver call.
+func (e *executor) emitVerdict(key uint64) (smt.Result, expr.State) {
+	if e.hashes != nil {
+		if rec, ok := e.opts.Journal.Lookup(journal.KindEmit, key); ok {
+			e.countJournalHit()
+			r := fromVerdict(rec.Verdict)
+			var model expr.State
+			if r == smt.Sat && e.opts.WantModels && len(rec.Model) > 0 {
+				model = make(expr.State, len(rec.Model))
+				for _, vv := range rec.Model {
+					model[expr.Var(vv.Var)] = vv.Val
+				}
+			}
+			return r, model
+		}
+	}
+	var model expr.State
+	var r smt.Result
+	if e.opts.WantModels {
+		model, r = e.solver.Model()
+	} else {
+		r = e.solver.Check()
+	}
+	if e.hashes != nil {
+		rec := journal.Record{Kind: journal.KindEmit, Key: key, Verdict: toVerdict(r)}
+		if len(model) > 0 {
+			rec.Model = make([]journal.VarVal, 0, len(model))
+			for v, val := range model {
+				rec.Model = append(rec.Model, journal.VarVal{Var: string(v), Val: val})
+			}
+			journal.SortModel(rec.Model)
+		}
+		e.appendJournal(rec)
+	}
+	return r, model
+}
+
+func toVerdict(r smt.Result) journal.Verdict {
+	switch r {
+	case smt.Sat:
+		return journal.Sat
+	case smt.Unsat:
+		return journal.Unsat
+	default:
+		return journal.Unknown
+	}
+}
+
+func fromVerdict(v journal.Verdict) smt.Result {
+	switch v {
+	case journal.Sat:
+		return smt.Sat
+	case journal.Unsat:
+		return smt.Unsat
+	default:
+		return smt.Unknown
+	}
+}
+
 // emit records a template for the current path if its condition is
-// satisfiable (always, in NoValidation mode).
-func (e *executor) emit() {
+// satisfiable (always, in NoValidation mode). key is the journal key for
+// the completed path.
+func (e *executor) emit(key uint64) {
 	var model expr.State
 	r := smt.Sat
 	if !e.opts.NoValidation {
-		if e.opts.WantModels {
-			model, r = e.solver.Model()
-		} else {
-			r = e.solver.Check()
-		}
+		r, model = e.emitVerdict(key)
 	}
 	if r == smt.Unsat {
 		return

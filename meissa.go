@@ -24,12 +24,15 @@ package meissa
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
 	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/driver"
 	"repro/internal/expr"
+	"repro/internal/journal"
 	"repro/internal/p4"
 	"repro/internal/rules"
 	"repro/internal/smt"
@@ -67,6 +70,32 @@ type Options struct {
 	// SolverOverhead adds a fixed per-check solver cost, emulating
 	// out-of-process SMT solvers (ablation only; see smt.Options).
 	SolverOverhead time.Duration
+	// SolverSearchBudget overrides the per-query backtracking-step budget
+	// (0 keeps the smt default). Exhaustion yields Unknown, never Unsat:
+	// the affected path is conservatively kept, so budget-limited runs
+	// generate a superset of the unlimited run's templates.
+	SolverSearchBudget int
+	// SolverCheckTimeout bounds each solver query's wall-clock time
+	// (0 = none). Same conservative Unknown semantics as the step budget.
+	SolverCheckTimeout time.Duration
+	// Strict disables per-path panic isolation: a panic anywhere in
+	// exploration aborts the process (fail-fast debugging mode). The
+	// default recovers per-path panics into GenResult.PathErrors and
+	// keeps exploring.
+	Strict bool
+	// Checkpoint, when non-empty, names a journal file making generation
+	// crash-safe: every solver verdict is appended before use, so a run
+	// killed mid-exploration can Resume without re-solving decided paths.
+	Checkpoint string
+	// Resume loads the Checkpoint journal written by an interrupted run
+	// of the same program/rules/options and answers journaled solver
+	// interactions from it. The journal's fingerprint must match; a
+	// mismatched journal is an error, not silent corruption.
+	Resume bool
+	// PathHook, when non-nil, is invoked on every completed path descent
+	// before its verdict is decided. Fault-injection hook for crash-safety
+	// tests; nil in production.
+	PathHook func(path []cfg.NodeID)
 }
 
 // DefaultOptions is the full Meissa configuration.
@@ -131,6 +160,19 @@ type GenResult struct {
 	Duration time.Duration
 	// Truncated reports that MaxPaths was hit — coverage is incomplete.
 	Truncated bool
+	// SMTUnknowns counts solver queries that came back undecided across
+	// all phases; SMTBudgetExhausted counts the subset cut off by the
+	// per-query step/time budget. Undecided paths are kept, marked
+	// Template.Uncertain.
+	SMTUnknowns        uint64
+	SMTBudgetExhausted uint64
+	// Recovered counts per-path panics recovered during exploration
+	// (Strict off); PathErrors holds the recorded details.
+	Recovered  uint64
+	PathErrors []*sym.PathError
+	// JournalHits counts solver interactions answered from the resume
+	// journal instead of being re-solved (Resume runs only).
+	JournalHits uint64
 }
 
 // Generate builds the CFG, applies code summary when enabled, and runs
@@ -152,6 +194,8 @@ func (s *System) Generate() (*GenResult, error) {
 		MaxPaths:         s.Opts.MaxPaths,
 		Deadline:         s.Opts.Deadline,
 		WantModels:       false,
+		Strict:           s.Opts.Strict,
+		PathHook:         s.Opts.PathHook,
 	}
 	if symOpts.Workers() > 1 {
 		// One verdict cache spans the whole run, so Unsat prefixes proved
@@ -165,6 +209,15 @@ func (s *System) Generate() (*GenResult, error) {
 	initC, err := s.commonAssumes()
 	if err != nil {
 		return nil, err
+	}
+
+	if s.Opts.Checkpoint != "" {
+		j, err := journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), s.Opts.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("meissa: checkpoint: %w", err)
+		}
+		defer j.Close()
+		symOpts.Journal = j
 	}
 
 	if s.Opts.CodeSummary {
@@ -185,6 +238,11 @@ func (s *System) Generate() (*GenResult, error) {
 		if stats.Truncated {
 			res.Truncated = true
 		}
+		res.SMTUnknowns += stats.SMT.Unknowns
+		res.SMTBudgetExhausted += stats.SMT.BudgetExhausted
+		res.Recovered += stats.Recovered
+		res.PathErrors = append(res.PathErrors, stats.PathErrors...)
+		res.JournalHits += stats.JournalHits
 	}
 
 	finalOpts := symOpts
@@ -208,6 +266,11 @@ func (s *System) Generate() (*GenResult, error) {
 	if exp.Truncated {
 		res.Truncated = true
 	}
+	res.SMTUnknowns += exp.SMT.Unknowns
+	res.SMTBudgetExhausted += exp.SMT.BudgetExhausted
+	res.Recovered += exp.Recovered
+	res.PathErrors = append(res.PathErrors, exp.PathErrors...)
+	res.JournalHits += exp.JournalHits
 	res.PossiblePathsLog10After = g.PossiblePathsLog10()
 	res.Duration = time.Since(start)
 	return res, nil
@@ -217,7 +280,32 @@ func (s *System) solverOptions() smt.Options {
 	o := smt.DefaultOptions()
 	o.Incremental = s.Opts.IncrementalSolving
 	o.PerCheckOverhead = s.Opts.SolverOverhead
+	if s.Opts.SolverSearchBudget > 0 {
+		o.SearchBudget = s.Opts.SolverSearchBudget
+	}
+	o.CheckTimeout = s.Opts.SolverCheckTimeout
 	return o
+}
+
+// fingerprint digests everything that determines solver verdicts — the
+// program, the rules, the generation-scoping assume clauses, and the
+// verdict-affecting options — into the checkpoint journal's identity.
+// Parallelism, MaxPaths and Deadline are deliberately excluded: they
+// change how much gets explored, never what any query's verdict is, so a
+// journal written at one setting resumes correctly at another.
+func (s *System) fingerprint(initC []expr.Bool) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, p4.Print(s.Prog))
+	io.WriteString(h, s.Rules.String())
+	for _, b := range initC {
+		io.WriteString(h, b.String())
+		io.WriteString(h, "\n")
+	}
+	so := s.solverOptions()
+	fmt.Fprintf(h, "|cs=%v pre=%v et=%v inc=%v sb=%d ct=%d cpv=%d",
+		s.Opts.CodeSummary, s.Opts.UsePreconditions, s.Opts.EarlyTermination,
+		s.Opts.IncrementalSolving, so.SearchBudget, so.CheckTimeout, so.CandidatesPerVar)
+	return h.Sum64()
 }
 
 // commonAssumes translates spec assume clauses shared by every spec.
