@@ -26,6 +26,7 @@ import (
 	meissa "repro"
 	"repro/internal/driver"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/programs"
 	"repro/internal/rules"
@@ -49,6 +50,8 @@ func main() {
 		err = cmdCorpus()
 	case "dump":
 		err = cmdDump(os.Args[2:])
+	case "checkmetrics":
+		err = cmdCheckMetrics(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,14 +64,16 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v]
+  meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v] [-quiet]
               [-checkpoint FILE [-resume]] [-strict] [-solver-budget N] [-solver-timeout D]
-              [-o cases.txt]
+              [-metrics-out report.json] [-pprof-addr host:port] [-o cases.txt]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
-              [-udp] [-retries N] [-case-timeout D] [-recv-timeout D]
+              [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-v] [-quiet]
+              [-metrics-out report.json] [-pprof-addr host:port]
               [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
   meissa corpus
-  meissa dump -corpus <name>`)
+  meissa dump -corpus <name>
+  meissa checkmetrics <report.json>`)
 }
 
 // loadInputs reads the program, rule set and specs named by flags, or a
@@ -137,12 +142,16 @@ func cmdGen(args []string) error {
 	solverBudget := fs.Int("solver-budget", 0, "per-query solver backtracking-step budget (0 = default)")
 	solverTimeout := fs.Duration("solver-timeout", 0, "per-query solver wall-clock budget (0 = none)")
 	outPath := fs.String("o", "", "write generated test cases to this file (deterministic format)")
+	ob := registerObsFlags(fs)
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
 		return err
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if err := ob.activate(*verbose); err != nil {
+		return err
 	}
 	opts := meissa.DefaultOptions()
 	opts.CodeSummary = !*noSummary
@@ -209,7 +218,7 @@ func cmdGen(args []string) error {
 			}
 		}
 	}
-	return nil
+	return ob.finish(genReport("gen", prog.Name, opts.Parallelism, gen))
 }
 
 // writeTemplates renders templates in a deterministic text format: runs
@@ -281,8 +290,13 @@ func cmdTest(args []string) error {
 	caseTimeout := fs.Duration("case-timeout", 0, "per-case deadline across all attempts (0 = derived)")
 	recvTimeout := fs.Duration("recv-timeout", 200*time.Millisecond, "per-attempt capture window")
 	shake := fs.String("shake", "", "inject link faults: drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N")
+	verbose := fs.Bool("v", false, "print per-phase progress on stderr")
+	ob := registerObsFlags(fs)
 	prog, rs, specs, _, err := loadInputs(fs, args)
 	if err != nil {
+		return err
+	}
+	if err := ob.activate(*verbose); err != nil {
 		return err
 	}
 	faults, err := parseFaults(*faultSpec)
@@ -346,7 +360,9 @@ func cmdTest(args []string) error {
 	d.Retries = *retries
 	d.CaseTimeout = *caseTimeout
 	d.RecvTimeout = *recvTimeout
+	driveSpan := obs.Begin("drive")
 	rep, err := d.RunTemplates(gen.Templates)
+	driveDur := driveSpan.End()
 	if err != nil {
 		return err
 	}
@@ -376,6 +392,13 @@ func cmdTest(args []string) error {
 	if *trace && rep.Failed > 0 && loop != nil {
 		fmt.Println()
 		fmt.Println(meissa.Localize(gen, rep.Failures()[0], loop.LastTrace()))
+	}
+	orep := genReport("test", prog.Name, opts.Parallelism, gen)
+	orep.WallNS = int64(gen.Duration + driveDur)
+	orep.Phases = append(orep.Phases, obs.PhaseDur{Name: "drive", NS: int64(driveDur), Count: 1})
+	orep.Driver = driverReport(rep, shaken, gen.Duration+rep.TimeToFirstVerdict)
+	if err := ob.finish(orep); err != nil {
+		return err
 	}
 	if rep.Failed > 0 || rep.Lost > 0 {
 		os.Exit(1)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	meissa "repro"
+	"repro/internal/driver"
+	"repro/internal/obs"
+)
+
+// obsFlags are the observability flags shared by gen and test:
+// -metrics-out, -pprof-addr, -quiet, and the verbosity hookup for -v.
+// Progress output goes to stderr only, so the deterministic stdout the
+// checkpoint/resume diff tests rely on is untouched at any setting.
+type obsFlags struct {
+	metricsOut string
+	pprofAddr  string
+	quiet      bool
+	verbose    bool
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a machine-readable run report (JSON) to this file at exit")
+	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress and warning output on stderr")
+	return o
+}
+
+// activate applies the flags after parsing. verbose is passed by the
+// caller because -v keeps its subcommand-specific stdout meaning (gen
+// prints template constraints) on top of raising the stderr log level.
+func (o *obsFlags) activate(verbose bool) error {
+	o.verbose = verbose
+	switch {
+	case o.quiet:
+		obs.SetLogLevel(obs.LevelQuiet)
+	case verbose:
+		obs.SetLogLevel(obs.LevelVerbose)
+	}
+	if o.pprofAddr != "" {
+		addr, err := obs.ServeDebug(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "meissa: debug server on http://%s\n", addr)
+	}
+	return nil
+}
+
+// finish emits the end-of-run observability: the stderr phase/latency
+// table (verbose or metrics runs, unless -quiet) and, with -metrics-out,
+// the validated JSON run report with the full registry snapshot attached,
+// written atomically.
+func (o *obsFlags) finish(rep *obs.Report) error {
+	if o.metricsOut == "" && !o.verbose {
+		return nil
+	}
+	snap := obs.Default().Snapshot()
+	if !o.quiet {
+		snap.WriteText(os.Stderr)
+	}
+	if o.metricsOut == "" {
+		return nil
+	}
+	rep.Registry = snap
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("metrics report failed validation: %w", err)
+	}
+	if err := obs.WriteFileAtomic(o.metricsOut, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "meissa: wrote run report to %s\n", o.metricsOut)
+	return nil
+}
+
+// genReport builds the run report for a generation (the test subcommand
+// extends it with the driver section).
+func genReport(command, program string, parallelism int, gen *meissa.GenResult) *obs.Report {
+	return gen.Report(command, program, parallelism)
+}
+
+// driverReport builds the test-execution section from a driver report and
+// the optional shaken link.
+func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict time.Duration) *obs.DriverReport {
+	d := &obs.DriverReport{
+		Passed:            rep.Passed,
+		Failed:            rep.Failed,
+		Skipped:           rep.Skipped,
+		Flaky:             rep.Flaky,
+		Lost:              rep.Lost,
+		Retransmissions:   rep.Retransmissions,
+		TimeToFirstTestNS: int64(firstVerdict),
+	}
+	if shaken != nil {
+		st := shaken.Stats()
+		d.Link = &obs.LinkReport{
+			Dropped:    st.Dropped,
+			Duplicated: st.Duplicated,
+			Reordered:  st.Reordered,
+			Corrupted:  st.Corrupted,
+			Delayed:    st.Delayed,
+		}
+	}
+	return d
+}
+
+// cmdCheckMetrics is the CI metrics-smoke gate: it parses a -metrics-out
+// file, runs the schema validator, and prints the headline numbers. A
+// missing file, schema mismatch, zero phase duration, or zero path count
+// exits non-zero via the returned error.
+func cmdCheckMetrics(args []string) error {
+	fs := flag.NewFlagSet("checkmetrics", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: meissa checkmetrics <report.json>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := obs.ParseReport(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: %s %s (parallel %d) wall=%v\n",
+		rep.Command, rep.Program, rep.Parallelism, time.Duration(rep.WallNS).Round(time.Millisecond))
+	for _, p := range rep.Phases {
+		fmt.Printf("  phase %-10s %v\n", p.Name, p.Dur().Round(time.Microsecond))
+	}
+	if rep.Paths != nil {
+		fmt.Printf("  paths explored=%d pruned=%d templates=%d (10^%.1f -> 10^%.1f)\n",
+			rep.Paths.Explored, rep.Paths.Pruned, rep.Paths.Templates,
+			rep.Paths.PossibleLog10Before, rep.Paths.PossibleLog10After)
+	}
+	if rep.Solver != nil {
+		fmt.Printf("  solver queries=%d solved=%d outcomes=%v\n",
+			rep.Solver.TotalQueries, rep.Solver.Solved, rep.Solver.Outcomes)
+	}
+	return nil
+}

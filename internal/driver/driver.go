@@ -117,6 +117,10 @@ type Report struct {
 	// never just an anonymous counter.
 	Skips    []*Case
 	Outcomes []*Outcome
+	// TimeToFirstVerdict is the wall-clock from suite start to the first
+	// case verdict (zero when every case was skipped) — the
+	// responsiveness metric behind the run report's time_to_first_test.
+	TimeToFirstVerdict time.Duration
 }
 
 // Failures returns the failing outcomes.
@@ -398,6 +402,7 @@ func (d *Driver) RunTemplates(templates []*sym.Template) (*Report, error) {
 // whole suite stops at its deadline or cancellation.
 func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template) (*Report, error) {
 	rep := &Report{Program: d.Prog.Name}
+	suiteStart := time.Now()
 	for _, t := range templates {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("driver: %w", err)
@@ -408,24 +413,35 @@ func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template)
 		}
 		if c.SkipReason != "" {
 			rep.Skipped++
+			mCasesSkipped.Inc()
 			rep.Skips = append(rep.Skips, c)
 			continue
 		}
+		caseStart := time.Now()
 		o, err := d.RunCaseCtx(ctx, c)
 		if err != nil {
 			return nil, err
 		}
+		mCaseLatencyNS.ObserveSince(caseStart)
 		rep.Outcomes = append(rep.Outcomes, o)
+		if len(rep.Outcomes) == 1 {
+			rep.TimeToFirstVerdict = time.Since(suiteStart)
+		}
 		rep.Retransmissions += o.Attempts - 1
+		mRetransmits.Add(uint64(o.Attempts - 1))
 		switch o.Verdict {
 		case VerdictPass:
 			rep.Passed++
+			mCasesPassed.Inc()
 		case VerdictFlaky:
 			rep.Flaky++
+			mCasesFlaky.Inc()
 		case VerdictFail:
 			rep.Failed++
+			mCasesFailed.Inc()
 		case VerdictLost:
 			rep.Lost++
+			mCasesLost.Inc()
 		}
 	}
 	return rep, nil

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	meissa "repro"
+	"repro/internal/obs"
+	"repro/internal/programs"
+)
+
+// BenchSchema versions the meissa-bench -json document. The document is
+// one object per corpus program × rule set, each an obs run report, so
+// trajectory tooling parses bench output with the same code that parses
+// `meissa -metrics-out` files.
+const BenchSchema = "meissa.bench-report/v1"
+
+// BenchReport is the meissa-bench -json document.
+type BenchReport struct {
+	Schema      string `json:"schema"`
+	BudgetNS    int64  `json:"budget_ns"`
+	Parallelism int    `json:"parallelism"`
+	// Runs holds one validated run report per program × rule set: every
+	// corpus program at its built-in rule set, plus the Fig. 10 grid
+	// (gw-1/gw-2 across set-1..set-4).
+	Runs []*obs.Report `json:"runs"`
+}
+
+// benchRun generates tests for one program and builds its run report.
+func benchRun(p *programs.Program, ruleSet string) (*obs.Report, error) {
+	opts := meissa.DefaultOptions()
+	opts.Deadline = Budget
+	opts.Parallelism = Parallelism
+	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rep := gen.Report("bench", p.Name, Parallelism)
+	rep.RuleSet = ruleSet
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("bench %s/%s: %w", p.Name, ruleSet, err)
+	}
+	return rep, nil
+}
+
+// BenchRuns measures every corpus program (at its built-in rule set) and
+// the Fig. 10 program × rule-set grid, returning the versioned document.
+func BenchRuns() (*BenchReport, error) {
+	br := &BenchReport{
+		Schema:      BenchSchema,
+		BudgetNS:    int64(Budget),
+		Parallelism: Parallelism,
+	}
+	for _, p := range programs.All() {
+		rep, err := benchRun(p, "builtin")
+		if err != nil {
+			return nil, err
+		}
+		br.Runs = append(br.Runs, rep)
+	}
+	for _, n := range []int{1, 2} {
+		for _, set := range AllRuleSets() {
+			rep, err := benchRun(programs.GW(n, set), set.String())
+			if err != nil {
+				return nil, err
+			}
+			br.Runs = append(br.Runs, rep)
+		}
+	}
+	return br, nil
+}

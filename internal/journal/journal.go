@@ -168,6 +168,7 @@ func (j *Journal) load(fingerprint uint64) (int64, error) {
 		} else {
 			j.seen[mapKey{rec.Kind, rec.Key}] = rec
 			j.loaded++
+			mRecordsLoaded.Inc()
 		}
 		off += int64(n)
 	}
@@ -194,9 +195,11 @@ func (j *Journal) Append(r Record) error {
 	_, err := j.f.Write(buf)
 	j.mu.Unlock()
 	if err != nil {
+		mAppendErrors.Inc()
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	j.appended.Add(1)
+	mRecordsAppended.Inc()
 	return nil
 }
 

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar.Publish panics on
+// duplicate names).
+var publishOnce sync.Once
+
+// PublishExpvar exposes the Default registry's snapshot as the expvar
+// variable "meissa", so /debug/vars (and any expvar scraper) sees live
+// metrics. Idempotent.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("meissa", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/vars    — expvar, including the "meissa" registry snapshot
+//	/debug/pprof/  — the standard pprof handlers
+//	/metrics       — the registry snapshot as indented JSON
+//
+// It returns the bound address (useful with ":0") after the listener is
+// open; the server runs until the process exits. Live-run observability
+// for long explorations — attach `go tool pprof` or curl /metrics while
+// a multi-hour generation is in flight.
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Default().Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	go func() {
+		// The zero-value Server uses http.DefaultServeMux, where expvar
+		// and pprof registered their handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

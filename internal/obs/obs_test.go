@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("same name must return same handle")
+	}
+	g := r.Gauge("x.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.lat")
+	h.Observe(0)    // bucket "0"
+	h.Observe(1)    // [1,2) -> 2^1
+	h.Observe(3)    // [2,4) -> 2^2
+	h.Observe(1024) // [1024,2048) -> 2^11
+	snap := snapshotHistogram(h)
+	if snap.Count != 4 || snap.Sum != 1028 || snap.Max != 1024 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	want := map[string]uint64{"0": 1, "2^1": 1, "2^2": 1, "2^11": 1}
+	for k, v := range want {
+		if snap.Buckets[k] != v {
+			t.Fatalf("bucket %s = %d, want %d (all: %v)", k, snap.Buckets[k], v, snap.Buckets)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.lat")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var bucketSum uint64
+	for i := range h.buckets {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+	if h.max.Load() != workers*per-1 {
+		t.Fatalf("max = %d, want %d", h.max.Load(), workers*per-1)
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	r := NewRegistry()
+	ctx, root := r.StartSpan(context.Background(), "generate")
+	_, child := r.StartSpan(ctx, "summary")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	snap := r.Snapshot()
+	var paths []string
+	for _, p := range snap.Phases {
+		paths = append(paths, p.Name)
+		if p.NS <= 0 {
+			t.Fatalf("phase %s has non-positive duration", p.Name)
+		}
+	}
+	want := []string{"generate", "generate/summary"}
+	if fmt.Sprint(paths) != fmt.Sprint(want) {
+		t.Fatalf("phases = %v, want %v", paths, want)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(snap.Spans))
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	if d := sp.End(); d != 0 {
+		t.Fatal("nil span End must be a no-op")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("h")
+	c.Add(10)
+	h.Observe(5)
+	prev := r.Snapshot()
+	c.Add(3)
+	h.Observe(9)
+	h.Observe(17)
+	d := r.Snapshot().Delta(prev)
+	if d.Counters["x"] != 3 {
+		t.Fatalf("delta counter = %d, want 3", d.Counters["x"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 2 || hd.Sum != 26 {
+		t.Fatalf("delta hist = %+v", hd)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(2)
+	r.Histogram("a.h").Observe(100)
+	sp := r.Begin("phase1")
+	time.Sleep(100 * time.Microsecond)
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SnapshotSchema || back.Counters["a.b"] != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"x": 1`) {
+		t.Fatalf("unexpected content: %s", data)
+	}
+	// Overwrite must not leave temp droppings.
+	if err := WriteFileAtomic(path, map[string]int{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("left %d entries in dir, want 1", len(ents))
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := func() *Report {
+		return &Report{
+			Schema:      ReportSchema,
+			Command:     "gen",
+			Program:     "Router",
+			Parallelism: 1,
+			WallNS:      int64(time.Second),
+			Phases: []PhaseDur{
+				{Name: "cfg", NS: 1000},
+				{Name: "summary", NS: 2000},
+				{Name: "sym", NS: 3000},
+			},
+			Paths: &PathReport{
+				Explored: 10, Templates: 5,
+				PossibleLog10Before: 3, PossibleLog10After: 1,
+			},
+			Solver:  NewSolverReport(20, 12, 6, 2, 4, 1, time.Second),
+			Journal: &JournalReport{},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*Report){
+		"bad schema":        func(r *Report) { r.Schema = "nope" },
+		"zero wall":         func(r *Report) { r.WallNS = 0 },
+		"no phases":         func(r *Report) { r.Phases = nil },
+		"zero phase":        func(r *Report) { r.Phases[0].NS = 0 },
+		"missing cfg phase": func(r *Report) { r.Phases = r.Phases[2:] },
+		"zero explored":     func(r *Report) { r.Paths.Explored = 0 },
+		"zero templates":    func(r *Report) { r.Paths.Templates = 0 },
+		"missing bucket":    func(r *Report) { delete(r.Solver.Outcomes, "cache_hit") },
+		"outcome mismatch":  func(r *Report) { r.Solver.Outcomes["sat"] = 99 },
+		"budget > unknown":  func(r *Report) { r.Solver.Outcomes["budget_exhausted"] = 3 },
+		"paths grew":        func(r *Report) { r.Paths.PossibleLog10After = 9 },
+	} {
+		r := good()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: invalid report accepted", name)
+		}
+	}
+
+	// Truncated runs may legitimately have zero templates.
+	r := good()
+	r.Paths.Templates = 0
+	r.Paths.Truncated = true
+	if err := r.Validate(); err != nil {
+		t.Fatalf("truncated zero-template report rejected: %v", err)
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	r := &Report{
+		Schema: ReportSchema,
+		WallNS: 100,
+		Phases: []PhaseDur{{Name: "drive", NS: 100}},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReport(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParseReport([]byte(`{"schema":"x"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetLogWriter(&buf)
+	defer SetLogWriter(prev)
+	defer SetLogLevel(LevelNormal)
+
+	SetLogLevel(LevelNormal)
+	Progressf("progress %d", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("Progressf printed at LevelNormal: %q", buf.String())
+	}
+	Warnf("warn")
+	if !strings.Contains(buf.String(), "warn") {
+		t.Fatal("Warnf suppressed at LevelNormal")
+	}
+
+	buf.Reset()
+	SetLogLevel(LevelVerbose)
+	Progressf("progress %d", 2)
+	if !strings.Contains(buf.String(), "progress 2") {
+		t.Fatal("Progressf suppressed at LevelVerbose")
+	}
+
+	buf.Reset()
+	SetLogLevel(LevelQuiet)
+	Warnf("warn2")
+	Progressf("progress3")
+	if buf.Len() != 0 {
+		t.Fatalf("LevelQuiet leaked output: %q", buf.String())
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	Default().Counter("test.serve").Inc()
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "test.serve") {
+			t.Fatalf("GET %s: metric missing from body", path)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ReportSchema versions the machine-readable run report written by
+// `meissa ... -metrics-out` and by `meissa-bench -json`. Trajectory
+// tooling (BENCH_*.json) keys on this string; bump it on any
+// incompatible change.
+const ReportSchema = "meissa.run-report/v1"
+
+// Report is one run's machine-readable result: everything the paper's
+// evaluation section (§5/§8) measures from a single invocation — phase
+// wall-clock, path counts before/after summary reduction, solver query
+// behaviour, journal and driver activity. The schema is append-only
+// within a version: consumers must tolerate new optional fields.
+type Report struct {
+	Schema      string `json:"schema"`
+	Command     string `json:"command,omitempty"` // gen | test | bench
+	Program     string `json:"program,omitempty"`
+	RuleSet     string `json:"rule_set,omitempty"`
+	Parallelism int    `json:"parallelism"`
+	// WallNS is the run's end-to-end wall-clock (generation; plus driving
+	// for `test` runs).
+	WallNS int64 `json:"wall_ns"`
+	// Phases lists per-phase wall-clock in execution order
+	// (parse/typecheck/cfg/summary/sym/testgen/drive as applicable).
+	Phases []PhaseDur `json:"phases"`
+	// Paths reports exploration volume and summary reduction.
+	Paths *PathReport `json:"paths,omitempty"`
+	// Solver reports query counts by outcome plus the latency histogram.
+	Solver *SolverReport `json:"solver,omitempty"`
+	// Journal reports checkpoint activity (zeros when not checkpointing).
+	Journal *JournalReport `json:"journal,omitempty"`
+	// Driver reports test execution results (nil for gen-only runs).
+	Driver *DriverReport `json:"driver,omitempty"`
+	// Registry carries the full process metric snapshot (optional; CLI
+	// runs attach it so one file holds both the curated report and the
+	// raw counters).
+	Registry *Snapshot `json:"registry,omitempty"`
+}
+
+// PathReport is the exploration-volume section.
+type PathReport struct {
+	// Explored counts DFS descents across all phases; FinalExplored is the
+	// final template-generation pass alone.
+	Explored      uint64 `json:"explored"`
+	FinalExplored uint64 `json:"final_explored"`
+	// Pruned counts prefixes cut by early termination.
+	Pruned uint64 `json:"pruned"`
+	// Templates is the emitted test case template count.
+	Templates int `json:"templates"`
+	// PossibleLog10Before/After are the whole-graph possible-path counts
+	// before and after code summary (Fig. 11c unit); their difference is
+	// the summary reduction ratio in decades.
+	PossibleLog10Before float64 `json:"possible_log10_before"`
+	PossibleLog10After  float64 `json:"possible_log10_after"`
+	Truncated           bool    `json:"truncated,omitempty"`
+	Recovered           uint64  `json:"recovered,omitempty"`
+}
+
+// SolverReport is the solver-behaviour section. The outcome histogram has
+// exactly the five buckets the evaluation cares about; TotalQueries is
+// the parallelism-invariant volume (solved + cache-answered), and
+// QueriesPerSec is derived from it and WallNS by the builder.
+type SolverReport struct {
+	// TotalQueries = Solved + Outcomes["cache_hit"]: every logical
+	// satisfiability question asked, however answered. Invariant across
+	// -parallel settings.
+	TotalQueries uint64 `json:"total_queries"`
+	// Solved counts queries the solver actually ran (the paper's "SMT
+	// calls").
+	Solved uint64 `json:"solved"`
+	// Outcomes buckets every query: sat / unsat / unknown (solved), plus
+	// cache_hit (answered from the shared verdict cache) and
+	// budget_exhausted (the subset of unknown cut off by per-query
+	// budgets).
+	Outcomes map[string]uint64 `json:"outcomes"`
+	// QueriesPerSec is TotalQueries normalized by the run wall-clock.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// LatencyNS is the per-query latency histogram (log2 buckets).
+	LatencyNS *HistogramSnapshot `json:"latency_ns,omitempty"`
+}
+
+// Outcome bucket names, fixed by the schema.
+const (
+	OutcomeSat             = "sat"
+	OutcomeUnsat           = "unsat"
+	OutcomeUnknown         = "unknown"
+	OutcomeCacheHit        = "cache_hit"
+	OutcomeBudgetExhausted = "budget_exhausted"
+)
+
+// requiredOutcomes lists the buckets a valid report must carry (even when
+// zero).
+var requiredOutcomes = []string{
+	OutcomeSat, OutcomeUnsat, OutcomeUnknown, OutcomeCacheHit, OutcomeBudgetExhausted,
+}
+
+// JournalReport is the checkpoint-activity section.
+type JournalReport struct {
+	// Appended counts records written by this run; Loaded counts records
+	// recovered at resume; Hits counts solver interactions answered from
+	// the journal instead of re-solved.
+	Appended uint64 `json:"appended"`
+	Loaded   uint64 `json:"loaded"`
+	Hits     uint64 `json:"hits"`
+}
+
+// DriverReport is the test-execution section.
+type DriverReport struct {
+	Passed          int `json:"passed"`
+	Failed          int `json:"failed"`
+	Skipped         int `json:"skipped"`
+	Flaky           int `json:"flaky"`
+	Lost            int `json:"lost"`
+	Retransmissions int `json:"retransmissions"`
+	// TimeToFirstTestNS is the wall-clock from process start to the first
+	// case verdict — the paper-style responsiveness metric.
+	TimeToFirstTestNS int64 `json:"time_to_first_test_ns,omitempty"`
+	// Link counts injected link faults (zeros on clean links).
+	Link *LinkReport `json:"link,omitempty"`
+}
+
+// LinkReport mirrors driver.LinkStats.
+type LinkReport struct {
+	Dropped    uint64 `json:"dropped"`
+	Duplicated uint64 `json:"duplicated"`
+	Reordered  uint64 `json:"reordered"`
+	Corrupted  uint64 `json:"corrupted"`
+	Delayed    uint64 `json:"delayed"`
+}
+
+// NewSolverReport builds the solver section from raw counts, deriving
+// TotalQueries and the rate.
+func NewSolverReport(solved, sat, unsat, unknown, cacheHits, budgetExhausted uint64, wall time.Duration) *SolverReport {
+	r := &SolverReport{
+		TotalQueries: solved + cacheHits,
+		Solved:       solved,
+		Outcomes: map[string]uint64{
+			OutcomeSat:             sat,
+			OutcomeUnsat:           unsat,
+			OutcomeUnknown:         unknown,
+			OutcomeCacheHit:        cacheHits,
+			OutcomeBudgetExhausted: budgetExhausted,
+		},
+	}
+	if wall > 0 {
+		r.QueriesPerSec = float64(r.TotalQueries) / wall.Seconds()
+	}
+	return r
+}
+
+// Validate checks a report's structural invariants: the CI metrics-smoke
+// gate and the trajectory importer both run it before trusting a file.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("obs: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.WallNS <= 0 {
+		return fmt.Errorf("obs: report wall_ns = %d, want > 0", r.WallNS)
+	}
+	if len(r.Phases) == 0 {
+		return fmt.Errorf("obs: report has no phases")
+	}
+	seen := map[string]bool{}
+	for _, p := range r.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("obs: phase with empty name")
+		}
+		if p.NS <= 0 {
+			return fmt.Errorf("obs: phase %q duration = %dns, want > 0", p.Name, p.NS)
+		}
+		seen[p.Name] = true
+	}
+	if r.Paths != nil {
+		for _, req := range []string{"cfg", "sym"} {
+			if !seen[req] {
+				return fmt.Errorf("obs: generation report missing phase %q", req)
+			}
+		}
+		if r.Paths.Explored == 0 {
+			return fmt.Errorf("obs: paths.explored = 0")
+		}
+		if r.Paths.Templates == 0 && !r.Paths.Truncated {
+			return fmt.Errorf("obs: paths.templates = 0 on an untruncated run")
+		}
+		if r.Paths.PossibleLog10After > r.Paths.PossibleLog10Before {
+			return fmt.Errorf("obs: possible paths grew after summary (%.2f -> %.2f)",
+				r.Paths.PossibleLog10Before, r.Paths.PossibleLog10After)
+		}
+	}
+	if r.Solver != nil {
+		o := r.Solver.Outcomes
+		if o == nil {
+			return fmt.Errorf("obs: solver.outcomes missing")
+		}
+		for _, k := range requiredOutcomes {
+			if _, ok := o[k]; !ok {
+				return fmt.Errorf("obs: solver.outcomes missing bucket %q", k)
+			}
+		}
+		if got := o[OutcomeSat] + o[OutcomeUnsat] + o[OutcomeUnknown]; got != r.Solver.Solved {
+			return fmt.Errorf("obs: solver outcomes sum %d != solved %d", got, r.Solver.Solved)
+		}
+		if r.Solver.TotalQueries != r.Solver.Solved+o[OutcomeCacheHit] {
+			return fmt.Errorf("obs: solver total_queries %d != solved %d + cache_hit %d",
+				r.Solver.TotalQueries, r.Solver.Solved, o[OutcomeCacheHit])
+		}
+		if o[OutcomeBudgetExhausted] > o[OutcomeUnknown] {
+			return fmt.Errorf("obs: budget_exhausted %d > unknown %d",
+				o[OutcomeBudgetExhausted], o[OutcomeUnknown])
+		}
+		// A full-journal resume legitimately answers every solver
+		// interaction from the checkpoint, leaving zero live queries.
+		if r.Paths != nil && r.Solver.TotalQueries == 0 && (r.Journal == nil || r.Journal.Hits == 0) {
+			return fmt.Errorf("obs: solver.total_queries = 0 on a generation run with no journal hits")
+		}
+	}
+	if r.Driver != nil {
+		if n := r.Driver.Passed + r.Driver.Failed + r.Driver.Flaky + r.Driver.Lost + r.Driver.Skipped; n == 0 {
+			return fmt.Errorf("obs: driver report with zero cases")
+		}
+	}
+	return nil
+}
+
+// ParseReport decodes and validates a serialized report.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SnapshotSchema versions the registry snapshot encoding. Bump on any
+// incompatible change so downstream trajectory tooling can dispatch.
+const SnapshotSchema = "meissa.metrics/v1"
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets maps
+// the bucket's upper bound exponent ("2^k", meaning samples in
+// [2^(k-1), 2^k)) to its count; zero samples land in "0". Empty buckets
+// are omitted.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the average sample (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Sub returns the bucket-wise difference h - prev (for per-run deltas in
+// shared-process tests).
+func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   h.Count - prev.Count,
+		Sum:     h.Sum - prev.Sum,
+		Max:     h.Max, // max is not subtractable; keep the current high-water
+		Buckets: map[string]uint64{},
+	}
+	for k, v := range h.Buckets {
+		if d := v - prev.Buckets[k]; d > 0 {
+			out.Buckets[k] = d
+		}
+	}
+	if len(out.Buckets) == 0 {
+		out.Buckets = nil
+	}
+	return out
+}
+
+// PhaseDur is one aggregated span path: how many times it ran and its
+// total wall-clock.
+type PhaseDur struct {
+	Name  string `json:"name"`
+	NS    int64  `json:"ns"`
+	Count uint64 `json:"count,omitempty"`
+}
+
+// Dur returns the phase's total duration.
+func (p PhaseDur) Dur() time.Duration { return time.Duration(p.NS) }
+
+// Snapshot is a point-in-time copy of a Registry, suitable for JSON
+// export, diffing, and rendering.
+type Snapshot struct {
+	Schema      string                       `json:"schema"`
+	TakenUnixNS int64                        `json:"taken_unix_ns"`
+	UptimeNS    int64                        `json:"uptime_ns"`
+	Counters    map[string]uint64            `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Phases      []PhaseDur                   `json:"phases,omitempty"`
+	Spans       []SpanRecord                 `json:"spans,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Concurrent-safe; the
+// result is per-metric consistent (fine for reporting).
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	phases := make(map[string]*phaseAgg, len(r.phases))
+	for k, v := range r.phases {
+		phases[k] = v
+	}
+	spans := append([]SpanRecord(nil), r.spans...)
+	start := r.start
+	r.mu.Unlock()
+
+	s := &Snapshot{
+		Schema:      SnapshotSchema,
+		TakenUnixNS: time.Now().UnixNano(),
+		UptimeNS:    int64(time.Since(start)),
+		Counters:    map[string]uint64{},
+		Gauges:      map[string]int64{},
+		Histograms:  map[string]HistogramSnapshot{},
+		Spans:       spans,
+	}
+	for name, c := range counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range hists {
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	for _, name := range sortedKeys(phases) {
+		p := phases[name]
+		s.Phases = append(s.Phases, PhaseDur{
+			Name:  name,
+			NS:    int64(p.totalNS.Load()),
+			Count: p.count.Load(),
+		})
+	}
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: map[string]uint64{},
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out.Buckets[bucketLabel(i)] = n
+		}
+	}
+	if len(out.Buckets) == 0 {
+		out.Buckets = nil
+	}
+	return out
+}
+
+// bucketLabel names bucket i: "0" for the zero bucket, else "2^i" (the
+// exclusive upper bound of the bucket's sample range).
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("2^%d", i)
+}
+
+// Delta returns s - prev for counters, histograms and phases; gauges keep
+// their current value (they are instantaneous). Metrics absent from prev
+// pass through unchanged. Used by in-process tests and by long-lived
+// servers exporting per-interval metrics.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	out := &Snapshot{
+		Schema:      s.Schema,
+		TakenUnixNS: s.TakenUnixNS,
+		UptimeNS:    s.UptimeNS,
+		Counters:    map[string]uint64{},
+		Gauges:      s.Gauges,
+		Histograms:  map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if d := v - prev.Counters[k]; d > 0 {
+			out.Counters[k] = d
+		}
+	}
+	for k, v := range s.Histograms {
+		d := v.Sub(prev.Histograms[k])
+		if d.Count > 0 {
+			out.Histograms[k] = d
+		}
+	}
+	prevPhases := map[string]PhaseDur{}
+	for _, p := range prev.Phases {
+		prevPhases[p.Name] = p
+	}
+	for _, p := range s.Phases {
+		q := prevPhases[p.Name]
+		if p.Count-q.Count > 0 {
+			out.Phases = append(out.Phases, PhaseDur{Name: p.Name, NS: p.NS - q.NS, Count: p.Count - q.Count})
+		}
+	}
+	for _, sp := range s.Spans {
+		if sp.StartNS >= prev.UptimeNS {
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot, indented, to w.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the human-readable end-of-run table: the phase tree
+// with durations, then non-zero counters and histogram summaries.
+func (s *Snapshot) WriteText(w io.Writer) {
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "--- phases ---\n")
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "  %-40s %12s", p.Name, time.Duration(p.NS).Round(time.Microsecond))
+			if p.Count > 1 {
+				fmt.Fprintf(w, "  (x%d, avg %s)", p.Count,
+					(time.Duration(p.NS) / time.Duration(p.Count)).Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "--- counters ---\n")
+		for _, k := range sortedKeys(s.Counters) {
+			if s.Counters[k] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-40s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "--- gauges ---\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(w, "--- histograms ---\n")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-40s n=%d mean=%s max=%s\n", k, h.Count,
+				time.Duration(h.Mean()).Round(time.Nanosecond),
+				time.Duration(h.Max).Round(time.Nanosecond))
+			for _, b := range sortedBucketLabels(h.Buckets) {
+				fmt.Fprintf(w, "    %-8s %d\n", b, h.Buckets[b])
+			}
+		}
+	}
+}
+
+// sortedBucketLabels orders bucket labels by exponent ("0" first).
+func sortedBucketLabels(m map[string]uint64) []string {
+	out := sortedKeys(m)
+	sort.Slice(out, func(i, j int) bool { return bucketExp(out[i]) < bucketExp(out[j]) })
+	return out
+}
+
+func bucketExp(label string) int {
+	if label == "0" {
+		return 0
+	}
+	var k int
+	fmt.Sscanf(label, "2^%d", &k)
+	return k
+}
+
+// WriteFileAtomic serializes v as indented JSON and atomically replaces
+// path: the bytes go to a temp file in the same directory, are synced,
+// and renamed over the target, so a crash mid-write can never leave a
+// truncated report for trajectory tooling to trip on.
+func WriteFileAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: rename %s: %w", tmpName, err)
+	}
+	return nil
+}

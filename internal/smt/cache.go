@@ -104,6 +104,7 @@ func (c *VerdictCache) lookup(k condKey) (Result, bool) {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+		mCacheMisses.Inc()
 	}
 	return r, ok
 }
@@ -111,6 +112,7 @@ func (c *VerdictCache) lookup(k condKey) (Result, bool) {
 func (c *VerdictCache) store(k condKey, r Result) {
 	if r == Unknown {
 		c.rejects.Add(1)
+		mCacheReject.Inc()
 		return
 	}
 	sh := c.shard(k)
@@ -122,8 +124,10 @@ func (c *VerdictCache) store(k condKey, r Result) {
 	sh.mu.Unlock()
 	if stored {
 		c.stores.Add(1)
+		mCacheStores.Inc()
 	} else {
 		c.rejects.Add(1)
+		mCacheReject.Inc()
 	}
 }
 

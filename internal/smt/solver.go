@@ -450,83 +450,91 @@ func (s *Solver) Model() (expr.State, Result) {
 	r, m := s.check(true)
 	if r == Sat {
 		s.stats.Models++
+		mModels.Inc()
 	}
 	return m, r
 }
 
+// check decides satisfiability and performs ALL query bookkeeping — the
+// per-solver Stats fields and the process-wide registry handles are
+// incremented here, at one site per outcome, so the two views count the
+// same events and can never diverge. solve does the actual deciding.
 func (s *Solver) check(wantModel bool) (Result, expr.State) {
 	s.lastUnknown = nil
 	// Shared verdict cache: plain checks whose condition set was already
 	// decided (by this solver or a sibling worker) answer without running
-	// the solver at all — no Checks increment, no emulated IPC overhead.
+	// the solver at all — no Checks increment, no emulated IPC overhead,
+	// and no latency sample (a ~100ns map hit would drown real solve
+	// times in the histogram).
 	var key condKey
 	cacheable := !wantModel && s.opts.Cache != nil
 	if cacheable {
 		key = s.condKey()
 		if r, ok := s.opts.Cache.lookup(key); ok {
 			s.stats.CacheHits++
+			mQueriesCacheHit.Inc()
 			return r, nil
 		}
 	}
 	s.stats.Checks++
-	if s.opts.PerCheckOverhead > 0 {
-		for start := time.Now(); time.Since(start) < s.opts.PerCheckOverhead; {
-		}
-	}
-	if s.anyFrameFailed() {
-		s.stats.UnsatResults++
-		if cacheable {
-			s.opts.Cache.store(key, Unsat)
-		}
-		return Unsat, nil
-	}
-
-	doms := s.domains
-	if !s.opts.Incremental {
-		// Rebuild domains from scratch for every check.
-		rebuilt, ok := s.rebuildDomains()
-		if !ok {
-			s.stats.UnsatResults++
-			if cacheable {
-				s.opts.Cache.store(key, Unsat)
-			}
-			return Unsat, nil
-		}
-		doms = rebuilt
-	} else {
-		for _, d := range doms {
-			if d.empty() {
-				s.stats.UnsatResults++
-				if cacheable {
-					s.opts.Cache.store(key, Unsat)
-				}
-				return Unsat, nil
-			}
-		}
-	}
-
-	res, model, uerr := s.search(doms)
+	start := time.Now()
+	res, model, uerr := s.solve(wantModel)
+	mQueryLatencyNS.ObserveSince(start)
 	if cacheable {
 		s.opts.Cache.store(key, res) // Unknown is dropped by store
 	}
 	switch res {
 	case Sat:
 		s.stats.SatResults++
+		mQueriesSat.Inc()
 		if !wantModel {
-			return Sat, nil
+			model = nil
 		}
-		return Sat, model
 	case Unsat:
 		s.stats.UnsatResults++
-		return Unsat, nil
+		mQueriesUnsat.Inc()
+		model = nil
 	default:
 		s.stats.Unknowns++
+		mQueriesUnknown.Inc()
 		s.lastUnknown = uerr
 		if uerr != nil {
 			s.stats.BudgetExhausted++
+			mBudgetExhausted.Inc()
 		}
-		return Unknown, nil
+		model = nil
 	}
+	return res, model
+}
+
+// solve runs one satisfiability decision with no stats side effects (see
+// check). The error explains an Unknown result (a *BudgetError), nil
+// otherwise.
+func (s *Solver) solve(wantModel bool) (Result, expr.State, error) {
+	_ = wantModel // models are extracted by search; the flag gates only stats
+	if s.opts.PerCheckOverhead > 0 {
+		for start := time.Now(); time.Since(start) < s.opts.PerCheckOverhead; {
+		}
+	}
+	if s.anyFrameFailed() {
+		return Unsat, nil, nil
+	}
+	doms := s.domains
+	if !s.opts.Incremental {
+		// Rebuild domains from scratch for every check.
+		rebuilt, ok := s.rebuildDomains()
+		if !ok {
+			return Unsat, nil, nil
+		}
+		doms = rebuilt
+	} else {
+		for _, d := range doms {
+			if d.empty() {
+				return Unsat, nil, nil
+			}
+		}
+	}
+	return s.search(doms)
 }
 
 // rebuildDomains recomputes all domains from the atom list (non-incremental

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/smt"
 	"repro/internal/sym"
 )
@@ -109,11 +110,15 @@ func Summarize(g *cfg.Graph, opts Options) (*Stats, error) {
 		fl = newFlow(g, opts.InitConstraints)
 	}
 	for _, region := range g.Pipelines {
+		sp := obs.Begin("generate/summary/" + region.Name)
 		st, err := summarizeRegion(g, region, opts, fl, stats)
+		dur := sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("summary: pipeline %s: %w", region.Name, err)
 		}
 		stats.Pipelines = append(stats.Pipelines, *st)
+		obs.Progressf("summary: %s summarized in %v (10^%.1f -> 10^%.1f paths)",
+			region.Name, dur, st.PossibleBefore, st.PossibleAfter)
 	}
 	return stats, nil
 }

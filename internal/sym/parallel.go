@@ -73,6 +73,9 @@ type task struct {
 	// seeding the worker's path-hash stack so journal keys below the
 	// split point are identical to sequential mode's.
 	hash uint64
+	// created is when the splitter enqueued the task; the gap until a
+	// worker claims it feeds the sym.task_queue_wait_ns histogram.
+	created time.Time
 	// templates receives the subtree's emissions, spliced in task order.
 	templates []*Template
 }
@@ -121,7 +124,9 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 			values:      splitter.values.Clone(),
 			obligations: append([]HashObligation(nil), splitter.obligations...),
 			hash:        splitter.curHash(),
+			created:     time.Now(),
 		})
+		mFrontierTasks.Add(1)
 		return true
 	}
 	for _, b := range c.InitConstraints {
@@ -144,6 +149,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			mWorkersStarted.Inc()
 			solver := smt.New(opts.Solver)
 			for _, b := range c.InitConstraints {
 				solver.Assert(b)
@@ -217,6 +223,8 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 				if i >= len(tasks) {
 					break
 				}
+				mFrontierTasks.Add(-1)
+				mTaskQueueWait.ObserveSince(tasks[i].created)
 				runTask(tasks[i])
 			}
 			workerStats[w] = solver.Stats()

@@ -322,6 +322,7 @@ func (e *executor) curHash() uint64 {
 // countPath registers one completed DFS descent (leaf, stop, or prune).
 func (e *executor) countPath() {
 	e.res.PathsExplored++
+	mPathsExplored.Inc()
 	if e.shared != nil {
 		e.shared.paths.Add(1)
 	}
@@ -330,6 +331,7 @@ func (e *executor) countPath() {
 // countPruned registers one early-terminated prefix.
 func (e *executor) countPruned() {
 	e.res.PrunedPaths++
+	mPathsPruned.Inc()
 	if e.shared != nil {
 		e.shared.pruned.Add(1)
 	}
@@ -551,6 +553,7 @@ func (e *executor) recoverPath(id cfg.NodeID) {
 		return
 	}
 	e.res.Recovered++
+	mPathsRecovered.Inc()
 	if e.shared != nil {
 		e.shared.recovered.Add(1)
 	}
@@ -566,6 +569,7 @@ func (e *executor) recoverPath(id cfg.NodeID) {
 
 func (e *executor) countJournalHit() {
 	e.res.JournalHits++
+	mJournalHits.Inc()
 	if e.shared != nil {
 		e.shared.jhits.Add(1)
 	}

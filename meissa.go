@@ -33,6 +33,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/expr"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/rules"
 	"repro/internal/smt"
@@ -173,18 +174,41 @@ type GenResult struct {
 	// JournalHits counts solver interactions answered from the resume
 	// journal instead of being re-solved (Resume runs only).
 	JournalHits uint64
+	// JournalAppended counts verdict records durably written to the
+	// checkpoint journal this run; JournalLoaded counts records recovered
+	// from it at open (Resume runs only). Both are zero when Checkpoint is
+	// unset.
+	JournalAppended uint64
+	JournalLoaded   uint64
+	// Phases records the wall-clock duration of each generation phase
+	// ("cfg", "summary" when code summary ran, "sym"), in execution order.
+	// The same timings aggregate under "generate/<phase>" span paths in
+	// the process obs registry.
+	Phases []obs.PhaseDur
+	// SMT is the full aggregated solver statistics across all phases
+	// (summarization passes plus the final pass). The scalar fields above
+	// (SMTCalls, SMTCacheHits, SMTUnknowns, SMTBudgetExhausted) are
+	// projections of it kept for compatibility.
+	SMT smt.Stats
 }
 
 // Generate builds the CFG, applies code summary when enabled, and runs
 // the final template generation (Algorithm 2 line 27 / Algorithm 1).
 func (s *System) Generate() (*GenResult, error) {
 	start := time.Now()
+	genSpan := obs.Begin("generate")
+	defer genSpan.End()
+	cfgSpan := obs.Begin("generate/cfg")
 	g, err := cfg.Build(s.Prog, s.Rules)
+	cfgDur := cfgSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("meissa: build CFG: %w", err)
 	}
 	res := &GenResult{Graph: g}
+	res.Phases = append(res.Phases, obs.PhaseDur{Name: "cfg", NS: int64(cfgDur), Count: 1})
 	res.PossiblePathsLog10Before = g.PossiblePathsLog10()
+	obs.Progressf("meissa: %s: CFG built in %v (10^%.1f possible paths)",
+		s.Prog.Name, cfgDur, res.PossiblePathsLog10Before)
 
 	symOpts := sym.Options{
 		EarlyTermination: s.Opts.EarlyTermination,
@@ -211,13 +235,17 @@ func (s *System) Generate() (*GenResult, error) {
 		return nil, err
 	}
 
+	var j *journal.Journal
 	if s.Opts.Checkpoint != "" {
-		j, err := journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), s.Opts.Resume)
+		j, err = journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), s.Opts.Resume)
 		if err != nil {
 			return nil, fmt.Errorf("meissa: checkpoint: %w", err)
 		}
 		defer j.Close()
 		symOpts.Journal = j
+		if s.Opts.Resume {
+			obs.Progressf("meissa: %s: resume: %d journaled verdicts loaded", s.Prog.Name, j.Loaded())
+		}
 	}
 
 	if s.Opts.CodeSummary {
@@ -226,11 +254,15 @@ func (s *System) Generate() (*GenResult, error) {
 			UsePreconditions: s.Opts.UsePreconditions,
 			InitConstraints:  initC,
 		}
+		sumSpan := obs.Begin("generate/summary")
 		stats, err := summary.Summarize(g, sumOpts)
+		sumDur := sumSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("meissa: %w", err)
 		}
+		res.Phases = append(res.Phases, obs.PhaseDur{Name: "summary", NS: int64(sumDur), Count: 1})
 		res.SummaryStats = stats
+		res.SMT.Add(stats.SMT)
 		res.SMTCalls += stats.SMT.Checks
 		res.SMTCacheHits += stats.SMT.CacheHits
 		res.PathsExplored += stats.PathsExplored
@@ -243,20 +275,26 @@ func (s *System) Generate() (*GenResult, error) {
 		res.Recovered += stats.Recovered
 		res.PathErrors = append(res.PathErrors, stats.PathErrors...)
 		res.JournalHits += stats.JournalHits
+		obs.Progressf("meissa: %s: summary done in %v (%d paths, %d solver checks)",
+			s.Prog.Name, sumDur, stats.PathsExplored, stats.SMT.Checks)
 	}
 
 	finalOpts := symOpts
 	finalOpts.WantModels = true
+	symSpan := obs.Begin("generate/sym")
 	exp, err := sym.Explore(sym.Config{
 		Graph:           g,
 		Start:           cfg.None,
 		InitConstraints: initC,
 		Options:         finalOpts,
 	})
+	symDur := symSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("meissa: %w", err)
 	}
+	res.Phases = append(res.Phases, obs.PhaseDur{Name: "sym", NS: int64(symDur), Count: 1})
 	res.Templates = exp.Templates
+	res.SMT.Add(exp.SMT)
 	res.SMTCalls += exp.SMT.Checks
 	res.FinalSMTCalls = exp.SMT.Checks
 	res.SMTCacheHits += exp.SMT.CacheHits
@@ -273,7 +311,50 @@ func (s *System) Generate() (*GenResult, error) {
 	res.JournalHits += exp.JournalHits
 	res.PossiblePathsLog10After = g.PossiblePathsLog10()
 	res.Duration = time.Since(start)
+	if j != nil {
+		res.JournalAppended = j.Appended()
+		res.JournalLoaded = uint64(j.Loaded())
+	}
+	obs.Progressf("meissa: %s: generation done in %v (%d templates, %d paths, %d solver checks, %d cache hits)",
+		s.Prog.Name, res.Duration, len(res.Templates), res.PathsExplored, res.SMTCalls, res.SMTCacheHits)
 	return res, nil
+}
+
+// Report builds the machine-readable run report (obs.ReportSchema) for
+// this generation: phase durations, path counts before/after summary
+// reduction, the solver outcome histogram, and journal activity. The
+// caller may extend it (the test subcommand adds the driver section) and
+// attach a registry snapshot before writing it out.
+func (g *GenResult) Report(command, program string, parallelism int) *obs.Report {
+	rep := &obs.Report{
+		Schema:      obs.ReportSchema,
+		Command:     command,
+		Program:     program,
+		Parallelism: parallelism,
+		WallNS:      int64(g.Duration),
+		Phases:      g.Phases,
+		Paths: &obs.PathReport{
+			Explored:            g.PathsExplored,
+			FinalExplored:       g.FinalPathsExplored,
+			Pruned:              g.PrunedPaths,
+			Templates:           len(g.Templates),
+			PossibleLog10Before: g.PossiblePathsLog10Before,
+			PossibleLog10After:  g.PossiblePathsLog10After,
+			Truncated:           g.Truncated,
+			Recovered:           g.Recovered,
+		},
+		Solver: obs.NewSolverReport(g.SMT.Checks, g.SMT.SatResults, g.SMT.UnsatResults,
+			g.SMT.Unknowns, g.SMTCacheHits, g.SMT.BudgetExhausted, g.Duration),
+		Journal: &obs.JournalReport{
+			Appended: g.JournalAppended,
+			Loaded:   g.JournalLoaded,
+			Hits:     g.JournalHits,
+		},
+	}
+	if h, ok := obs.Default().Snapshot().Histograms["smt.query_latency_ns"]; ok {
+		rep.Solver.LatencyNS = &h
+	}
+	return rep
 }
 
 func (s *System) solverOptions() smt.Options {

@@ -1,0 +1,97 @@
+package meissa_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/programs"
+)
+
+// TestStatsTotalsParallelInvariant pins the accounting contract behind
+// the run report: path, prune and total-query counts are EXACTLY equal
+// across -parallel settings, not merely close. Sequential mode has no
+// verdict cache (every logical query is a solver check); parallel mode
+// answers some of those same queries from the shared cache — so
+// Checks+CacheHits, never Checks alone, is the parallelism-invariant
+// query volume the report exposes as solver.total_queries.
+func TestStatsTotalsParallelInvariant(t *testing.T) {
+	for _, p := range []*programs.Program{
+		corpusProgram(t, "Router"),
+		programs.GW(1, programs.Set1),
+	} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			seq := generateAt(t, p, true, 1)
+			if seq.SMTCacheHits != 0 {
+				t.Fatalf("sequential run used the verdict cache (%d hits); it must not have one", seq.SMTCacheHits)
+			}
+			for _, par := range []int{2, 4} {
+				got := generateAt(t, p, true, par)
+				if got.PathsExplored != seq.PathsExplored {
+					t.Errorf("P=%d PathsExplored = %d, want %d", par, got.PathsExplored, seq.PathsExplored)
+				}
+				if got.PrunedPaths != seq.PrunedPaths {
+					t.Errorf("P=%d PrunedPaths = %d, want %d", par, got.PrunedPaths, seq.PrunedPaths)
+				}
+				if len(got.Templates) != len(seq.Templates) {
+					t.Errorf("P=%d templates = %d, want %d", par, len(got.Templates), len(seq.Templates))
+				}
+				gotTotal := got.SMTCalls + got.SMTCacheHits
+				if gotTotal != seq.SMTCalls {
+					t.Errorf("P=%d total queries = %d (checks %d + cache hits %d), want exactly %d",
+						par, gotTotal, got.SMTCalls, got.SMTCacheHits, seq.SMTCalls)
+				}
+				// The aggregated solver stats must be internally consistent:
+				// every solved query has exactly one of the three outcomes,
+				// and budget exhaustion is a subset of unknown.
+				s := got.SMT
+				if s.SatResults+s.UnsatResults+s.Unknowns != s.Checks {
+					t.Errorf("P=%d outcome sum %d != checks %d",
+						par, s.SatResults+s.UnsatResults+s.Unknowns, s.Checks)
+				}
+				if s.BudgetExhausted > s.Unknowns {
+					t.Errorf("P=%d budget exhausted %d > unknowns %d", par, s.BudgetExhausted, s.Unknowns)
+				}
+			}
+		})
+	}
+}
+
+// TestRunReportValidates is the in-process metrics smoke test: a real
+// generation must produce a run report that passes the same validator the
+// CI metrics-smoke job runs on -metrics-out files, and survive a JSON
+// round trip through ParseReport.
+func TestRunReportValidates(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	for _, par := range []int{1, 4} {
+		gen := generateAt(t, p, true, par)
+		rep := gen.Report("gen", p.Name, par)
+		rep.Registry = obs.Default().Snapshot()
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("P=%d report invalid: %v", par, err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := obs.ParseReport(data)
+		if err != nil {
+			t.Fatalf("P=%d round trip: %v", par, err)
+		}
+		if back.Solver.TotalQueries == 0 || back.Paths.Explored == 0 || back.Paths.Templates == 0 {
+			t.Fatalf("P=%d round-tripped report lost counts: %+v", par, back)
+		}
+		for _, name := range []string{"cfg", "summary", "sym"} {
+			found := false
+			for _, ph := range back.Phases {
+				if ph.Name == name && ph.NS > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("P=%d report missing phase %q with nonzero duration: %+v", par, name, back.Phases)
+			}
+		}
+	}
+}
