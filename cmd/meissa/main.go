@@ -14,18 +14,15 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
 	meissa "repro"
 	"repro/internal/driver"
-	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/programs"
@@ -46,6 +43,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "test":
 		err = cmdTest(os.Args[2:])
+	case "regress":
+		err = cmdRegress(os.Args[2:])
 	case "corpus":
 		err = cmdCorpus()
 	case "dump":
@@ -71,6 +70,10 @@ func usage() {
               [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-v] [-quiet]
               [-metrics-out report.json] [-pprof-addr host:port]
               [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
+  meissa regress -baseline base.journal [-p prog.p4 | -corpus NAME] [-rules-old FILE]
+              [-rules-new FILE | -mutate N] [-checkpoint FILE] [-emit-rules FILE]
+              [-report regress.json] [-o cases.txt] [-parallel N] [-no-summary]
+              [-watch [-interval D]] [-v] [-quiet]
   meissa corpus
   meissa dump -corpus <name>
   meissa checkmetrics <report.json>`)
@@ -90,7 +93,16 @@ func loadInputs(fs *flag.FlagSet, args []string) (*p4.Program, *rules.Set, []*sp
 	if *corpusName != "" {
 		for _, p := range programs.All() {
 			if p.Name == *corpusName {
-				return p.Prog, p.Rules, nil, fs, nil
+				rs := p.Rules
+				if *rulesPath != "" {
+					// -r overrides the corpus program's built-in rules (the
+					// regress smoke path: corpus program, mutated rule file).
+					var err error
+					if rs, err = readRules(*rulesPath); err != nil {
+						return nil, nil, nil, nil, err
+					}
+				}
+				return p.Prog, rs, nil, fs, nil
 			}
 		}
 		return nil, nil, nil, nil, fmt.Errorf("unknown corpus program %q", *corpusName)
@@ -108,12 +120,7 @@ func loadInputs(fs *flag.FlagSet, args []string) (*p4.Program, *rules.Set, []*sp
 	}
 	rs := rules.NewSet()
 	if *rulesPath != "" {
-		data, err := os.ReadFile(*rulesPath)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		rs, err = rules.Parse(string(data))
-		if err != nil {
+		if rs, err = readRules(*rulesPath); err != nil {
 			return nil, nil, nil, nil, err
 		}
 	}
@@ -129,6 +136,19 @@ func loadInputs(fs *flag.FlagSet, args []string) (*p4.Program, *rules.Set, []*sp
 		}
 	}
 	return prog, rs, specs, fs, nil
+}
+
+// readRules loads and parses a rule-set file.
+func readRules(path string) (*rules.Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
 }
 
 func cmdGen(args []string) error {
@@ -223,24 +243,9 @@ func cmdGen(args []string) error {
 
 // writeTemplates renders templates in a deterministic text format: runs
 // of the same program + rules + options produce byte-identical files, so
-// a resumed run can be diffed against an uninterrupted one.
+// a resumed or incremental run can be diffed against a cold one.
 func writeTemplates(w io.Writer, ts []*sym.Template) error {
-	bw := bufio.NewWriter(w)
-	for _, t := range ts {
-		fmt.Fprintf(bw, "#%d path=%v dropped=%v uncertain=%v\n", t.ID, t.Path, t.Dropped, t.Uncertain)
-		for _, c := range t.Constraints {
-			fmt.Fprintf(bw, "  cond %s\n", c)
-		}
-		vars := make([]string, 0, len(t.Model))
-		for v := range t.Model {
-			vars = append(vars, string(v))
-		}
-		sort.Strings(vars)
-		for _, v := range vars {
-			fmt.Fprintf(bw, "  model %s=%d\n", v, t.Model[expr.Var(v)])
-		}
-	}
-	return bw.Flush()
+	return meissa.WriteTemplates(w, ts)
 }
 
 // parseFaults parses -fault kind:arg[,kind:arg...].

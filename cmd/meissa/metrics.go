@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	meissa "repro"
 	"repro/internal/driver"
 	"repro/internal/obs"
+	"repro/internal/regress"
 )
 
 // obsFlags are the observability flags shared by gen and test:
@@ -124,6 +126,17 @@ func cmdCheckMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Dispatch on the schema field: run reports and regress reports share
+	// the checkmetrics entry point.
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	if head.Schema == regress.Schema {
+		return checkRegressReport(data)
+	}
 	rep, err := obs.ParseReport(data)
 	if err != nil {
 		return err
@@ -142,5 +155,24 @@ func cmdCheckMetrics(args []string) error {
 		fmt.Printf("  solver queries=%d solved=%d outcomes=%v\n",
 			rep.Solver.TotalQueries, rep.Solver.Solved, rep.Solver.Outcomes)
 	}
+	return nil
+}
+
+// checkRegressReport validates and summarizes a meissa.regress-report/v1
+// file (the CI regress-smoke gate).
+func checkRegressReport(data []byte) error {
+	rep, err := regress.ParseReport(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: regress %s wall=%v\n", rep.Program, time.Duration(rep.WallNS).Round(time.Millisecond))
+	fmt.Printf("  delta tables=%v +%d -%d ~%d\n", rep.Delta.TablesChanged,
+		rep.Delta.EntriesAdded, rep.Delta.EntriesRemoved, rep.Delta.EntriesModified)
+	fmt.Printf("  journal retained=%d/%d invalidated=%d unindexed=%d\n",
+		rep.Journal.Retained, rep.Journal.Baseline, rep.Journal.Invalidated, rep.Journal.Unindexed)
+	fmt.Printf("  templates current=%d unchanged=%d added=%d retired=%d\n",
+		rep.Templates.Current, rep.Templates.Unchanged, rep.Templates.Added, rep.Templates.Retired)
+	fmt.Printf("  queries live=%d avoided=%d reuse=%.2f\n",
+		rep.Queries.Live, rep.Queries.Avoided, rep.Queries.Reuse)
 	return nil
 }

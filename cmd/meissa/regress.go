@@ -1,0 +1,189 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	meissa "repro"
+	"repro/internal/obs"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+	"repro/internal/smt"
+)
+
+// cmdRegress runs rule-diff-driven incremental regression testing: given
+// a baseline run's checkpoint journal and an updated rule set, it
+// re-explores only the paths the rule delta touches and reports how much
+// solver work the journal reuse avoided. The incremental output is
+// byte-identical to a cold full run on the new rules (-o files diff
+// clean against `meissa gen` on the same inputs).
+func cmdRegress(args []string) error {
+	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "baseline checkpoint journal (required; written by gen -checkpoint)")
+	rulesOld := fs.String("rules-old", "", "rule set the baseline was generated under (default: the -corpus/-r rules)")
+	rulesNew := fs.String("rules-new", "", "updated rule set file")
+	mutate := fs.Int("mutate", 0, "derive the new rules by bumping N action arguments of the old rules (instead of -rules-new)")
+	checkpointPath := fs.String("checkpoint", "", "rebased journal path (default <baseline>.next)")
+	emitRules := fs.String("emit-rules", "", "write the effective new rule set to this file")
+	reportPath := fs.String("report", "", "write the regress report (JSON) to this file")
+	outPath := fs.String("o", "", "write the incremental test cases to this file (deterministic format)")
+	noSummary := fs.Bool("no-summary", false, "disable code summary (basic framework)")
+	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
+	watch := fs.Bool("watch", false, "keep watching -rules-new and re-regress on every change")
+	interval := fs.Duration("interval", 2*time.Second, "watch poll interval")
+	verbose := fs.Bool("v", false, "print per-phase progress on stderr")
+	ob := registerObsFlags(fs)
+	prog, rs, specs, _, err := loadInputs(fs, args)
+	if err != nil {
+		return err
+	}
+	if err := ob.activate(*verbose); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		return fmt.Errorf("regress requires -baseline <journal>")
+	}
+	if *rulesNew == "" && *mutate <= 0 {
+		return fmt.Errorf("regress requires -rules-new <file> or -mutate N")
+	}
+	if *watch && *rulesNew == "" {
+		return fmt.Errorf("-watch requires -rules-new (the file to watch)")
+	}
+	oldRules := rs
+	if *rulesOld != "" {
+		if oldRules, err = readRules(*rulesOld); err != nil {
+			return err
+		}
+	}
+	newRules, err := loadNewRules(*rulesNew, *mutate, oldRules)
+	if err != nil {
+		return err
+	}
+	if *emitRules != "" {
+		if err := os.WriteFile(*emitRules, []byte(newRules.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	ckpt := *checkpointPath
+	if ckpt == "" {
+		ckpt = *baseline + ".next"
+	}
+
+	opts := meissa.DefaultOptions()
+	opts.CodeSummary = !*noSummary
+	opts.Parallelism = *parallel
+	opts.Checkpoint = ckpt
+	if *watch {
+		// One verdict cache survives the whole watch session; each
+		// iteration invalidates only the changed branches.
+		opts.VerdictCache = smt.NewVerdictCache()
+	}
+
+	runOnce := func(old, new *rules.Set, base, ckpt string) (*meissa.RegressResult, error) {
+		o := opts
+		o.Checkpoint = ckpt
+		res, err := meissa.Regress(meissa.RegressInput{
+			Prog:     prog,
+			OldRules: old,
+			NewRules: new,
+			Specs:    specs,
+			Opts:     o,
+			Baseline: base,
+			Program:  prog.Name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		printRegress(res)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := meissa.WriteTemplates(f, res.Gen.Templates); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			fmt.Printf("  wrote %d test cases to %s\n", len(res.Gen.Templates), *outPath)
+		}
+		if *reportPath != "" {
+			if err := obs.WriteFileAtomic(*reportPath, res.Report); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "meissa: wrote regress report to %s\n", *reportPath)
+		}
+		return res, nil
+	}
+
+	res, err := runOnce(oldRules, newRules, *baseline, ckpt)
+	if err != nil {
+		return err
+	}
+	if !*watch {
+		return ob.finish(res.Report.Run)
+	}
+
+	// Watch mode: each completed iteration's checkpoint becomes the next
+	// baseline (alternating between two paths so source and destination
+	// always differ), and the new rules become the old.
+	curBase, curCkpt := ckpt, ckpt+".alt"
+	curRules := newRules
+	lastText := newRules.String()
+	fmt.Fprintf(os.Stderr, "meissa: watching %s (poll %v; interrupt to stop)\n", *rulesNew, *interval)
+	for {
+		time.Sleep(*interval)
+		next, err := readRules(*rulesNew)
+		if err != nil {
+			obs.Warnf("regress: watch: %v", err)
+			continue
+		}
+		if next.String() == lastText {
+			continue
+		}
+		lastText = next.String()
+		if curRules.Equal(next) {
+			continue // cosmetic edit: canonically identical
+		}
+		if _, err := runOnce(curRules, next, curBase, curCkpt); err != nil {
+			obs.Warnf("regress: watch iteration failed: %v", err)
+			continue
+		}
+		curBase, curCkpt = curCkpt, curBase
+		curRules = next
+	}
+}
+
+// loadNewRules resolves the updated rule set: an explicit file, or a
+// deterministic -mutate N arg bump of the old rules.
+func loadNewRules(path string, mutate int, old *rules.Set) (*rules.Set, error) {
+	if path != "" {
+		return readRules(path)
+	}
+	mutated, n := rulediff.MutateArgs(old, mutate)
+	if n == 0 {
+		return nil, fmt.Errorf("-mutate %d changed no entries (no action arguments in the rule set)", mutate)
+	}
+	return mutated, nil
+}
+
+func printRegress(res *meissa.RegressResult) {
+	rep := res.Report
+	fmt.Printf("regress %s: %d table(s) changed (+%d -%d ~%d entries) in %v\n",
+		rep.Program, len(rep.Delta.TablesChanged), rep.Delta.EntriesAdded,
+		rep.Delta.EntriesRemoved, rep.Delta.EntriesModified,
+		time.Duration(rep.WallNS).Round(time.Millisecond))
+	j := rep.Journal
+	fmt.Printf("  journal: %d/%d baseline verdicts retained (%d invalidated, %d unindexed)\n",
+		j.Retained, j.Baseline, j.Invalidated, j.Unindexed)
+	t := rep.Templates
+	fmt.Printf("  templates: %d (%d unchanged, %d added, %d retired)\n",
+		t.Current, t.Unchanged, t.Added, t.Retired)
+	q := rep.Queries
+	fmt.Printf("  queries: %d live, %d avoided (%d journal + %d cache, %.0f%% reuse)\n",
+		q.Live, q.Avoided, q.JournalHits, q.CacheHits, 100*q.Reuse)
+}

@@ -534,12 +534,17 @@ func (b *builder) encodeTable(fr frontier, tbl *p4.TableDecl, pipe string, depth
 		if expr.EqualBool(full, expr.False) {
 			continue // statically shadowed entry
 		}
+		// Tag every node of this entry's branch (predicate + inlined action
+		// body) with the entry's dependency tag so the regression layer can
+		// retire exactly the verdicts that ran through it.
+		mark := len(g.Nodes)
 		p := g.AddPredicate(full, pipe, fmt.Sprintf("table %s entry %d", tbl.Name, i))
 		b.linkAll(fr, p.ID)
 		actFr, err := b.encodeActionCall(frontier{p.ID}, &p4.ActionCall{Name: e.Action, Args: constArgs(e.Args)}, nil, pipe, depth)
 		if err != nil {
 			return nil, fmt.Errorf("table %s entry %d: %w", tbl.Name, i, err)
 		}
+		g.TagDeps(mark, rules.DepTag(tbl.Name, e))
 		out = append(out, actFr...)
 
 		if exactOnly {
@@ -554,6 +559,7 @@ func (b *builder) encodeTable(fr frontier, tbl *p4.TableDecl, pipe string, depth
 	}
 	missCond = expr.SimplifyBool(missCond)
 	if !expr.EqualBool(missCond, expr.False) {
+		mark := len(g.Nodes)
 		p := g.AddPredicate(missCond, pipe, fmt.Sprintf("table %s miss", tbl.Name))
 		b.linkAll(fr, p.ID)
 		def := tbl.DefaultAction
@@ -564,6 +570,7 @@ func (b *builder) encodeTable(fr frontier, tbl *p4.TableDecl, pipe string, depth
 		if err != nil {
 			return nil, fmt.Errorf("table %s default: %w", tbl.Name, err)
 		}
+		g.TagDeps(mark, rules.MissTag(tbl.Name))
 		out = append(out, missFr...)
 	}
 	return out, nil

@@ -75,10 +75,72 @@ type Node struct {
 	// Comment describes the node's origin for execution traces and bug
 	// localization (§7), e.g. "table ipv4_host entry 3".
 	Comment string
+
+	// Deps lists the rule-dependency tags of this node: one tag per table
+	// entry or miss branch whose encoding produced it (rules.DepTag /
+	// rules.MissTag format). The incremental regression layer uses Deps to
+	// decide which journal records and cached verdicts a rule update can
+	// retire. Nil for nodes that do not depend on any table rule.
+	Deps []string
+
+	// content caches the node's content hash (ContentHash).
+	content uint64
 }
 
 // IsLeaf reports whether the node terminates paths.
 func (n *Node) IsLeaf() bool { return len(n.Succs) == 0 }
+
+// FNV-1a constants for the content hash.
+const (
+	contentOffset64 = 14695981039346656037
+	contentPrime64  = 1099511628211
+)
+
+// mixString folds a string plus a terminator into an FNV-1a accumulator.
+// The terminator keeps adjacent fields from aliasing ("ab"+"c" vs "a"+"bc").
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= contentPrime64
+	}
+	h ^= 0xff
+	h *= contentPrime64
+	return h
+}
+
+// contentHash computes the node's position-independent content hash: a
+// digest of the statement payload (kind plus the rendered expressions)
+// that is stable across graph rebuilds as long as the statement itself is
+// unchanged. Succs, Pipeline, Comment, Deps, and — for Predicate/Action
+// nodes — the node ID are all excluded, so inserting or removing an
+// unrelated table entry upstream shifts IDs without disturbing the
+// hashes of untouched nodes. Hash and Checksum nodes additionally fold
+// in their ID: symbolic execution mints a fresh symbol named after the
+// node ID for them ("hash$nN"), which makes the ID observable content.
+func contentHash(n *Node) uint64 {
+	h := uint64(contentOffset64)
+	h ^= uint64(n.Kind) + 1
+	h *= contentPrime64
+	switch n.Kind {
+	case Predicate:
+		h = mixString(h, n.Pred.String())
+	case Action:
+		h = mixString(h, string(n.Var))
+		h = mixString(h, n.Val.String())
+	case Hash, Checksum:
+		h = mixString(h, string(n.Var))
+		for _, in := range n.Inputs {
+			h = mixString(h, in.String())
+		}
+		h ^= uint64(n.ID)
+		h *= contentPrime64
+	}
+	return h
+}
+
+// ContentHash returns the node's content hash (see contentHash). It is
+// computed once at node creation and safe for concurrent readers.
+func (n *Node) ContentHash() uint64 { return n.content }
 
 // StmtString renders the node's statement in the paper's syntax.
 func (n *Node) StmtString() string {
@@ -131,9 +193,33 @@ func (g *Graph) Node(id NodeID) *Node { return g.Nodes[id] }
 // add inserts a node and returns it.
 func (g *Graph) add(n *Node) *Node {
 	n.ID = NodeID(len(g.Nodes))
+	n.content = contentHash(n)
 	g.Nodes = append(g.Nodes, n)
 	g.noteVars(n)
 	return n
+}
+
+// ContentHash returns the content hash of the node with the given ID.
+func (g *Graph) ContentHash(id NodeID) uint64 { return g.Nodes[id].content }
+
+// TagDeps appends tag to the Deps of every node with index >= from,
+// skipping nodes that already carry it. The table encoder calls it with
+// the node-count watermark taken before encoding an entry or miss branch:
+// node IDs are assigned sequentially, so the slice [from:] is exactly the
+// branch's nodes (including inlined action bodies).
+func (g *Graph) TagDeps(from int, tag string) {
+	for _, n := range g.Nodes[from:] {
+		seen := false
+		for _, d := range n.Deps {
+			if d == tag {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			n.Deps = append(n.Deps, tag)
+		}
+	}
 }
 
 // noteVars records variable widths mentioned by a node.

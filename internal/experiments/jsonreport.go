@@ -70,5 +70,10 @@ func BenchRuns() (*BenchReport, error) {
 			br.Runs = append(br.Runs, rep)
 		}
 	}
+	regressRuns, err := regressBenchRuns()
+	if err != nil {
+		return nil, err
+	}
+	br.Runs = append(br.Runs, regressRuns...)
 	return br, nil
 }

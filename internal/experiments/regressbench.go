@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	meissa "repro"
+	"repro/internal/obs"
+	"repro/internal/programs"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+)
+
+// Incremental-regression benchmark: for every corpus program, measure the
+// re-exploration cost of three canonical rule deltas against a fresh
+// baseline — a single-entry action-data update (the common operational
+// case), a 10% update, and a full-set update (the incremental worst
+// case, equivalent to a cold run plus rebase overhead). Each run's report
+// lands in the bench document with RuleSet "<base>~<delta>", so
+// trajectory tooling can plot live-query counts against delta size.
+var regressDeltas = []struct {
+	name   string
+	mutate func(*rules.Set) (*rules.Set, int)
+}{
+	{"1entry", func(s *rules.Set) (*rules.Set, int) { return rulediff.MutateArgs(s, 1) }},
+	{"10pct", func(s *rules.Set) (*rules.Set, int) { return rulediff.MutateFraction(s, 0.10) }},
+	{"full", func(s *rules.Set) (*rules.Set, int) { return rulediff.MutateFraction(s, 1.0) }},
+}
+
+// regressBenchRun generates a baseline for p under its built-in rules,
+// then runs the incremental regression against newRules and returns the
+// incremental generation's run report.
+func regressBenchRun(p *programs.Program, ruleSet string, newRules *rules.Set) (*obs.Report, error) {
+	dir, err := os.MkdirTemp("", "meissa-bench-regress-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	baseOpts := meissa.DefaultOptions()
+	baseOpts.Deadline = Budget
+	baseOpts.Parallelism = Parallelism
+	baseOpts.Checkpoint = filepath.Join(dir, "base.journal")
+	sys, err := meissa.New(p.Prog, p.Rules, nil, baseOpts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Generate(); err != nil {
+		return nil, fmt.Errorf("bench regress %s/%s baseline: %w", p.Name, ruleSet, err)
+	}
+
+	incrOpts := meissa.DefaultOptions()
+	incrOpts.Deadline = Budget
+	incrOpts.Parallelism = Parallelism
+	incrOpts.Checkpoint = filepath.Join(dir, "next.journal")
+	res, err := meissa.Regress(meissa.RegressInput{
+		Prog:     p.Prog,
+		OldRules: p.Rules,
+		NewRules: newRules,
+		Opts:     incrOpts,
+		Baseline: baseOpts.Checkpoint,
+		Program:  p.Name,
+		RuleSet:  ruleSet,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench regress %s/%s: %w", p.Name, ruleSet, err)
+	}
+	rep := res.Report.Run
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("bench regress %s/%s: %w", p.Name, ruleSet, err)
+	}
+	return rep, nil
+}
+
+// regressBenchRuns measures every corpus program × delta kind, skipping
+// delta kinds the program's rule set cannot express (no action
+// arguments to mutate).
+func regressBenchRuns() ([]*obs.Report, error) {
+	var out []*obs.Report
+	for _, p := range programs.All() {
+		for _, d := range regressDeltas {
+			newRules, n := d.mutate(p.Rules)
+			if n == 0 {
+				continue
+			}
+			rep, err := regressBenchRun(p, "builtin~"+d.name, newRules)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}

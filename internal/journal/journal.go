@@ -48,6 +48,15 @@ const (
 	// KindEmit is a leaf/stop-node emission verdict, optionally carrying
 	// the model extracted for the template.
 	KindEmit Kind = 2
+	// KindIndex is a dependency-index record annotating the immediately
+	// preceding verdict record: it carries the table dependency tags of
+	// the path that produced the verdict, so an incremental rebase can
+	// retire exactly the records a rule update touches. Its Key is the
+	// annotated record's key and its Verdict byte stores the annotated
+	// record's Kind (Check and Emit records may legally share a key
+	// value). Index records never answer lookups themselves; at load they
+	// fold into the verdict record they annotate.
+	KindIndex Kind = 3
 )
 
 // Verdict mirrors smt.Result without importing it (journal sits below the
@@ -74,9 +83,21 @@ type VarVal struct {
 // Record is one journaled solver verdict.
 type Record struct {
 	Kind    Kind
-	Key     uint64 // salted path-prefix hash
+	Key     uint64 // content-based path-prefix hash
 	Verdict Verdict
 	Model   []VarVal // KindEmit with a Sat verdict only; sorted by Var
+
+	// Tables holds the dependency tags of the path that produced the
+	// verdict (sorted; rules.DepTag format). On verdict records it is
+	// populated from the trailing KindIndex record at load; on KindIndex
+	// records it is the payload itself.
+	Tables []string
+	// Indexed reports whether a dependency index record was recovered for
+	// this verdict. The pair is appended with one write(2), but a tear can
+	// still strand a verdict without its index (partial write, or a record
+	// written by plain Append); Rebase treats such records conservatively.
+	// In-memory only; not serialized.
+	Indexed bool
 }
 
 type mapKey struct {
@@ -90,7 +111,8 @@ type Journal struct {
 	f    *os.File
 	seen map[mapKey]Record // loaded at Open; read-only afterwards
 
-	loaded   int
+	loaded   int // verdict records recovered (deduplicated)
+	scanned  int // total non-header records scanned, including duplicates and index records
 	appended atomic.Uint64
 	epoch    atomic.Uint64
 }
@@ -165,9 +187,23 @@ func (j *Journal) load(fingerprint uint64) (int64, error) {
 				return 0, fmt.Errorf("journal: checkpoint written for a different program or options (fingerprint %#x, want %#x)", rec.Key, fingerprint)
 			}
 			first = false
+		} else if rec.Kind == KindIndex {
+			// Fold the dependency index into the verdict it annotates (its
+			// Verdict byte stores the annotated record's kind). An index is
+			// appended in the same write as its verdict, so it always
+			// follows it; an orphan index (verdict superseded later in the
+			// file) is simply dropped.
+			j.scanned++
+			k := mapKey{Kind(rec.Verdict), rec.Key}
+			if vr, ok := j.seen[k]; ok {
+				vr.Tables = rec.Tables
+				vr.Indexed = true
+				j.seen[k] = vr
+			}
 		} else {
 			j.seen[mapKey{rec.Kind, rec.Key}] = rec
 			j.loaded++
+			j.scanned++
 			mRecordsLoaded.Inc()
 		}
 		off += int64(n)
@@ -203,12 +239,105 @@ func (j *Journal) Append(r Record) error {
 	return nil
 }
 
-// NextEpoch returns consecutive integers (1, 2, 3, …). Each exploration
-// in a run takes one and salts its path hashes with it, so two
-// explorations over graphs that happen to share node-ID sequences (the
-// summarization passes and the final pass reuse IDs) cannot collide in
-// the journal. Exploration order is deterministic, so the resumed run
-// assigns the same epochs.
+// AppendWithDeps journals one verdict together with its dependency index
+// record in a single write(2), so a kill tears at most this one pair —
+// and a verdict that survives without its index is detected (Indexed
+// stays false at load) and handled conservatively by the rebase. The
+// index is written even when tables is empty: its presence is what
+// distinguishes "depends on no table" from "index lost to a tear".
+// Thread-safe.
+func (j *Journal) AppendWithDeps(r Record, tables []string) error {
+	r.Tables = nil // tags live on the index record only
+	buf := encode(r)
+	buf = append(buf, encode(Record{Kind: KindIndex, Key: r.Key, Verdict: Verdict(r.Kind), Tables: tables})...)
+	j.mu.Lock()
+	_, err := j.f.Write(buf)
+	j.mu.Unlock()
+	if err != nil {
+		mAppendErrors.Inc()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appended.Add(2)
+	mRecordsAppended.Add(2)
+	return nil
+}
+
+// Records returns the deduplicated verdict records (dependency
+// annotations folded in) in canonical order: sorted by (kind, key).
+func (j *Journal) Records() []Record {
+	out := make([]Record, 0, len(j.seen))
+	for _, r := range j.seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Kind != out[k].Kind {
+			return out[i].Kind < out[k].Kind
+		}
+		return out[i].Key < out[k].Key
+	})
+	return out
+}
+
+// Compact rewrites a closed checkpoint file keeping only the live
+// records: one verdict (plus its index, when present) per (kind, key),
+// last-wins, in canonical (kind, key) order. Superseded duplicates and
+// orphaned index records are dropped. The rewrite goes through a
+// temporary file and an atomic rename, so a crash mid-compaction leaves
+// the original journal intact. Returns the records kept and dropped;
+// compacting an already-compact journal is a deterministic no-op (the
+// output bytes are a fixpoint).
+func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
+	j, err := Open(path, fingerprint, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	recs := j.Records()
+	scanned := j.scanned
+	if err := j.Close(); err != nil {
+		return 0, 0, fmt.Errorf("journal: compact close: %w", err)
+	}
+
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, 0, fmt.Errorf("journal: compact create: %w", err)
+	}
+	var buf []byte
+	buf = append(buf, encode(Record{Kind: KindHeader, Key: fingerprint})...)
+	written := 0
+	for _, r := range recs {
+		tables, indexed := r.Tables, r.Indexed
+		r.Tables, r.Indexed = nil, false
+		buf = append(buf, encode(r)...)
+		written++
+		if indexed {
+			buf = append(buf, encode(Record{Kind: KindIndex, Key: r.Key, Verdict: Verdict(r.Kind), Tables: tables})...)
+			written++
+		}
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact rename: %w", err)
+	}
+	dropped = scanned - written
+	mRecordsCompacted.Add(uint64(dropped))
+	return written, dropped, nil
+}
+
+// NextEpoch returns consecutive integers (1, 2, 3, …). Retained for
+// callers that want per-exploration salts; the exploration engine now
+// derives its journal keys from content-based context seeds instead
+// (see internal/sym), so that verdicts stay addressable across graph
+// rebuilds and rule-set revisions.
 func (j *Journal) NextEpoch() uint64 { return j.epoch.Add(1) }
 
 // Loaded returns the number of records recovered at Open (resume only).
@@ -233,9 +362,13 @@ func SortModel(m []VarVal) {
 // encode frames one record.
 func encode(r Record) []byte {
 	// payload: kind(1) verdict(1) key(8) nmodel(2) {varlen(2) var val(8)}*
-	n := 1 + 1 + 8 + 2
+	//          ntables(2) {tlen(2) table}*
+	n := 1 + 1 + 8 + 2 + 2
 	for _, vv := range r.Model {
 		n += 2 + len(vv.Var) + 8
+	}
+	for _, t := range r.Tables {
+		n += 2 + len(t)
 	}
 	payload := make([]byte, 0, n)
 	payload = append(payload, byte(r.Kind), byte(r.Verdict))
@@ -245,6 +378,11 @@ func encode(r Record) []byte {
 		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(vv.Var)))
 		payload = append(payload, vv.Var...)
 		payload = binary.LittleEndian.AppendUint64(payload, vv.Val)
+	}
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Tables)))
+	for _, t := range r.Tables {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(t)))
+		payload = append(payload, t...)
 	}
 	if r.Kind == KindHeader {
 		payload = append(payload, magic...)
@@ -264,7 +402,7 @@ func decode(data []byte) (Record, int, bool) {
 	}
 	plen := int(binary.LittleEndian.Uint32(data))
 	total := 4 + plen + 4
-	if plen < 12 || len(data) < total {
+	if plen < 14 || len(data) < total {
 		return Record{}, 0, false
 	}
 	payload := data[4 : 4+plen]
@@ -289,6 +427,23 @@ func decode(data []byte) (Record, int, bool) {
 		}
 		r.Model = append(r.Model, VarVal{Var: string(payload[off : off+vl]), Val: binary.LittleEndian.Uint64(payload[off+vl:])})
 		off += vl + 8
+	}
+	if off+2 > plen {
+		return Record{}, 0, false
+	}
+	nt := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	for i := 0; i < nt; i++ {
+		if off+2 > plen {
+			return Record{}, 0, false
+		}
+		tl := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+tl > plen {
+			return Record{}, 0, false
+		}
+		r.Tables = append(r.Tables, string(payload[off:off+tl]))
+		off += tl
 	}
 	if r.Kind == KindHeader {
 		if plen < off+len(magic) || string(payload[off:off+len(magic)]) != magic {

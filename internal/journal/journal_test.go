@@ -193,3 +193,200 @@ func TestConcurrentAppend(t *testing.T) {
 		t.Fatalf("loaded %d, want %d", r.Loaded(), workers*per)
 	}
 }
+
+// TestAppendWithDepsRoundTrip: the verdict+index pair reloads with the
+// dependency tags folded in and Indexed set; a plain Append stays
+// unindexed; an empty tag list is still "indexed" (depends on nothing).
+func TestAppendWithDepsRoundTrip(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 0xabc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"acl#0011223344556677", "acl#miss", "nat"}
+	if err := j.AppendWithDeps(Record{Kind: KindCheck, Key: 1, Verdict: Unsat}, tags); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendWithDeps(Record{Kind: KindEmit, Key: 1, Verdict: Sat, Model: []VarVal{{"x", 9}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindCheck, Key: 2, Verdict: Sat}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 5 {
+		t.Fatalf("appended %d, want 5 (two pairs + one plain)", j.Appended())
+	}
+	j.Close()
+
+	r, err := Open(path, 0xabc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Loaded() != 3 {
+		t.Fatalf("loaded %d verdicts, want 3", r.Loaded())
+	}
+	chk, ok := r.Lookup(KindCheck, 1)
+	if !ok || !chk.Indexed || len(chk.Tables) != 3 {
+		t.Fatalf("tagged check loaded as %+v", chk)
+	}
+	for i, want := range tags {
+		if chk.Tables[i] != want {
+			t.Fatalf("tag %d = %q, want %q", i, chk.Tables[i], want)
+		}
+	}
+	// KindCheck and KindEmit share key 1; the index must bind to its own
+	// record's kind.
+	em, ok := r.Lookup(KindEmit, 1)
+	if !ok || !em.Indexed || len(em.Tables) != 0 || em.Model[0].Val != 9 {
+		t.Fatalf("empty-deps emit loaded as %+v", em)
+	}
+	plain, ok := r.Lookup(KindCheck, 2)
+	if !ok || plain.Indexed {
+		t.Fatalf("plain append loaded as %+v (must stay unindexed)", plain)
+	}
+}
+
+// TestTornIndexConservative: a kill that lands between a verdict and its
+// index record (simulated by truncating the index off the tail) must
+// reload the verdict with Indexed=false, never with stale tags.
+func TestTornIndexConservative(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendWithDeps(Record{Kind: KindEmit, Key: 7, Verdict: Sat}, []string{"tbl#0"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, _ := os.ReadFile(path)
+	idxLen := len(encode(Record{Kind: KindIndex, Key: 7, Verdict: Verdict(KindEmit), Tables: []string{"tbl#0"}}))
+	os.WriteFile(path, full[:len(full)-idxLen], 0o644)
+
+	r, err := Open(path, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec, ok := r.Lookup(KindEmit, 7)
+	if !ok {
+		t.Fatal("verdict lost with its index")
+	}
+	if rec.Indexed || len(rec.Tables) != 0 {
+		t.Fatalf("torn index left annotations: %+v", rec)
+	}
+}
+
+// TestRecordsCanonicalOrder: Records() is sorted by (kind, key) with
+// duplicates resolved last-wins.
+func TestRecordsCanonicalOrder(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindEmit, Key: 9, Verdict: Sat})
+	j.Append(Record{Kind: KindCheck, Key: 4, Verdict: Sat})
+	j.Append(Record{Kind: KindCheck, Key: 2, Verdict: Unsat})
+	j.Append(Record{Kind: KindCheck, Key: 4, Verdict: Unsat}) // supersedes
+	j.Close()
+
+	r, err := Open(path, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (duplicate deduped)", len(recs))
+	}
+	wantOrder := []struct {
+		kind Kind
+		key  uint64
+	}{{KindCheck, 2}, {KindCheck, 4}, {KindEmit, 9}}
+	for i, w := range wantOrder {
+		if recs[i].Kind != w.kind || recs[i].Key != w.key {
+			t.Fatalf("record %d = (%d,%d), want (%d,%d)", i, recs[i].Kind, recs[i].Key, w.kind, w.key)
+		}
+	}
+	if recs[1].Verdict != Unsat {
+		t.Fatal("duplicate resolution is not last-wins")
+	}
+}
+
+// TestCompact: superseded duplicates and orphaned index records are
+// dropped, every live verdict (with annotations) survives, and a second
+// compaction is a byte-identical fixpoint.
+func TestCompact(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 0x11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: three generations, only the last (with index) must survive.
+	j.Append(Record{Kind: KindCheck, Key: 1, Verdict: Sat})
+	j.AppendWithDeps(Record{Kind: KindCheck, Key: 1, Verdict: Unknown}, []string{"old#f"})
+	j.AppendWithDeps(Record{Kind: KindCheck, Key: 1, Verdict: Unsat}, []string{"t1#a", "t2"})
+	// Key 2: plain, never superseded.
+	j.Append(Record{Kind: KindEmit, Key: 2, Verdict: Sat, Model: []VarVal{{"v", 3}}})
+	j.Close()
+
+	kept, dropped, err := Compact(path, 0x11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live: check@1 + its index + emit@2 = 3; dropped: 2 stale verdicts +
+	// 1 orphaned index = 3.
+	if kept != 3 || dropped != 3 {
+		t.Fatalf("kept=%d dropped=%d, want 3/3", kept, dropped)
+	}
+
+	r, err := Open(path, 0x11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loaded() != 2 {
+		t.Fatalf("loaded %d after compact, want 2", r.Loaded())
+	}
+	chk, ok := r.Lookup(KindCheck, 1)
+	if !ok || chk.Verdict != Unsat || !chk.Indexed || len(chk.Tables) != 2 || chk.Tables[0] != "t1#a" {
+		t.Fatalf("compacted record lost data: %+v", chk)
+	}
+	em, ok := r.Lookup(KindEmit, 2)
+	if !ok || em.Indexed || em.Model[0].Val != 3 {
+		t.Fatalf("compacted plain record: %+v", em)
+	}
+	r.Close()
+
+	before, _ := os.ReadFile(path)
+	kept2, dropped2, err := Compact(path, 0x11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if dropped2 != 0 || kept2 != kept || string(before) != string(after) {
+		t.Fatalf("compaction is not a fixpoint: kept=%d dropped=%d bytes %d->%d",
+			kept2, dropped2, len(before), len(after))
+	}
+}
+
+// TestCompactFingerprintMismatch: compacting someone else's journal is
+// refused, and the file is left untouched.
+func TestCompactFingerprintMismatch(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindCheck, Key: 1, Verdict: Sat})
+	j.Close()
+	before, _ := os.ReadFile(path)
+	if _, _, err := Compact(path, 2); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("failed compaction modified the journal")
+	}
+}

@@ -1,0 +1,99 @@
+// Package regress implements incremental regression testing: given a
+// baseline run's checkpoint journal and a rule-set delta, it rebases the
+// journal onto the new rule set — retiring exactly the records whose
+// paths crossed a changed table branch — so the re-exploration answers
+// every untouched solver interaction from the journal and re-solves only
+// the affected subtrees.
+//
+// Soundness does not rest on the invalidation being precise: journal
+// records are keyed by content-based path-prefix hashes (internal/sym),
+// so a retained record can only ever be looked up by a walk whose
+// context and path content are byte-identical to the walk that produced
+// it — and verdicts are pure functions of that content. The dependency
+// index therefore only has to be an over-approximation for the REBASED
+// journal to be exact; invalidating too much merely costs re-solving.
+// The invalidation rule (internal/rulediff.InvalidTags) is conservative
+// in exactly that direction: arg-only deltas retire the modified
+// entries' branches, anything structural retires the whole table.
+package regress
+
+import (
+	"fmt"
+
+	"repro/internal/journal"
+)
+
+// RebaseStats accounts for one journal rebase.
+type RebaseStats struct {
+	// Baseline is the number of verdict records in the source journal
+	// (deduplicated, dependency annotations folded in).
+	Baseline int `json:"baseline_records"`
+	// Retained records were copied to the destination journal: their
+	// dependency tags avoid every invalidated branch, so the incremental
+	// run answers them without re-solving.
+	Retained int `json:"retained"`
+	// Invalidated records crossed a changed table branch and were dropped.
+	Invalidated int `json:"invalidated"`
+	// Unindexed records carried no dependency index (torn pair, or written
+	// by a pre-index run) and were dropped conservatively.
+	Unindexed int `json:"unindexed"`
+}
+
+// Rebase copies the baseline journal at srcPath onto a fresh journal at
+// dstPath, keeping every indexed record whose dependency tags all pass
+// the invalid filter (invalid == nil retains every indexed record). The
+// destination is created with dstFP — the incremental run's fingerprint
+// under the NEW rule set — so resuming from it cross-checks exactly like
+// any other checkpoint. The source is opened read-only-resume and left
+// untouched.
+func Rebase(srcPath, dstPath string, srcFP, dstFP uint64, invalid func(tag string) bool) (*RebaseStats, error) {
+	if srcPath == dstPath {
+		return nil, fmt.Errorf("regress: rebase source and destination are the same file %q", srcPath)
+	}
+	src, err := journal.Open(srcPath, srcFP, true)
+	if err != nil {
+		return nil, fmt.Errorf("regress: open baseline: %w", err)
+	}
+	recs := src.Records()
+	if err := src.Close(); err != nil {
+		return nil, fmt.Errorf("regress: close baseline: %w", err)
+	}
+
+	dst, err := journal.Open(dstPath, dstFP, false)
+	if err != nil {
+		return nil, fmt.Errorf("regress: create rebased journal: %w", err)
+	}
+	st := &RebaseStats{Baseline: len(recs)}
+	for _, r := range recs {
+		if !r.Indexed {
+			st.Unindexed++
+			continue
+		}
+		drop := false
+		if invalid != nil {
+			for _, tag := range r.Tables {
+				if invalid(tag) {
+					drop = true
+					break
+				}
+			}
+		}
+		if drop {
+			st.Invalidated++
+			continue
+		}
+		tables := r.Tables
+		r.Tables, r.Indexed = nil, false
+		if err := dst.AppendWithDeps(r, tables); err != nil {
+			dst.Close()
+			return nil, fmt.Errorf("regress: rebase append: %w", err)
+		}
+		st.Retained++
+	}
+	if err := dst.Close(); err != nil {
+		return nil, fmt.Errorf("regress: close rebased journal: %w", err)
+	}
+	mRecordsRetained.Add(uint64(st.Retained))
+	mRecordsInvalidated.Add(uint64(st.Invalidated + st.Unindexed))
+	return st, nil
+}

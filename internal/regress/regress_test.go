@@ -1,0 +1,195 @@
+package regress
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/rulediff"
+)
+
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// writeBaseline builds a journal with a mix of indexed, unindexed, and
+// tag-bearing records.
+func writeBaseline(t *testing.T, path string, fp uint64) {
+	t.Helper()
+	j, err := journal.Open(path, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.AppendWithDeps(journal.Record{Kind: journal.KindCheck, Key: 1, Verdict: journal.Sat}, []string{"acl#0000000000000001"}))
+	must(j.AppendWithDeps(journal.Record{Kind: journal.KindCheck, Key: 2, Verdict: journal.Unsat}, []string{"acl#0000000000000002", "nat#0000000000000009"}))
+	must(j.AppendWithDeps(journal.Record{Kind: journal.KindEmit, Key: 3, Verdict: journal.Sat,
+		Model: []journal.VarVal{{Var: "port", Val: 80}}}, []string{"acl#miss"}))
+	must(j.AppendWithDeps(journal.Record{Kind: journal.KindCheck, Key: 4, Verdict: journal.Sat}, nil)) // no deps
+	must(j.Append(journal.Record{Kind: journal.KindCheck, Key: 5, Verdict: journal.Sat}))             // unindexed
+}
+
+func TestRebaseFiltersByTag(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "base.journal")
+	dst := filepath.Join(dir, "next.journal")
+	writeBaseline(t, src, 7)
+
+	// Invalidate one acl entry branch: keys 1 drops, 2/3/4 stay, 5 is
+	// unindexed and drops conservatively.
+	invalid := rulediff.Matcher([]string{"acl#0000000000000001"})
+	st, err := Rebase(src, dst, 7, 9, invalid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RebaseStats{Baseline: 5, Retained: 3, Invalidated: 1, Unindexed: 1}
+	if *st != want {
+		t.Fatalf("stats = %+v, want %+v", *st, want)
+	}
+
+	// The rebased journal opens under the NEW fingerprint and serves the
+	// retained records with their annotations intact.
+	d, err := journal.Open(dst, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, ok := d.Lookup(journal.KindCheck, 1); ok {
+		t.Error("invalidated record survived the rebase")
+	}
+	if _, ok := d.Lookup(journal.KindCheck, 5); ok {
+		t.Error("unindexed record survived the rebase")
+	}
+	r, ok := d.Lookup(journal.KindEmit, 3)
+	if !ok || r.Verdict != journal.Sat || len(r.Model) != 1 || r.Model[0].Val != 80 {
+		t.Fatalf("retained emit record mangled: %+v ok=%v", r, ok)
+	}
+	if !r.Indexed || len(r.Tables) != 1 || r.Tables[0] != "acl#miss" {
+		t.Errorf("retained record lost its dependency index: %+v", r)
+	}
+	if r, _ := d.Lookup(journal.KindCheck, 4); !r.Indexed {
+		t.Error("empty-deps record must stay indexed after rebase")
+	}
+}
+
+func TestRebaseWholeTableWipe(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "base.journal")
+	dst := filepath.Join(dir, "next.journal")
+	writeBaseline(t, src, 7)
+
+	st, err := Rebase(src, dst, 7, 7, rulediff.Matcher([]string{"acl"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 1, 2 (acl entry tags) and 3 (acl#miss) drop; 4 (no deps) stays.
+	want := RebaseStats{Baseline: 5, Retained: 1, Invalidated: 3, Unindexed: 1}
+	if *st != want {
+		t.Fatalf("stats = %+v, want %+v", *st, want)
+	}
+}
+
+func TestRebaseNilFilterRetainsIndexed(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "base.journal")
+	dst := filepath.Join(dir, "next.journal")
+	writeBaseline(t, src, 7)
+	st, err := Rebase(src, dst, 7, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retained != 4 || st.Invalidated != 0 || st.Unindexed != 1 {
+		t.Fatalf("stats = %+v, want 4 retained / 1 unindexed", *st)
+	}
+}
+
+func TestRebaseRejectsSamePath(t *testing.T) {
+	if _, err := Rebase("x.journal", "x.journal", 1, 1, nil); err == nil {
+		t.Fatal("same-path rebase must error")
+	}
+}
+
+func TestRebaseFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "base.journal")
+	writeBaseline(t, src, 7)
+	if _, err := Rebase(src, filepath.Join(dir, "next.journal"), 8, 8, nil); err == nil {
+		t.Fatal("wrong baseline fingerprint must error")
+	}
+}
+
+func validReport() *Report {
+	return &Report{
+		Schema: Schema,
+		WallNS: 1,
+		Delta: &DeltaReport{
+			TablesChanged:   []string{"acl"},
+			EntriesModified: 1,
+		},
+		Journal:   &RebaseStats{Baseline: 5, Retained: 3, Invalidated: 1, Unindexed: 1},
+		Templates: &TemplateReport{Baseline: 10, Current: 10, Added: 2, Retired: 2, Unchanged: 8},
+		Queries:   NewQueryReport(3, 20, 5),
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	r := validReport()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	q := r.Queries
+	if q.Avoided != 25 || q.Total != 28 || q.Reuse <= 0.89 || q.Reuse >= 0.9 {
+		t.Errorf("NewQueryReport = %+v", q)
+	}
+
+	bad := validReport()
+	bad.Journal.Retained++
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "journal accounting") {
+		t.Errorf("journal imbalance not caught: %v", err)
+	}
+	bad = validReport()
+	bad.Templates.Unchanged--
+	if bad.Validate() == nil {
+		t.Error("template imbalance not caught")
+	}
+	bad = validReport()
+	bad.Queries.Total++
+	if bad.Validate() == nil {
+		t.Error("query imbalance not caught")
+	}
+	bad = validReport()
+	bad.Schema = "nope"
+	if bad.Validate() == nil {
+		t.Error("schema mismatch not caught")
+	}
+	bad = validReport()
+	bad.Delta = nil
+	if bad.Validate() == nil {
+		t.Error("missing section not caught")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := validReport()
+	r.Program = "gw-1"
+	r.RuleSet = "set-1"
+	data, err := jsonMarshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "gw-1" || got.Queries.Avoided != 25 || got.Templates.Unchanged != 8 {
+		t.Errorf("round-trip mangled report: %+v", got)
+	}
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -35,10 +35,11 @@ import (
 type VerdictCache struct {
 	shards [cacheShards]cacheShard
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	stores  atomic.Uint64
-	rejects atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	stores      atomic.Uint64
+	rejects     atomic.Uint64
+	invalidated atomic.Uint64
 }
 
 // CacheStats is a snapshot of the cross-worker cache counters.
@@ -48,6 +49,9 @@ type CacheStats struct {
 	// Stores counts verdicts inserted; Rejects counts verdicts dropped
 	// because the shard was at capacity (or the verdict was Unknown).
 	Stores, Rejects uint64
+	// Invalidated counts verdicts evicted by tag (Invalidate) — the
+	// rule-update invalidation path of incremental regression runs.
+	Invalidated uint64
 }
 
 // Stats returns a snapshot of the shared counters. Safe to call
@@ -55,10 +59,11 @@ type CacheStats struct {
 // so the snapshot is only per-counter consistent (fine for reporting).
 func (c *VerdictCache) Stats() CacheStats {
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Stores:  c.stores.Load(),
-		Rejects: c.rejects.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stores:      c.stores.Load(),
+		Rejects:     c.rejects.Load(),
+		Invalidated: c.invalidated.Load(),
 	}
 }
 
@@ -71,6 +76,11 @@ const cacheShardCap = 1 << 14
 type cacheShard struct {
 	mu sync.Mutex
 	m  map[condKey]Result
+	// byTag is the inverse dependency index: tag ID → keys stored under
+	// that tag, making Invalidate O(affected entries) instead of a full
+	// scan. Lists may hold keys already evicted (rejects never index, but
+	// two tags can list one key); Invalidate tolerates missing keys.
+	byTag map[uint64][]condKey
 }
 
 // condKey is an order-independent digest of a constraint multiset: the sum
@@ -109,7 +119,7 @@ func (c *VerdictCache) lookup(k condKey) (Result, bool) {
 	return r, ok
 }
 
-func (c *VerdictCache) store(k condKey, r Result) {
+func (c *VerdictCache) store(k condKey, r Result, tags []uint64) {
 	if r == Unknown {
 		c.rejects.Add(1)
 		mCacheReject.Inc()
@@ -120,6 +130,14 @@ func (c *VerdictCache) store(k condKey, r Result) {
 	stored := len(sh.m) < cacheShardCap
 	if stored {
 		sh.m[k] = r
+		if len(tags) > 0 {
+			if sh.byTag == nil {
+				sh.byTag = make(map[uint64][]condKey)
+			}
+			for _, t := range tags {
+				sh.byTag[t] = append(sh.byTag[t], k)
+			}
+		}
 	}
 	sh.mu.Unlock()
 	if stored {
@@ -129,6 +147,47 @@ func (c *VerdictCache) store(k condKey, r Result) {
 		c.rejects.Add(1)
 		mCacheReject.Inc()
 	}
+}
+
+// TagID hashes a dependency tag name (a table name or a rules.DepTag
+// string) to the cache's tag-ID space (FNV-1a).
+func TagID(name string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(name))
+	return f.Sum64()
+}
+
+// Invalidate evicts every cached verdict stored under any of the given
+// tag IDs, returning the number of entries removed. Cost is proportional
+// to the affected entries (each shard consults only its inverse index),
+// not to the cache size — the O(affected) property a one-entry rule
+// update needs. Safe for concurrent use, but callers normally quiesce
+// exploration first: invalidating mid-run only loses cache hits.
+func (c *VerdictCache) Invalidate(tags []uint64) int {
+	removed := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, t := range tags {
+			keys, ok := sh.byTag[t]
+			if !ok {
+				continue
+			}
+			for _, k := range keys {
+				if _, present := sh.m[k]; present {
+					delete(sh.m, k)
+					removed++
+				}
+			}
+			delete(sh.byTag, t)
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalidated.Add(uint64(removed))
+		mCacheInvalidated.Add(uint64(removed))
+	}
+	return removed
 }
 
 // Len returns the number of cached verdicts (for tests and debugging).

@@ -15,8 +15,8 @@ func TestVerdictCacheStoreLookup(t *testing.T) {
 	if _, ok := c.lookup(k1); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.store(k1, Sat)
-	c.store(k2, Unsat)
+	c.store(k1, Sat, nil)
+	c.store(k2, Unsat, nil)
 	if r, ok := c.lookup(k1); !ok || r != Sat {
 		t.Errorf("lookup(k1) = %v,%v want Sat,true", r, ok)
 	}
@@ -25,12 +25,55 @@ func TestVerdictCacheStoreLookup(t *testing.T) {
 	}
 	// Unknown verdicts depend on the search budget and must not be cached.
 	k3 := condKey{sum: 7, xor: 8, n: 9}
-	c.store(k3, Unknown)
+	c.store(k3, Unknown, nil)
 	if _, ok := c.lookup(k3); ok {
 		t.Error("Unknown verdict was cached")
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+}
+
+// TestVerdictCacheInvalidate stores verdicts under dependency tags and
+// checks that Invalidate evicts exactly the tagged entries, counts them in
+// CacheStats.Invalidated, and leaves untagged entries untouched.
+func TestVerdictCacheInvalidate(t *testing.T) {
+	c := NewVerdictCache()
+	tagA := TagID("acl#0011223344556677")
+	tagB := TagID("acl#miss")
+	tagTbl := TagID("acl")
+	k1 := condKey{sum: 1, xor: 2, n: 3}
+	k2 := condKey{sum: 4, xor: 5, n: 6}
+	k3 := condKey{sum: 7, xor: 8, n: 9}
+	c.store(k1, Sat, []uint64{tagA, tagTbl})
+	c.store(k2, Unsat, []uint64{tagB, tagTbl})
+	c.store(k3, Sat, nil) // no deps: survives every invalidation
+
+	if n := c.Invalidate([]uint64{TagID("other")}); n != 0 {
+		t.Fatalf("Invalidate(unrelated) removed %d, want 0", n)
+	}
+	if n := c.Invalidate([]uint64{tagA}); n != 1 {
+		t.Fatalf("Invalidate(tagA) removed %d, want 1", n)
+	}
+	if _, ok := c.lookup(k1); ok {
+		t.Error("k1 survived its tag's invalidation")
+	}
+	if _, ok := c.lookup(k2); !ok {
+		t.Error("k2 evicted by an unrelated tag")
+	}
+	// Whole-table tag still lists k1 (already gone) and k2: tolerant of
+	// stale keys, removes only the present one.
+	if n := c.Invalidate([]uint64{tagTbl}); n != 1 {
+		t.Fatalf("Invalidate(table) removed %d, want 1", n)
+	}
+	if _, ok := c.lookup(k3); !ok {
+		t.Error("untagged entry evicted")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Errorf("Stats.Invalidated = %d, want 2", st.Invalidated)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
 	}
 }
 

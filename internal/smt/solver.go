@@ -164,6 +164,11 @@ type Solver struct {
 	// lastUnknown is the typed reason the most recent Check/Model
 	// returned Unknown (a *BudgetError), nil otherwise.
 	lastUnknown error
+	// depTags, when set (SetDepTags), supplies the dependency tag IDs to
+	// attach to verdicts stored in the shared cache, enabling
+	// VerdictCache.Invalidate by table tag. Called once per cacheable
+	// store, on this solver's goroutine.
+	depTags func() []uint64
 }
 
 // New returns a solver with the given options.
@@ -196,6 +201,12 @@ func (s *Solver) LastUnknown() error { return s.lastUnknown }
 
 // ResetStats zeroes the counters.
 func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// SetDepTags installs the dependency-tag provider consulted when storing
+// verdicts into the shared cache (nil disables tagging). Not
+// synchronized: call it from the goroutine that runs this solver's
+// checks (exploration executors retarget it per task).
+func (s *Solver) SetDepTags(f func() []uint64) { s.depTags = f }
 
 // Depth returns the current number of pushed frames (excluding the root).
 func (s *Solver) Depth() int { return len(s.frames) - 1 }
@@ -481,7 +492,11 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 	res, model, uerr := s.solve(wantModel)
 	mQueryLatencyNS.ObserveSince(start)
 	if cacheable {
-		s.opts.Cache.store(key, res) // Unknown is dropped by store
+		var tags []uint64
+		if s.depTags != nil {
+			tags = s.depTags()
+		}
+		s.opts.Cache.store(key, res, tags) // Unknown is dropped by store
 	}
 	switch res {
 	case Sat:

@@ -215,6 +215,12 @@ func encodePath(g *cfg.Graph, region *cfg.Region, t *sym.Template, initC []expr.
 	head = cfg.None
 	tail = cfg.None
 	appendNode := func(n *cfg.Node) {
+		// Every chain node inherits the template's rule-dependency tags:
+		// the chain stands in for a concrete path through the pipeline's
+		// tables, so final-pass walks crossing it must accumulate the same
+		// dependencies the folded path had (journal index records and
+		// verdict-cache tags for incremental regression both rely on this).
+		n.Deps = t.Deps
 		if head == cfg.None {
 			head = n.ID
 		} else {

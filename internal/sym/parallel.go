@@ -69,10 +69,13 @@ type task struct {
 	values expr.Subst
 	// obligations are the hash/checksum obligations pending on the prefix.
 	obligations []HashObligation
-	// hash is the journal key of the prefix (0 when journaling is off),
-	// seeding the worker's path-hash stack so journal keys below the
-	// split point are identical to sequential mode's.
+	// hash is the content-based journal key of the prefix, seeding the
+	// worker's path-hash stack so journal keys below the split point are
+	// identical to sequential mode's.
 	hash uint64
+	// deps snapshots the prefix's rule-dependency tag counts, seeding the
+	// worker's dependency stack.
+	deps map[string]int
 	// created is when the splitter enqueued the task; the gap until a
 	// worker claims it feeds the sym.task_queue_wait_ns histogram.
 	created time.Time
@@ -80,7 +83,7 @@ type task struct {
 	templates []*Template
 }
 
-func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoch uint64) (*Result, error) {
+func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, seed uint64) (*Result, error) {
 	if opts.Solver.Cache == nil {
 		opts.Solver.Cache = smt.NewVerdictCache()
 	}
@@ -99,23 +102,28 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 	hardCap := 64 * workers
 	var tasks []*task
 	splitter := &executor{
-		g:         c.Graph,
-		opts:      opts,
-		stop:      c.StopAt,
-		solver:    smt.New(opts.Solver),
-		values:    expr.Subst{},
-		res:       &Result{},
-		shared:    shared,
-		widthProd: 1,
+		g:          c.Graph,
+		opts:       opts,
+		stop:       c.StopAt,
+		solver:     smt.New(opts.Solver),
+		values:     expr.Subst{},
+		res:        &Result{},
+		shared:     shared,
+		widthProd:  1,
+		hashes:     []uint64{seed},
+		deps:       map[string]int{},
+		journaling: journaling,
 	}
-	if journaling {
-		splitter.hashes = []uint64{hashMix(fnvOffset64, epoch)}
-	}
+	splitter.solver.SetDepTags(splitter.depTags)
 	splitter.spill = func(id cfg.NodeID) bool {
 		n := c.Graph.Node(id)
 		atEnd := n.IsLeaf() || (splitter.stop != nil && splitter.stop[id])
 		if !atEnd && splitter.widthProd < targetWidth && len(tasks) < hardCap {
 			return false // keep splitting above the frontier
+		}
+		deps := make(map[string]int, len(splitter.deps))
+		for d, c := range splitter.deps {
+			deps[d] = c
 		}
 		tasks = append(tasks, &task{
 			start:       id,
@@ -124,6 +132,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 			values:      splitter.values.Clone(),
 			obligations: append([]HashObligation(nil), splitter.obligations...),
 			hash:        splitter.curHash(),
+			deps:        deps,
 			created:     time.Now(),
 		})
 		mFrontierTasks.Add(1)
@@ -175,10 +184,13 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, epoc
 					res:         res,
 					shared:      shared,
 					visits:      visits, // deadline ticks span tasks
+					hashes:      []uint64{t.hash},
+					deps:        t.deps,
+					journaling:  journaling,
 				}
-				if journaling {
-					e.hashes = []uint64{t.hash}
-				}
+				// The solver is worker-local and tasks run one at a time, so
+				// retargeting its dep-tag provider per task is race-free.
+				solver.SetDepTags(e.depTags)
 				if !opts.Strict {
 					defer func() {
 						if r := recover(); r != nil {

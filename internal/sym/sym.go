@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/cfg"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/hashfn"
 	"repro/internal/journal"
 	"repro/internal/p4"
+	"repro/internal/rules"
 	"repro/internal/smt"
 )
 
@@ -67,6 +69,16 @@ type Template struct {
 	// Uncertain marks templates whose final satisfiability check returned
 	// Unknown (kept, to preserve coverage; the driver re-validates).
 	Uncertain bool
+	// PathKey is the content-based journal key of the template's complete
+	// path (context seed folded with every path node's content hash).
+	// Identical across runs, modes, and graph rebuilds as long as the
+	// path's content is unchanged — the identity the regression layer uses
+	// to classify templates as added/retired/unchanged across rule sets.
+	PathKey uint64
+	// Deps lists the rule-dependency tags of the path's nodes, sorted
+	// (rules.DepTag / rules.MissTag format): one tag per table entry or
+	// miss branch the path ran through.
+	Deps []string
 }
 
 // HashObligation is a deferred hash/checksum consistency check.
@@ -123,9 +135,13 @@ type Options struct {
 	// interrupted run) are answered from the journal without consulting
 	// the solver. The DFS is deterministic, so a resumed run re-derives
 	// byte-identical templates for the journaled prefix and continues
-	// live from the kill point. Journal keys are salted per exploration
-	// (Journal.NextEpoch), making one journal safe across the many
-	// explorations of a summarization + generation run.
+	// live from the kill point. Journal keys are content-based: each
+	// exploration seeds its path hash from the content of its start/stop
+	// nodes and initial stacks, and folds in each path node's content
+	// hash (not its ID), so a record stays addressable across graph
+	// rebuilds — including rebuilds from a *different rule set*, which is
+	// what incremental regression runs exploit: a verdict keyed by
+	// unchanged content is correct for any run that reaches that content.
 	Journal *journal.Journal
 	// PathHook, when non-nil, is invoked at every completed descent
 	// (leaf or stop node) with the descent's path prefix, before the
@@ -209,27 +225,29 @@ func Explore(c Config) (*Result, error) {
 	if start == cfg.None {
 		start = c.Graph.Entry
 	}
-	// The epoch is taken unconditionally (and before the parallel
-	// dispatch) so the Nth exploration of a run salts its journal keys
-	// identically whether it runs sequentially or parallel, and whether
-	// earlier explorations answered from the journal or solved live.
-	var epoch uint64
-	if opts.Journal != nil {
-		epoch = opts.Journal.NextEpoch()
-	}
+	// The seed is derived from the exploration's content (start/stop node
+	// content hashes, initial stacks) — not from an exploration counter —
+	// so the same context produces the same journal keys in any run,
+	// sequential or parallel, cold or incremental. Content-identical
+	// contexts have identical verdicts, which makes cross-run sharing
+	// sound by construction.
+	seed := contextSeed(c, start, opts)
 	if workers := opts.Workers(); workers > 1 {
-		return exploreParallel(c, opts, start, workers, epoch)
+		return exploreParallel(c, opts, start, workers, seed)
 	}
 	e := &executor{
-		g:      c.Graph,
-		opts:   opts,
-		stop:   c.StopAt,
-		solver: smt.New(opts.Solver),
-		values: expr.Subst{},
-		res:    &Result{},
+		g:          c.Graph,
+		opts:       opts,
+		stop:       c.StopAt,
+		solver:     smt.New(opts.Solver),
+		values:     expr.Subst{},
+		res:        &Result{},
+		hashes:     []uint64{seed},
+		deps:       map[string]int{},
+		journaling: opts.Journal != nil && !opts.NoValidation,
 	}
-	if opts.Journal != nil && !opts.NoValidation {
-		e.hashes = []uint64{hashMix(fnvOffset64, epoch)}
+	if opts.Solver.Cache != nil {
+		e.solver.SetDepTags(e.depTags)
 	}
 	if opts.Deadline > 0 {
 		e.deadline = time.Now().Add(opts.Deadline)
@@ -282,12 +300,21 @@ type executor struct {
 	// shared, when set, carries the cross-worker counters and the
 	// cooperative cancel used by parallel exploration.
 	shared *sharedState
-	// hashes is the salted path-hash stack paralleling path, maintained
-	// only while journaling is active (nil = journaling off). The top is
-	// the journal key for the current prefix; a journal append failure
-	// nils the stack, degrading to a non-journaled exploration rather
-	// than aborting the run.
+	// hashes is the content-based path-hash stack paralleling path,
+	// always maintained (it also feeds Template.PathKey): the top is the
+	// journal key for the current prefix.
 	hashes []uint64
+	// journaling gates journal reads/writes; a journal append failure
+	// clears it, degrading to a non-journaled exploration rather than
+	// aborting the run.
+	journaling bool
+	// deps multiset-counts the rule-dependency tags of the current path's
+	// nodes (pushed/popped with the path); curDeps snapshots it for
+	// journal index records and templates.
+	deps map[string]int
+	// tagIDs memoizes smt.TagID per dependency tag for verdict-cache
+	// tagging.
+	tagIDs map[string]uint64
 }
 
 // FNV-1a constants for the incremental path hash.
@@ -310,13 +337,101 @@ func hashMix(h, v uint64) uint64 {
 	return h
 }
 
-// curHash is the journal key of the current path prefix (0 when
-// journaling is off).
-func (e *executor) curHash() uint64 {
-	if e.hashes == nil {
-		return 0
+// hashStr folds a string plus a terminator into a path hash (FNV-1a).
+func hashStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
+	h ^= 0xfe
+	h *= fnvPrime64
+	return h
+}
+
+// contextSeed derives an exploration's journal-key seed from its content:
+// the start node's content hash, the stop set's content hashes (sorted —
+// StopAt is a map), the initial condition stack in order, the initial
+// value bindings sorted by variable, and the WantModels flag (a model-
+// extracting run must not share emit records with a check-only run, or a
+// resumed model run would reconstruct templates without models). Two
+// explorations with equal seeds and equal path content ask literally the
+// same satisfiability questions, so sharing journal records between them
+// is sound; node IDs and exploration order are deliberately excluded so
+// the keys survive graph rebuilds and rule-set revisions.
+func contextSeed(c Config, start cfg.NodeID, opts Options) uint64 {
+	h := hashMix(fnvOffset64, 0x9e3779b97f4a7c15) // domain separator
+	h = hashMix(h, c.Graph.ContentHash(start))
+	if len(c.StopAt) > 0 {
+		stops := make([]uint64, 0, len(c.StopAt))
+		for id := range c.StopAt {
+			stops = append(stops, c.Graph.ContentHash(id))
+		}
+		sort.Slice(stops, func(i, j int) bool { return stops[i] < stops[j] })
+		h = hashMix(h, uint64(len(stops)))
+		for _, s := range stops {
+			h = hashMix(h, s)
+		}
+	}
+	for _, b := range c.InitConstraints {
+		h = hashStr(h, b.String())
+	}
+	if len(c.InitValues) > 0 {
+		vars := make([]string, 0, len(c.InitValues))
+		for v := range c.InitValues {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			h = hashStr(h, v)
+			h = hashStr(h, c.InitValues[expr.Var(v)].String())
+		}
+	}
+	if opts.WantModels {
+		h = hashMix(h, 1)
+	}
+	return h
+}
+
+// curHash is the journal key of the current path prefix.
+func (e *executor) curHash() uint64 {
 	return e.hashes[len(e.hashes)-1]
+}
+
+// curDeps snapshots the current path's dependency tags, sorted.
+func (e *executor) curDeps() []string {
+	if len(e.deps) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(e.deps))
+	for d := range e.deps {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// depTags resolves the current path's dependency tags to verdict-cache
+// tag IDs: each tag itself plus its bare table name, so the cache can be
+// invalidated either per entry branch or per whole table.
+func (e *executor) depTags() []uint64 {
+	if len(e.deps) == 0 {
+		return nil
+	}
+	if e.tagIDs == nil {
+		e.tagIDs = map[string]uint64{}
+	}
+	out := make([]uint64, 0, 2*len(e.deps))
+	for d := range e.deps {
+		for _, s := range [2]string{d, rules.TagTable(d)} {
+			id, ok := e.tagIDs[s]
+			if !ok {
+				id = smt.TagID(s)
+				e.tagIDs[s] = id
+			}
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // countPath registers one completed DFS descent (leaf, stop, or prune).
@@ -405,22 +520,23 @@ func (e *executor) dfs(id cfg.NodeID) {
 		// The stop node is not on e.path, so fold it into the emit key
 		// here: distinct stop nodes reached from one prefix must not
 		// share a journal record.
-		key := e.curHash()
-		if e.hashes != nil {
-			key = hashMix(key, uint64(id))
-		}
-		e.emit(key)
+		e.emit(hashMix(e.curHash(), e.g.ContentHash(id)))
 		return
 	}
 	n := e.g.Node(id)
 	e.path = append(e.path, id)
-	if e.hashes != nil {
-		e.hashes = append(e.hashes, hashMix(e.hashes[len(e.hashes)-1], uint64(id)))
+	e.hashes = append(e.hashes, hashMix(e.hashes[len(e.hashes)-1], e.g.ContentHash(id)))
+	for _, d := range n.Deps {
+		e.deps[d]++
 	}
 	defer func() {
 		e.path = e.path[:len(e.path)-1]
-		if e.hashes != nil {
-			e.hashes = e.hashes[:len(e.hashes)-1]
+		e.hashes = e.hashes[:len(e.hashes)-1]
+		for _, d := range n.Deps {
+			e.deps[d]--
+			if e.deps[d] == 0 {
+				delete(e.deps, d)
+			}
 		}
 	}()
 
@@ -575,13 +691,14 @@ func (e *executor) countJournalHit() {
 	}
 }
 
-// appendJournal writes one verdict record. Journaling is an aid, not a
-// correctness requirement: on a write failure (disk full, fd revoked)
-// further journaling is disabled and exploration continues — the
-// checkpoint simply ends early and a future resume re-solves from there.
+// appendJournal writes one verdict record together with its dependency
+// index. Journaling is an aid, not a correctness requirement: on a write
+// failure (disk full, fd revoked) further journaling is disabled and
+// exploration continues — the checkpoint simply ends early and a future
+// resume re-solves from there.
 func (e *executor) appendJournal(rec journal.Record) {
-	if err := e.opts.Journal.Append(rec); err != nil {
-		e.hashes = nil
+	if err := e.opts.Journal.AppendWithDeps(rec, e.curDeps()); err != nil {
+		e.journaling = false
 	}
 }
 
@@ -589,14 +706,14 @@ func (e *executor) appendJournal(rec journal.Record) {
 // from the resume journal when the interrupted run already decided this
 // prefix, and journaled when derived fresh.
 func (e *executor) pruneCheck() smt.Result {
-	if e.hashes != nil {
+	if e.journaling {
 		if rec, ok := e.opts.Journal.Lookup(journal.KindCheck, e.curHash()); ok {
 			e.countJournalHit()
 			return fromVerdict(rec.Verdict)
 		}
 	}
 	r := e.solver.Check()
-	if e.hashes != nil {
+	if e.journaling {
 		e.appendJournal(journal.Record{Kind: journal.KindCheck, Key: e.curHash(), Verdict: toVerdict(r)})
 	}
 	return r
@@ -607,7 +724,7 @@ func (e *executor) pruneCheck() smt.Result {
 // verdicts together with their models, so a resumed run reconstructs
 // byte-identical templates without any solver call.
 func (e *executor) emitVerdict(key uint64) (smt.Result, expr.State) {
-	if e.hashes != nil {
+	if e.journaling {
 		if rec, ok := e.opts.Journal.Lookup(journal.KindEmit, key); ok {
 			e.countJournalHit()
 			r := fromVerdict(rec.Verdict)
@@ -628,7 +745,7 @@ func (e *executor) emitVerdict(key uint64) (smt.Result, expr.State) {
 	} else {
 		r = e.solver.Check()
 	}
-	if e.hashes != nil {
+	if e.journaling {
 		rec := journal.Record{Kind: journal.KindEmit, Key: key, Verdict: toVerdict(r)}
 		if len(model) > 0 {
 			rec.Model = make([]journal.VarVal, 0, len(model))
@@ -683,6 +800,8 @@ func (e *executor) emit(key uint64) {
 		Final:       e.values.Clone(),
 		Model:       model,
 		Uncertain:   r == smt.Unknown,
+		PathKey:     key,
+		Deps:        e.curDeps(),
 	}
 	if len(e.obligations) > 0 {
 		t.HashObligations = append([]HashObligation(nil), e.obligations...)

@@ -35,6 +35,8 @@ import (
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/p4"
+	"repro/internal/regress"
+	"repro/internal/rulediff"
 	"repro/internal/rules"
 	"repro/internal/smt"
 	"repro/internal/spec"
@@ -97,6 +99,27 @@ type Options struct {
 	// before its verdict is decided. Fault-injection hook for crash-safety
 	// tests; nil in production.
 	PathHook func(path []cfg.NodeID)
+	// Baseline, when non-empty, names a previous run's checkpoint journal
+	// to rebase onto this run's rule set before exploring (incremental
+	// regression). Requires Checkpoint: the rebased journal is written
+	// there, Resume is implied, and only records invalidated by RuleDelta
+	// are re-solved. The baseline file itself is never modified.
+	Baseline string
+	// BaselineFingerprint is the fingerprint the Baseline journal was
+	// written under (the baseline system's Fingerprint()); opening the
+	// baseline cross-checks it.
+	BaselineFingerprint uint64
+	// RuleDelta lists the dependency tags the rule update invalidates
+	// (rulediff.Delta.InvalidTags): a full "<table>#..." tag retires that
+	// one branch, a bare table name retires every branch of the table.
+	// Ignored unless Baseline is set; an empty list retains everything.
+	RuleDelta []string
+	// VerdictCache, when non-nil, is used as the run's shared solver
+	// verdict cache instead of a fresh one — the watch-mode path, where
+	// consecutive incremental runs keep the cache warm across rule
+	// updates (the caller invalidates changed tags between runs). The
+	// cache must have been populated under the same solver options.
+	VerdictCache *smt.VerdictCache
 }
 
 // DefaultOptions is the full Meissa configuration.
@@ -180,6 +203,9 @@ type GenResult struct {
 	// unset.
 	JournalAppended uint64
 	JournalLoaded   uint64
+	// Rebase accounts for the baseline-journal rebase of an incremental
+	// regression run (nil unless Options.Baseline was set).
+	Rebase *regress.RebaseStats
 	// Phases records the wall-clock duration of each generation phase
 	// ("cfg", "summary" when code summary ran, "sym"), in execution order.
 	// The same timings aggregate under "generate/<phase>" span paths in
@@ -221,7 +247,10 @@ func (s *System) Generate() (*GenResult, error) {
 		Strict:           s.Opts.Strict,
 		PathHook:         s.Opts.PathHook,
 	}
-	if symOpts.Workers() > 1 {
+	if s.Opts.VerdictCache != nil {
+		// Watch mode: the caller owns a cache that survives across runs.
+		symOpts.Solver.Cache = s.Opts.VerdictCache
+	} else if symOpts.Workers() > 1 {
 		// One verdict cache spans the whole run, so Unsat prefixes proved
 		// during summarization of one pipeline also answer the final pass.
 		symOpts.Solver.Cache = smt.NewVerdictCache()
@@ -235,15 +264,37 @@ func (s *System) Generate() (*GenResult, error) {
 		return nil, err
 	}
 
+	resume := s.Opts.Resume
+	if s.Opts.Baseline != "" {
+		// Incremental regression: rebase the baseline journal onto this
+		// run's rule set, dropping only the records whose dependency tags
+		// the rule delta invalidates, then resume from the rebased copy.
+		if s.Opts.Checkpoint == "" {
+			return nil, fmt.Errorf("meissa: Baseline requires Checkpoint (the rebased journal's path)")
+		}
+		rebaseSpan := obs.Begin("generate/rebase")
+		st, rerr := regress.Rebase(s.Opts.Baseline, s.Opts.Checkpoint,
+			s.Opts.BaselineFingerprint, s.fingerprint(initC), rulediff.Matcher(s.Opts.RuleDelta))
+		rebaseDur := rebaseSpan.End()
+		if rerr != nil {
+			return nil, fmt.Errorf("meissa: %w", rerr)
+		}
+		res.Rebase = st
+		res.Phases = append(res.Phases, obs.PhaseDur{Name: "rebase", NS: int64(rebaseDur), Count: 1})
+		resume = true
+		obs.Progressf("meissa: %s: rebase: %d/%d baseline verdicts retained (%d invalidated, %d unindexed)",
+			s.Prog.Name, st.Retained, st.Baseline, st.Invalidated, st.Unindexed)
+	}
+
 	var j *journal.Journal
 	if s.Opts.Checkpoint != "" {
-		j, err = journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), s.Opts.Resume)
+		j, err = journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), resume)
 		if err != nil {
 			return nil, fmt.Errorf("meissa: checkpoint: %w", err)
 		}
 		defer j.Close()
 		symOpts.Journal = j
-		if s.Opts.Resume {
+		if resume {
 			obs.Progressf("meissa: %s: resume: %d journaled verdicts loaded", s.Prog.Name, j.Loaded())
 		}
 	}
@@ -387,6 +438,18 @@ func (s *System) fingerprint(initC []expr.Bool) uint64 {
 		s.Opts.CodeSummary, s.Opts.UsePreconditions, s.Opts.EarlyTermination,
 		s.Opts.IncrementalSolving, so.SearchBudget, so.CheckTimeout, so.CandidatesPerVar)
 	return h.Sum64()
+}
+
+// Fingerprint returns the system's checkpoint-journal identity: the
+// digest of the program, rules, generation-scoping assume clauses, and
+// verdict-affecting options. A baseline journal written by one system
+// rebases onto another via Options.BaselineFingerprint.
+func (s *System) Fingerprint() (uint64, error) {
+	initC, err := s.commonAssumes()
+	if err != nil {
+		return 0, err
+	}
+	return s.fingerprint(initC), nil
 }
 
 // commonAssumes translates spec assume clauses shared by every spec.

@@ -1,0 +1,198 @@
+package meissa
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/p4"
+	"repro/internal/regress"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/spec"
+)
+
+// RegressInput names everything an incremental regression run needs: the
+// program, the rule set the baseline journal was generated under, the
+// updated rule set, and the baseline journal itself.
+type RegressInput struct {
+	Prog     *p4.Program
+	OldRules *rules.Set
+	NewRules *rules.Set
+	Specs    []*spec.Spec
+	// Opts configures both the baseline replay and the incremental
+	// generation. Checkpoint is required: it receives the rebased journal
+	// (and must differ from Baseline). The Baseline/BaselineFingerprint/
+	// RuleDelta fields are managed by Regress and ignored on input.
+	Opts Options
+	// Baseline is the checkpoint journal of a completed run of Prog under
+	// OldRules (same verdict-affecting options). It is never modified.
+	Baseline string
+	// Program / RuleSet label the report.
+	Program string
+	RuleSet string
+}
+
+// RegressResult is the output of one incremental regression run.
+type RegressResult struct {
+	// Delta is the canonical rule diff that drove the invalidation.
+	Delta *rulediff.Delta
+	// BaselineGen is the baseline replay under OldRules: journal-answered
+	// re-derivation of the baseline's templates (near-zero live queries).
+	BaselineGen *GenResult
+	// Gen is the incremental generation under NewRules. Its templates are
+	// byte-identical to a cold full run on NewRules.
+	Gen *GenResult
+	// Report is the validated machine-readable regression report.
+	Report *regress.Report
+}
+
+// Regress runs rule-diff-driven incremental regression testing:
+//
+//  1. diff OldRules → NewRules canonically (internal/rulediff);
+//  2. replay the baseline journal under OldRules to recover the baseline
+//     template set without re-solving (a temporary copy is used, so the
+//     baseline file stays pristine);
+//  3. rebase the baseline journal onto NewRules — dropping exactly the
+//     records whose dependency tags the delta invalidates — and run the
+//     incremental generation resuming from it;
+//  4. compare the two template sets by content-based path key and emit
+//     the regress report.
+//
+// Correctness is machine-checkable: the incremental generation's
+// templates are byte-identical to a cold full run on NewRules (journal
+// records are content-keyed, so a retained verdict can only answer a
+// walk whose content matches the walk that produced it).
+func Regress(in RegressInput) (*RegressResult, error) {
+	start := time.Now()
+	if in.Baseline == "" {
+		return nil, fmt.Errorf("meissa: regress: missing Baseline journal")
+	}
+	if in.Opts.Checkpoint == "" {
+		return nil, fmt.Errorf("meissa: regress: missing Checkpoint (rebased journal path)")
+	}
+	if in.Opts.Checkpoint == in.Baseline {
+		return nil, fmt.Errorf("meissa: regress: Checkpoint must differ from Baseline")
+	}
+	span := obs.Begin("regress")
+	defer span.End()
+
+	delta := rulediff.Diff(in.OldRules, in.NewRules)
+	invalid := delta.InvalidTags()
+	obs.Progressf("regress: %d tables changed, %d invalidated tags", len(delta.Tables), len(invalid))
+
+	// --- Baseline replay (old rules, journal answers everything) ---
+	replayOpts := in.Opts
+	replayOpts.Baseline, replayOpts.BaselineFingerprint, replayOpts.RuleDelta = "", 0, nil
+	replayOpts.Checkpoint = in.Opts.Checkpoint + ".replay"
+	replayOpts.Resume = true
+	if err := copyFile(in.Baseline, replayOpts.Checkpoint); err != nil {
+		return nil, fmt.Errorf("meissa: regress: copy baseline: %w", err)
+	}
+	defer os.Remove(replayOpts.Checkpoint)
+	oldSys, err := New(in.Prog, in.OldRules, in.Specs, replayOpts)
+	if err != nil {
+		return nil, err
+	}
+	srcFP, err := oldSys.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	baseGen, err := oldSys.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("meissa: regress: baseline replay: %w", err)
+	}
+
+	// --- Incremental generation (new rules, rebased journal) ---
+	incrOpts := in.Opts
+	incrOpts.Baseline = in.Baseline
+	incrOpts.BaselineFingerprint = srcFP
+	incrOpts.RuleDelta = invalid
+	incrOpts.Resume = false // implied by Baseline
+	if incrOpts.VerdictCache != nil && len(invalid) > 0 {
+		// Watch mode: the persistent cache carries verdicts stored under
+		// the invalidated branches; evict them O(affected) before reuse.
+		ids := make([]uint64, len(invalid))
+		for i, tag := range invalid {
+			ids[i] = smt.TagID(tag)
+		}
+		evicted := incrOpts.VerdictCache.Invalidate(ids)
+		obs.Progressf("regress: %d cached verdicts invalidated", evicted)
+	}
+	newSys, err := New(in.Prog, in.NewRules, in.Specs, incrOpts)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := newSys.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("meissa: regress: incremental generation: %w", err)
+	}
+
+	// --- Template delta by content-based path key (multiset) ---
+	baseKeys := map[uint64]int{}
+	for _, t := range baseGen.Templates {
+		baseKeys[t.PathKey]++
+	}
+	unchanged := 0
+	for _, t := range gen.Templates {
+		if baseKeys[t.PathKey] > 0 {
+			baseKeys[t.PathKey]--
+			unchanged++
+		}
+	}
+	tr := &regress.TemplateReport{
+		Baseline:  len(baseGen.Templates),
+		Current:   len(gen.Templates),
+		Added:     len(gen.Templates) - unchanged,
+		Retired:   len(baseGen.Templates) - unchanged,
+		Unchanged: unchanged,
+	}
+
+	added, removed, modified := delta.Counts()
+	q := regress.NewQueryReport(gen.SMTCalls, gen.JournalHits, gen.SMTCacheHits)
+	rep := &regress.Report{
+		Schema:  regress.Schema,
+		Program: in.Program,
+		RuleSet: in.RuleSet,
+		WallNS:  int64(time.Since(start)),
+		Delta: &regress.DeltaReport{
+			TablesChanged:   delta.ChangedTables(),
+			EntriesAdded:    added,
+			EntriesRemoved:  removed,
+			EntriesModified: modified,
+		},
+		Journal:   gen.Rebase,
+		Templates: tr,
+		Queries:   q,
+		Run:       gen.Report("regress", in.Program, in.Opts.Parallelism),
+	}
+	rep.Run.RuleSet = in.RuleSet
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("meissa: regress: %w", err)
+	}
+	regress.RecordRun(q)
+	obs.Progressf("regress: done in %v: %d/%d templates unchanged, %d added, %d retired; %.0f%% queries avoided",
+		time.Since(start), tr.Unchanged, tr.Current, tr.Added, tr.Retired, 100*q.Reuse)
+	return &RegressResult{Delta: delta, BaselineGen: baseGen, Gen: gen, Report: rep}, nil
+}
+
+// copyFile copies src to dst (truncating dst).
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

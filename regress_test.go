@@ -1,0 +1,252 @@
+package meissa_test
+
+// Acceptance tests for incremental regression testing (the differential
+// and perf gates): rebasing a baseline journal onto an updated rule set
+// and re-exploring must produce output byte-identical to a cold full run
+// on the new rules, while re-solving only the affected subtrees.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	meissa "repro"
+	"repro/internal/programs"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+	"repro/internal/smt"
+)
+
+// regressOnce runs the full incremental flow for one program/delta and
+// returns the result plus the cold run on the new rules.
+func regressOnce(t *testing.T, p *programs.Program, newRules *rules.Set, parallelism int) (*meissa.RegressResult, *meissa.GenResult) {
+	t.Helper()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.journal")
+
+	baseOpts := meissa.DefaultOptions()
+	baseOpts.Parallelism = parallelism
+	baseOpts.Checkpoint = base
+	baseSys, err := meissa.New(p.Prog, p.Rules, nil, baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGen, err := baseSys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldOpts := meissa.DefaultOptions()
+	coldOpts.Parallelism = parallelism
+	coldSys, err := meissa.New(p.Prog, newRules, nil, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incrOpts := meissa.DefaultOptions()
+	incrOpts.Parallelism = parallelism
+	incrOpts.Checkpoint = filepath.Join(dir, "next.journal")
+	res, err := meissa.Regress(meissa.RegressInput{
+		Prog:     p.Prog,
+		OldRules: p.Rules,
+		NewRules: newRules,
+		Opts:     incrOpts,
+		Baseline: base,
+		Program:  p.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The baseline replay must reproduce the baseline templates exactly.
+	if renderTemplates(res.BaselineGen.Templates) != renderTemplates(baseGen.Templates) {
+		t.Error("baseline replay diverged from the original baseline run")
+	}
+	return res, cold
+}
+
+// checkRegressInvariants verifies the differential gate for one run: the
+// incremental output is byte-identical to the cold run, solver-work
+// accounting balances, and the report's template delta matches reality.
+func checkRegressInvariants(t *testing.T, res *meissa.RegressResult, cold *meissa.GenResult) {
+	t.Helper()
+	gen := res.Gen
+	if got, want := renderTemplates(gen.Templates), renderTemplates(cold.Templates); got != want {
+		t.Fatalf("incremental output differs from cold run (%d vs %d templates)",
+			len(gen.Templates), len(cold.Templates))
+	}
+	if gen.PathsExplored != cold.PathsExplored || gen.PrunedPaths != cold.PrunedPaths {
+		t.Errorf("exploration shape diverged: explored %d/%d pruned %d/%d",
+			gen.PathsExplored, cold.PathsExplored, gen.PrunedPaths, cold.PrunedPaths)
+	}
+	// Every logical solver interaction is answered exactly one way (live
+	// solve, cache hit, or journal hit); the total is invariant.
+	incrTotal := gen.SMTCalls + gen.SMTCacheHits + gen.JournalHits
+	coldTotal := cold.SMTCalls + cold.SMTCacheHits
+	if incrTotal != coldTotal {
+		t.Errorf("query accounting: incremental %d (calls %d + cache %d + journal %d) != cold %d",
+			incrTotal, gen.SMTCalls, gen.SMTCacheHits, gen.JournalHits, coldTotal)
+	}
+	rep := res.Report
+	if err := rep.Validate(); err != nil {
+		t.Errorf("report validation: %v", err)
+	}
+	if rep.Queries.Avoided == 0 {
+		t.Error("incremental run avoided zero queries — journal reuse is broken")
+	}
+	if rep.Templates.Current != len(gen.Templates) || rep.Templates.Baseline != len(res.BaselineGen.Templates) {
+		t.Errorf("report template counts %d/%d disagree with runs %d/%d",
+			rep.Templates.Current, rep.Templates.Baseline, len(gen.Templates), len(res.BaselineGen.Templates))
+	}
+}
+
+// TestRegressDifferentialCorpus is the differential gate over the whole
+// corpus: a one-entry action-data update, sequential and parallel.
+func TestRegressDifferentialCorpus(t *testing.T) {
+	for _, p := range programs.All() {
+		if testing.Short() && (p.Name == "gw-3" || p.Name == "gw-4") {
+			continue
+		}
+		newRules, n := rulediff.MutateArgs(p.Rules, 1)
+		if n == 0 {
+			continue // no action arguments to mutate
+		}
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/parallel=%d", p.Name, par), func(t *testing.T) {
+				res, cold := regressOnce(t, p, newRules, par)
+				checkRegressInvariants(t, res, cold)
+			})
+		}
+	}
+}
+
+// TestRegressStructuralDelta removes an entry (a structural change that
+// wipes the whole table's journal records) and checks the differential
+// gate still holds — correctness never depends on invalidation
+// precision, only cost does.
+func TestRegressStructuralDelta(t *testing.T) {
+	p := corpusProgram(t, "gw-1")
+	canon := p.Rules.Canonical()
+	newRules := rules.NewSet()
+	tables := canon.Tables()
+	dropped := false
+	for _, tbl := range tables {
+		es := canon.Entries(tbl)
+		for i, e := range es {
+			// Drop the last entry of the last table.
+			if !dropped && tbl == tables[len(tables)-1] && i == len(es)-1 {
+				dropped = true
+				continue
+			}
+			newRules.Add(tbl, e)
+		}
+	}
+	if !dropped {
+		t.Fatal("no entry dropped")
+	}
+	res, cold := regressOnce(t, p, newRules, 1)
+	checkRegressInvariants(t, res, cold)
+	// The delta must be structural (removal), not arg-only.
+	if added, removed, _ := res.Delta.Counts(); removed != 1 || added != 0 {
+		t.Errorf("delta counts added=%d removed=%d, want 0/1", added, removed)
+	}
+}
+
+// TestRegressPerfGateGW1 is the perf gate: a single-entry action-data
+// update on gw-1 must re-solve at most 20% of the cold run's live solver
+// queries — the entry-granular invalidation promise.
+func TestRegressPerfGateGW1(t *testing.T) {
+	p := corpusProgram(t, "gw-1")
+	newRules, n := rulediff.MutateArgs(p.Rules, 1)
+	if n != 1 {
+		t.Fatalf("mutated %d entries, want 1", n)
+	}
+	res, cold := regressOnce(t, p, newRules, 1)
+	checkRegressInvariants(t, res, cold)
+	if res.Gen.SMTCalls*5 > cold.SMTCalls {
+		t.Errorf("perf gate: incremental solved %d live queries, budget is 20%% of cold's %d",
+			res.Gen.SMTCalls, cold.SMTCalls)
+	}
+	// The report must carry the same gate inputs for CI to assert on.
+	if res.Report.Queries.Live != res.Gen.SMTCalls {
+		t.Errorf("report live queries %d != gen SMT calls %d", res.Report.Queries.Live, res.Gen.SMTCalls)
+	}
+}
+
+// TestRegressEmptyDelta: identical rule sets retain every record and
+// change no templates.
+func TestRegressEmptyDelta(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	res, cold := regressOnce(t, p, p.Rules, 1)
+	checkRegressInvariants(t, res, cold)
+	if !res.Delta.Empty() {
+		t.Errorf("self-diff not empty: %s", res.Delta)
+	}
+	if res.Gen.SMTCalls != 0 {
+		t.Errorf("empty delta re-solved %d queries, want 0", res.Gen.SMTCalls)
+	}
+	if res.Report.Templates.Added != 0 || res.Report.Templates.Retired != 0 {
+		t.Errorf("empty delta changed templates: %+v", res.Report.Templates)
+	}
+	if st := res.Gen.Rebase; st == nil || st.Invalidated != 0 || st.Retained != st.Baseline {
+		t.Errorf("empty delta rebase stats: %+v", res.Gen.Rebase)
+	}
+}
+
+// TestRegressWatchCache: consecutive incremental runs sharing a verdict
+// cache (the watch-mode configuration) stay byte-identical to cold runs
+// after tag invalidation.
+func TestRegressWatchCache(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	dir := t.TempDir()
+
+	baseOpts := meissa.DefaultOptions()
+	baseOpts.Parallelism = 2
+	baseOpts.Checkpoint = filepath.Join(dir, "base.journal")
+	sys, err := meissa.New(p.Prog, p.Rules, nil, baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Generate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := smt.NewVerdictCache()
+	cur := p.Rules
+	curBase := baseOpts.Checkpoint
+	for i, n := range []int{1, 2} {
+		newRules, mutated := rulediff.MutateArgs(cur, n)
+		if mutated == 0 {
+			t.Fatal("nothing to mutate")
+		}
+		incrOpts := meissa.DefaultOptions()
+		incrOpts.Parallelism = 2
+		incrOpts.Checkpoint = filepath.Join(dir, fmt.Sprintf("next%d.journal", i))
+		incrOpts.VerdictCache = cache
+		res, err := meissa.Regress(meissa.RegressInput{
+			Prog: p.Prog, OldRules: cur, NewRules: newRules,
+			Opts: incrOpts, Baseline: curBase, Program: p.Name,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldOpts := meissa.DefaultOptions()
+		coldOpts.Parallelism = 1
+		coldSys, err := meissa.New(p.Prog, newRules, nil, coldOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := coldSys.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderTemplates(res.Gen.Templates) != renderTemplates(cold.Templates) {
+			t.Fatalf("watch iteration %d diverged from cold run", i)
+		}
+		cur, curBase = newRules, incrOpts.Checkpoint
+	}
+}

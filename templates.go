@@ -1,0 +1,35 @@
+package meissa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/sym"
+)
+
+// WriteTemplates renders templates in the deterministic text format the
+// CLI's -o flag emits: runs of the same program + rules + options produce
+// byte-identical files, so a resumed or incremental run can be diffed
+// against a cold one (the differential gates of checkpoint/resume and of
+// incremental regression both do exactly that).
+func WriteTemplates(w io.Writer, ts []*sym.Template) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		fmt.Fprintf(bw, "#%d path=%v dropped=%v uncertain=%v\n", t.ID, t.Path, t.Dropped, t.Uncertain)
+		for _, c := range t.Constraints {
+			fmt.Fprintf(bw, "  cond %s\n", c)
+		}
+		vars := make([]string, 0, len(t.Model))
+		for v := range t.Model {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			fmt.Fprintf(bw, "  model %s=%d\n", v, t.Model[expr.Var(v)])
+		}
+	}
+	return bw.Flush()
+}
