@@ -294,6 +294,7 @@ func cmdTest(args []string) error {
 	retries := fs.Int("retries", 2, "retransmissions per case after the first attempt")
 	caseTimeout := fs.Duration("case-timeout", 0, "per-case deadline across all attempts (0 = derived)")
 	recvTimeout := fs.Duration("recv-timeout", 200*time.Millisecond, "per-attempt capture window")
+	window := fs.Int("window", driver.DefaultWindow, "in-flight cases for the pipelined engine (1 = lockstep)")
 	shake := fs.String("shake", "", "inject link faults: drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N")
 	verbose := fs.Bool("v", false, "print per-phase progress on stderr")
 	ob := registerObsFlags(fs)
@@ -365,6 +366,9 @@ func cmdTest(args []string) error {
 	d.Retries = *retries
 	d.CaseTimeout = *caseTimeout
 	d.RecvTimeout = *recvTimeout
+	if *window > 0 {
+		d.Window = *window
+	}
 	driveSpan := obs.Begin("drive")
 	rep, err := d.RunTemplates(gen.Templates)
 	driveDur := driveSpan.End()
@@ -396,12 +400,13 @@ func cmdTest(args []string) error {
 	}
 	if *trace && rep.Failed > 0 && loop != nil {
 		fmt.Println()
-		fmt.Println(meissa.Localize(gen, rep.Failures()[0], loop.LastTrace()))
+		f := rep.Failures()[0]
+		fmt.Println(meissa.Localize(gen, f, loop.Replay(f.Case.Entry, f.Case.Wire)))
 	}
 	orep := genReport("test", prog.Name, opts.Parallelism, gen)
 	orep.WallNS = int64(gen.Duration + driveDur)
 	orep.Phases = append(orep.Phases, obs.PhaseDur{Name: "drive", NS: int64(driveDur), Count: 1})
-	orep.Driver = driverReport(rep, shaken, gen.Duration+rep.TimeToFirstVerdict)
+	orep.Driver = driverReport(rep, shaken, gen.Duration+rep.TimeToFirstVerdict, driveDur, d.Window)
 	if err := ob.finish(orep); err != nil {
 		return err
 	}

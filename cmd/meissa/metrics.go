@@ -9,6 +9,7 @@ import (
 
 	meissa "repro"
 	"repro/internal/driver"
+	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/regress"
 )
@@ -86,8 +87,10 @@ func genReport(command, program string, parallelism int, gen *meissa.GenResult) 
 }
 
 // driverReport builds the test-execution section from a driver report and
-// the optional shaken link.
-func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict time.Duration) *obs.DriverReport {
+// the optional shaken link. driveDur is the drive phase wall-clock and
+// window the engine's in-flight window; together they yield the headline
+// verdicts_per_sec throughput.
+func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict, driveDur time.Duration, window int) *obs.DriverReport {
 	d := &obs.DriverReport{
 		Passed:            rep.Passed,
 		Failed:            rep.Failed,
@@ -96,6 +99,10 @@ func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict ti
 		Lost:              rep.Lost,
 		Retransmissions:   rep.Retransmissions,
 		TimeToFirstTestNS: int64(firstVerdict),
+		Window:            window,
+	}
+	if verdicts := rep.Passed + rep.Failed + rep.Flaky + rep.Lost; verdicts > 0 && driveDur > 0 {
+		d.VerdictsPerSec = float64(verdicts) / driveDur.Seconds()
 	}
 	if shaken != nil {
 		st := shaken.Stats()
@@ -137,6 +144,9 @@ func cmdCheckMetrics(args []string) error {
 	if head.Schema == regress.Schema {
 		return checkRegressReport(data)
 	}
+	if head.Schema == experiments.BenchSchema {
+		return checkBenchReport(data)
+	}
 	rep, err := obs.ParseReport(data)
 	if err != nil {
 		return err
@@ -154,6 +164,45 @@ func cmdCheckMetrics(args []string) error {
 	if rep.Solver != nil {
 		fmt.Printf("  solver queries=%d solved=%d outcomes=%v\n",
 			rep.Solver.TotalQueries, rep.Solver.Solved, rep.Solver.Outcomes)
+	}
+	if rep.Driver != nil {
+		fmt.Printf("  driver pass=%d fail=%d flaky=%d lost=%d window=%d verdicts/s=%.0f\n",
+			rep.Driver.Passed, rep.Driver.Failed, rep.Driver.Flaky, rep.Driver.Lost,
+			rep.Driver.Window, rep.Driver.VerdictsPerSec)
+	}
+	return nil
+}
+
+// checkBenchReport validates a meissa.bench-report/v1 document (the CI
+// perf-smoke gate): every embedded run report must pass the obs schema
+// validator, and the gw-1 pipelined-vs-lockstep driver throughput pair —
+// the hot-path headline — is printed when present.
+func checkBenchReport(data []byte) error {
+	var br experiments.BenchReport
+	if err := json.Unmarshal(data, &br); err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if len(br.Runs) == 0 {
+		return fmt.Errorf("bench report has no runs")
+	}
+	var lockstep, pipelined float64
+	for _, r := range br.Runs {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("bench run %s/%s: %w", r.Program, r.RuleSet, err)
+		}
+		if r.Program == "gw-1" && r.RuleSet == "set-1" && r.Driver != nil {
+			if r.Driver.Window == 1 {
+				lockstep = r.Driver.VerdictsPerSec
+			} else {
+				pipelined = r.Driver.VerdictsPerSec
+			}
+		}
+	}
+	fmt.Printf("ok: bench report, %d runs (budget %v, parallel %d)\n",
+		len(br.Runs), time.Duration(br.BudgetNS), br.Parallelism)
+	if lockstep > 0 && pipelined > 0 {
+		fmt.Printf("  gw-1/set-1 driver: lockstep %.0f verdicts/s, pipelined %.0f verdicts/s (%.2fx)\n",
+			lockstep, pipelined, pipelined/lockstep)
 	}
 	return nil
 }

@@ -75,7 +75,7 @@ func main() {
 	// 3. Localization (§7): symbolic trace vs physical trace.
 	f := rep.Failures()[0]
 	fmt.Println()
-	fmt.Println(meissa.Localize(gen, f, link.LastTrace()))
+	fmt.Println(meissa.Localize(gen, f, link.Replay(f.Case.Entry, f.Case.Wire)))
 	fmt.Println("conclusion: the P4 code is correct; the divergence is in the compiled target")
 	fmt.Println("(issue #14: the vendor confirmed and fixed this class of bug in the next compiler release)")
 

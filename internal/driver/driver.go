@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"maps"
+	"sort"
 	"time"
 
 	"repro/internal/cfg"
@@ -185,9 +187,31 @@ type Driver struct {
 	// Backoff is the delay before the first retransmission, doubling on
 	// each further retry.
 	Backoff time.Duration
+	// Window is the in-flight case limit. Above 1 RunTemplates uses the
+	// pipelined burst engine (see pipeline.go); at 1 (or below) it runs
+	// the lockstep send→recv loop. New sets DefaultWindow.
+	Window int
 	// checksummed lists (header, field) pairs the program maintains via
 	// update_checksum, which the checker validates on every output.
 	checksummed [][2]string
+	// csPlans precomputes each checksummed pair's destination and input
+	// variables, so Concretize fills sender checksums without rebuilding
+	// variable names per case.
+	csPlans []csPlan
+	// baseModel is the default-completed model every case starts from:
+	// all graph variables zero except TTL fields at 64. Concretize clones
+	// it in one bulk copy instead of rebuilding it key by key.
+	baseModel expr.State
+	// graphZero is the all-zero graph state SpecApplies starts from.
+	graphZero expr.State
+	// csScratch is the reused checksum input buffer for Concretize.
+	csScratch []uint64
+	// tmplCache memoizes each template's ID-independent concretization
+	// for the pipelined engine (see concretized).
+	tmplCache map[*sym.Template]*concretized
+	// fieldOrder holds each declared header's field names, sorted, for
+	// deterministic mismatch rendering without per-diff sorting.
+	fieldOrder map[string][]string
 	// nextID allocates monotonically increasing payload IDs: every
 	// transmission (including retries) gets a never-reused ID.
 	nextID uint64
@@ -211,10 +235,130 @@ func New(prog *p4.Program, g *cfg.Graph, link Link, specs []*spec.Spec) *Driver 
 		RecvTimeout: 200 * time.Millisecond,
 		Retries:     2,
 		Backoff:     10 * time.Millisecond,
+		Window:      DefaultWindow,
 		pending:     map[uint64][]byte{},
 	}
 	d.checksummed = collectChecksums(prog)
+
+	d.fieldOrder = make(map[string][]string, len(prog.Headers))
+	for _, h := range prog.Headers {
+		names := make([]string, len(h.Fields))
+		for i, f := range h.Fields {
+			names[i] = f.Name
+		}
+		sort.Strings(names)
+		d.fieldOrder[h.Name] = names
+	}
+
+	vt := p4.Vars(prog)
+	if g != nil {
+		d.baseModel = make(expr.State, len(g.Vars))
+		d.graphZero = make(expr.State, len(g.Vars))
+		for v := range g.Vars {
+			d.graphZero[v] = 0
+			d.baseModel[v] = 0
+			if _, f, ok := p4.IsHeaderFieldVar(v); ok && f == "ttl" {
+				d.baseModel[v] = 64
+			}
+		}
+	}
+	for _, hf := range d.checksummed {
+		header, field := hf[0], hf[1]
+		decl := prog.Header(header)
+		if decl == nil || decl.Field(field) == nil {
+			continue
+		}
+		pl := csPlan{
+			v: vt.Field(header, field),
+			w: expr.Width(decl.Field(field).Width),
+		}
+		for _, f := range decl.Fields {
+			if f.Name == field {
+				continue
+			}
+			pl.in = append(pl.in, vt.Field(header, f.Name))
+			pl.iw = append(pl.iw, expr.Width(f.Width))
+		}
+		d.csPlans = append(d.csPlans, pl)
+	}
 	return d
+}
+
+// csPlan precomputes one maintained checksum's destination variable and
+// width plus its input variables and widths.
+type csPlan struct {
+	v  expr.Var
+	w  expr.Width
+	in []expr.Var
+	iw []expr.Width
+}
+
+// concretized caches a template's ID-independent concretization. The
+// payload ID only ever appears in the 12-byte payload trailer — header
+// fields, the marshaled header bytes and the predicted output never
+// depend on it — so retransmissions and re-runs restamp the ID instead
+// of re-deriving the whole case. Header slices and field maps are shared
+// across the cases stamped from one entry; they are read-only after
+// concretization.
+type concretized struct {
+	err        error
+	skip       string
+	entry      int
+	headerWire []byte
+	inHeaders  []packet.Header
+	expHeaders []packet.Header
+	dropped    bool
+}
+
+// concretizeFast is Concretize through the per-template cache; the
+// pipelined engine's admission and retransmission paths use it.
+func (d *Driver) concretizeFast(t *sym.Template, id uint64) (*Case, error) {
+	cc, ok := d.tmplCache[t]
+	if !ok {
+		cc = d.buildConcretized(t)
+		if d.tmplCache == nil {
+			d.tmplCache = map[*sym.Template]*concretized{}
+		}
+		d.tmplCache[t] = cc
+	}
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	c := &Case{Template: t, ID: id, Entry: cc.entry, SkipReason: cc.skip}
+	if cc.skip != "" {
+		return c, nil
+	}
+	pl := packet.WithID(id)
+	c.Input = &packet.Packet{Headers: cc.inHeaders, Payload: pl}
+	wire := make([]byte, 0, len(cc.headerWire)+len(pl))
+	wire = append(wire, cc.headerWire...)
+	wire = append(wire, pl...)
+	c.Wire = wire
+	if !cc.dropped {
+		c.Expected = &packet.Packet{Headers: cc.expHeaders, Payload: pl}
+	}
+	return c, nil
+}
+
+func (d *Driver) buildConcretized(t *sym.Template) *concretized {
+	// ID 0 is never allocated (allocID starts at 1), so the prototype
+	// case cannot collide with a live capture.
+	c, err := d.Concretize(t, 0)
+	if err != nil {
+		return &concretized{err: err}
+	}
+	cc := &concretized{skip: c.SkipReason, entry: c.Entry}
+	if cc.skip != "" {
+		return cc
+	}
+	cc.headerWire = c.Wire[:len(c.Wire)-len(c.Input.Payload)]
+	cc.inHeaders = c.Input.Headers
+	if c.Expected == nil {
+		cc.dropped = true
+	} else {
+		cc.expHeaders = c.Expected.Headers
+	}
+	return cc
 }
 
 // allocID returns the next unused payload ID.
@@ -261,40 +405,25 @@ func (d *Driver) Concretize(t *sym.Template, id uint64) (*Case, error) {
 
 	// Complete the model: every graph variable defaults to zero, except
 	// TTL fields which default to a realistic 64 — a sender never emits
-	// TTL-0 packets unless the path condition demands it.
-	model := expr.State{}
-	for v := range d.Graph.Vars {
-		model[v] = 0
-		if _, f, ok := p4.IsHeaderFieldVar(v); ok && f == "ttl" {
-			model[v] = 64
-		}
-	}
+	// TTL-0 packets unless the path condition demands it. The defaults
+	// are precomputed in New; each case clones them in one bulk copy.
+	model := maps.Clone(d.baseModel)
 	for v, val := range t.Model {
 		model[v] = val
 	}
 
 	// The sender emits well-formed inputs: checksummed headers carry
 	// valid checksums unless the path condition pins the field.
-	for _, hf := range d.checksummed {
-		header, field := hf[0], hf[1]
-		v := p4.HeaderFieldVar(header, field)
-		if _, constrained := t.Model[v]; constrained {
+	for _, pl := range d.csPlans {
+		if _, constrained := t.Model[pl.v]; constrained {
 			continue
 		}
-		decl := d.Prog.Header(header)
-		if decl == nil || decl.Field(field) == nil {
-			continue
+		vals := d.csScratch[:0]
+		for _, in := range pl.in {
+			vals = append(vals, model[in])
 		}
-		var vals []uint64
-		var widths []expr.Width
-		for _, f := range decl.Fields {
-			if f.Name == field {
-				continue
-			}
-			vals = append(vals, model[p4.HeaderFieldVar(header, f.Name)])
-			widths = append(widths, expr.Width(f.Width))
-		}
-		model[v] = expr.Width(decl.Field(field).Width).Trunc(hashfn.Checksum(vals, widths))
+		model[pl.v] = pl.w.Trunc(hashfn.Checksum(vals, pl.iw))
+		d.csScratch = vals[:0]
 	}
 
 	// Resolve hash obligations in order; a conflict with a constrained
@@ -364,10 +493,7 @@ func (d *Driver) Concretize(t *sym.Template, id uint64) (*Case, error) {
 		c.Expected = nil
 		return c, nil
 	}
-	final := expr.State{}
-	for v, def := range model {
-		final[v] = def
-	}
+	final := maps.Clone(model)
 	for v, valExpr := range t.Final {
 		if v.IsAux() {
 			continue
@@ -399,8 +525,14 @@ func (d *Driver) RunTemplates(templates []*sym.Template) (*Report, error) {
 }
 
 // RunTemplatesCtx is RunTemplates under a caller-supplied context; the
-// whole suite stops at its deadline or cancellation.
+// whole suite stops at its deadline or cancellation. With Window > 1 the
+// suite runs on the pipelined burst engine; Window <= 1 selects the
+// lockstep loop below (one case fully decided before the next is sent),
+// which the differential tests hold the engine to.
 func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template) (*Report, error) {
+	if d.Window > 1 {
+		return d.runPipelined(ctx, templates)
+	}
 	rep := &Report{Program: d.Prog.Name}
 	suiteStart := time.Now()
 	for _, t := range templates {
@@ -663,7 +795,7 @@ func (d *Driver) check(o *Outcome) {
 		case c.Expected != nil && o.Absent:
 			o.Mismatches = append(o.Mismatches, "predicted forward, but no packet was captured")
 		case c.Expected != nil && o.Output != nil:
-			o.Mismatches = append(o.Mismatches, diffPackets(c.Expected, o.Output)...)
+			o.Mismatches = append(o.Mismatches, d.diffPackets(c.Expected, o.Output)...)
 		}
 	}
 
@@ -724,10 +856,7 @@ func (d *Driver) check(o *Outcome) {
 
 // SpecApplies evaluates a spec's assume clauses against the input packet.
 func (d *Driver) SpecApplies(s *spec.Spec, in *packet.Packet) bool {
-	st := expr.State{}
-	for v := range d.Graph.Vars {
-		st[v] = 0
-	}
+	st := maps.Clone(d.graphZero)
 	in.ToState(st)
 	bs, err := s.AssumeConstraints(d.Prog)
 	if err != nil {
@@ -743,14 +872,26 @@ func (d *Driver) SpecApplies(s *spec.Spec, in *packet.Packet) bool {
 }
 
 // diffPackets compares predicted and observed packets field by field.
-func diffPackets(want, got *packet.Packet) []string {
+// Fields diff in sorted order so a failing case reports the same
+// mismatch list on every run. The sorted order per declared header is
+// precomputed in New; only undeclared headers sort per call.
+func (d *Driver) diffPackets(want, got *packet.Packet) []string {
 	var out []string
 	for _, wh := range want.Headers {
 		if !got.Has(wh.Name) {
 			out = append(out, fmt.Sprintf("header %s missing from output", wh.Name))
 			continue
 		}
-		for f, wv := range wh.Fields {
+		fields := d.fieldOrder[wh.Name]
+		if len(fields) != len(wh.Fields) {
+			fields = make([]string, 0, len(wh.Fields))
+			for f := range wh.Fields {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+		}
+		for _, f := range fields {
+			wv := wh.Fields[f]
 			gv, _ := got.Field(wh.Name, f)
 			if gv != wv {
 				out = append(out, fmt.Sprintf("%s.%s = %d, predicted %d", wh.Name, f, gv, wv))

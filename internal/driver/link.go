@@ -29,27 +29,89 @@ type Link interface {
 	Close() error
 }
 
+// FastRecvLink is an optional Link extension the pipelined engine probes
+// for: RecvInto captures into a caller-owned buffer, so a steady receive
+// stream reuses one buffer instead of allocating per capture.
+type FastRecvLink interface {
+	// RecvInto captures one output packet into buf, waiting up to timeout.
+	// n is the capture length (n <= len(buf); longer captures are
+	// truncated, like a short pcap snaplen). ok=false means nothing was
+	// captured.
+	RecvInto(buf []byte, timeout time.Duration) (n int, ok bool, err error)
+}
+
+// QuietLink is an optional Link extension: SetQuiet(true) tells the link
+// to stop retaining per-packet diagnostics (execution traces) while the
+// pipelined engine drives it at line rate. The engine restores the
+// previous mode when the run ends.
+type QuietLink interface {
+	SetQuiet(quiet bool)
+}
+
+// SyncLink marks links whose captures are delivered synchronously by
+// Send (the in-process loopback): once Recv reports an empty queue,
+// every outstanding capture has already arrived, so the pipelined engine
+// closes capture windows immediately instead of waiting out RecvTimeout.
+type SyncLink interface {
+	Synchronous() bool
+}
+
+// maxRetainedTraces bounds the loopback's per-packet trace history: a
+// long line-rate run must not accumulate traces without bound, and bug
+// localization only ever consults the most recent ones.
+const maxRetainedTraces = 256
+
 // Loopback connects the driver directly to an in-process target.
 type Loopback struct {
 	target *switchsim.Target
 	mu     sync.Mutex
 	queue  [][]byte
-	// Traces accumulates the target execution traces per injected packet,
-	// for bug localization.
+	// traces holds the most recent target execution traces (bounded by
+	// maxRetainedTraces), for bug localization. Empty in quiet mode.
 	traces []*switchsim.Result
+	// quiet switches Send to the target's trace-free line-rate inject.
+	quiet bool
 }
 
 // NewLoopback returns a loopback link to the target.
 func NewLoopback(t *switchsim.Target) *Loopback { return &Loopback{target: t} }
 
+// SetQuiet implements QuietLink: quiet sends use the target's line-rate
+// inject and retain no traces.
+func (l *Loopback) SetQuiet(quiet bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.quiet = quiet
+}
+
+// Synchronous implements SyncLink: loopback captures are enqueued by Send
+// itself.
+func (l *Loopback) Synchronous() bool { return true }
+
 // Send implements Link.
 func (l *Loopback) Send(entry int, wire []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quiet {
+		// Raw quiet inject: the target deparses straight to wire bytes,
+		// skipping the intermediate Packet the line-rate path never reads.
+		res, err := l.target.InjectQuietWire(entry, wire)
+		if err != nil {
+			return err
+		}
+		if !res.Dropped {
+			l.queue = append(l.queue, res.Wire)
+		}
+		return nil
+	}
 	res, err := l.target.Inject(entry, wire)
 	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	if len(l.traces) >= maxRetainedTraces {
+		copy(l.traces, l.traces[1:])
+		l.traces = l.traces[:len(l.traces)-1]
+	}
 	l.traces = append(l.traces, res)
 	if res.Output != nil {
 		data, err := res.Output.Marshal(l.target.Program())
@@ -71,6 +133,33 @@ func (l *Loopback) Recv(timeout time.Duration) ([]byte, bool, error) {
 	out := l.queue[0]
 	l.queue = l.queue[1:]
 	return out, true, nil
+}
+
+// RecvInto implements FastRecvLink.
+func (l *Loopback) RecvInto(buf []byte, timeout time.Duration) (int, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		return 0, false, nil
+	}
+	out := l.queue[0]
+	l.queue = l.queue[1:]
+	return copy(buf, out), true, nil
+}
+
+// Replay re-executes a wire packet through the target with tracing on
+// and returns the execution trace, without enqueueing the capture for
+// Recv. Bug localization uses this to obtain the physical trace of a
+// specific failing case after a quiet line-rate run retained none — and
+// unlike LastTrace, the trace is guaranteed to belong to that case.
+func (l *Loopback) Replay(entry int, wire []byte) *switchsim.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, err := l.target.Inject(entry, wire)
+	if err != nil {
+		return nil
+	}
+	return res
 }
 
 // LastTrace returns the most recent target execution trace.
@@ -124,7 +213,9 @@ type UDPSwitch struct {
 type datagram struct {
 	entry int
 	wire  []byte
-	peer  *net.UDPAddr
+	// pooled, when non-nil, is returned to dgramPool after handling.
+	pooled *[]byte
+	peer   *net.UDPAddr
 }
 
 // udpWorkers bounds concurrent packet handling; udpBacklog bounds queued
@@ -200,6 +291,13 @@ func (s *UDPSwitch) count(c *uint64) {
 // read pulls datagrams off the socket into the bounded work queue. It
 // never exits on a transient error — only on Close (or the socket dying
 // underneath it), after which it closes the queue so workers drain.
+// dgramPool recycles datagram wire buffers between the socket reader and
+// the handler workers: at line rate the switch allocates no per-packet
+// buffer in steady state.
+var dgramPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
 func (s *UDPSwitch) read() {
 	defer s.readerWG.Done()
 	defer close(s.work)
@@ -227,11 +325,14 @@ func (s *UDPSwitch) read() {
 			s.count(&s.dropped)
 			continue
 		}
-		d := datagram{entry: int(buf[0]), wire: append([]byte(nil), buf[1:n]...), peer: peer}
+		wp := dgramPool.Get().(*[]byte)
+		*wp = append((*wp)[:0], buf[1:n]...)
+		d := datagram{entry: int(buf[0]), wire: *wp, pooled: wp, peer: peer}
 		select {
 		case s.work <- d:
 		default:
 			// Queue full: shed load like an oversubscribed ingress port.
+			dgramPool.Put(wp)
 			s.count(&s.dropped)
 		}
 	}
@@ -239,7 +340,9 @@ func (s *UDPSwitch) read() {
 
 // handle processes one datagram: inject, marshal, reply. Target panics
 // are recovered (twice over: Inject recovers its own, and this guards the
-// worker against everything else) and counted as crashes.
+// worker against everything else) and counted as crashes. The quiet
+// inject is used unconditionally: nothing ever reads traces on the UDP
+// path, and the trace-free interpreter is several times faster.
 func (s *UDPSwitch) handle(d datagram) {
 	res, err := func() (res *switchsim.Result, err error) {
 		defer func() {
@@ -250,8 +353,13 @@ func (s *UDPSwitch) handle(d datagram) {
 		}()
 		s.injectMu.Lock()
 		defer s.injectMu.Unlock()
-		return s.target.Inject(d.entry, d.wire)
+		return s.target.InjectQuietWire(d.entry, d.wire)
 	}()
+	if d.pooled != nil {
+		// The inject fully consumed the wire bytes (parse copies); the
+		// buffer can go back to the pool.
+		dgramPool.Put(d.pooled)
+	}
 	if err != nil {
 		var ce *switchsim.CrashError
 		if errors.As(err, &ce) {
@@ -261,16 +369,11 @@ func (s *UDPSwitch) handle(d datagram) {
 		}
 		return
 	}
-	if res.Output == nil {
+	if res.Dropped {
 		s.count(&s.dropped) // dropped: nothing comes back, like real hardware
 		return
 	}
-	data, err := res.Output.Marshal(s.target.Program())
-	if err != nil {
-		s.count(&s.errs)
-		return
-	}
-	if _, err := s.conn.WriteToUDP(data, d.peer); err != nil {
+	if _, err := s.conn.WriteToUDP(res.Wire, d.peer); err != nil {
 		s.count(&s.errs)
 	}
 }
@@ -320,19 +423,29 @@ func (l *UDPLink) Send(entry int, wire []byte) error {
 
 // Recv implements Link.
 func (l *UDPLink) Recv(timeout time.Duration) ([]byte, bool, error) {
-	if err := l.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, false, err
-	}
 	buf := make([]byte, 65536)
+	n, ok, err := l.RecvInto(buf, timeout)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return append([]byte(nil), buf[:n]...), true, nil
+}
+
+// RecvInto implements FastRecvLink: the socket read lands directly in the
+// caller's buffer.
+func (l *UDPLink) RecvInto(buf []byte, timeout time.Duration) (int, bool, error) {
+	if err := l.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, false, err
+	}
 	n, err := l.conn.Read(buf)
 	if err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			return nil, false, nil
+			return 0, false, nil
 		}
-		return nil, false, err
+		return 0, false, err
 	}
-	return append([]byte(nil), buf[:n]...), true, nil
+	return n, true, nil
 }
 
 // Close implements Link.

@@ -1,0 +1,638 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/switchsim"
+	"repro/internal/sym"
+)
+
+// DefaultWindow is the pipelined engine's in-flight window: how many
+// cases may have open capture windows or pending backoffs at once. One
+// window's worth of cases is concretized, burst-transmitted, and decided
+// as captures drain back, so the link never idles between cases the way
+// the lockstep send→recv loop does.
+const DefaultWindow = 256
+
+// The pipelined engine is a single-coordinator event loop: exactly one
+// goroutine admits, sends, drains, demultiplexes, and finalizes. Every
+// Driver and Report field — nextID, the Report counters, the outcome
+// slots — is touched only by that goroutine, which is why none of them
+// need atomics; the obs counters it shares with other subsystems are
+// already atomic. The concurrency lives in the link (a UDPSwitch's
+// worker pool, a FaultyLink's delay timers), never in the driver.
+//
+// Per-case deadlines live in a hashed timer wheel rather than per-case
+// goroutines or contexts: a case's capture window and retry backoff are
+// each one O(1) wheel insertion, and the loop wakes exactly once for the
+// earliest pending expiry instead of parking thousands of timers.
+
+// pstate is a pipelined case's position in the retry state machine.
+type pstate uint8
+
+const (
+	psIdle     pstate = iota // on the freelist / transiently unlinked
+	psAwaiting               // transmitted, capture window open
+	psBackoff                // failed attempt, waiting to retransmit
+)
+
+// pcase is the engine-side state of one in-flight case. Instances are
+// pooled on a freelist: the steady-state loop admits, retries and
+// finalizes cases without allocating engine machinery.
+type pcase struct {
+	idx      int // template slot; fixes Report ordering regardless of completion order
+	tmpl     *sym.Template
+	cur      *Case    // current attempt (fresh payload ID per retransmission)
+	last     *Outcome // most recent failed attempt, reported on exhaustion
+	attempt  int
+	backoff  time.Duration
+	start    time.Time // admission time (case latency metric)
+	deadline time.Time // end-to-end case budget, as lockstep's per-case context
+	recvBy   time.Time // capture window close (psAwaiting only)
+	seq      uint64    // transmission order, for oldest-awaiting routing
+	state    pstate
+	observed bool // some attempt captured target behaviour
+	crashed  bool // some attempt surfaced a target panic
+	gen      uint64
+}
+
+// --- hashed timer wheel ---
+
+const (
+	wheelSlots = 256
+	wheelTick  = 2 * time.Millisecond
+)
+
+// timerEnt is one pending expiry. gen snapshots the case's generation at
+// insertion; the case bumps its generation whenever the timer becomes
+// irrelevant (capture arrived, state changed), so cancellation is O(1)
+// and stale entries are discarded lazily as the cursor passes them.
+type timerEnt struct {
+	c   *pcase
+	gen uint64
+	at  time.Time
+}
+
+// wheel is a hashed timer wheel: wheelSlots buckets of wheelTick each.
+// Entries hash to slot (tick mod wheelSlots); an entry more than one
+// revolution out simply waits in its slot until a cursor pass finds its
+// expiry has actually arrived. Slot slices are reused, so steady-state
+// insert/advance allocates nothing.
+type wheel struct {
+	slots [wheelSlots][]timerEnt
+	epoch time.Time
+	cur   int64 // absolute tick the cursor has advanced to
+	count int   // live entries (stale ones included until swept)
+}
+
+func newWheel(now time.Time) *wheel { return &wheel{epoch: now} }
+
+// tickOf rounds up, so an entry never fires before its expiry; at worst
+// it fires one tick late.
+func (w *wheel) tickOf(at time.Time) int64 {
+	d := at.Sub(w.epoch)
+	if d < 0 {
+		d = 0
+	}
+	t := int64((d + wheelTick - 1) / wheelTick)
+	if t < w.cur {
+		t = w.cur
+	}
+	return t
+}
+
+// insert schedules c's next expiry, superseding any pending entry for c.
+func (w *wheel) insert(c *pcase, at time.Time) {
+	c.gen++
+	t := w.tickOf(at)
+	s := int(t % wheelSlots)
+	w.slots[s] = append(w.slots[s], timerEnt{c: c, gen: c.gen, at: at})
+	w.count++
+}
+
+// advance sweeps the cursor up to now, firing every due live entry.
+// Entries belonging to a future revolution are kept in place. Returns
+// the number of entries fired.
+func (w *wheel) advance(now time.Time, fire func(*pcase)) int {
+	fired := 0
+	target := int64(now.Sub(w.epoch) / wheelTick)
+	for w.cur <= target {
+		s := int(w.cur % wheelSlots)
+		ents := w.slots[s]
+		kept := w.slots[s][:0]
+		for _, e := range ents {
+			switch {
+			case e.gen != e.c.gen: // superseded: swept for free
+				w.count--
+			case e.at.After(now): // a later revolution's entry
+				kept = append(kept, e)
+			default:
+				w.count--
+				fired++
+				fire(e.c)
+			}
+		}
+		w.slots[s] = kept
+		w.cur++
+	}
+	return fired
+}
+
+// nextWake returns the earliest live expiry; ok is false when no timers
+// are pending.
+func (w *wheel) nextWake() (time.Time, bool) {
+	if w.count == 0 {
+		return time.Time{}, false
+	}
+	var best time.Time
+	found := false
+	for s := range w.slots {
+		for _, e := range w.slots[s] {
+			if e.gen != e.c.gen {
+				continue
+			}
+			if !found || e.at.Before(best) {
+				best = e.at
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// --- engine ---
+
+type engine struct {
+	d     *Driver
+	fast  FastRecvLink // non-nil when the link can fill a caller buffer
+	sync  bool         // link answers before Send returns (loopback)
+	wheel *wheel
+	// idMap demultiplexes captures to their awaiting case by payload ID —
+	// the pipelined generalization of lockstep's single-case requeue
+	// buffer. A capture whose ID maps to nothing belongs to a superseded
+	// attempt and is dropped, exactly as lockstep's end-of-case flush.
+	idMap    map[uint64]*pcase
+	free     []*pcase
+	scratch  []*pcase // reused iteration buffer (closeSyncWindows)
+	outs     []*Outcome
+	skips    []*Case
+	recvBuf  []byte
+	copyWire bool // parserless decode retains the wire slice; shield recvBuf
+	awaiting int
+	inflight int
+	done     int
+	seq      uint64
+	rep      *Report
+	start    time.Time
+	firstSet bool
+	err      error // deferred fatal error (Concretize failure mid-retry)
+}
+
+// runPipelined is RunTemplatesCtx's engine when Window > 1. It keeps up
+// to Window cases in flight: a burst of sends tops the window up, a
+// drain loop routes every available capture to its case, synchronous
+// links have their dead capture windows closed immediately, and the
+// timer wheel fires recv-window and backoff expiries. Verdict semantics
+// are bit-for-bit the lockstep state machine's; only the scheduling
+// differs.
+func (d *Driver) runPipelined(ctx context.Context, templates []*sym.Template) (*Report, error) {
+	now := time.Now()
+	eng := &engine{
+		d:       d,
+		wheel:   newWheel(now),
+		idMap:   make(map[uint64]*pcase, d.Window),
+		outs:    make([]*Outcome, len(templates)),
+		skips:   make([]*Case, len(templates)),
+		recvBuf: make([]byte, 65536),
+		rep:     &Report{Program: d.Prog.Name},
+		start:   now,
+	}
+	if f, ok := d.Link.(FastRecvLink); ok {
+		eng.fast = f
+	}
+	if s, ok := d.Link.(SyncLink); ok && s.Synchronous() {
+		eng.sync = true
+	}
+	if q, ok := d.Link.(QuietLink); ok {
+		// The engine never reads link-side traces; let the target skip
+		// producing them.
+		q.SetQuiet(true)
+		defer q.SetQuiet(false)
+	}
+	pl := d.Prog.Pipeline(d.entryPipeline(0))
+	eng.copyWire = pl == nil || pl.Parser == ""
+
+	next := 0
+	for eng.done < len(templates) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		progress := false
+		// 1. Admission burst: top the window up, one send per case.
+		for eng.inflight < d.Window && next < len(templates) {
+			if err := eng.admit(templates[next], next); err != nil {
+				return nil, err
+			}
+			next++
+			progress = true
+		}
+		// 2. Drain every capture already available.
+		if eng.drain(0) {
+			progress = true
+		}
+		// 3. A synchronous link answered during Send; windows still open
+		// after a full drain will never fill — close them now instead of
+		// waiting out RecvTimeout.
+		if eng.sync && eng.closeSyncWindows() {
+			progress = true
+		}
+		// 4. Fire due recv-window and backoff timers.
+		if eng.wheel.advance(time.Now(), eng.fire) > 0 {
+			progress = true
+		}
+		if eng.err != nil {
+			return nil, eng.err
+		}
+		// 5. Idle: block until the next timer, using a blocking recv on
+		// asynchronous links so an early capture wakes the loop.
+		if !progress && eng.done < len(templates) {
+			wait := 5 * time.Millisecond // safety net; inflight cases always hold a timer
+			if wake, ok := eng.wheel.nextWake(); ok {
+				if dur := time.Until(wake); dur < wait {
+					wait = dur
+				}
+			}
+			if wait > 0 {
+				if eng.sync {
+					sleepCtx(ctx, wait)
+				} else {
+					// Block in recv so an early capture wakes the loop.
+					// Some links report "nothing" immediately instead of
+					// honouring the timeout; sleep a bounded slice then so
+					// the idle wait never degrades into a spin.
+					t0 := time.Now()
+					if !eng.drain(wait) {
+						if rem := wait - time.Since(t0); rem > 0 {
+							if rem > time.Millisecond {
+								rem = time.Millisecond
+							}
+							sleepCtx(ctx, rem)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, o := range eng.outs {
+		if o != nil {
+			eng.rep.Outcomes = append(eng.rep.Outcomes, o)
+		}
+	}
+	for _, c := range eng.skips {
+		if c != nil {
+			eng.rep.Skips = append(eng.rep.Skips, c)
+		}
+	}
+	return eng.rep, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (eng *engine) getPcase() *pcase {
+	if n := len(eng.free); n > 0 {
+		pc := eng.free[n-1]
+		eng.free = eng.free[:n-1]
+		return pc
+	}
+	return &pcase{}
+}
+
+func (eng *engine) putPcase(pc *pcase) {
+	pc.gen++ // orphan any wheel entry still pointing here
+	pc.tmpl, pc.cur, pc.last = nil, nil, nil
+	pc.state = psIdle
+	eng.free = append(eng.free, pc)
+}
+
+// admit concretizes one template and transmits its first attempt.
+func (eng *engine) admit(t *sym.Template, idx int) error {
+	d := eng.d
+	c, err := d.concretizeFast(t, d.allocID())
+	if err != nil {
+		return err
+	}
+	if c.SkipReason != "" {
+		eng.skips[idx] = c
+		eng.rep.Skipped++
+		mCasesSkipped.Inc()
+		eng.done++
+		return nil
+	}
+	pc := eng.getPcase()
+	pc.idx = idx
+	pc.tmpl = t
+	pc.cur = c
+	pc.last = nil
+	pc.attempt = 0
+	pc.backoff = d.Backoff
+	if pc.backoff <= 0 {
+		pc.backoff = time.Millisecond
+	}
+	pc.start = time.Now()
+	pc.deadline = pc.start.Add(d.caseBudget())
+	pc.observed, pc.crashed = false, false
+	eng.inflight++
+	eng.send(pc)
+	return nil
+}
+
+// send transmits the case's current attempt and opens its capture
+// window. A send error fails the attempt immediately without a capture
+// window and without running the checker — lockstep parity.
+func (eng *engine) send(pc *pcase) {
+	d := eng.d
+	c := pc.cur
+	if err := d.Link.Send(c.Entry, c.Wire); err != nil {
+		o := &Outcome{Case: c}
+		var ce *switchsim.CrashError
+		if errors.As(err, &ce) {
+			o.Crashed = true
+			o.Mismatches = append(o.Mismatches, err.Error())
+		} else {
+			o.Mismatches = append(o.Mismatches, fmt.Sprintf("send failed: %v", err))
+		}
+		o.Absent = true
+		eng.attemptDone(pc, o)
+		return
+	}
+	pc.seq = eng.seq
+	eng.seq++
+	pc.state = psAwaiting
+	pc.recvBy = time.Now().Add(d.RecvTimeout)
+	if pc.recvBy.After(pc.deadline) {
+		pc.recvBy = pc.deadline
+	}
+	eng.idMap[c.ID] = pc
+	eng.awaiting++
+	eng.wheel.insert(pc, pc.recvBy)
+}
+
+// unwatch closes a case's capture window: the demux entry is removed and
+// the pending recv timer cancelled via generation bump.
+func (eng *engine) unwatch(pc *pcase) {
+	delete(eng.idMap, pc.cur.ID)
+	eng.awaiting--
+	pc.gen++
+	pc.state = psIdle
+}
+
+// drain pulls captures from the link and routes each to its case.
+// timeout applies only to the first read (a block-until-event wait);
+// subsequent reads never block, so one call empties the link.
+func (eng *engine) drain(timeout time.Duration) bool {
+	got := false
+	for {
+		wire, ok, err := eng.recvOne(timeout)
+		timeout = 0
+		if err != nil {
+			eng.chargeRecvError(err)
+			return true
+		}
+		if !ok {
+			return got
+		}
+		got = true
+		eng.route(wire)
+	}
+}
+
+// recvOne reads one capture, into the engine's reused buffer when the
+// link supports it. Asynchronous links get a floor on the poll timeout:
+// a deadline already in the past would report timeout without checking
+// the socket's queue.
+func (eng *engine) recvOne(timeout time.Duration) ([]byte, bool, error) {
+	if !eng.sync && timeout <= 0 {
+		timeout = 200 * time.Microsecond
+	}
+	if eng.fast != nil {
+		n, ok, err := eng.fast.RecvInto(eng.recvBuf, timeout)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return eng.recvBuf[:n], true, nil
+	}
+	return eng.d.Link.Recv(timeout)
+}
+
+// route delivers one capture. ID-carrying captures go to their awaiting
+// case (or are dropped as stale — the pipelined analogue of lockstep's
+// end-of-case pending flush). Unidentifiable captures are charged to the
+// oldest open window, as lockstep delivers them to its in-flight case.
+func (eng *engine) route(wire []byte) {
+	id, ok := wireID(wire)
+	var pc *pcase
+	if ok {
+		pc = eng.idMap[id]
+	} else {
+		pc = eng.oldestAwaiting()
+	}
+	if pc == nil {
+		return
+	}
+	eng.unwatch(pc)
+	o := &Outcome{Case: pc.cur}
+	out, perr := eng.decode(wire)
+	if perr != nil {
+		o.Mismatches = append(o.Mismatches, fmt.Sprintf("output packet undecodable: %v", perr))
+	} else {
+		if oid, ok2 := out.ID(); !ok2 || oid != pc.cur.ID {
+			o.Mismatches = append(o.Mismatches, fmt.Sprintf("output carries wrong ID (want %d)", pc.cur.ID))
+		}
+		o.Output = out
+	}
+	eng.d.check(o)
+	eng.attemptDone(pc, o)
+}
+
+// decode re-parses a capture. When the program is parserless the decoder
+// retains the wire slice inside the report, so a capture read into the
+// shared recv buffer is copied out first.
+func (eng *engine) decode(wire []byte) (*packet.Packet, error) {
+	if eng.copyWire && eng.fast != nil {
+		wire = append([]byte(nil), wire...)
+	}
+	return eng.d.decodeOutput(wire)
+}
+
+func (eng *engine) oldestAwaiting() *pcase {
+	var best *pcase
+	for _, pc := range eng.idMap {
+		if best == nil || pc.seq < best.seq {
+			best = pc
+		}
+	}
+	return best
+}
+
+// chargeRecvError fails the oldest awaiting case's attempt with the link
+// error, without running the checker — lockstep's recv-error path.
+func (eng *engine) chargeRecvError(err error) {
+	pc := eng.oldestAwaiting()
+	if pc == nil {
+		return
+	}
+	eng.unwatch(pc)
+	o := &Outcome{Case: pc.cur}
+	o.Mismatches = append(o.Mismatches, fmt.Sprintf("recv failed: %v", err))
+	o.Absent = true
+	eng.attemptDone(pc, o)
+}
+
+// closeSyncWindows ends every open capture window: on a synchronous link
+// a capture that has not arrived after a full drain never will.
+func (eng *engine) closeSyncWindows() bool {
+	if eng.awaiting == 0 {
+		return false
+	}
+	eng.scratch = eng.scratch[:0]
+	for _, pc := range eng.idMap {
+		eng.scratch = append(eng.scratch, pc)
+	}
+	for _, pc := range eng.scratch {
+		if pc.state == psAwaiting {
+			eng.closeWindow(pc)
+		}
+	}
+	return true
+}
+
+// closeWindow ends an open capture window with no packet; the absent
+// attempt runs the checker exactly as lockstep's recv-timeout path (a
+// predicted drop passes here).
+func (eng *engine) closeWindow(pc *pcase) {
+	eng.unwatch(pc)
+	o := &Outcome{Case: pc.cur}
+	o.Absent = true
+	eng.d.check(o)
+	eng.attemptDone(pc, o)
+}
+
+// fire handles a timer expiry: an awaiting case's capture window closed,
+// or a backoff elapsed and the case retransmits with a fresh payload ID.
+func (eng *engine) fire(pc *pcase) {
+	switch pc.state {
+	case psAwaiting:
+		eng.closeWindow(pc)
+	case psBackoff:
+		now := time.Now()
+		if !now.Before(pc.deadline) {
+			eng.finalizeFail(pc)
+			return
+		}
+		pc.backoff *= 2
+		pc.attempt++
+		d := eng.d
+		nc, err := d.concretizeFast(pc.tmpl, d.allocID())
+		if err != nil {
+			eng.err = err
+			return
+		}
+		if nc.SkipReason != "" {
+			// A retransmission that no longer concretizes ends the case
+			// with its last observed failure, as lockstep's break.
+			eng.finalizeFail(pc)
+			return
+		}
+		pc.cur = nc
+		eng.send(pc)
+	}
+}
+
+// attemptDone is the lockstep retry state machine, one transition per
+// completed attempt: pass → Pass/Flaky; fail → backoff and retransmit,
+// until retries or the case deadline are exhausted.
+func (eng *engine) attemptDone(pc *pcase, o *Outcome) {
+	d := eng.d
+	o.Attempts = pc.attempt + 1
+	if !o.Absent {
+		pc.observed = true
+	}
+	pc.crashed = pc.crashed || o.Crashed
+	if o.Pass {
+		o.Verdict = VerdictPass
+		if pc.attempt > 0 {
+			o.Verdict = VerdictFlaky
+		}
+		o.Crashed = pc.crashed
+		eng.finalize(pc, o)
+		return
+	}
+	pc.last = o
+	now := time.Now()
+	if pc.attempt >= d.Retries || !now.Before(pc.deadline) {
+		eng.finalizeFail(pc)
+		return
+	}
+	pc.state = psBackoff
+	wake := now.Add(pc.backoff)
+	if wake.After(pc.deadline) {
+		wake = pc.deadline
+	}
+	eng.wheel.insert(pc, wake)
+}
+
+// finalizeFail reports the last failed attempt with lockstep's
+// exhaustion classification: Lost when the target was never observed on
+// a case that expected a capture, Fail otherwise.
+func (eng *engine) finalizeFail(pc *pcase) {
+	last := pc.last
+	last.Crashed = pc.crashed
+	if !pc.observed && !pc.crashed && last.Case.Expected != nil {
+		last.Verdict = VerdictLost
+	} else {
+		last.Verdict = VerdictFail
+	}
+	eng.finalize(pc, last)
+}
+
+// finalize records a case's verdict in its template slot and recycles
+// the engine state.
+func (eng *engine) finalize(pc *pcase, o *Outcome) {
+	mCaseLatencyNS.ObserveSince(pc.start)
+	eng.outs[pc.idx] = o
+	if !eng.firstSet {
+		eng.firstSet = true
+		eng.rep.TimeToFirstVerdict = time.Since(eng.start)
+	}
+	eng.rep.Retransmissions += o.Attempts - 1
+	mRetransmits.Add(uint64(o.Attempts - 1))
+	switch o.Verdict {
+	case VerdictPass:
+		eng.rep.Passed++
+		mCasesPassed.Inc()
+	case VerdictFlaky:
+		eng.rep.Flaky++
+		mCasesFlaky.Inc()
+	case VerdictFail:
+		eng.rep.Failed++
+		mCasesFailed.Inc()
+	case VerdictLost:
+		eng.rep.Lost++
+		mCasesLost.Inc()
+	}
+	eng.done++
+	eng.inflight--
+	eng.putPcase(pc)
+}

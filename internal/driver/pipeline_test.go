@@ -1,0 +1,277 @@
+package driver
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/p4"
+	"repro/internal/programs"
+	"repro/internal/rules"
+	"repro/internal/switchsim"
+	"repro/internal/sym"
+)
+
+// explored holds one program's generation artifacts, shared across the
+// engine modes under comparison (the templates are identical inputs; the
+// target and driver are rebuilt per mode so payload IDs restart at 1).
+type explored struct {
+	prog      *p4.Program
+	rules     *rules.Set
+	graph     *cfg.Graph
+	templates []*sym.Template
+}
+
+func explore(t testing.TB, prog *p4.Program, rs *rules.Set) *explored {
+	t.Helper()
+	g, err := cfg.Build(prog, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sym.Explore(sym.Config{Graph: g, Options: sym.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &explored{prog: prog, rules: rs, graph: g, templates: res.Templates}
+}
+
+func exploreGW1(t testing.TB) *explored {
+	t.Helper()
+	p := programs.GW(1, programs.Set1)
+	return explore(t, p.Prog, p.Rules)
+}
+
+// runWindow executes the full suite at one in-flight window on a fresh
+// target and driver. tweak customizes retry knobs before the run.
+func runWindow(t testing.TB, e *explored, faults switchsim.Faults, window int, tweak func(*Driver)) *Report {
+	t.Helper()
+	target, err := switchsim.Compile(e.prog, e.rules, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(e.prog, e.graph, NewLoopback(target), nil)
+	d.Window = window
+	if tweak != nil {
+		tweak(d)
+	}
+	rep, err := d.RunTemplates(e.templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+var wantIDRe = regexp.MustCompile(`\(want \d+\)`)
+
+// renderReport flattens a report into a canonical byte-comparable form.
+// Outcomes and skips are already in template order in both engines.
+// withIDs includes payload IDs; runs with retransmissions interleave ID
+// allocation differently across engines, so those comparisons drop IDs.
+func renderReport(rep *Report, withIDs bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "passed=%d failed=%d skipped=%d flaky=%d lost=%d retrans=%d\n",
+		rep.Passed, rep.Failed, rep.Skipped, rep.Flaky, rep.Lost, rep.Retransmissions)
+	for _, o := range rep.Outcomes {
+		var id uint64
+		if withIDs {
+			id = o.Case.ID
+		}
+		fmt.Fprintf(&b, "case id=%d entry=%d wire=%d verdict=%s attempts=%d pass=%t absent=%t crashed=%t\n",
+			id, o.Case.Entry, len(o.Case.Wire), o.Verdict, o.Attempts, o.Pass, o.Absent, o.Crashed)
+		for _, m := range o.Mismatches {
+			if !withIDs {
+				// The wrong-ID diagnostic embeds the attempt's payload ID,
+				// which follows the (excluded) allocation order.
+				m = wantIDRe.ReplaceAllString(m, "(want #)")
+			}
+			fmt.Fprintf(&b, "  mismatch: %s\n", m)
+		}
+		for _, c := range o.ChecksumErrors {
+			fmt.Fprintf(&b, "  checksum: %s\n", c)
+		}
+		for _, v := range o.Violations {
+			fmt.Fprintf(&b, "  violation: %v\n", v)
+		}
+	}
+	for _, c := range rep.Skips {
+		fmt.Fprintf(&b, "skip reason=%q\n", c.SkipReason)
+	}
+	return b.String()
+}
+
+// TestPipelinedMatchesLockstepClean holds the pipelined engine to the
+// lockstep loop on a clean loopback across windows: the reports must be
+// byte-identical, payload IDs included, on the production-shaped gw-1
+// corpus program (which exercises skips, predicted drops, VXLAN
+// encapsulation and checksum maintenance).
+func TestPipelinedMatchesLockstepClean(t *testing.T) {
+	e := exploreGW1(t)
+	want := renderReport(runWindow(t, e, nil, 1, nil), true)
+	for _, w := range []int{2, 32, 256} {
+		got := renderReport(runWindow(t, e, nil, w, nil), true)
+		if got != want {
+			t.Fatalf("window=%d report differs from lockstep\n--- lockstep ---\n%s--- pipelined ---\n%s", w, want, got)
+		}
+	}
+	if !strings.Contains(want, "passed=") || strings.HasPrefix(want, "passed=0 ") {
+		t.Fatalf("suite decided no cases:\n%s", want)
+	}
+}
+
+// TestPipelinedMatchesLockstepBuggyTarget repeats the differential
+// against a target compiled with an injected data-plane fault: the
+// engines must classify the same cases as Fail with the same mismatch
+// and checksum-error text. IDs are excluded — retransmissions interleave
+// the ID sequence differently — but attempts must match exactly.
+func TestPipelinedMatchesLockstepBuggyTarget(t *testing.T) {
+	fast := func(d *Driver) {
+		d.Retries = 1
+		d.Backoff = time.Millisecond
+	}
+	cases := []struct {
+		name   string
+		setup  func(t *testing.T) *explored
+		faults switchsim.Faults
+	}{
+		{
+			name: "checksum-skip",
+			setup: func(t *testing.T) *explored {
+				prog := p4.MustParse(driverProg)
+				rs := rules.MustParse("table host {\n ipv4.dstAddr=10.0.0.1 -> fwd(3);\n}")
+				return explore(t, prog, rs)
+			},
+			faults: switchsim.Faults{switchsim.ChecksumSkip{Header: "ipv4"}},
+		},
+		{
+			name: "setvalid-noop",
+			setup: func(t *testing.T) *explored {
+				return exploreGW1(t)
+			},
+			faults: switchsim.Faults{switchsim.SetValidNoOp{Header: "vxlan"}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := c.setup(t)
+			ref := runWindow(t, e, c.faults, 1, fast)
+			if ref.Failed == 0 {
+				t.Fatal("fault produced no failures; the differential is vacuous")
+			}
+			want := renderReport(ref, false)
+			for _, w := range []int{2, 256} {
+				got := renderReport(runWindow(t, e, c.faults, w, fast), false)
+				if got != want {
+					t.Fatalf("window=%d report differs from lockstep\n--- lockstep ---\n%s--- pipelined ---\n%s", w, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedShakenLinkConverges drives both engines through a heavily
+// shaken link — 30%% drop plus duplication and reordering — and requires
+// both to converge: the retry machinery must absorb every injected fault
+// (no Fail, no Lost) and report the noise as Flaky verdicts and
+// retransmissions, never silently.
+func TestPipelinedShakenLinkConverges(t *testing.T) {
+	prog := p4.MustParse(driverProg)
+	rs := rules.MustParse("table host {\n ipv4.dstAddr=10.0.0.1 -> fwd(3);\n}")
+	e := explore(t, prog, rs)
+	faults := LinkFaults{Seed: 7, Drop: 0.3, Duplicate: 0.1, Reorder: 0.1}
+
+	run := func(window int, seed int64) *Report {
+		target, err := switchsim.Compile(prog, rs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := faults
+		f.Seed = seed
+		link := NewFaultyLink(NewLoopback(target), f)
+		d := New(prog, e.graph, link, nil)
+		d.Window = window
+		d.Retries = 8 // 0.3^9 residual loss; a Lost verdict here is an engine bug
+		d.Backoff = time.Millisecond
+		d.RecvTimeout = 10 * time.Millisecond
+		rep, err := d.RunTemplates(e.templates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	for _, seed := range []int64{7, 21} {
+		lock := run(1, seed)
+		pipe := run(256, seed)
+		for name, rep := range map[string]*Report{"lockstep": lock, "pipelined": pipe} {
+			if rep.Failed != 0 || rep.Lost != 0 {
+				t.Errorf("seed=%d %s did not converge: %s", seed, name, rep.Summary())
+				for _, f := range rep.Failures() {
+					t.Logf("  %s: %v", f.Verdict, f.Mismatches)
+				}
+			}
+		}
+		if got, want := len(pipe.Outcomes), len(lock.Outcomes); got != want {
+			t.Errorf("seed=%d outcome counts diverge: pipelined=%d lockstep=%d", seed, got, want)
+		}
+		if pipe.Passed+pipe.Flaky != lock.Passed+lock.Flaky {
+			t.Errorf("seed=%d converged verdicts diverge: pipelined=%d+%d lockstep=%d+%d",
+				seed, pipe.Passed, pipe.Flaky, lock.Passed, lock.Flaky)
+		}
+	}
+}
+
+// TestPipelinedEngineMachineryAllocs pins the engine's steady-state
+// zero-alloc guarantee on its own machinery: the timer wheel, the pcase
+// freelist and the ID demux map recycle a full case lifecycle — admit,
+// capture-window timer, cancellation, backoff timer, expiry — without
+// allocating. (Report objects — Case, Outcome, captured Packet — are
+// retained output and allocate identically in both engines.)
+func TestPipelinedEngineMachineryAllocs(t *testing.T) {
+	now := time.Now()
+	w := newWheel(now)
+	eng := &engine{wheel: w, idMap: make(map[uint64]*pcase, 64)}
+	cases := make([]*Case, 64)
+	for i := range cases {
+		cases[i] = &Case{ID: uint64(i + 1)}
+	}
+	at := now
+	lifecycle := func() {
+		at = at.Add(wheelTick) // march time forward, as a live run does
+		for _, c := range cases {
+			pc := eng.getPcase()
+			pc.cur = c
+			pc.state = psAwaiting
+			eng.idMap[c.ID] = pc
+			eng.awaiting++
+			w.insert(pc, at.Add(4*wheelTick))
+		}
+		// Half the windows fill (capture arrives: demux + timer cancel),
+		// half expire through the wheel.
+		for i, c := range cases {
+			pc := eng.idMap[c.ID]
+			if i%2 == 0 {
+				eng.unwatch(pc)
+				eng.putPcase(pc)
+			}
+		}
+		w.advance(at.Add(8*wheelTick), func(pc *pcase) {
+			eng.unwatch(pc)
+			eng.putPcase(pc)
+		})
+		if len(eng.idMap) != 0 || w.count != 0 {
+			t.Fatalf("lifecycle leaked state: idMap=%d wheel=%d", len(eng.idMap), w.count)
+		}
+	}
+	// Warm the freelist, the demux map, and every wheel slot — the
+	// cursor marches into a different slot each lifecycle, so a full
+	// revolution is needed before the steady state.
+	for i := 0; i < 2*wheelSlots; i++ {
+		lifecycle()
+	}
+	if avg := testing.AllocsPerRun(100, lifecycle); avg != 0 {
+		t.Errorf("steady-state engine machinery allocates %.2f allocs/op, want 0", avg)
+	}
+}

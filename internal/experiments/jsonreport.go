@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	meissa "repro"
+	"repro/internal/driver"
 	"repro/internal/obs"
 	"repro/internal/programs"
+	"repro/internal/switchsim"
+	"repro/internal/sym"
 )
 
 // BenchSchema versions the meissa-bench -json document. The document is
@@ -21,12 +25,18 @@ type BenchReport struct {
 	Parallelism int    `json:"parallelism"`
 	// Runs holds one validated run report per program × rule set: every
 	// corpus program at its built-in rule set, plus the Fig. 10 grid
-	// (gw-1/gw-2 across set-1..set-4).
+	// (gw-1/gw-2 across set-1..set-4). Each run also drives the generated
+	// templates against a compiled switchsim target over loopback, so the
+	// driver section carries verdicts_per_sec; gw-1/set-1 appears twice —
+	// once pipelined, once at window=1 (lockstep) — recording the driver
+	// speedup ratio in every bench file.
 	Runs []*obs.Report `json:"runs"`
 }
 
-// benchRun generates tests for one program and builds its run report.
-func benchRun(p *programs.Program, ruleSet string) (*obs.Report, error) {
+// benchRun generates tests for one program, drives them against a
+// loopback switchsim target at the given in-flight window (0 = the
+// pipelined default), and builds the combined run report.
+func benchRun(p *programs.Program, ruleSet string, window int) (*obs.Report, error) {
 	opts := meissa.DefaultOptions()
 	opts.Deadline = Budget
 	opts.Parallelism = Parallelism
@@ -40,6 +50,60 @@ func benchRun(p *programs.Program, ruleSet string) (*obs.Report, error) {
 	}
 	rep := gen.Report("bench", p.Name, Parallelism)
 	rep.RuleSet = ruleSet
+	if len(gen.Templates) > 0 {
+		target, err := switchsim.Compile(p.Prog, p.Rules, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s: compile target: %w", p.Name, ruleSet, err)
+		}
+		d := sys.NewDriver(driver.NewLoopback(target), gen)
+		if window > 0 {
+			d.Window = window
+		}
+		// The report's verdict taxonomy comes from one real suite run
+		// (this also warms the driver's template cache).
+		start := time.Now()
+		drep, err := d.RunTemplates(gen.Templates)
+		driveDur := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s: drive: %w", p.Name, ruleSet, err)
+		}
+		rep.WallNS += int64(driveDur)
+		rep.Phases = append(rep.Phases, obs.PhaseDur{Name: "drive", NS: int64(driveDur), Count: 1})
+		dr := &obs.DriverReport{
+			Passed:            drep.Passed,
+			Failed:            drep.Failed,
+			Skipped:           drep.Skipped,
+			Flaky:             drep.Flaky,
+			Lost:              drep.Lost,
+			Retransmissions:   drep.Retransmissions,
+			TimeToFirstTestNS: int64(drep.TimeToFirstVerdict),
+			Window:            d.Window,
+		}
+		// verdicts_per_sec is sustained throughput: tile the suite so the
+		// in-flight window actually fills (corpus suites are a handful of
+		// cases), then repeat until per-run setup is amortized.
+		tiled := append([]*sym.Template(nil), gen.Templates...)
+		for len(tiled) < 4*d.Window && len(gen.Templates) > 0 {
+			tiled = append(tiled, gen.Templates...)
+		}
+		mStart := time.Now()
+		verdicts := 0
+		for time.Since(mStart) < 300*time.Millisecond {
+			r, err := d.RunTemplates(tiled)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: drive: %w", p.Name, ruleSet, err)
+			}
+			n := r.Passed + r.Failed + r.Flaky + r.Lost
+			verdicts += n
+			if n == 0 {
+				break // all-skip suite: nothing to rate
+			}
+		}
+		if mDur := time.Since(mStart); verdicts > 0 && mDur > 0 {
+			dr.VerdictsPerSec = float64(verdicts) / mDur.Seconds()
+		}
+		rep.Driver = dr
+	}
 	if err := rep.Validate(); err != nil {
 		return nil, fmt.Errorf("bench %s/%s: %w", p.Name, ruleSet, err)
 	}
@@ -55,7 +119,7 @@ func BenchRuns() (*BenchReport, error) {
 		Parallelism: Parallelism,
 	}
 	for _, p := range programs.All() {
-		rep, err := benchRun(p, "builtin")
+		rep, err := benchRun(p, "builtin", 0)
 		if err != nil {
 			return nil, err
 		}
@@ -63,13 +127,20 @@ func BenchRuns() (*BenchReport, error) {
 	}
 	for _, n := range []int{1, 2} {
 		for _, set := range AllRuleSets() {
-			rep, err := benchRun(programs.GW(n, set), set.String())
+			rep, err := benchRun(programs.GW(n, set), set.String(), 0)
 			if err != nil {
 				return nil, err
 			}
 			br.Runs = append(br.Runs, rep)
 		}
 	}
+	// The §5 scalability headline: gw-1/set-1 once more at window=1, so
+	// every bench file records pipelined vs lockstep verdicts_per_sec.
+	lockstep, err := benchRun(programs.GW(1, programs.Set1), "set-1", 1)
+	if err != nil {
+		return nil, err
+	}
+	br.Runs = append(br.Runs, lockstep)
 	regressRuns, err := regressBenchRuns()
 	if err != nil {
 		return nil, err

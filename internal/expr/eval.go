@@ -86,6 +86,73 @@ func EvalBool(b Bool, s State) (bool, error) {
 	return false, fmt.Errorf("expr: unknown boolean expression %T", b)
 }
 
+// EvalArithOK is EvalArith without the error value: ok is false when a
+// referenced variable is unbound or the expression shape is unknown.
+// The solver's backtracking search evaluates constraints against partial
+// assignments millions of times per run, where building an ErrUnbound
+// interface value per miss would dominate the allocation profile.
+func EvalArithOK(a Arith, s State) (uint64, bool) {
+	switch t := a.(type) {
+	case Const:
+		return t.Val, true
+	case Ref:
+		v, ok := s[t.Var]
+		if !ok {
+			return 0, false
+		}
+		return t.W.Trunc(v), true
+	case Bin:
+		l, ok := EvalArithOK(t.L, s)
+		if !ok {
+			return 0, false
+		}
+		r, ok := EvalArithOK(t.R, s)
+		if !ok {
+			return 0, false
+		}
+		return t.Op.Apply(l, r, t.Width()), true
+	}
+	return 0, false
+}
+
+// EvalBoolOK is EvalBool without the error value; see EvalArithOK.
+func EvalBoolOK(b Bool, s State) (bool, bool) {
+	switch t := b.(type) {
+	case BoolConst:
+		return bool(t), true
+	case Cmp:
+		l, ok := EvalArithOK(t.L, s)
+		if !ok {
+			return false, false
+		}
+		r, ok := EvalArithOK(t.R, s)
+		if !ok {
+			return false, false
+		}
+		return t.Op.Apply(l, r), true
+	case Logic:
+		l, ok := EvalBoolOK(t.L, s)
+		if !ok {
+			return false, false
+		}
+		// Short-circuit to match the sequential evaluation semantics.
+		if t.Op == LAnd && !l {
+			return false, true
+		}
+		if t.Op == LOr && l {
+			return true, true
+		}
+		return EvalBoolOK(t.R, s)
+	case Not:
+		v, ok := EvalBoolOK(t.X, s)
+		if !ok {
+			return false, false
+		}
+		return !v, true
+	}
+	return false, false
+}
+
 // Subst is a symbolic value stack: a mapping from header fields to
 // arithmetic expressions (V in §3.2 of the paper).
 type Subst map[Var]Arith

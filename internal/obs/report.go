@@ -121,6 +121,13 @@ type DriverReport struct {
 	// TimeToFirstTestNS is the wall-clock from process start to the first
 	// case verdict — the paper-style responsiveness metric.
 	TimeToFirstTestNS int64 `json:"time_to_first_test_ns,omitempty"`
+	// VerdictsPerSec is drive throughput: verdicted cases
+	// (passed+failed+flaky+lost) per second of driving. CLI runs derive
+	// it from the run's own drive phase; bench runs measure a sustained
+	// regime (suite tiled to fill the window, repeated to amortize setup).
+	VerdictsPerSec float64 `json:"verdicts_per_sec,omitempty"`
+	// Window is the pipelined engine's in-flight window (1 = lockstep).
+	Window int `json:"window,omitempty"`
 	// Link counts injected link faults (zeros on clean links).
 	Link *LinkReport `json:"link,omitempty"`
 }

@@ -1,0 +1,153 @@
+package p4
+
+import (
+	"maps"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// VarTable interns a program's variable names so per-packet hot paths —
+// the switchsim interpreter, the packet codec, the driver's concretizer
+// — never rebuild them by string concatenation. One table is built per
+// Program on first use and cached for the program's lifetime.
+type VarTable struct {
+	field  map[hfKey]expr.Var
+	fieldW map[hfKey]expr.Width
+	valid  map[string]expr.Var
+	meta   map[string]expr.Var
+	metaW  map[string]expr.Width
+	// zero is the canonical all-zero per-packet state: every header
+	// field, validity bit, metadata field, and the drop flag.
+	zero expr.State
+	// zeroVars lists zero's keys for allocation-free in-place resets.
+	zeroVars []expr.Var
+}
+
+type hfKey struct{ header, field string }
+
+// varTables caches one VarTable per *Program. Entries live as long as
+// the process; programs are parsed once and reused, so the cache stays
+// bounded by the number of distinct programs loaded.
+var varTables sync.Map // *Program -> *VarTable
+
+// Vars returns the program's interned variable table, building it on
+// first use.
+func Vars(p *Program) *VarTable {
+	if t, ok := varTables.Load(p); ok {
+		return t.(*VarTable)
+	}
+	t := buildVarTable(p)
+	actual, _ := varTables.LoadOrStore(p, t)
+	return actual.(*VarTable)
+}
+
+func buildVarTable(p *Program) *VarTable {
+	t := &VarTable{
+		field:  map[hfKey]expr.Var{},
+		fieldW: map[hfKey]expr.Width{},
+		valid:  map[string]expr.Var{},
+		meta:   map[string]expr.Var{},
+		metaW:  map[string]expr.Width{},
+		zero:   expr.State{},
+	}
+	for _, h := range p.Headers {
+		v := ValidVar(h.Name)
+		t.valid[h.Name] = v
+		t.zero[v] = 0
+		for _, f := range h.Fields {
+			k := hfKey{h.Name, f.Name}
+			fv := HeaderFieldVar(h.Name, f.Name)
+			t.field[k] = fv
+			t.fieldW[k] = expr.Width(f.Width)
+			t.zero[fv] = 0
+		}
+	}
+	for _, f := range p.Metadata {
+		v := MetaVar(f.Name)
+		t.meta[f.Name] = v
+		t.metaW[f.Name] = expr.Width(f.Width)
+		t.zero[v] = 0
+	}
+	t.zero[DropVar] = 0
+	t.zeroVars = make([]expr.Var, 0, len(t.zero))
+	for v := range t.zero {
+		t.zeroVars = append(t.zeroVars, v)
+	}
+	return t
+}
+
+// Field returns HeaderFieldVar(header, field), interned when the pair is
+// declared by the program.
+func (t *VarTable) Field(header, field string) expr.Var {
+	if v, ok := t.field[hfKey{header, field}]; ok {
+		return v
+	}
+	return HeaderFieldVar(header, field)
+}
+
+// FieldOK returns the interned variable for a declared (header, field)
+// pair; ok=false when the pair is not declared by the program.
+func (t *VarTable) FieldOK(header, field string) (expr.Var, bool) {
+	v, ok := t.field[hfKey{header, field}]
+	return v, ok
+}
+
+// Valid returns ValidVar(header), interned when declared.
+func (t *VarTable) Valid(header string) expr.Var {
+	if v, ok := t.valid[header]; ok {
+		return v
+	}
+	return ValidVar(header)
+}
+
+// Meta returns MetaVar(field), interned when declared.
+func (t *VarTable) Meta(field string) expr.Var {
+	if v, ok := t.meta[field]; ok {
+		return v
+	}
+	return MetaVar(field)
+}
+
+// Ref resolves a two-part field reference (hdr.f or meta.f) to its
+// interned variable and width. ok=false for anything else — unknown
+// names, or one-part references that need an action scope — which the
+// caller routes through Env.ResolveRef.
+func (t *VarTable) Ref(ref *FieldRef) (expr.Var, expr.Width, bool) {
+	if len(ref.Parts) != 2 {
+		return "", 0, false
+	}
+	first, second := ref.Parts[0], ref.Parts[1]
+	if first == "meta" {
+		if w, ok := t.metaW[second]; ok {
+			return t.meta[second], w, true
+		}
+		return "", 0, false
+	}
+	k := hfKey{first, second}
+	if w, ok := t.fieldW[k]; ok {
+		return t.field[k], w, true
+	}
+	return "", 0, false
+}
+
+// ZeroState returns a fresh all-zero per-packet state, cloned from the
+// canonical one in a single bulk copy instead of per-variable
+// assignments.
+func (t *VarTable) ZeroState() expr.State {
+	return maps.Clone(t.zero)
+}
+
+// ResetZero zeroes st in place without allocating. It is only valid for
+// a state whose key set equals ZeroState()'s — i.e. one produced by
+// ZeroState and mutated by an interpreter that writes declared program
+// variables only. Any other key set falls back to a fresh clone.
+func (t *VarTable) ResetZero(st expr.State) expr.State {
+	if len(st) != len(t.zero) {
+		return t.ZeroState()
+	}
+	for _, v := range t.zeroVars {
+		st[v] = 0
+	}
+	return st
+}

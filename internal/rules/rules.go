@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MatchKind mirrors p4.MatchKind without importing it, keeping this
@@ -147,6 +148,13 @@ func (e *Entry) String() string {
 type Set struct {
 	tables map[string][]*Entry
 	order  []string // table insertion order for deterministic dumps
+	// sorted caches the priority-sorted view per table so the
+	// interpreter's per-packet table applies don't re-copy and re-sort.
+	// Invalidated by Add. mu guards it because a loaded set is read
+	// concurrently by the UDP switch's worker pool; tables/order stay
+	// unguarded — mutation must finish before concurrent reads begin.
+	mu     sync.RWMutex
+	sorted map[string][]*Entry
 }
 
 // NewSet returns an empty rule set.
@@ -160,15 +168,31 @@ func (s *Set) Add(table string, e *Entry) {
 		s.order = append(s.order, table)
 	}
 	s.tables[table] = append(s.tables[table], e)
+	s.mu.Lock()
+	delete(s.sorted, table)
+	s.mu.Unlock()
 }
 
 // Entries returns the entries of a table sorted by descending priority
-// (stable within equal priorities).
+// (stable within equal priorities). The returned slice is a cached view
+// shared between calls: callers must not modify it.
 func (s *Set) Entries(table string) []*Entry {
+	s.mu.RLock()
+	out, ok := s.sorted[table]
+	s.mu.RUnlock()
+	if ok {
+		return out
+	}
 	es := s.tables[table]
-	out := make([]*Entry, len(es))
+	out = make([]*Entry, len(es))
 	copy(out, es)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	s.mu.Lock()
+	if s.sorted == nil {
+		s.sorted = make(map[string][]*Entry)
+	}
+	s.sorted[table] = out
+	s.mu.Unlock()
 	return out
 }
 

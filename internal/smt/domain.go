@@ -193,10 +193,10 @@ func (d *domain) tightenToBits() bool {
 // candidates yields up to max candidate values to try during search, in a
 // deterministic order designed to satisfy typical packet-field constraints
 // quickly: the bit-pattern canonical value, interval endpoints, and a few
-// interior probes.
-func (d *domain) candidates(max int, hints []uint64) []uint64 {
-	seen := make(map[uint64]struct{}, max)
-	out := make([]uint64, 0, max)
+// interior probes. out is a reusable caller-provided buffer (the solver
+// keeps one per search depth); duplicates are rejected by linear scan,
+// which beats a map for the ≤ max (typically 24) entries involved.
+func (d *domain) candidates(max int, hints []uint64, out []uint64) []uint64 {
 	add := func(v uint64) {
 		if len(out) >= max {
 			return
@@ -204,10 +204,11 @@ func (d *domain) candidates(max int, hints []uint64) []uint64 {
 		if !d.contains(v) {
 			return
 		}
-		if _, ok := seen[v]; ok {
-			return
+		for _, prev := range out {
+			if prev == v {
+				return
+			}
 		}
-		seen[v] = struct{}{}
 		out = append(out, v)
 	}
 	for _, h := range hints {

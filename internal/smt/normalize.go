@@ -26,6 +26,13 @@ const (
 	atomFalse
 )
 
+// varW pairs a variable with its declared width, the precomputed unit of
+// the per-atom variable lists below.
+type varW struct {
+	v expr.Var
+	w expr.Width
+}
+
 // atom is a normalized constraint.
 type atom struct {
 	kind atomKind
@@ -37,6 +44,14 @@ type atom struct {
 	mask uint64     // for atomBits / atomExclude-with-mask
 	e    expr.Arith // defining expression for atomDefine
 	orig expr.Bool  // original constraint, for the final model check
+	// tvars/evars are precomputed variable lists for define/deferred
+	// atoms: every variable the atom mentions (touchVars) and the
+	// variables of the defining expression (evalUnderFixed). Atoms are
+	// memoized per constraint value in Solver.normCache, so these are
+	// computed once and shared read-only; a fixed order here replaces the
+	// per-call map iteration the old code paid on every propagation.
+	tvars []varW
+	evars []varW
 }
 
 // normalize lowers a boolean constraint into a list of atoms. Conjunctions
@@ -50,7 +65,34 @@ func normalize(b expr.Bool) []atom {
 	for _, c := range expr.Conjuncts(b) {
 		out = append(out, normalizeOne(c)...)
 	}
+	for i := range out {
+		precomputeVars(&out[i])
+	}
 	return out
+}
+
+// precomputeVars fills tvars/evars for atoms whose propagation walks
+// their variable sets.
+func precomputeVars(a *atom) {
+	if a.kind != atomDefine && a.kind != atomDeferred {
+		return
+	}
+	vars := map[expr.Var]expr.Width{}
+	if a.e != nil {
+		expr.VarsOfArith(a.e, vars)
+		for v, w := range vars {
+			a.evars = append(a.evars, varW{v: v, w: w})
+		}
+	}
+	if a.orig != nil {
+		expr.VarsOfBool(a.orig, vars)
+	}
+	if a.v != "" {
+		vars[a.v] = a.w
+	}
+	for v, w := range vars {
+		a.tvars = append(a.tvars, varW{v: v, w: w})
+	}
 }
 
 func normalizeOne(b expr.Bool) []atom {

@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/expr"
@@ -38,62 +37,135 @@ func (b *searchBudget) exhausted() bool { return b.steps <= 0 }
 // makes models sound even for deferred atoms the domains cannot encode.
 // The error is a *BudgetError when the result is Unknown because a step
 // or time budget ran out; nil otherwise.
-func (s *Solver) search(doms map[expr.Var]*domain) (Result, expr.State, error) {
+//
+// All working storage (assignment map, free-variable order, per-depth
+// candidate buffers) is reused solver scratch unless the caller wants a
+// model, which must be freshly allocated because templates retain it.
+// With bp non-nil (a CheckBatch sibling), the fixed/free split starts
+// from the precomputed prefix split and only re-examines the variables
+// this sibling's propagation touched.
+func (s *Solver) search(doms map[expr.Var]*domain, wantModel bool, bp *batchPrep) (Result, expr.State, error) {
 	atoms := s.allAtoms()
 
-	// Fast path: domains already empty.
-	for _, d := range doms {
-		if d.empty() {
-			return Unsat, nil, nil
-		}
-	}
-
-	// Collect variables: fixed ones go straight into the assignment,
-	// free ones into the search order.
-	assignment := expr.State{}
-	var free []expr.Var
-	for v, d := range doms {
-		if val, ok := d.fixed(); ok {
-			assignment[v] = val
-		} else {
+	var st expr.State
+	free := s.scratchFree[:0]
+	delta := s.scratchDelta[:0]
+	if bp != nil {
+		// Batched sibling: prefix-fixed assignments are already installed
+		// in the scratch state; classify only the touched delta.
+		st = s.scratchSt
+		top := &s.frames[len(s.frames)-1]
+		for _, v := range bp.prefixFree {
+			if _, touched := top.domSnapshot[v]; touched {
+				if val, ok := doms[v].fixed(); ok {
+					st[v] = val
+					delta = append(delta, v)
+					continue
+				}
+			}
 			free = append(free, v)
+		}
+		for _, v := range top.newVars {
+			if val, ok := doms[v].fixed(); ok {
+				st[v] = val
+				delta = append(delta, v)
+			} else {
+				free = append(free, v)
+			}
+		}
+	} else {
+		// Fast path: domains already empty.
+		for _, d := range doms {
+			if d.empty() {
+				return Unsat, nil, nil
+			}
+		}
+		// Collect variables: fixed ones go straight into the assignment,
+		// free ones into the search order.
+		if wantModel {
+			st = expr.State{}
+		} else {
+			st = s.scratchSt
+			clear(st)
+		}
+		for v, d := range doms {
+			if val, ok := d.fixed(); ok {
+				st[v] = val
+			} else {
+				free = append(free, v)
+			}
 		}
 	}
 	// Deterministic order: smallest interval first (fail-first heuristic),
-	// ties by name.
-	sort.Slice(free, func(i, j int) bool {
-		di, dj := doms[free[i]], doms[free[j]]
-		ri, rj := di.hi-di.lo, dj.hi-dj.lo
-		if ri != rj {
-			return ri < rj
-		}
-		return free[i] < free[j]
-	})
+	// ties by name. Insertion sort keeps this allocation-free; the
+	// comparator is total (names are unique), so the result is the unique
+	// sorted order regardless of algorithm.
+	sortFree(free, doms)
 
-	// Value hints: constants appearing in deferred/defining atoms often
-	// satisfy them (e.g. v == u + 1 wants u near a constant elsewhere).
-	hints := constantHints(atoms)
-
-	budget := &searchBudget{steps: s.opts.SearchBudget}
+	budget := &s.budget
+	*budget = searchBudget{steps: s.opts.SearchBudget}
 	if s.opts.CheckTimeout > 0 {
 		budget.deadline = time.Now().Add(s.opts.CheckTimeout)
 	}
-	ok := s.assign(free, 0, assignment, doms, atoms, hints, budget)
-	if ok {
-		return Sat, assignment, nil
-	}
-	if budget.exhausted() {
+	ok := s.assign(free, 0, st, doms, atoms, budget)
+	res, err := Unsat, error(nil)
+	switch {
+	case ok:
+		res = Sat
+	case budget.exhausted():
+		res = Unknown
 		if budget.timedOut {
-			return Unknown, nil, &BudgetError{Timeout: s.opts.CheckTimeout}
+			err = &BudgetError{Timeout: s.opts.CheckTimeout}
+		} else {
+			err = &BudgetError{Steps: s.opts.SearchBudget}
 		}
-		return Unknown, nil, &BudgetError{Steps: s.opts.SearchBudget}
 	}
-	return Unsat, nil, nil
+	if bp != nil {
+		// Restore the scratch state to prefix-fixed-only for the next
+		// sibling: drop this sibling's delta-fixed vars and any free vars
+		// a successful search assigned.
+		for _, v := range delta {
+			delete(st, v)
+		}
+		if ok {
+			for _, v := range free {
+				delete(st, v)
+			}
+		}
+	}
+	// Return the (possibly grown) scratch capacity to the solver.
+	s.scratchFree = free[:0]
+	s.scratchDelta = delta[:0]
+	if res == Sat {
+		return Sat, st, nil
+	}
+	return res, nil, err
+}
+
+// sortFree orders the free variables smallest-interval-first, ties by
+// name (in-place insertion sort; free lists are path-depth sized).
+func sortFree(free []expr.Var, doms map[expr.Var]*domain) {
+	for i := 1; i < len(free); i++ {
+		v := free[i]
+		dv := doms[v]
+		rv := dv.hi - dv.lo
+		j := i - 1
+		for j >= 0 {
+			du := doms[free[j]]
+			ru := du.hi - du.lo
+			if ru < rv || (ru == rv && free[j] < v) {
+				break
+			}
+			free[j+1] = free[j]
+			j--
+		}
+		free[j+1] = v
+	}
 }
 
 // assign recursively assigns free variables and finally validates the
 // complete model.
-func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.Var]*domain, atoms []atom, hints map[expr.Var][]uint64, budget *searchBudget) bool {
+func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.Var]*domain, atoms []atom, budget *searchBudget) bool {
 	if budget.spend() {
 		return false
 	}
@@ -112,7 +184,7 @@ func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.V
 			return false
 		}
 		st[v] = val
-		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, hints, budget) {
+		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, budget) {
 			return true
 		}
 		delete(st, v)
@@ -120,9 +192,9 @@ func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.V
 		return false
 	}
 
-	for _, cand := range d.candidates(s.opts.CandidatesPerVar, hints[v]) {
+	for _, cand := range d.candidates(s.opts.CandidatesPerVar, s.hints[v], s.candBuf(idx)) {
 		st[v] = cand
-		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, hints, budget) {
+		if s.partialConsistent(st, atoms) && s.assign(free, idx+1, st, doms, atoms, budget) {
 			return true
 		}
 		delete(st, v)
@@ -134,17 +206,26 @@ func (s *Solver) assign(free []expr.Var, idx int, st expr.State, doms map[expr.V
 	return false
 }
 
+// candBuf returns the reusable candidate buffer for one search depth.
+func (s *Solver) candBuf(depth int) []uint64 {
+	for len(s.candBufs) <= depth {
+		s.candBufs = append(s.candBufs, make([]uint64, 0, s.opts.CandidatesPerVar))
+	}
+	return s.candBufs[depth][:0]
+}
+
 // definedValue looks for an atomDefine or atomVarEq fixing v given the
 // current partial assignment.
 func definedValue(v expr.Var, atoms []atom, st expr.State) (uint64, bool) {
-	for _, a := range atoms {
+	for i := range atoms {
+		a := &atoms[i]
 		switch a.kind {
 		case atomDefine:
 			if a.v != v {
 				continue
 			}
-			val, err := expr.EvalArith(a.e, st)
-			if err == nil {
+			val, ok := expr.EvalArithOK(a.e, st)
+			if ok {
 				return a.w.Trunc(val), true
 			}
 		case atomVarEq:
@@ -166,12 +247,13 @@ func definedValue(v expr.Var, atoms []atom, st expr.State) (uint64, bool) {
 // partialConsistent rejects partial assignments that already falsify some
 // constraint whose variables are all assigned.
 func (s *Solver) partialConsistent(st expr.State, atoms []atom) bool {
-	for _, a := range atoms {
+	for i := range atoms {
+		a := &atoms[i]
 		if a.orig == nil {
 			continue
 		}
-		ok, err := expr.EvalBool(a.orig, st)
-		if err != nil {
+		ok, bound := expr.EvalBoolOK(a.orig, st)
+		if !bound {
 			continue // some variable still unassigned
 		}
 		if !ok {
@@ -184,24 +266,33 @@ func (s *Solver) partialConsistent(st expr.State, atoms []atom) bool {
 // validate checks the complete assignment against every original
 // constraint.
 func (s *Solver) validate(st expr.State, atoms []atom) bool {
-	for _, a := range atoms {
+	for i := range atoms {
+		a := &atoms[i]
 		if a.orig == nil {
 			continue
 		}
-		ok, err := expr.EvalBool(a.orig, st)
-		if err != nil || !ok {
+		ok, bound := expr.EvalBoolOK(a.orig, st)
+		if !bound || !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// constantHints extracts constants adjacent to each variable in the atom
-// list, used as first candidates during search.
-func constantHints(atoms []atom) map[expr.Var][]uint64 {
-	hints := make(map[expr.Var][]uint64)
+// hintEntry is one memoized search hint: try val early for v.
+type hintEntry struct {
+	v   expr.Var
+	val uint64
+}
+
+// hintEntries extracts constants adjacent to each variable in an atom
+// list, used as first candidates during search. Computed once per
+// normalized constraint (memoized in Solver.hintCache) and merged into
+// the live per-variable hint index by Assert.
+func hintEntries(atoms []atom) []hintEntry {
+	var out []hintEntry
 	add := func(v expr.Var, val uint64) {
-		hints[v] = append(hints[v], val)
+		out = append(out, hintEntry{v: v, val: val})
 	}
 	for _, a := range atoms {
 		switch a.kind {
@@ -214,26 +305,19 @@ func constantHints(atoms []atom) map[expr.Var][]uint64 {
 		case atomExclude:
 			add(a.v, a.c+1)
 		case atomDefine, atomDeferred:
-			vars := map[expr.Var]expr.Width{}
-			if a.e != nil {
-				expr.VarsOfArith(a.e, vars)
-			}
-			if a.orig != nil {
-				expr.VarsOfBool(a.orig, vars)
-			}
 			consts := collectConsts(a.orig)
-			for v := range vars {
+			for _, vw := range a.tvars {
 				for _, c := range consts {
-					add(v, c)
-					add(v, c+1)
+					add(vw.v, c)
+					add(vw.v, c+1)
 					if c > 0 {
-						add(v, c-1)
+						add(vw.v, c-1)
 					}
 				}
 			}
 		}
 	}
-	return hints
+	return out
 }
 
 func collectConsts(b expr.Bool) []uint64 {

@@ -60,6 +60,12 @@ func (r Result) String() string {
 
 // Stats counts solver activity. Fig. 11b / Fig. 12b of the paper report the
 // number of SMT calls; Checks is that counter.
+//
+// Concurrency: a Stats value belongs to exactly one Solver, and a Solver
+// is single-goroutine by contract, so these are plain integers. Counters
+// that cross goroutines (the shared VerdictCache, the obs registry, the
+// parallel engine's sharedState) are atomics at their own sites; parallel
+// exploration merges per-worker Stats only after the worker pool joins.
 type Stats struct {
 	Checks       uint64 // satisfiability checks (the paper's "SMT calls")
 	SatResults   uint64
@@ -128,9 +134,17 @@ func DefaultOptions() Options {
 	return Options{Incremental: true, SearchBudget: 200000, CandidatesPerVar: 24}
 }
 
-// frame is one push level of the assertion stack.
+// frame is one push level of the assertion stack. Frames are values in a
+// reusable stack arena: Push revives the next slot (keeping its maps and
+// slices warm), Pop truncates. The atoms themselves live in the solver's
+// flat arena; a frame only records its base offsets.
 type frame struct {
-	atoms []atom
+	// baseAtoms/baseDefines/baseHints are the lengths of the solver's
+	// flat atom arena, define index, and hint undo log at the moment this
+	// frame was pushed; Pop truncates back to them.
+	baseAtoms   int
+	baseDefines int
+	baseHints   int
 	// domSnapshot holds, for incremental mode, the domains as they were
 	// before this frame's atoms were propagated (copy-on-write: only
 	// domains this frame changed are present).
@@ -144,12 +158,23 @@ type frame struct {
 	hn         uint32
 }
 
+// maxFreeDomains bounds the domain freelist so one excursion into a deep
+// subtree cannot pin memory for the rest of the run.
+const maxFreeDomains = 4096
+
 // Solver is an incremental conjunction solver with push/pop.
 //
-// The zero value is not usable; construct with New.
+// The zero value is not usable; construct with New. A Solver is owned by
+// one goroutine; nothing here is synchronized.
 type Solver struct {
-	opts    Options
-	frames  []*frame
+	opts Options
+	// frames is the push stack; see frame. atoms is the flat constraint
+	// arena shared by all frames (bottom-up), defines indexes its
+	// atomDefine entries so directional propagation never rescans
+	// non-define atoms.
+	frames  []frame
+	atoms   []atom
+	defines []int32
 	domains map[expr.Var]*domain
 	stats   Stats
 	// widths remembers the declared width of each variable.
@@ -159,7 +184,12 @@ type Solver struct {
 	// visit of their predicate node (copy-on-write substitution preserves
 	// identity), so summarized-chain conjunctions hit this cache hard.
 	normCache map[expr.Bool][]atom
-	// hashCache memoizes per-constraint digests for the verdict cache key.
+	// hintCache memoizes, per constraint value, the search hints its atoms
+	// contribute; hints/hintLog maintain the live hint index incrementally
+	// under Assert/Pop so no per-check rebuild is needed.
+	hintCache map[expr.Bool][]hintEntry
+	hints     map[expr.Var][]uint64
+	hintLog   []expr.Var
 	hashCache map[expr.Bool]uint64
 	// lastUnknown is the typed reason the most recent Check/Model
 	// returned Unknown (a *BudgetError), nil otherwise.
@@ -169,6 +199,22 @@ type Solver struct {
 	// VerdictCache.Invalidate by table tag. Called once per cacheable
 	// store, on this solver's goroutine.
 	depTags func() []uint64
+
+	// freeDoms recycles copy-on-write domain clones freed by Pop, so
+	// steady-state Push/Assert/Pop cycles allocate nothing.
+	freeDoms []*domain
+	// Reusable search scratch (see search.go): the non-model assignment
+	// map, the free-variable order, per-depth candidate buffers, the
+	// delta-fixed undo list for batched checks, the define-evaluation
+	// state, and the per-check budget.
+	scratchSt    expr.State
+	scratchFree  []expr.Var
+	scratchDelta []expr.Var
+	candBufs     [][]uint64
+	evalSt       expr.State
+	budget       searchBudget
+	// batch holds the shared-prefix precomputation for CheckBatch.
+	batch batchPrep
 }
 
 // New returns a solver with the given options.
@@ -184,9 +230,14 @@ func New(opts Options) *Solver {
 		domains:   make(map[expr.Var]*domain),
 		widths:    make(map[expr.Var]expr.Width),
 		normCache: make(map[expr.Bool][]atom),
+		hintCache: make(map[expr.Bool][]hintEntry),
+		hints:     make(map[expr.Var][]uint64),
 		hashCache: make(map[expr.Bool]uint64),
+		scratchSt: expr.State{},
+		evalSt:    expr.State{},
 	}
-	s.frames = []*frame{{domSnapshot: map[expr.Var]*domain{}}}
+	s.frames = make([]frame, 1, 16)
+	s.frames[0].domSnapshot = map[expr.Var]*domain{}
 	return s
 }
 
@@ -211,34 +262,105 @@ func (s *Solver) SetDepTags(f func() []uint64) { s.depTags = f }
 // Depth returns the current number of pushed frames (excluding the root).
 func (s *Solver) Depth() int { return len(s.frames) - 1 }
 
-// Push opens a new assertion frame.
+// Push opens a new assertion frame. Frames are recycled from the stack
+// arena, so steady-state Push allocates nothing.
 func (s *Solver) Push() {
-	s.frames = append(s.frames, &frame{domSnapshot: map[expr.Var]*domain{}})
+	if len(s.frames) < cap(s.frames) {
+		s.frames = s.frames[:len(s.frames)+1]
+	} else {
+		s.frames = append(s.frames, frame{})
+	}
+	top := &s.frames[len(s.frames)-1]
+	top.baseAtoms = len(s.atoms)
+	top.baseDefines = len(s.defines)
+	top.baseHints = len(s.hintLog)
+	if top.domSnapshot == nil {
+		top.domSnapshot = map[expr.Var]*domain{}
+	} else {
+		clear(top.domSnapshot)
+	}
+	top.newVars = top.newVars[:0]
+	top.failed = false
+	top.hsum, top.hxor, top.hn = 0, 0, 0
 }
 
 // Pop discards the top assertion frame, restoring domains to their state
-// before the frame was pushed.
+// before the frame was pushed. Replaced domain versions return to the
+// freelist.
 func (s *Solver) Pop() {
 	if len(s.frames) <= 1 {
 		panic("smt: Pop on empty frame stack")
 	}
-	top := s.frames[len(s.frames)-1]
-	s.frames = s.frames[:len(s.frames)-1]
+	top := &s.frames[len(s.frames)-1]
 	if s.opts.Incremental {
 		for v, d := range top.domSnapshot {
+			if cur := s.domains[v]; cur != nil && cur != d {
+				s.freeDomain(cur)
+			}
 			s.domains[v] = d
 		}
 		for _, v := range top.newVars {
+			if d := s.domains[v]; d != nil {
+				s.freeDomain(d)
+			}
 			delete(s.domains, v)
 		}
+	}
+	// Unwind the hint index in reverse append order.
+	for i := len(s.hintLog) - 1; i >= top.baseHints; i-- {
+		v := s.hintLog[i]
+		hv := s.hints[v]
+		s.hints[v] = hv[:len(hv)-1]
+	}
+	s.hintLog = s.hintLog[:top.baseHints]
+	s.atoms = s.atoms[:top.baseAtoms]
+	s.defines = s.defines[:top.baseDefines]
+	s.frames = s.frames[:len(s.frames)-1]
+}
+
+// allocDomain draws a fresh domain from the freelist (or the heap).
+func (s *Solver) allocDomain(w expr.Width) *domain {
+	if n := len(s.freeDoms); n > 0 {
+		d := s.freeDoms[n-1]
+		s.freeDoms = s.freeDoms[:n-1]
+		d.w, d.lo, d.hi = w, 0, w.Mask()
+		d.setBits, d.clrBits = 0, 0
+		if d.excl != nil {
+			clear(d.excl)
+		}
+		return d
+	}
+	return newDomain(w)
+}
+
+// cloneDomain copies d into a freelist-backed domain.
+func (s *Solver) cloneDomain(d *domain) *domain {
+	nd := s.allocDomain(d.w)
+	nd.lo, nd.hi, nd.setBits, nd.clrBits = d.lo, d.hi, d.setBits, d.clrBits
+	if len(d.excl) > 0 {
+		if nd.excl == nil {
+			nd.excl = make(map[uint64]struct{}, len(d.excl))
+		}
+		for v := range d.excl {
+			nd.excl[v] = struct{}{}
+		}
+	}
+	return nd
+}
+
+func (s *Solver) freeDomain(d *domain) {
+	if len(s.freeDoms) < maxFreeDomains {
+		s.freeDoms = append(s.freeDoms, d)
 	}
 }
 
 // Assert adds a constraint to the current frame. In incremental mode the
 // constraint's atoms are propagated into the domains immediately, so a
 // subsequent Check can often answer from the refined domains alone.
+// Normalization, hashing, and hint extraction are memoized per constraint
+// value, so re-asserting the conditions of a hot path allocates nothing.
 func (s *Solver) Assert(b expr.Bool) {
-	top := s.frames[len(s.frames)-1]
+	top := &s.frames[len(s.frames)-1]
 	if s.opts.Cache != nil {
 		h := s.boolHash(b)
 		top.hsum += h
@@ -252,10 +374,18 @@ func (s *Solver) Assert(b expr.Bool) {
 			s.normCache[b] = atoms
 		}
 	}
-	top.atoms = append(top.atoms, atoms...)
+	base := len(s.atoms)
+	s.atoms = append(s.atoms, atoms...)
+	for i := base; i < len(s.atoms); i++ {
+		if s.atoms[i].kind == atomDefine {
+			s.defines = append(s.defines, int32(i))
+		}
+	}
+	s.appendHints(b, atoms)
 	if s.opts.Incremental {
-		for _, a := range atoms {
-			if !s.propagateAtom(top, a) {
+		// top stays valid: propagation never grows the frame stack.
+		for i := base; i < len(s.atoms); i++ {
+			if !s.propagateAtom(s.atoms[i]) {
 				top.failed = true
 			}
 		}
@@ -267,27 +397,43 @@ func (s *Solver) Assert(b expr.Bool) {
 	}
 }
 
+// appendHints merges b's memoized hint entries into the live hint index,
+// logging each append so Pop can unwind it.
+func (s *Solver) appendHints(b expr.Bool, atoms []atom) {
+	entries, ok := s.hintCache[b]
+	if !ok {
+		entries = hintEntries(atoms)
+		if len(s.hintCache) < 1<<16 {
+			s.hintCache[b] = entries
+		}
+	}
+	for _, e := range entries {
+		s.hints[e.v] = append(s.hints[e.v], e.val)
+		s.hintLog = append(s.hintLog, e.v)
+	}
+}
+
 // saveDomain records a copy-on-write snapshot of v's domain in the top
 // frame before mutating it, and returns the mutable domain.
 func (s *Solver) saveDomain(v expr.Var, w expr.Width) *domain {
-	top := s.frames[len(s.frames)-1]
+	top := &s.frames[len(s.frames)-1]
 	d, ok := s.domains[v]
 	if !ok {
-		d = newDomain(w)
+		d = s.allocDomain(w)
 		s.domains[v] = d
 		top.newVars = append(top.newVars, v)
 		s.widths[v] = w
 		return d
 	}
 	if _, saved := top.domSnapshot[v]; !saved {
-		top.domSnapshot[v] = d.clone()
+		top.domSnapshot[v] = s.cloneDomain(d)
 	}
 	return d
 }
 
 // propagateAtom applies one atom to the domains. Returns false if the atom
 // makes the state certainly unsatisfiable.
-func (s *Solver) propagateAtom(fr *frame, a atom) bool {
+func (s *Solver) propagateAtom(a atom) bool {
 	s.stats.Propagations++
 	switch a.kind {
 	case atomFalse:
@@ -348,70 +494,57 @@ func (s *Solver) propagateAtom(fr *frame, a atom) bool {
 }
 
 // touchVars registers domains for all variables mentioned by an atom so
-// the search knows about them.
+// the search knows about them. The variable set is precomputed at
+// normalization time (atom.tvars), so this is a straight slice walk.
 func (s *Solver) touchVars(a atom) {
-	vars := map[expr.Var]expr.Width{}
-	if a.e != nil {
-		expr.VarsOfArith(a.e, vars)
-	}
-	if a.orig != nil {
-		expr.VarsOfBool(a.orig, vars)
-	}
-	if a.v != "" {
-		vars[a.v] = a.w
-	}
-	for v, w := range vars {
-		s.saveDomain(v, w)
+	for _, vw := range a.tvars {
+		s.saveDomain(vw.v, vw.w)
 	}
 }
 
 // propagateDefines fixes variables whose defining expressions have become
 // constant under the current domains (directional propagation). Returns
-// false on contradiction.
+// false on contradiction. Only the define index is scanned, never the
+// full atom arena.
 func (s *Solver) propagateDefines() bool {
 	changed := true
 	for iter := 0; changed && iter < 64; iter++ {
 		changed = false
-		for _, fr := range s.frames {
-			for _, a := range fr.atoms {
-				if a.kind != atomDefine {
-					continue
-				}
-				val, ok := s.evalUnderFixed(a.e)
-				if !ok {
-					continue
-				}
-				d := s.domains[a.v]
-				if d == nil {
-					d = s.saveDomain(a.v, a.w)
-				}
-				if f, isFixed := d.fixed(); isFixed {
-					if f != a.w.Trunc(val) {
-						return false
-					}
-					continue
-				}
+		for _, idx := range s.defines {
+			a := &s.atoms[idx]
+			val, ok := s.evalUnderFixed(a)
+			if !ok {
+				continue
+			}
+			d := s.domains[a.v]
+			if d == nil {
 				d = s.saveDomain(a.v, a.w)
-				d.intersectInterval(a.w.Trunc(val), a.w.Trunc(val))
-				if d.empty() {
+			}
+			if f, isFixed := d.fixed(); isFixed {
+				if f != a.w.Trunc(val) {
 					return false
 				}
-				changed = true
-				s.stats.Propagations++
+				continue
 			}
+			d = s.saveDomain(a.v, a.w)
+			d.intersectInterval(a.w.Trunc(val), a.w.Trunc(val))
+			if d.empty() {
+				return false
+			}
+			changed = true
+			s.stats.Propagations++
 		}
 	}
 	return true
 }
 
-// evalUnderFixed evaluates e if every variable it references is fixed by
-// its domain.
-func (s *Solver) evalUnderFixed(e expr.Arith) (uint64, bool) {
-	vars := map[expr.Var]expr.Width{}
-	expr.VarsOfArith(e, vars)
-	st := expr.State{}
-	for v := range vars {
-		d, ok := s.domains[v]
+// evalUnderFixed evaluates a define atom's expression if every variable it
+// references is fixed by its domain.
+func (s *Solver) evalUnderFixed(a *atom) (uint64, bool) {
+	st := s.evalSt
+	clear(st)
+	for _, vw := range a.evars {
+		d, ok := s.domains[vw.v]
 		if !ok {
 			return 0, false
 		}
@@ -419,29 +552,25 @@ func (s *Solver) evalUnderFixed(e expr.Arith) (uint64, bool) {
 		if !isFixed {
 			return 0, false
 		}
-		st[v] = f
+		st[vw.v] = f
 	}
-	val, err := expr.EvalArith(e, st)
-	if err != nil {
+	val, ok := expr.EvalArithOK(a.e, st)
+	if !ok {
 		return 0, false
 	}
 	return val, true
 }
 
-// allAtoms returns the atoms of every frame, bottom-up.
-func (s *Solver) allAtoms() []atom {
-	var out []atom
-	for _, fr := range s.frames {
-		out = append(out, fr.atoms...)
-	}
-	return out
-}
+// allAtoms returns the atoms of every frame, bottom-up. The arena is flat,
+// so this is a zero-copy view; callers must not retain it across
+// Push/Pop.
+func (s *Solver) allAtoms() []atom { return s.atoms }
 
 // anyFrameFailed reports whether incremental propagation already derived
 // bottom in some frame.
 func (s *Solver) anyFrameFailed() bool {
-	for _, fr := range s.frames {
-		if fr.failed {
+	for i := range s.frames {
+		if s.frames[i].failed {
 			return true
 		}
 	}
@@ -451,14 +580,14 @@ func (s *Solver) anyFrameFailed() bool {
 // Check decides satisfiability of the conjunction of all asserted
 // constraints. It increments the Checks counter (the paper's "SMT calls").
 func (s *Solver) Check() Result {
-	r, _ := s.check(false)
+	r, _ := s.check(false, nil)
 	return r
 }
 
 // Model checks satisfiability and, when satisfiable, returns a concrete
 // assignment for every variable mentioned by the constraints.
 func (s *Solver) Model() (expr.State, Result) {
-	r, m := s.check(true)
+	r, m := s.check(true, nil)
 	if r == Sat {
 		s.stats.Models++
 		mModels.Inc()
@@ -466,11 +595,97 @@ func (s *Solver) Model() (expr.State, Result) {
 	return m, r
 }
 
+// batchPrep caches the shared-prefix work CheckBatch factors out of a
+// sibling sweep: the prefix cache key, its failure/emptiness status, and
+// its fixed/free variable split. Per sibling, only the delta the sibling's
+// own propagation touched (top frame's snapshot + new vars) is
+// re-examined.
+type batchPrep struct {
+	active       bool
+	haveKey      bool
+	prefixKey    condKey
+	prefixFailed bool
+	prefixEmpty  bool
+	prefixFree   []expr.Var
+}
+
+// prepare runs the once-per-batch sweep over the prefix: digest, failure
+// flags, domain emptiness, and the fixed/free split. Prefix-fixed
+// variables are installed into the scratch assignment; they stay valid for
+// every sibling because a sibling's propagation can only narrow a domain,
+// and a narrowed singleton is either unchanged or empty (caught by the
+// per-sibling delta scan).
+func (bp *batchPrep) prepare(s *Solver) {
+	bp.active = true
+	bp.haveKey = s.opts.Cache != nil
+	if bp.haveKey {
+		bp.prefixKey = s.condKey()
+	}
+	bp.prefixFailed = s.anyFrameFailed()
+	bp.prefixEmpty = false
+	bp.prefixFree = bp.prefixFree[:0]
+	clear(s.scratchSt)
+	if !s.opts.Incremental {
+		return
+	}
+	for v, d := range s.domains {
+		if d.empty() {
+			bp.prefixEmpty = true
+			return
+		}
+		if val, ok := d.fixed(); ok {
+			s.scratchSt[v] = val
+		} else {
+			bp.prefixFree = append(bp.prefixFree, v)
+		}
+	}
+}
+
+// CheckBatch decides, for each condition, the satisfiability of the
+// current assertion stack extended with that single condition — exactly
+// as if the caller ran Push; Assert(cond); Check(); Pop() for each
+// element, with identical verdicts, stats, cache interaction, and budget
+// semantics. The shared prefix (cache digest, emptiness scan, fixed/free
+// variable split, fixed-variable assignments) is computed once for the
+// whole batch; each sibling then pays only for the domains its own
+// propagation touched. This is what makes a k-way table-match expansion
+// cost ~one propagation sweep instead of k.
+//
+// results is an optional reusable buffer. prepare, when non-nil, is
+// called with the sibling index immediately before that sibling's query
+// is decided — the window in which callers retarget per-query state such
+// as the dep-tag provider consulted when verdicts are stored to the
+// shared cache.
+func (s *Solver) CheckBatch(conds []expr.Bool, results []Result, prepare func(i int)) []Result {
+	if cap(results) < len(conds) {
+		results = make([]Result, len(conds))
+	}
+	results = results[:len(conds)]
+	if len(conds) == 0 {
+		return results
+	}
+	bp := &s.batch
+	bp.prepare(s)
+	for i, c := range conds {
+		if prepare != nil {
+			prepare(i)
+		}
+		s.Push()
+		s.Assert(c)
+		results[i], _ = s.check(false, bp)
+		s.Pop()
+	}
+	bp.active = false
+	return results
+}
+
 // check decides satisfiability and performs ALL query bookkeeping — the
 // per-solver Stats fields and the process-wide registry handles are
 // incremented here, at one site per outcome, so the two views count the
 // same events and can never diverge. solve does the actual deciding.
-func (s *Solver) check(wantModel bool) (Result, expr.State) {
+// bp, non-nil only under CheckBatch, supplies the shared-prefix
+// precomputation.
+func (s *Solver) check(wantModel bool, bp *batchPrep) (Result, expr.State) {
 	s.lastUnknown = nil
 	// Shared verdict cache: plain checks whose condition set was already
 	// decided (by this solver or a sibling worker) answer without running
@@ -480,7 +695,18 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 	var key condKey
 	cacheable := !wantModel && s.opts.Cache != nil
 	if cacheable {
-		key = s.condKey()
+		if bp != nil && bp.haveKey {
+			// The prefix digest is shared; only the top frame's accumulators
+			// differ per sibling.
+			top := &s.frames[len(s.frames)-1]
+			key = condKey{
+				sum: bp.prefixKey.sum + top.hsum,
+				xor: bp.prefixKey.xor ^ top.hxor,
+				n:   bp.prefixKey.n + top.hn,
+			}
+		} else {
+			key = s.condKey()
+		}
 		if r, ok := s.opts.Cache.lookup(key); ok {
 			s.stats.CacheHits++
 			mQueriesCacheHit.Inc()
@@ -489,7 +715,7 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 	}
 	s.stats.Checks++
 	start := time.Now()
-	res, model, uerr := s.solve(wantModel)
+	res, model, uerr := s.solve(wantModel, bp)
 	mQueryLatencyNS.ObserveSince(start)
 	if cacheable {
 		var tags []uint64
@@ -525,11 +751,30 @@ func (s *Solver) check(wantModel bool) (Result, expr.State) {
 // solve runs one satisfiability decision with no stats side effects (see
 // check). The error explains an Unknown result (a *BudgetError), nil
 // otherwise.
-func (s *Solver) solve(wantModel bool) (Result, expr.State, error) {
+func (s *Solver) solve(wantModel bool, bp *batchPrep) (Result, expr.State, error) {
 	_ = wantModel // models are extracted by search; the flag gates only stats
 	if s.opts.PerCheckOverhead > 0 {
 		for start := time.Now(); time.Since(start) < s.opts.PerCheckOverhead; {
 		}
+	}
+	if bp != nil && s.opts.Incremental {
+		// Batched sibling: consult the precomputed prefix status plus the
+		// delta this sibling's propagation touched.
+		top := &s.frames[len(s.frames)-1]
+		if bp.prefixFailed || top.failed || bp.prefixEmpty {
+			return Unsat, nil, nil
+		}
+		for v := range top.domSnapshot {
+			if s.domains[v].empty() {
+				return Unsat, nil, nil
+			}
+		}
+		for _, v := range top.newVars {
+			if s.domains[v].empty() {
+				return Unsat, nil, nil
+			}
+		}
+		return s.search(s.domains, wantModel, bp)
 	}
 	if s.anyFrameFailed() {
 		return Unsat, nil, nil
@@ -549,7 +794,7 @@ func (s *Solver) solve(wantModel bool) (Result, expr.State, error) {
 			}
 		}
 	}
-	return s.search(doms)
+	return s.search(doms, wantModel, nil)
 }
 
 // rebuildDomains recomputes all domains from the atom list (non-incremental
@@ -558,7 +803,8 @@ func (s *Solver) rebuildDomains() (map[expr.Var]*domain, bool) {
 	saved := s.domains
 	savedFrames := make([]map[expr.Var]*domain, len(s.frames))
 	savedNew := make([][]expr.Var, len(s.frames))
-	for i, fr := range s.frames {
+	for i := range s.frames {
+		fr := &s.frames[i]
 		savedFrames[i] = fr.domSnapshot
 		savedNew[i] = fr.newVars
 		fr.domSnapshot = map[expr.Var]*domain{}
@@ -566,14 +812,9 @@ func (s *Solver) rebuildDomains() (map[expr.Var]*domain, bool) {
 	}
 	s.domains = make(map[expr.Var]*domain)
 	ok := true
-	for _, fr := range s.frames {
-		for _, a := range fr.atoms {
-			if !s.propagateAtom(fr, a) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
+	for i := range s.atoms {
+		if !s.propagateAtom(s.atoms[i]) {
+			ok = false
 			break
 		}
 	}
@@ -582,7 +823,8 @@ func (s *Solver) rebuildDomains() (map[expr.Var]*domain, bool) {
 	}
 	rebuilt := s.domains
 	s.domains = saved
-	for i, fr := range s.frames {
+	for i := range s.frames {
+		fr := &s.frames[i]
 		fr.domSnapshot = savedFrames[i]
 		fr.newVars = savedNew[i]
 	}

@@ -1,6 +1,7 @@
 package switchsim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -24,6 +25,39 @@ type Target struct {
 	entries []string
 	// injects counts processed packets (for CrashOnPacket).
 	injects uint64
+	// scratch is the reused quiet-mode interpreter state (InjectQuiet).
+	// Inject is documented non-reentrant (register state persists), so a
+	// single scratch exec per target is safe under the same contract.
+	scratch *exec
+	// vars interns the program's variable names; every per-packet state
+	// access goes through it instead of rebuilding names by concatenation.
+	vars *p4.VarTable
+	// acts indexes actions by name (prog.Action is a linear scan).
+	acts map[string]*p4.ActionDecl
+	// tbls holds per-table match plans: resolved key variables, widths
+	// and match-key strings, computed once at compile time.
+	tbls map[string]*tblPlan
+	// csums caches per-ChecksumStmt field plans, built lazily under the
+	// non-reentrancy contract.
+	csums map[*p4.ChecksumStmt]*csumPlan
+}
+
+// tblPlan precomputes everything applyTable needs per key: the resolved
+// state variable, its width, and the string the rule set keys matches by.
+type tblPlan struct {
+	decl    *p4.TableDecl
+	keyVars []expr.Var
+	keyWide []expr.Width
+	keyStrs []string
+}
+
+// csumPlan precomputes a ChecksumStmt's input variables and widths and
+// its destination field.
+type csumPlan struct {
+	in  []expr.Var
+	iw  []expr.Width
+	dst expr.Var
+	dw  expr.Width
 }
 
 // CrashError reports that the target panicked while processing a packet —
@@ -50,6 +84,33 @@ func Compile(prog *p4.Program, rs *rules.Set, faults Faults) (*Target, error) {
 		faults: faults,
 		env:    p4.NewEnv(prog),
 		regs:   map[expr.Var]uint64{},
+		vars:   p4.Vars(prog),
+		acts:   make(map[string]*p4.ActionDecl, len(prog.Actions)),
+		tbls:   make(map[string]*tblPlan, len(prog.Tables)),
+		csums:  map[*p4.ChecksumStmt]*csumPlan{},
+	}
+	for _, a := range prog.Actions {
+		t.acts[a.Name] = a
+	}
+	for _, tbl := range prog.Tables {
+		pl := &tblPlan{
+			decl:    tbl,
+			keyVars: make([]expr.Var, len(tbl.Keys)),
+			keyWide: make([]expr.Width, len(tbl.Keys)),
+			keyStrs: make([]string, len(tbl.Keys)),
+		}
+		ok := true
+		for i, k := range tbl.Keys {
+			v, w, resolved := t.vars.Ref(k.Field)
+			if !resolved {
+				ok = false // scoped or malformed key; fall back to the slow path
+				break
+			}
+			pl.keyVars[i], pl.keyWide[i], pl.keyStrs[i] = v, w, k.Field.String()
+		}
+		if ok {
+			t.tbls[tbl.Name] = pl
+		}
 	}
 	if prog.Topology != nil {
 		t.entries = prog.Topology.Entries
@@ -72,6 +133,10 @@ func (t *Target) Program() *p4.Program { return t.prog }
 type Result struct {
 	// Output is the emitted packet; nil when the packet was dropped.
 	Output *packet.Packet
+	// Wire is the emitted packet's wire bytes on the raw quiet path
+	// (InjectQuietWire); Output stays nil there. Check Dropped, not
+	// Wire == nil: a headerless empty packet marshals to zero bytes.
+	Wire []byte
 	// Dropped reports an explicit drop (including parser reject).
 	Dropped bool
 	// Trace lists executed steps in order, for bug localization (§7).
@@ -88,9 +153,43 @@ type exec struct {
 	st    expr.State
 	trace []string
 	drop  bool
+	// quiet suppresses trace recording (the driver's line-rate path).
+	// Call sites guard with !e.quiet so the fmt.Sprintf cost and the
+	// ...any boxing never happen on the quiet path.
+	quiet bool
+	// scopes is a freelist of action-parameter maps; csVals is the reused
+	// checksum input buffer. Both recycle across packets on the quiet
+	// path (the exec itself is reused) and across calls within one packet
+	// otherwise.
+	scopes []map[string]uint64
+	csVals []uint64
+	// hdrs and visited are ParseInto's reused scratch slices.
+	hdrs    []string
+	visited []string
+	// raw makes run serialize the exit state straight to Result.Wire
+	// instead of building Result.Output (InjectQuietWire).
+	raw bool
+}
+
+// pushScope returns a cleared parameter map from the freelist.
+func (e *exec) pushScope() map[string]uint64 {
+	if n := len(e.scopes); n > 0 {
+		m := e.scopes[n-1]
+		e.scopes = e.scopes[:n-1]
+		clear(m)
+		return m
+	}
+	return make(map[string]uint64, 4)
+}
+
+func (e *exec) popScope(m map[string]uint64) {
+	e.scopes = append(e.scopes, m)
 }
 
 func (e *exec) tracef(format string, args ...any) {
+	if e.quiet {
+		return
+	}
 	e.trace = append(e.trace, fmt.Sprintf(format, args...))
 }
 
@@ -105,6 +204,57 @@ func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
 			res, err = nil, &CrashError{Panic: fmt.Sprint(r)}
 		}
 	}()
+	return t.run(&exec{t: t, st: expr.State{}}, entryIdx, wire)
+}
+
+// InjectQuiet is the line-rate variant of Inject: no trace is recorded
+// (every tracef site is skipped before its arguments are even built) and
+// the interpreter state map is reused across calls, so a steady stream of
+// packets allocates only the Result and its Output. The returned Result
+// carries no Trace, Final or Pipelines; everything else — output,
+// drop/crash behaviour, register side effects, fault injection — is
+// identical to Inject. Subject to the same non-reentrancy contract as
+// Inject (register state persists; callers serialize).
+func (t *Target) InjectQuiet(entryIdx int, wire []byte) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &CrashError{Panic: fmt.Sprint(r)}
+		}
+	}()
+	if t.scratch == nil {
+		t.scratch = &exec{t: t, st: expr.State{}, quiet: true}
+	}
+	e := t.scratch
+	e.drop = false
+	e.trace = nil
+	e.raw = false
+	return t.run(e, entryIdx, wire)
+}
+
+// InjectQuietWire is InjectQuiet with raw output: instead of building a
+// Result.Output packet, the exit state is serialized straight to wire
+// bytes in Result.Wire (the same implicit deparse, minus the
+// intermediate Packet). The links' quiet paths use it because they
+// retain only the bytes. Same contract as InjectQuiet otherwise.
+func (t *Target) InjectQuietWire(entryIdx int, wire []byte) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &CrashError{Panic: fmt.Sprint(r)}
+		}
+	}()
+	if t.scratch == nil {
+		t.scratch = &exec{t: t, st: expr.State{}, quiet: true}
+	}
+	e := t.scratch
+	e.drop = false
+	e.trace = nil
+	e.raw = true
+	return t.run(e, entryIdx, wire)
+}
+
+// run processes one packet with the given interpreter state. Panics
+// propagate to the Inject/InjectQuiet recover.
+func (t *Target) run(e *exec, entryIdx int, wire []byte) (res *Result, err error) {
 	if entryIdx < 0 || entryIdx >= len(t.entries) {
 		return nil, fmt.Errorf("switchsim: entry %d out of range [0,%d)", entryIdx, len(t.entries))
 	}
@@ -112,18 +262,14 @@ func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
 	if t.faults.crashOnPacket(t.injects) {
 		panic(fmt.Sprintf("injected crash on packet %d", t.injects))
 	}
-	e := &exec{t: t, st: expr.State{}}
-	// Zero-initialize metadata and validity, matching P4 semantics.
-	for _, h := range t.prog.Headers {
-		e.st[p4.ValidVar(h.Name)] = 0
-		for _, f := range h.Fields {
-			e.st[p4.HeaderFieldVar(h.Name, f.Name)] = 0
-		}
+	// Zero-initialize metadata and validity, matching P4 semantics. The
+	// reused quiet-path state is reset in place (no allocation); a fresh
+	// exec gets a bulk clone of the canonical zero state.
+	if len(e.st) == 0 {
+		e.st = t.vars.ZeroState()
+	} else {
+		e.st = t.vars.ResetZero(e.st)
 	}
-	for _, f := range t.prog.Metadata {
-		e.st[p4.MetaVar(f.Name)] = 0
-	}
-	e.st[p4.DropVar] = 0
 
 	cur := t.entries[entryIdx]
 	res = &Result{}
@@ -132,21 +278,23 @@ func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
 	entryPl := t.prog.Pipeline(cur)
 	var payload []byte
 	if entryPl.Parser != "" {
-		pkt, err := t.parse(e, entryPl.Parser, wire)
+		pl, err := t.parse(e, entryPl.Parser, wire)
 		if err != nil {
-			e.tracef("parser rejected: %v", err)
+			if !e.quiet {
+				e.tracef("parser rejected: %v", err)
+				res.Trace = e.trace
+				res.Final = e.st
+			}
 			res.Dropped = true
-			res.Trace = e.trace
-			res.Final = e.st
 			return res, nil
 		}
-		payload = pkt.Payload
+		payload = pl
 	} else {
 		payload = wire
 	}
 
 	for _, cw := range t.faults.crashWhen() {
-		if e.st[p4.ValidVar(cw.Header)] == 1 && e.st[p4.HeaderFieldVar(cw.Header, cw.Field)] == cw.Value {
+		if e.st[t.vars.Valid(cw.Header)] == 1 && e.st[t.vars.Field(cw.Header, cw.Field)] == cw.Value {
 			panic(fmt.Sprintf("injected crash: %s.%s == %d", cw.Header, cw.Field, cw.Value))
 		}
 	}
@@ -156,17 +304,21 @@ func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
 		if pl == nil {
 			return nil, fmt.Errorf("switchsim: unknown pipeline %q", cur)
 		}
-		res.Pipelines = append(res.Pipelines, cur)
-		e.tracef("enter pipeline %s (switch %s)", cur, pl.Switch)
+		if !e.quiet {
+			res.Pipelines = append(res.Pipelines, cur)
+			e.tracef("enter pipeline %s (switch %s)", cur, pl.Switch)
+		}
 		ctl := t.prog.Control(pl.Control)
 		if err := e.stmts(ctl.Apply, nil, pl.Name); err != nil {
 			return nil, err
 		}
 		if e.drop || e.st[p4.DropVar] == 1 {
-			e.tracef("packet dropped in %s", cur)
+			if !e.quiet {
+				e.tracef("packet dropped in %s", cur)
+				res.Trace = e.trace
+				res.Final = e.st
+			}
 			res.Dropped = true
-			res.Trace = e.trace
-			res.Final = e.st
 			return res, nil
 		}
 		next, exited := t.route(e, cur)
@@ -176,18 +328,30 @@ func (t *Target) Inject(entryIdx int, wire []byte) (res *Result, err error) {
 		if next == "" {
 			// No matching traffic manager edge: the packet is lost — a
 			// target behaviour the checker flags as absent.
-			e.tracef("no traffic manager edge matched from %s; packet lost", cur)
+			if !e.quiet {
+				e.tracef("no traffic manager edge matched from %s; packet lost", cur)
+				res.Trace = e.trace
+				res.Final = e.st
+			}
 			res.Dropped = true
-			res.Trace = e.trace
-			res.Final = e.st
 			return res, nil
 		}
 		cur = next
 	}
 
+	if e.raw {
+		out, merr := packet.MarshalState(t.prog, e.st, payload)
+		if merr != nil {
+			return nil, merr
+		}
+		res.Wire = out
+		return res, nil
+	}
 	res.Output = packet.FromState(t.prog, e.st, payload)
-	res.Trace = e.trace
-	res.Final = e.st
+	if !e.quiet {
+		res.Trace = e.trace
+		res.Final = e.st
+	}
 	return res, nil
 }
 
@@ -207,7 +371,9 @@ func (t *Target) route(e *exec, cur string) (next string, exited bool) {
 				continue
 			}
 		}
-		e.tracef("traffic manager: %s -> %s", edge.From, edge.To)
+		if !e.quiet {
+			e.tracef("traffic manager: %s -> %s", edge.From, edge.To)
+		}
 		if edge.To == "exit" {
 			return "", true
 		}
@@ -218,28 +384,79 @@ func (t *Target) route(e *exec, cur string) (next string, exited bool) {
 
 // parse runs the entry parser over the wire bytes, loading extracted
 // fields and validity bits into the state (subject to parser faults).
-func (t *Target) parse(e *exec, parserName string, wire []byte) (*packet.Packet, error) {
+// The returned payload ALIASES wire on the fast path; run copies it into
+// the output packet before the wire buffer can be reused.
+func (t *Target) parse(e *exec, parserName string, wire []byte) ([]byte, error) {
+	names, visited, payload, err := packet.ParseInto(t.prog, parserName, wire, e.st, e.hdrs[:0], e.visited[:0])
+	e.hdrs, e.visited = names[:0], visited[:0]
+	if err == nil {
+		for _, hn := range names {
+			if t.faults.extractNoValidity(hn) {
+				if !e.quiet {
+					e.tracef("extract %s (validity NOT set: %s)", hn, "missing compilation flag")
+				}
+			} else {
+				e.st[t.vars.Valid(hn)] = 1
+			}
+			if !e.quiet {
+				e.tracef("extract %s", hn)
+			}
+		}
+		if err := e.replayParserAssignsVisited(parserName, visited); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	if !errors.Is(err, packet.ErrReExtract) {
+		return nil, err
+	}
+	// A header extracted twice cannot live in a flat state mid-parse;
+	// redo the work with the packet-building parser (last instance wins
+	// in the state, as before).
 	pkt, err := packet.Parse(t.prog, parserName, wire)
 	if err != nil {
 		return nil, err
 	}
 	for _, h := range pkt.Headers {
 		if t.faults.extractNoValidity(h.Name) {
-			e.tracef("extract %s (validity NOT set: %s)", h.Name, "missing compilation flag")
+			if !e.quiet {
+				e.tracef("extract %s (validity NOT set: %s)", h.Name, "missing compilation flag")
+			}
 		} else {
-			e.st[p4.ValidVar(h.Name)] = 1
+			e.st[t.vars.Valid(h.Name)] = 1
 		}
 		for f, v := range h.Fields {
-			e.st[p4.HeaderFieldVar(h.Name, f)] = v
+			e.st[t.vars.Field(h.Name, f)] = v
 		}
-		e.tracef("extract %s", h.Name)
+		if !e.quiet {
+			e.tracef("extract %s", h.Name)
+		}
 	}
 	// Parser-state assignments (metadata setup) run after their state's
 	// extracts; replay them in FSM order.
 	if err := e.replayParserAssigns(parserName, pkt); err != nil {
 		return nil, err
 	}
-	return pkt, nil
+	return pkt.Payload, nil
+}
+
+// replayParserAssignsVisited executes the assignment statements of the
+// parser states ParseInto actually visited, in visit order. Replaying
+// the recorded path — rather than re-deriving it — follows the wire
+// parse exactly even where an assignment clobbers a selected field.
+func (e *exec) replayParserAssignsVisited(parserName string, visited []string) error {
+	pd := e.t.prog.Parser(parserName)
+	for _, sn := range visited {
+		st := pd.State(sn)
+		for _, s := range st.Body {
+			if as, ok := s.(*p4.AssignStmt); ok {
+				if err := e.assign(as.LHS, as.RHS, nil, "parser"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // replayParserAssigns executes assignment statements of visited parser
@@ -268,7 +485,7 @@ func (e *exec) replayParserAssigns(parserName string, pkt *packet.Packet) error 
 				for i, ref := range tr.Select {
 					v, ok := pkt.Field(ref.Parts[0], ref.Parts[1])
 					if len(ref.Parts) == 2 && ref.Parts[0] == "meta" {
-						v, ok = e.st[p4.MetaVar(ref.Parts[1])], true
+						v, ok = e.st[e.t.vars.Meta(ref.Parts[1])], true
 					}
 					if !ok || v != c.Values[i] {
 						match = false
@@ -310,10 +527,14 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 			return err
 		}
 		if c {
-			e.tracef("[%s] if (%s) -> then", pipe, exprString(t.Cond))
+			if !e.quiet {
+				e.tracef("[%s] if (%s) -> then", pipe, exprString(t.Cond))
+			}
 			return e.stmts(t.Then, sc, pipe)
 		}
-		e.tracef("[%s] if (%s) -> else", pipe, exprString(t.Cond))
+		if !e.quiet {
+			e.tracef("[%s] if (%s) -> else", pipe, exprString(t.Cond))
+		}
 		return e.stmts(t.Else, sc, pipe)
 	case *p4.ApplyStmt:
 		return e.applyTable(t.Table, pipe)
@@ -321,20 +542,26 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 		return e.call(t.Call, sc, pipe)
 	case *p4.SetValidStmt:
 		if t.Valid && e.t.faults.setValidNoOp(t.Header) {
-			e.tracef("[%s] setValid(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			if !e.quiet {
+				e.tracef("[%s] setValid(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			}
 			return nil
 		}
 		v := uint64(0)
 		if t.Valid {
 			v = 1
 		}
-		e.st[p4.ValidVar(t.Header)] = v
-		e.tracef("[%s] setValid(%s)=%d", pipe, t.Header, v)
+		e.st[e.t.vars.Valid(t.Header)] = v
+		if !e.quiet {
+			e.tracef("[%s] setValid(%s)=%d", pipe, t.Header, v)
+		}
 		return nil
 	case *p4.DropStmt:
 		e.st[p4.DropVar] = 1
 		e.drop = true
-		e.tracef("[%s] mark_drop()", pipe)
+		if !e.quiet {
+			e.tracef("[%s] mark_drop()", pipe)
+		}
 		return nil
 	case *p4.HashStmt:
 		dv, dw, err := e.resolve(t.Dest)
@@ -352,27 +579,28 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 		}
 		h := hashfn.Hash(vals, widths, dw)
 		e.setVar(dv, dw, h, pipe)
-		e.tracef("[%s] hash -> %s = %d", pipe, dv, h)
+		if !e.quiet {
+			e.tracef("[%s] hash -> %s = %d", pipe, dv, h)
+		}
 		return nil
 	case *p4.ChecksumStmt:
 		if e.t.faults.checksumSkip(t.Header) {
-			e.tracef("[%s] update_checksum(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			if !e.quiet {
+				e.tracef("[%s] update_checksum(%s) — compiled to no-op (backend bug)", pipe, t.Header)
+			}
 			return nil
 		}
-		h := e.t.prog.Header(t.Header)
-		var vals []uint64
-		var widths []expr.Width
-		for _, f := range h.Fields {
-			if f.Name == t.Field {
-				continue
-			}
-			vals = append(vals, e.st[p4.HeaderFieldVar(t.Header, f.Name)])
-			widths = append(widths, expr.Width(f.Width))
+		pl := e.csumPlanFor(t)
+		vals := e.csVals[:0]
+		for _, v := range pl.in {
+			vals = append(vals, e.st[v])
 		}
-		cs := hashfn.Checksum(vals, widths)
-		fw := expr.Width(h.Field(t.Field).Width)
-		e.setVar(p4.HeaderFieldVar(t.Header, t.Field), fw, cs, pipe)
-		e.tracef("[%s] update_checksum(%s) = %#x", pipe, t.Header, cs)
+		cs := hashfn.Checksum(vals, pl.iw)
+		e.csVals = vals[:0]
+		e.setVar(pl.dst, pl.dw, cs, pipe)
+		if !e.quiet {
+			e.tracef("[%s] update_checksum(%s) = %#x", pipe, t.Header, cs)
+		}
 		return nil
 	case *p4.RegReadStmt:
 		dv, dw, err := e.resolve(t.Dest)
@@ -382,7 +610,9 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 		rv := p4.RegisterVar(t.Reg, t.Index)
 		val := e.t.regs[rv]
 		e.setVar(dv, dw, val, pipe)
-		e.tracef("[%s] %s = reg_read(%s, %d) = %d", pipe, dv, t.Reg, t.Index, val)
+		if !e.quiet {
+			e.tracef("[%s] %s = reg_read(%s, %d) = %d", pipe, dv, t.Reg, t.Index, val)
+		}
 		return nil
 	case *p4.RegWriteStmt:
 		reg := e.t.prog.Register(t.Reg)
@@ -392,7 +622,9 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 		}
 		v = expr.Width(reg.Width).Trunc(v)
 		e.t.regs[p4.RegisterVar(t.Reg, t.Index)] = v
-		e.tracef("[%s] reg_write(%s, %d, %d)", pipe, t.Reg, t.Index, v)
+		if !e.quiet {
+			e.tracef("[%s] reg_write(%s, %d, %d)", pipe, t.Reg, t.Index, v)
+		}
 		return nil
 	case *p4.ExtractStmt:
 		return fmt.Errorf("switchsim: extract outside parser")
@@ -400,14 +632,69 @@ func (e *exec) stmt(s p4.Stmt, sc map[string]uint64, pipe string) error {
 	return fmt.Errorf("switchsim: unknown statement %T", s)
 }
 
+// csumPlanFor returns (building on first use) the statement's field plan.
+func (e *exec) csumPlanFor(t *p4.ChecksumStmt) *csumPlan {
+	if pl, ok := e.t.csums[t]; ok {
+		return pl
+	}
+	h := e.t.prog.Header(t.Header)
+	pl := &csumPlan{
+		dst: e.t.vars.Field(t.Header, t.Field),
+		dw:  expr.Width(h.Field(t.Field).Width),
+	}
+	for _, f := range h.Fields {
+		if f.Name == t.Field {
+			continue
+		}
+		pl.in = append(pl.in, e.t.vars.Field(t.Header, f.Name))
+		pl.iw = append(pl.iw, expr.Width(f.Width))
+	}
+	e.t.csums[t] = pl
+	return pl
+}
+
 // applyTable performs concrete match-action lookup: highest-priority
 // matching entry wins, otherwise the default action runs.
 func (e *exec) applyTable(name, pipe string) error {
-	tbl := e.t.prog.Table(name)
 	entries := e.t.rs.Entries(name)
 	if e.t.faults.tableMissDefault(name) {
 		entries = nil
 	}
+	pl := e.t.tbls[name]
+	if pl == nil {
+		return e.applyTableSlow(name, entries, pipe)
+	}
+	for i, en := range entries {
+		match := true
+		for j := range pl.keyVars {
+			w := pl.keyWide[j]
+			if !en.Match(pl.keyStrs[j]).Covers(w.Trunc(e.st[pl.keyVars[j]]), int(w)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			if !e.quiet {
+				e.tracef("[%s] table %s hit entry %d -> %s", pipe, name, i, en.Action)
+			}
+			return e.callEntry(en, pipe)
+		}
+	}
+	def := pl.decl.DefaultAction
+	if def == nil {
+		def = &p4.ActionCall{Name: "NoAction"}
+	}
+	if !e.quiet {
+		e.tracef("[%s] table %s miss -> %s", pipe, name, def.Name)
+	}
+	return e.call(def, nil, pipe)
+}
+
+// applyTableSlow is the pre-plan lookup path, kept for tables whose keys
+// did not resolve at compile time (scoped or malformed references); it
+// reproduces the original per-apply resolution and its errors.
+func (e *exec) applyTableSlow(name string, entries []*rules.Entry, pipe string) error {
+	tbl := e.t.prog.Table(name)
 	for i, en := range entries {
 		match := true
 		for _, k := range tbl.Keys {
@@ -421,24 +708,38 @@ func (e *exec) applyTable(name, pipe string) error {
 			}
 		}
 		if match {
-			e.tracef("[%s] table %s hit entry %d -> %s", pipe, name, i, en.Action)
-			return e.call(&p4.ActionCall{Name: en.Action, Args: numArgs(en.Args)}, nil, pipe)
+			if !e.quiet {
+				e.tracef("[%s] table %s hit entry %d -> %s", pipe, name, i, en.Action)
+			}
+			return e.callEntry(en, pipe)
 		}
 	}
 	def := tbl.DefaultAction
 	if def == nil {
 		def = &p4.ActionCall{Name: "NoAction"}
 	}
-	e.tracef("[%s] table %s miss -> %s", pipe, name, def.Name)
+	if !e.quiet {
+		e.tracef("[%s] table %s miss -> %s", pipe, name, def.Name)
+	}
 	return e.call(def, nil, pipe)
 }
 
-func numArgs(args []uint64) []p4.Expr {
-	out := make([]p4.Expr, len(args))
-	for i, a := range args {
-		out[i] = &p4.NumberExpr{Val: a}
+// callEntry executes a rule entry's action with its concrete arguments,
+// skipping the NumberExpr boxing the generic call path would need.
+func (e *exec) callEntry(en *rules.Entry, pipe string) error {
+	if en.Action == "NoAction" {
+		return nil
 	}
-	return out
+	a := e.t.acts[en.Action]
+	if a == nil {
+		return fmt.Errorf("switchsim: unknown action %q", en.Action)
+	}
+	inner := e.pushScope()
+	defer e.popScope(inner)
+	for i, p := range a.Params {
+		inner[p.Name] = expr.Width(p.Width).Trunc(en.Args[i])
+	}
+	return e.stmts(a.Body, inner, pipe)
 }
 
 // call executes an action with bound arguments.
@@ -446,11 +747,12 @@ func (e *exec) call(c *p4.ActionCall, sc map[string]uint64, pipe string) error {
 	if c.Name == "NoAction" {
 		return nil
 	}
-	a := e.t.prog.Action(c.Name)
+	a := e.t.acts[c.Name]
 	if a == nil {
 		return fmt.Errorf("switchsim: unknown action %q", c.Name)
 	}
-	inner := make(map[string]uint64, len(a.Params))
+	inner := e.pushScope()
+	defer e.popScope(inner)
 	for i, p := range a.Params {
 		v, err := e.arith(c.Args[i], sc)
 		if err != nil {
@@ -475,9 +777,13 @@ func (e *exec) assign(lhs *p4.FieldRef, rhs p4.Expr, sc map[string]uint64, pipe 
 	val = w.Trunc(val)
 	if bits, ok := e.t.faults.wrongAssign(string(v)); ok {
 		val = expr.Width(bits).Trunc(val)
-		e.tracef("[%s] %s = %d (TRUNCATED by backend bug)", pipe, v, val)
+		if !e.quiet {
+			e.tracef("[%s] %s = %d (TRUNCATED by backend bug)", pipe, v, val)
+		}
 	} else {
-		e.tracef("[%s] %s = %d", pipe, v, val)
+		if !e.quiet {
+			e.tracef("[%s] %s = %d", pipe, v, val)
+		}
 	}
 	e.setVar(v, w, val, pipe)
 	return nil
@@ -490,7 +796,9 @@ func (e *exec) setVar(v expr.Var, w expr.Width, val uint64, pipe string) {
 	for _, other := range e.t.faults.overlapsOf(string(v)) {
 		ov := expr.Var(other)
 		e.st[ov] = e.varWidth(ov).Trunc(val)
-		e.tracef("[%s] %s clobbered via pragma overlap with %s", pipe, other, v)
+		if !e.quiet {
+			e.tracef("[%s] %s clobbered via pragma overlap with %s", pipe, other, v)
+		}
 	}
 }
 
@@ -513,6 +821,9 @@ func (e *exec) varWidth(v expr.Var) expr.Width {
 }
 
 func (e *exec) resolve(ref *p4.FieldRef) (expr.Var, expr.Width, error) {
+	if v, w, ok := e.t.vars.Ref(ref); ok {
+		return v, w, nil
+	}
 	v, w, err := e.t.env.ResolveRef(ref)
 	if err != nil {
 		return "", 0, err

@@ -149,6 +149,15 @@ type Options struct {
 	// crash-safety tests — a hook that panics exercises per-path
 	// isolation on real corpora — and must not retain the slice.
 	PathHook func(path []cfg.NodeID)
+	// NoSiblingBatch disables the batched sibling feasibility sweep: with
+	// it set, every branch successor pays its own early-termination Check
+	// on descent (the pre-batching code path). By default, a branch node's
+	// sibling conditions are decided together via smt.CheckBatch, which
+	// shares the prefix propagation across the whole sweep — a k-way table
+	// match costs ~1 propagation instead of k. Verdicts, journal records,
+	// and templates are identical either way; this knob exists for the
+	// differential tests and ablations that prove it.
+	NoSiblingBatch bool
 	// NoValidation emits templates without consulting the solver at all:
 	// statically-infeasible prefixes are still pruned by constant
 	// folding, but solver-dependent invalid paths are kept. The result is
@@ -315,6 +324,48 @@ type executor struct {
 	// tagIDs memoizes smt.TagID per dependency tag for verdict-cache
 	// tagging.
 	tagIDs map[string]uint64
+	// pending hands a branch verdict precomputed by the parent's sibling
+	// batch down to the child's dfs frame; it is set immediately before
+	// each e.dfs(succ) call and consumed (and cleared) at frame entry.
+	pending pendingBranch
+	// batchScratches is a per-depth arena for sibling-batch state: the
+	// scratch at depth d stays live for the whole children loop of the
+	// branch node at that depth, while deeper batches use deeper slots.
+	batchScratches []batchScratch
+}
+
+// pendingBranch carries a parent-computed branch condition (and, when
+// checked is set, its feasibility verdict) into the successor's frame, so
+// the descent neither re-substitutes nor re-checks it.
+type pendingBranch struct {
+	ok      bool
+	checked bool
+	res     smt.Result
+	cond    expr.Bool
+}
+
+// batchScratch is the reusable working set of one sibling batch.
+type batchScratch struct {
+	pend  []pendingBranch
+	conds []expr.Bool
+	idx   []int
+	sibs  []*cfg.Node
+	keys  []uint64
+	res   []smt.Result
+}
+
+func (st *batchScratch) reset(n int) {
+	if cap(st.pend) < n {
+		st.pend = make([]pendingBranch, n)
+	}
+	st.pend = st.pend[:n]
+	for i := range st.pend {
+		st.pend[i] = pendingBranch{}
+	}
+	st.conds = st.conds[:0]
+	st.idx = st.idx[:0]
+	st.sibs = st.sibs[:0]
+	st.keys = st.keys[:0]
 }
 
 // FNV-1a constants for the incremental path hash.
@@ -501,6 +552,11 @@ func (e *executor) dfs(id cfg.NodeID) {
 	if !e.opts.Strict {
 		defer e.recoverPath(id)
 	}
+	// Claim any parent-batched branch verdict before the early exits below
+	// can abandon this frame: a stale pending must never leak into a later
+	// sibling's frame.
+	pend := e.pending
+	e.pending = pendingBranch{}
 	// Periodic budget checks are keyed to the visit counter (incremented
 	// on every node entry) so a single deep descent still observes the
 	// deadline; time.Now per node would dominate small graphs.
@@ -542,7 +598,10 @@ func (e *executor) dfs(id cfg.NodeID) {
 
 	switch n.Kind {
 	case cfg.Predicate:
-		cond := expr.SubstBool(n.Pred, e.values)
+		cond := pend.cond
+		if !pend.ok {
+			cond = expr.SubstBool(n.Pred, e.values)
+		}
 		if expr.EqualBool(cond, expr.False) {
 			// Statically invalid (e.g. Figure 5(b)): prune without an SMT
 			// call.
@@ -565,7 +624,13 @@ func (e *executor) dfs(id cfg.NodeID) {
 					e.constraints = e.constraints[:len(e.constraints)-1]
 				}()
 				if e.opts.EarlyTermination {
-					if e.pruneCheck() == smt.Unsat {
+					// The parent's sibling batch already decided (and
+					// journaled) this branch; otherwise check here.
+					r := pend.res
+					if !pend.checked {
+						r = e.pruneCheck()
+					}
+					if r == smt.Unsat {
 						e.countPath()
 						e.countPruned()
 						return
@@ -603,12 +668,124 @@ func (e *executor) dfs(id cfg.NodeID) {
 		}
 		defer func() { e.widthProd = old }()
 	}
+	if len(n.Succs) > 1 && e.canBatchSiblings() {
+		// Batched branch expansion: decide every sibling's feasibility in
+		// one shared-prefix sweep, then descend with the verdicts in hand.
+		st := e.batchSiblings(n)
+		for i, s := range n.Succs {
+			e.pending = st.pend[i]
+			e.dfs(s)
+			if e.res.Truncated {
+				return
+			}
+		}
+		return
+	}
 	for _, s := range n.Succs {
 		e.dfs(s)
 		if e.res.Truncated {
 			return
 		}
 	}
+}
+
+// canBatchSiblings gates the batched sweep: it needs early termination
+// (otherwise predicates are not checked at all), a validating run, and a
+// non-splitter executor — the parallel splitter spills successor subtrees
+// as tasks before their conditions are asserted, and the claiming worker
+// (spill == nil) batches them itself, keeping sequential and parallel
+// query counts identical.
+func (e *executor) canBatchSiblings() bool {
+	return e.opts.EarlyTermination && !e.opts.NoValidation &&
+		!e.opts.NoSiblingBatch && e.spill == nil
+}
+
+// batchScratchAt returns the reusable batch scratch for one path depth.
+func (e *executor) batchScratchAt(depth int) *batchScratch {
+	for len(e.batchScratches) <= depth {
+		e.batchScratches = append(e.batchScratches, batchScratch{})
+	}
+	return &e.batchScratches[depth]
+}
+
+func (e *executor) addDeps(deps []string) {
+	for _, d := range deps {
+		e.deps[d]++
+	}
+}
+
+func (e *executor) dropDeps(deps []string) {
+	for _, d := range deps {
+		e.deps[d]--
+		if e.deps[d] == 0 {
+			delete(e.deps, d)
+		}
+	}
+}
+
+// batchSiblings prepares the pending verdicts for every successor of the
+// branch node n. Predicate successors with non-trivial substituted
+// conditions are answered from the resume journal when possible; the rest
+// go through one smt.CheckBatch sweep, which propagates the shared prefix
+// once and each sibling's delta incrementally. Journal records and
+// verdict-cache dependency tags are written per sibling with that
+// sibling's deps in scope, exactly as the per-descent path would have.
+func (e *executor) batchSiblings(n *cfg.Node) *batchScratch {
+	st := e.batchScratchAt(len(e.path))
+	st.reset(len(n.Succs))
+	for i, sid := range n.Succs {
+		sn := e.g.Node(sid)
+		if sn.Kind != cfg.Predicate {
+			continue // non-predicate successors take the normal path
+		}
+		cond := expr.SubstBool(sn.Pred, e.values)
+		st.pend[i] = pendingBranch{ok: true, cond: cond}
+		if expr.EqualBool(cond, expr.False) || expr.EqualBool(cond, expr.True) {
+			continue // statically decided in the child frame, no solver
+		}
+		key := hashMix(e.curHash(), e.g.ContentHash(sid))
+		if e.journaling {
+			if rec, ok := e.opts.Journal.Lookup(journal.KindCheck, key); ok {
+				e.countJournalHit()
+				st.pend[i].checked = true
+				st.pend[i].res = fromVerdict(rec.Verdict)
+				continue
+			}
+		}
+		st.conds = append(st.conds, cond)
+		st.idx = append(st.idx, i)
+		st.sibs = append(st.sibs, sn)
+		st.keys = append(st.keys, key)
+	}
+	if len(st.conds) == 0 {
+		return st
+	}
+	// Verdicts stored to the shared cache are tagged with the asserted
+	// path's dependency set, which during the sweep includes the sibling
+	// under decision; retarget e.deps around each sibling.
+	var prepare func(int)
+	if e.opts.Solver.Cache != nil {
+		prepare = func(i int) {
+			if i > 0 {
+				e.dropDeps(st.sibs[i-1].Deps)
+			}
+			e.addDeps(st.sibs[i].Deps)
+		}
+	}
+	st.res = e.solver.CheckBatch(st.conds, st.res[:0], prepare)
+	if prepare != nil {
+		e.dropDeps(st.sibs[len(st.sibs)-1].Deps)
+	}
+	for j, i := range st.idx {
+		st.pend[i].checked = true
+		st.pend[i].res = st.res[j]
+		if e.journaling {
+			e.addDeps(st.sibs[j].Deps)
+			e.appendJournal(journal.Record{Kind: journal.KindCheck, Key: st.keys[j], Verdict: toVerdict(st.res[j])})
+			e.dropDeps(st.sibs[j].Deps)
+		}
+	}
+	return st
 }
 
 func (e *executor) restore(v expr.Var, old expr.Arith, had bool) {

@@ -235,7 +235,7 @@ func TestLocalize(t *testing.T) {
 	if len(fails) == 0 {
 		t.Fatal("expected failures")
 	}
-	out := Localize(gen, fails[0], link.LastTrace())
+	out := Localize(gen, fails[0], link.Replay(fails[0].Case.Entry, fails[0].Case.Wire))
 	for _, want := range []string{"Bug localization", "symbolic trace", "physical trace"} {
 		if !contains(out, want) {
 			t.Errorf("localization output missing %q:\n%s", want, out)
