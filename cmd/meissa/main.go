@@ -51,6 +51,11 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "checkmetrics":
 		err = cmdCheckMetrics(os.Args[2:])
+	case "work":
+		// Hidden: the sharded-generation worker subprocess. Speaks the
+		// internal/shard frame protocol on stdin/stdout; never invoked by
+		// hand.
+		err = meissa.ServeShardWorker(os.Stdin, os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -65,9 +70,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v] [-quiet]
               [-checkpoint FILE [-resume]] [-strict] [-solver-budget N] [-solver-timeout D]
+              [-workers N [-lease-timeout D] [-chaos-kill N] [-chaos-seed N]]
               [-metrics-out report.json] [-pprof-addr host:port] [-o cases.txt]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
-              [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-v] [-quiet]
+              [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-breaker N] [-v] [-quiet]
               [-metrics-out report.json] [-pprof-addr host:port]
               [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
   meissa regress -baseline base.journal [-p prog.p4 | -corpus NAME] [-rules-old FILE]
@@ -161,6 +167,11 @@ func cmdGen(args []string) error {
 	strict := fs.Bool("strict", false, "fail fast on per-path panics instead of isolating them")
 	solverBudget := fs.Int("solver-budget", 0, "per-query solver backtracking-step budget (0 = default)")
 	solverTimeout := fs.Duration("solver-timeout", 0, "per-query solver wall-clock budget (0 = none)")
+	workers := fs.Int("workers", 0, "shard the final pass across N worker subprocesses (0/1 = in-process)")
+	leaseTimeout := fs.Duration("lease-timeout", 0, "shard lease progress deadline (0 = 10s default)")
+	chaosKill := fs.Int("chaos-kill", 0, "SIGKILL N random workers mid-run (fault-injection testing)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos-kill victim selection")
+	chaosSlow := fs.Duration("chaos-slow", 0, "per-path worker sleep so injected kills land mid-generation")
 	outPath := fs.String("o", "", "write generated test cases to this file (deterministic format)")
 	ob := registerObsFlags(fs)
 	prog, rs, specs, _, err := loadInputs(fs, args)
@@ -181,6 +192,11 @@ func cmdGen(args []string) error {
 	opts.Strict = *strict
 	opts.SolverSearchBudget = *solverBudget
 	opts.SolverCheckTimeout = *solverTimeout
+	opts.ShardWorkers = *workers
+	opts.LeaseTimeout = *leaseTimeout
+	opts.ShardChaosKills = *chaosKill
+	opts.ShardChaosSeed = *chaosSeed
+	opts.ShardPathSleep = *chaosSlow
 	sys, err := meissa.New(prog, rs, specs, opts)
 	if err != nil {
 		return err
@@ -209,6 +225,14 @@ func cmdGen(args []string) error {
 	}
 	if gen.JournalHits > 0 {
 		fmt.Printf("  journal: %d solver interactions answered from checkpoint\n", gen.JournalHits)
+	}
+	if sh := gen.Shard; sh != nil {
+		if sh.Fallback {
+			fmt.Printf("  shard: fell back to in-process engine (%s)\n", sh.FallbackReason)
+		} else {
+			fmt.Printf("  shard: %d units over %d workers: %d leases issued, %d expired, %d units quarantined, %d restarts, %d kills injected\n",
+				sh.Units, sh.Workers, sh.LeasesIssued, sh.LeasesExpired, sh.UnitsQuarantined, sh.WorkerRestarts, sh.KillsInjected)
+		}
 	}
 	if gen.Recovered > 0 {
 		fmt.Printf("  WARNING: %d path(s) panicked and were skipped:\n", gen.Recovered)
@@ -295,6 +319,7 @@ func cmdTest(args []string) error {
 	caseTimeout := fs.Duration("case-timeout", 0, "per-case deadline across all attempts (0 = derived)")
 	recvTimeout := fs.Duration("recv-timeout", 200*time.Millisecond, "per-attempt capture window")
 	window := fs.Int("window", driver.DefaultWindow, "in-flight cases for the pipelined engine (1 = lockstep)")
+	breaker := fs.Int("breaker", 0, "trip after N consecutive target-crashing cases; rest short-circuit to lost (0 = off)")
 	shake := fs.String("shake", "", "inject link faults: drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N")
 	verbose := fs.Bool("v", false, "print per-phase progress on stderr")
 	ob := registerObsFlags(fs)
@@ -369,6 +394,7 @@ func cmdTest(args []string) error {
 	if *window > 0 {
 		d.Window = *window
 	}
+	d.BreakerThreshold = *breaker
 	driveSpan := obs.Begin("drive")
 	rep, err := d.RunTemplates(gen.Templates)
 	driveDur := driveSpan.End()
@@ -376,6 +402,10 @@ func cmdTest(args []string) error {
 		return err
 	}
 	fmt.Println(rep.Summary())
+	if rep.BreakerTripped {
+		fmt.Printf("crash circuit breaker tripped after %d consecutive target crashes: %d cases short-circuited to lost\n",
+			*breaker, rep.ShortCircuited)
+	}
 	for _, c := range rep.Skips {
 		fmt.Printf("SKIP case %d: %s\n", c.ID, c.SkipReason)
 	}

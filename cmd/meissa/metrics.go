@@ -100,6 +100,8 @@ func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict, d
 		Retransmissions:   rep.Retransmissions,
 		TimeToFirstTestNS: int64(firstVerdict),
 		Window:            window,
+		BreakerTripped:    rep.BreakerTripped,
+		ShortCircuited:    rep.ShortCircuited,
 	}
 	if verdicts := rep.Passed + rep.Failed + rep.Flaky + rep.Lost; verdicts > 0 && driveDur > 0 {
 		d.VerdictsPerSec = float64(verdicts) / driveDur.Seconds()
@@ -169,6 +171,22 @@ func cmdCheckMetrics(args []string) error {
 		fmt.Printf("  driver pass=%d fail=%d flaky=%d lost=%d window=%d verdicts/s=%.0f\n",
 			rep.Driver.Passed, rep.Driver.Failed, rep.Driver.Flaky, rep.Driver.Lost,
 			rep.Driver.Window, rep.Driver.VerdictsPerSec)
+		if rep.Driver.BreakerTripped {
+			fmt.Printf("  driver breaker tripped: %d cases short-circuited to lost\n", rep.Driver.ShortCircuited)
+		}
+	}
+	if sh := rep.Shard; sh != nil {
+		if sh.Fallback {
+			fmt.Printf("  shard fallback: %s\n", sh.FallbackReason)
+		} else {
+			fmt.Printf("  shard workers=%d units=%d (completed=%d quarantined=%d)\n",
+				sh.Workers, sh.Units, sh.UnitsCompleted, sh.UnitsQuarantined)
+			fmt.Printf("  shard leases issued=%d completed=%d expired=%d superseded=%d reassigned=%d\n",
+				sh.LeasesIssued, sh.LeasesCompleted, sh.LeasesExpired, sh.LeasesSuperseded, sh.LeasesReassigned)
+			fmt.Printf("  shard records merged=%d duplicate=%d harvested=%d; restarts=%d corrupt_frames=%d kills=%d\n",
+				sh.RecordsMerged, sh.RecordsDuplicate, sh.RecordsHarvested,
+				sh.WorkerRestarts, sh.CorruptFrames, sh.KillsInjected)
+		}
 	}
 	return nil
 }

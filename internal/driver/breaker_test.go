@@ -1,0 +1,135 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/switchsim"
+)
+
+// crashLink makes every transmission look like a target panic — the
+// dead-target scenario the circuit breaker exists for.
+type crashLink struct{ sends int }
+
+func (l *crashLink) Send(int, []byte) error {
+	l.sends++
+	return &switchsim.CrashError{Panic: "target is down"}
+}
+func (l *crashLink) Recv(time.Duration) ([]byte, bool, error) { return nil, false, nil }
+func (l *crashLink) Close() error                             { return nil }
+
+func breakerDriver(t *testing.T, window int) (*Report, *crashLink, int) {
+	t.Helper()
+	_, _, templates, d := setup(t, nil)
+	link := &crashLink{}
+	d.Link.Close()
+	d.Link = link
+	d.Window = window
+	d.Retries = 1
+	d.Backoff = time.Millisecond
+	d.RecvTimeout = 10 * time.Millisecond
+	d.BreakerThreshold = 2
+	rep, err := d.RunTemplates(templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, link, len(templates)
+}
+
+func checkBreakerReport(t *testing.T, rep *Report, link *crashLink) {
+	t.Helper()
+	if !rep.BreakerTripped {
+		t.Fatal("breaker did not trip with every case crashing")
+	}
+	if rep.ShortCircuited == 0 {
+		t.Fatal("no cases were short-circuited after the trip")
+	}
+	if rep.ShortCircuited > rep.Lost {
+		t.Fatalf("short-circuited %d > lost %d", rep.ShortCircuited, rep.Lost)
+	}
+	// Short-circuited cases never touch the wire: the link saw only the
+	// attempts of cases that ran before the trip.
+	var attempts, scAttempts int
+	for _, o := range rep.Outcomes {
+		attempts += o.Attempts
+		if o.ShortCircuited {
+			scAttempts += o.Attempts
+			if o.Verdict != VerdictLost || !o.Absent {
+				t.Fatalf("short-circuited outcome has verdict %s absent=%v", o.Verdict, o.Absent)
+			}
+		}
+	}
+	if scAttempts != 0 {
+		t.Fatalf("short-circuited cases transmitted %d attempts", scAttempts)
+	}
+	if link.sends != attempts {
+		t.Fatalf("link saw %d sends but outcomes claim %d attempts", link.sends, attempts)
+	}
+}
+
+// TestBreakerTripsLockstep: with the target dead, the lockstep engine
+// stops transmitting after BreakerThreshold consecutive crashed cases
+// and marks the rest Lost without further attempts.
+func TestBreakerTripsLockstep(t *testing.T) {
+	rep, link, total := breakerDriver(t, 1)
+	if len(rep.Outcomes) != total {
+		t.Fatalf("outcomes %d != templates %d (every case must be accounted for)", len(rep.Outcomes), total)
+	}
+	checkBreakerReport(t, rep, link)
+}
+
+// TestBreakerTripsPipelined: same contract under the windowed engine —
+// in-flight cases finish, everything not yet admitted is short-circuited.
+func TestBreakerTripsPipelined(t *testing.T) {
+	rep, link, total := breakerDriver(t, 2)
+	if len(rep.Outcomes) != total {
+		t.Fatalf("outcomes %d != templates %d", len(rep.Outcomes), total)
+	}
+	checkBreakerReport(t, rep, link)
+}
+
+// TestBreakerResetOnHealthyCase: a single persistently-crashing case
+// surrounded by passing traffic must NOT trip a threshold-2 breaker —
+// any non-crashing verdict resets the streak.
+func TestBreakerResetOnHealthyCase(t *testing.T) {
+	_, _, templates, d := setup(t, switchsim.Faults{
+		switchsim.CrashWhen{Header: "ipv4", Field: "dstAddr", Value: 0x0A000001},
+	})
+	d.Retries = 1
+	d.Backoff = time.Millisecond
+	d.BreakerThreshold = 2
+	for _, window := range []int{1, 8} {
+		d.Window = window
+		rep, err := d.RunTemplates(templates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BreakerTripped || rep.ShortCircuited != 0 {
+			t.Fatalf("window %d: breaker tripped on an isolated crash (short-circuited %d)",
+				window, rep.ShortCircuited)
+		}
+		if rep.Passed == 0 {
+			t.Fatalf("window %d: healthy cases did not pass", window)
+		}
+	}
+}
+
+// TestBreakerDisabledByDefault: threshold 0 means the breaker never
+// engages, no matter how many consecutive crashes occur.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	_, _, templates, d := setup(t, nil)
+	d.Link.Close()
+	link := &crashLink{}
+	d.Link = link
+	d.Window = 1
+	d.Retries = 1
+	d.Backoff = time.Millisecond
+	d.RecvTimeout = 10 * time.Millisecond
+	rep, err := d.RunTemplates(templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BreakerTripped || rep.ShortCircuited != 0 {
+		t.Fatal("breaker engaged with threshold 0")
+	}
+}

@@ -84,6 +84,9 @@ type Outcome struct {
 	Verdict Verdict
 	// Attempts counts transmissions performed for this case (>= 1).
 	Attempts int
+	// ShortCircuited reports the case was never transmitted: the crash
+	// circuit breaker had already tripped when its turn came.
+	ShortCircuited bool
 	// Crashed reports that at least one attempt made the target panic
 	// (observable only on links that surface injection errors).
 	Crashed bool
@@ -123,6 +126,12 @@ type Report struct {
 	// case verdict (zero when every case was skipped) — the
 	// responsiveness metric behind the run report's time_to_first_test.
 	TimeToFirstVerdict time.Duration
+	// BreakerTripped reports that Driver.BreakerThreshold consecutive
+	// crashing cases tripped the circuit breaker; ShortCircuited counts
+	// the cases recorded as Lost without transmission after the trip
+	// (a subset of Lost).
+	BreakerTripped bool
+	ShortCircuited int
 }
 
 // Failures returns the failing outcomes.
@@ -191,6 +200,12 @@ type Driver struct {
 	// pipelined burst engine (see pipeline.go); at 1 (or below) it runs
 	// the lockstep send→recv loop. New sets DefaultWindow.
 	Window int
+	// BreakerThreshold trips the target-crash circuit breaker: after this
+	// many consecutive non-passing cases that crashed the target, the
+	// remaining cases are recorded as Lost without transmission instead
+	// of burning each one's full retry budget on a dead target. Any
+	// non-crashing verdict resets the streak. 0 disables the breaker.
+	BreakerThreshold int
 	// checksummed lists (header, field) pairs the program maintains via
 	// update_checksum, which the checker validates on every output.
 	checksummed [][2]string
@@ -535,6 +550,7 @@ func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template)
 	}
 	rep := &Report{Program: d.Prog.Name}
 	suiteStart := time.Now()
+	consecCrashes := 0
 	for _, t := range templates {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("driver: %w", err)
@@ -547,6 +563,15 @@ func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template)
 			rep.Skipped++
 			mCasesSkipped.Inc()
 			rep.Skips = append(rep.Skips, c)
+			continue
+		}
+		if rep.BreakerTripped {
+			o := &Outcome{Case: c, Verdict: VerdictLost, ShortCircuited: true, Absent: true}
+			rep.Outcomes = append(rep.Outcomes, o)
+			rep.Lost++
+			mCasesLost.Inc()
+			rep.ShortCircuited++
+			mShortCircuited.Inc()
 			continue
 		}
 		caseStart := time.Now()
@@ -574,6 +599,15 @@ func (d *Driver) RunTemplatesCtx(ctx context.Context, templates []*sym.Template)
 		case VerdictLost:
 			rep.Lost++
 			mCasesLost.Inc()
+		}
+		if o.Crashed && !o.Pass {
+			consecCrashes++
+		} else {
+			consecCrashes = 0
+		}
+		if d.BreakerThreshold > 0 && consecCrashes >= d.BreakerThreshold {
+			rep.BreakerTripped = true
+			mBreakerTripped.Inc()
 		}
 	}
 	return rep, nil

@@ -23,6 +23,12 @@ var (
 	mCasesLost    = obs.GetCounter("driver.cases_lost")
 	mRetransmits  = obs.GetCounter("driver.retransmissions")
 
+	// Target-crash circuit breaker: trips after BreakerThreshold
+	// consecutive crashing cases; later cases are Lost without
+	// transmission.
+	mBreakerTripped = obs.GetCounter("driver.breaker_tripped")
+	mShortCircuited = obs.GetCounter("driver.cases_short_circuited")
+
 	// mCaseLatencyNS is the per-test-case wall-clock histogram (send to
 	// verdict, retries included; nanoseconds, log2 buckets).
 	mCaseLatencyNS = obs.GetHistogram("driver.case_latency_ns")

@@ -190,6 +190,10 @@ type engine struct {
 	start    time.Time
 	firstSet bool
 	err      error // deferred fatal error (Concretize failure mid-retry)
+	// consecCrashes tracks the crash streak in finalization order; once
+	// it reaches BreakerThreshold the breaker trips and un-admitted
+	// templates short-circuit to Lost (in-flight cases still finish).
+	consecCrashes int
 }
 
 // runPipelined is RunTemplatesCtx's engine when Window > 1. It keeps up
@@ -232,9 +236,15 @@ func (d *Driver) runPipelined(ctx context.Context, templates []*sym.Template) (*
 			return nil, fmt.Errorf("driver: %w", err)
 		}
 		progress := false
-		// 1. Admission burst: top the window up, one send per case.
-		for eng.inflight < d.Window && next < len(templates) {
-			if err := eng.admit(templates[next], next); err != nil {
+		// 1. Admission burst: top the window up, one send per case. A
+		// tripped breaker short-circuits the whole remainder instead
+		// (short-circuited cases hold no window slot).
+		for next < len(templates) && (eng.rep.BreakerTripped || eng.inflight < d.Window) {
+			if eng.rep.BreakerTripped {
+				if err := eng.shortCircuit(templates[next], next); err != nil {
+					return nil, err
+				}
+			} else if err := eng.admit(templates[next], next); err != nil {
 				return nil, err
 			}
 			next++
@@ -355,6 +365,31 @@ func (eng *engine) admit(t *sym.Template, idx int) error {
 	pc.observed, pc.crashed = false, false
 	eng.inflight++
 	eng.send(pc)
+	return nil
+}
+
+// shortCircuit records a template's case as Lost without transmitting
+// it: the crash breaker decided the target is gone, so burning the full
+// retry budget per case would only stall the suite.
+func (eng *engine) shortCircuit(t *sym.Template, idx int) error {
+	d := eng.d
+	c, err := d.concretizeFast(t, d.allocID())
+	if err != nil {
+		return err
+	}
+	if c.SkipReason != "" {
+		eng.skips[idx] = c
+		eng.rep.Skipped++
+		mCasesSkipped.Inc()
+		eng.done++
+		return nil
+	}
+	eng.outs[idx] = &Outcome{Case: c, Verdict: VerdictLost, ShortCircuited: true, Absent: true}
+	eng.rep.Lost++
+	mCasesLost.Inc()
+	eng.rep.ShortCircuited++
+	mShortCircuited.Inc()
+	eng.done++
 	return nil
 }
 
@@ -631,6 +666,15 @@ func (eng *engine) finalize(pc *pcase, o *Outcome) {
 	case VerdictLost:
 		eng.rep.Lost++
 		mCasesLost.Inc()
+	}
+	if o.Crashed && !o.Pass {
+		eng.consecCrashes++
+	} else {
+		eng.consecCrashes = 0
+	}
+	if eng.d.BreakerThreshold > 0 && eng.consecCrashes >= eng.d.BreakerThreshold && !eng.rep.BreakerTripped {
+		eng.rep.BreakerTripped = true
+		mBreakerTripped.Inc()
 	}
 	eng.done++
 	eng.inflight--

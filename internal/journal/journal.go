@@ -30,6 +30,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,14 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	seen map[mapKey]Record // loaded at Open; read-only afterwards
+
+	// mirror, when set, observes every successfully appended record
+	// (dependency tags and Indexed folded in, exactly as a reload would
+	// see it). The shard worker uses it to ship each unit's fresh records
+	// over the wire without re-reading its own file. Invoked under the
+	// append lock, so observations are ordered; the callback must not
+	// call back into the journal.
+	mirror func(Record)
 
 	loaded   int // verdict records recovered (deduplicated)
 	scanned  int // total non-header records scanned, including duplicates and index records
@@ -229,6 +238,9 @@ func (j *Journal) Append(r Record) error {
 	buf := encode(r)
 	j.mu.Lock()
 	_, err := j.f.Write(buf)
+	if err == nil && j.mirror != nil {
+		j.mirror(r)
+	}
 	j.mu.Unlock()
 	if err != nil {
 		mAppendErrors.Inc()
@@ -237,6 +249,14 @@ func (j *Journal) Append(r Record) error {
 	j.appended.Add(1)
 	mRecordsAppended.Inc()
 	return nil
+}
+
+// SetMirror installs (or clears, with nil) the append observer. Set it
+// before concurrent appends begin.
+func (j *Journal) SetMirror(fn func(Record)) {
+	j.mu.Lock()
+	j.mirror = fn
+	j.mu.Unlock()
 }
 
 // AppendWithDeps journals one verdict together with its dependency index
@@ -252,6 +272,10 @@ func (j *Journal) AppendWithDeps(r Record, tables []string) error {
 	buf = append(buf, encode(Record{Kind: KindIndex, Key: r.Key, Verdict: Verdict(r.Kind), Tables: tables})...)
 	j.mu.Lock()
 	_, err := j.f.Write(buf)
+	if err == nil && j.mirror != nil {
+		r.Tables, r.Indexed = tables, true
+		j.mirror(r)
+	}
 	j.mu.Unlock()
 	if err != nil {
 		mAppendErrors.Inc()
@@ -282,10 +306,14 @@ func (j *Journal) Records() []Record {
 // records: one verdict (plus its index, when present) per (kind, key),
 // last-wins, in canonical (kind, key) order. Superseded duplicates and
 // orphaned index records are dropped. The rewrite goes through a
-// temporary file and an atomic rename, so a crash mid-compaction leaves
-// the original journal intact. Returns the records kept and dropped;
-// compacting an already-compact journal is a deterministic no-op (the
-// output bytes are a fixpoint).
+// temporary file and an atomic rename, with the temp file fsynced before
+// the rename and the parent directory fsynced after it — so a crash at
+// any instant (including a machine crash that drops the page cache)
+// leaves either the complete original or the complete compacted journal,
+// never a short rename target. A stale temp file from a previously
+// crashed compaction is removed first. Returns the records kept and
+// dropped; compacting an already-compact journal is a deterministic
+// no-op (the output bytes are a fixpoint).
 func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
 	j, err := Open(path, fingerprint, true)
 	if err != nil {
@@ -298,6 +326,7 @@ func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
 	}
 
 	tmp := path + ".compact"
+	os.Remove(tmp) // stale leftover from a crashed compaction
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, 0, fmt.Errorf("journal: compact create: %w", err)
@@ -320,6 +349,14 @@ func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
 		os.Remove(tmp)
 		return 0, 0, fmt.Errorf("journal: compact write: %w", err)
 	}
+	// The temp file's bytes must be durable BEFORE the rename makes it the
+	// journal: rename-then-crash with an unsynced target can surface as an
+	// empty or short file, destroying the only copy of the records.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact sync: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return 0, 0, fmt.Errorf("journal: compact close: %w", err)
@@ -328,9 +365,48 @@ func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
 		os.Remove(tmp)
 		return 0, 0, fmt.Errorf("journal: compact rename: %w", err)
 	}
+	// Persist the rename itself: the directory entry is metadata of the
+	// parent, not of either file.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return 0, 0, fmt.Errorf("journal: compact dir sync: %w", err)
+	}
 	dropped = scanned - written
 	mRecordsCompacted.Add(uint64(dropped))
 	return written, dropped, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a machine
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ReadRecords opens a checkpoint read-only and returns its deduplicated
+// verdict records (dependency annotations folded in) in canonical
+// (kind, key) order, tolerating a torn tail exactly like a resume. The
+// shard coordinator uses it to harvest the partial work a dead worker
+// journaled before crashing; the file is never truncated or written.
+func ReadRecords(path string, fingerprint uint64) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	j := &Journal{f: f, seen: map[mapKey]Record{}}
+	_, lerr := j.load(fingerprint)
+	f.Close()
+	if lerr != nil {
+		return nil, lerr
+	}
+	return j.Records(), nil
 }
 
 // NextEpoch returns consecutive integers (1, 2, 3, …). Retained for

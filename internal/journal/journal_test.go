@@ -390,3 +390,65 @@ func TestCompactFingerprintMismatch(t *testing.T) {
 		t.Fatal("failed compaction modified the journal")
 	}
 }
+
+// TestCompactTornRewriteRecovery: a crash mid-compaction leaves a
+// partial temp file next to an intact journal. Because Compact writes
+// to <path>.compact and renames only after fsync, the original is never
+// touched by the torn attempt: it must still load in full, and a retry
+// must succeed despite (and clean up) the stale temp.
+func TestCompactTornRewriteRecovery(t *testing.T) {
+	path := tmpFile(t)
+	j, err := Open(path, 0x77, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindCheck, Key: 10, Verdict: Unsat})
+	j.Append(Record{Kind: KindCheck, Key: 10, Verdict: Sat}) // supersedes
+	j.AppendWithDeps(Record{Kind: KindEmit, Key: 20, Verdict: Sat, Model: []VarVal{{"x", 7}}}, []string{"acl#1"})
+	j.Close()
+
+	// Crash simulation: a half-written rewrite died before the rename.
+	tmp := path + ".compact"
+	if err := os.WriteFile(tmp, []byte("torn partial compaction garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal itself is unharmed — the torn attempt never renamed.
+	r, err := Open(path, 0x77, true)
+	if err != nil {
+		t.Fatalf("journal unreadable after torn compaction: %v", err)
+	}
+	if v, ok := r.Lookup(KindCheck, 10); !ok || v.Verdict != Sat {
+		t.Fatalf("journal content damaged by torn compaction: %+v ok=%v", v, ok)
+	}
+	if _, ok := r.Lookup(KindEmit, 20); !ok {
+		t.Fatal("emit record missing after torn compaction")
+	}
+	r.Close()
+
+	// Retrying compaction must shrug off the stale temp file.
+	kept, dropped, err := Compact(path, 0x77)
+	if err != nil {
+		t.Fatalf("Compact with stale temp file: %v", err)
+	}
+	if kept != 3 || dropped != 1 { // check@10 + emit@20 + its index; stale check dropped
+		t.Fatalf("kept=%d dropped=%d, want 3/1", kept, dropped)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived compaction: %v", err)
+	}
+
+	r2, err := Open(path, 0x77, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	chk, ok := r2.Lookup(KindCheck, 10)
+	if !ok || chk.Verdict != Sat {
+		t.Fatalf("verdict lost across recovery: %+v", chk)
+	}
+	em, ok := r2.Lookup(KindEmit, 20)
+	if !ok || em.Model[0].Val != 7 || len(em.Tables) != 1 {
+		t.Fatalf("annotated record lost across recovery: %+v", em)
+	}
+}

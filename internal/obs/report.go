@@ -37,6 +37,10 @@ type Report struct {
 	Journal *JournalReport `json:"journal,omitempty"`
 	// Driver reports test execution results (nil for gen-only runs).
 	Driver *DriverReport `json:"driver,omitempty"`
+	// Shard reports multi-process supervision (nil for single-process
+	// runs; Fallback set when sharding was requested but degraded to the
+	// in-process engine).
+	Shard *ShardReport `json:"shard,omitempty"`
 	// Registry carries the full process metric snapshot (optional; CLI
 	// runs attach it so one file holds both the curated report and the
 	// raw counters).
@@ -128,8 +132,53 @@ type DriverReport struct {
 	VerdictsPerSec float64 `json:"verdicts_per_sec,omitempty"`
 	// Window is the pipelined engine's in-flight window (1 = lockstep).
 	Window int `json:"window,omitempty"`
+	// BreakerTripped reports the target-crash circuit breaker fired;
+	// ShortCircuited counts the cases recorded as Lost without
+	// transmission after the trip (a subset of Lost).
+	BreakerTripped bool `json:"breaker_tripped,omitempty"`
+	ShortCircuited int  `json:"short_circuited,omitempty"`
 	// Link counts injected link faults (zeros on clean links).
 	Link *LinkReport `json:"link,omitempty"`
+}
+
+// ShardReport is the multi-process supervision section. Its accounting
+// identities are validated: every issued lease resolves exactly once
+// (completed, expired, or superseded), and at the end of a non-fallback
+// run every unit is either completed or quarantined.
+type ShardReport struct {
+	Workers int `json:"workers"`
+	// MaxAssign is K: the failed-lease count that quarantines a unit.
+	MaxAssign int `json:"max_assign,omitempty"`
+	// Units is the frontier size; completed + quarantined must cover it
+	// on a non-fallback run.
+	Units            int `json:"units"`
+	UnitsCompleted   int `json:"units_completed"`
+	UnitsQuarantined int `json:"units_quarantined"`
+	// Lease lifecycle totals: Issued == Completed + Expired (every lease
+	// resolves exactly once). Superseded counts stale completions of
+	// already-expired leases, a subset of Expired.
+	LeasesIssued     uint64 `json:"leases_issued"`
+	LeasesCompleted  uint64 `json:"leases_completed"`
+	LeasesExpired    uint64 `json:"leases_expired"`
+	LeasesSuperseded uint64 `json:"leases_superseded,omitempty"`
+	// LeasesReassigned counts issues of previously failed units (a
+	// subset of Issued).
+	LeasesReassigned uint64 `json:"leases_reassigned"`
+	WorkerRestarts   uint64 `json:"worker_restarts"`
+	CorruptFrames    uint64 `json:"corrupt_frames"`
+	KillsInjected    uint64 `json:"kills_injected,omitempty"`
+	// Record merge totals: worker verdicts folded into the coordinator
+	// journal (duplicates from lease races skipped; harvested records
+	// scraped from dead workers' local journals are a subset of merged).
+	RecordsMerged    uint64 `json:"records_merged"`
+	RecordsDuplicate uint64 `json:"records_duplicate"`
+	RecordsHarvested uint64 `json:"records_harvested"`
+	// DegradedTemplates counts templates emitted inside quarantined
+	// subtrees during the merge replay (kept as Unknown).
+	DegradedTemplates uint64 `json:"degraded_templates"`
+	// Fallback records that the run degraded to the in-process engine.
+	Fallback       bool   `json:"fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // LinkReport mirrors driver.LinkStats.
@@ -230,6 +279,44 @@ func (r *Report) Validate() error {
 	if r.Driver != nil {
 		if n := r.Driver.Passed + r.Driver.Failed + r.Driver.Flaky + r.Driver.Lost + r.Driver.Skipped; n == 0 {
 			return fmt.Errorf("obs: driver report with zero cases")
+		}
+		if r.Driver.ShortCircuited > r.Driver.Lost {
+			return fmt.Errorf("obs: driver short_circuited %d > lost %d", r.Driver.ShortCircuited, r.Driver.Lost)
+		}
+		if r.Driver.ShortCircuited > 0 && !r.Driver.BreakerTripped {
+			return fmt.Errorf("obs: driver short-circuited %d cases without the breaker tripping", r.Driver.ShortCircuited)
+		}
+	}
+	if sh := r.Shard; sh != nil {
+		// Every issued lease resolves exactly once — including on
+		// fallback runs, where outstanding leases are expired before the
+		// coordinator gives up.
+		if sh.LeasesIssued != sh.LeasesCompleted+sh.LeasesExpired {
+			return fmt.Errorf("obs: shard leases_issued %d != completed %d + expired %d",
+				sh.LeasesIssued, sh.LeasesCompleted, sh.LeasesExpired)
+		}
+		if sh.LeasesSuperseded > sh.LeasesExpired {
+			return fmt.Errorf("obs: shard leases_superseded %d > leases_expired %d", sh.LeasesSuperseded, sh.LeasesExpired)
+		}
+		if sh.LeasesReassigned > sh.LeasesIssued {
+			return fmt.Errorf("obs: shard leases_reassigned %d > leases_issued %d", sh.LeasesReassigned, sh.LeasesIssued)
+		}
+		if sh.RecordsHarvested > sh.RecordsMerged {
+			return fmt.Errorf("obs: shard records_harvested %d > records_merged %d", sh.RecordsHarvested, sh.RecordsMerged)
+		}
+		if !sh.Fallback {
+			if sh.Units != sh.UnitsCompleted+sh.UnitsQuarantined {
+				return fmt.Errorf("obs: shard units %d != completed %d + quarantined %d",
+					sh.Units, sh.UnitsCompleted, sh.UnitsQuarantined)
+			}
+			// Each completed unit resolves exactly one lease as completed.
+			if uint64(sh.UnitsCompleted) != sh.LeasesCompleted {
+				return fmt.Errorf("obs: shard units_completed %d != leases_completed %d", sh.UnitsCompleted, sh.LeasesCompleted)
+			}
+			if sh.MaxAssign > 0 && sh.LeasesExpired < uint64(sh.UnitsQuarantined*sh.MaxAssign) {
+				return fmt.Errorf("obs: shard leases_expired %d < quarantined %d × max_assign %d",
+					sh.LeasesExpired, sh.UnitsQuarantined, sh.MaxAssign)
+			}
 		}
 	}
 	return nil

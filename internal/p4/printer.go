@@ -197,6 +197,12 @@ func printStmt(b *strings.Builder, s Stmt, indent string) {
 	}
 }
 
+// ExprString renders an expression in the parseable surface syntax —
+// the same form Print embeds in if-conditions, so the output round-trips
+// through the parser. The spec printer uses it to ship intents across
+// process boundaries as text.
+func ExprString(e Expr) string { return printExpr(e) }
+
 func printExpr(e Expr) string {
 	switch t := e.(type) {
 	case *NumberExpr:

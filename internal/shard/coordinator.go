@@ -1,0 +1,540 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// ErrNoWorkers reports that no worker subprocess ever became (or
+// remained) usable. The caller falls back to the in-process engine; the
+// records merged before the collapse are already in the caller's journal
+// (plus whatever Harvest scraped from dead workers' local journals), so
+// the fallback re-solves only what no worker finished.
+var ErrNoWorkers = errors.New("shard: no usable worker subprocesses")
+
+// Config parameterizes a coordinator run.
+type Config struct {
+	// Hello is the template opening frame; the coordinator stamps a
+	// per-spawn JournalPath into a copy for each worker generation.
+	Hello *Hello
+	// Units is the frontier in enumeration order.
+	Units []LeaseUnit
+	// Workers is the subprocess count (>= 1 slots; callers gate on > 1).
+	Workers int
+	// Command builds the subprocess command for one spawn. Stdin/Stdout
+	// are overwritten by the coordinator; Stderr passes through unless
+	// already set.
+	Command func() *exec.Cmd
+	// JournalPath names worker gen g's local journal file. Paths must be
+	// unique per gen so a restarted worker never truncates records the
+	// coordinator may still harvest from its dead predecessor.
+	JournalPath func(gen int) string
+	// Merge receives each newly merged record exactly once, in arrival
+	// order (duplicates by (kind, key) are dropped here). Typically
+	// appends into the coordinator's checkpoint journal.
+	Merge func(journal.Record) error
+	// Fingerprint opens worker journals during Harvest.
+	Fingerprint uint64
+
+	LeaseTimeout time.Duration
+	Backoff      time.Duration
+	MaxAssign    int
+	// ReadyTimeout bounds Hello→Ready; a silent worker is killed and the
+	// slot respawned. Defaults to 4× LeaseTimeout.
+	ReadyTimeout time.Duration
+	// MaxRestarts bounds respawns per worker slot (systemic-failure
+	// brake; poison units are handled by MaxAssign, not this).
+	MaxRestarts int
+	// Now is the lease table clock; nil means time.Now.
+	Now func() time.Time
+
+	// ChaosKills SIGKILLs a seeded-random live worker that many times,
+	// spread across the run (fault-injection testing).
+	ChaosKills int
+	ChaosSeed  int64
+}
+
+// Result is the coordinator's supervision summary.
+type Result struct {
+	Counters        Counters
+	QuarantinedKeys []uint64
+	MergedRecords   uint64
+	DuplicateRecs   uint64
+	HarvestedRecs   uint64
+	WorkerRestarts  uint64
+	CorruptFrames   uint64
+	KillsInjected   uint64
+	UnitFails       uint64
+}
+
+// workerSlot is one supervised subprocess position. gen increments on
+// every (re)spawn; events from older gens are stale and dropped.
+type workerSlot struct {
+	id            int
+	gen           int
+	cmd           *exec.Cmd
+	stdin         io.WriteCloser
+	ready         bool
+	alive         bool
+	dead          bool // permanently failed (restart budget, skew)
+	busy          bool
+	unit          LeaseUnit
+	readyDeadline time.Time
+	restarts      int
+}
+
+type event struct {
+	worker, gen int
+	env         *Envelope
+	err         error // read error; io.EOF for clean close
+	exited      bool  // process reaped
+}
+
+type mergeKey struct {
+	kind journal.Kind
+	key  uint64
+}
+
+// coordinator carries one Run's state.
+type coordinator struct {
+	cfg    *Config
+	table  *Table
+	slots  []*workerSlot
+	events chan event
+	genSeq int
+	merged map[mergeKey]bool
+	paths  []string // every worker journal path ever issued
+	res    *Result
+	rng    *rand.Rand
+	// killAt holds completed-unit thresholds at which a chaos kill fires.
+	killAt []int
+}
+
+// Run farms the units to worker subprocesses and supervises them until
+// every unit is completed or quarantined. It returns ErrNoWorkers when
+// the worker fleet never materializes or collapses entirely — the caller
+// falls back in-process; everything merged (including Harvest) is kept.
+func Run(cfg *Config) (*Result, error) {
+	if cfg.Workers < 1 || len(cfg.Units) == 0 {
+		return &Result{}, ErrNoWorkers
+	}
+	if cfg.ReadyTimeout <= 0 {
+		lt := cfg.LeaseTimeout
+		if lt <= 0 {
+			lt = 10 * time.Second
+		}
+		cfg.ReadyTimeout = 4 * lt
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 5
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &coordinator{
+		cfg:    cfg,
+		table:  NewTable(cfg.Units, TableConfig{LeaseTimeout: cfg.LeaseTimeout, Backoff: cfg.Backoff, MaxAssign: cfg.MaxAssign, Now: cfg.Now}),
+		events: make(chan event, 4*cfg.Workers+16),
+		merged: map[mergeKey]bool{},
+		res:    &Result{},
+	}
+	if cfg.ChaosKills > 0 {
+		c.rng = rand.New(rand.NewSource(cfg.ChaosSeed))
+		// Spread the kills across the run: each fires once the completed
+		// count crosses its threshold.
+		for k := 0; k < cfg.ChaosKills; k++ {
+			c.killAt = append(c.killAt, 1+c.rng.Intn(maxInt(1, len(cfg.Units)-1)))
+		}
+		sort.Ints(c.killAt)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s := &workerSlot{id: i}
+		c.slots = append(c.slots, s)
+		c.spawn(s)
+	}
+	defer c.shutdownAll()
+	err := c.loop(now)
+	c.harvest()
+	c.res.Counters = c.table.Counters()
+	c.res.QuarantinedKeys = c.table.QuarantinedKeys()
+	return c.res, err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// spawn starts (or restarts) a slot's subprocess and sends its Hello.
+// Failure marks the slot dead once the restart budget is exhausted.
+func (c *coordinator) spawn(s *workerSlot) {
+	if s.dead {
+		return
+	}
+	if s.gen != 0 {
+		// Any respawn after the initial one is a restart.
+		s.restarts++
+		c.res.WorkerRestarts++
+		mWorkerRestarts.Inc()
+		if s.restarts > c.cfg.MaxRestarts {
+			obs.Warnf("shard: worker %d exceeded restart budget (%d); retiring slot", s.id, c.cfg.MaxRestarts)
+			s.dead = true
+			return
+		}
+	}
+	c.genSeq++
+	gen := c.genSeq
+	s.gen, s.ready, s.alive, s.busy = gen, false, true, false
+	s.readyDeadline = time.Now().Add(c.cfg.ReadyTimeout)
+
+	cmd := c.cfg.Command()
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err == nil {
+		var stdout io.ReadCloser
+		stdout, err = cmd.StdoutPipe()
+		if err == nil {
+			err = cmd.Start()
+			if err == nil {
+				s.cmd, s.stdin = cmd, stdin
+				go func(gen int) {
+					for {
+						env, rerr := ReadFrame(stdout)
+						if rerr != nil {
+							c.events <- event{worker: s.id, gen: gen, err: rerr}
+							return
+						}
+						c.events <- event{worker: s.id, gen: gen, env: env}
+					}
+				}(gen)
+				go func(gen int, cmd *exec.Cmd) {
+					werr := cmd.Wait()
+					c.events <- event{worker: s.id, gen: gen, exited: true, err: werr}
+				}(gen, cmd)
+
+				hello := *c.cfg.Hello
+				hello.JournalPath = c.cfg.JournalPath(gen)
+				c.paths = append(c.paths, hello.JournalPath)
+				if werr := WriteFrame(stdin, &Envelope{Kind: KindHello, Hello: &hello}); werr != nil {
+					err = werr
+				}
+			}
+		}
+	}
+	if err != nil {
+		obs.Warnf("shard: spawn worker %d (gen %d): %v", s.id, gen, err)
+		s.alive = false
+		if s.cmd != nil && s.cmd.Process != nil {
+			s.cmd.Process.Kill()
+		}
+		s.cmd, s.stdin = nil, nil
+		// Burn a restart and try again on the next tick via failSlot's
+		// respawn path — but avoid tight recursion here: mark not-alive
+		// and let the loop's tick respawn.
+	}
+}
+
+// kill SIGKILLs a slot's current process (lease cleanup happens when the
+// reader reports EOF / exit).
+func (c *coordinator) kill(s *workerSlot) {
+	if s.cmd != nil && s.cmd.Process != nil {
+		s.cmd.Process.Kill()
+	}
+}
+
+// failSlot handles a slot's process death or frame corruption: expire
+// its leases immediately and respawn.
+func (c *coordinator) failSlot(s *workerSlot, why string) {
+	if !s.alive && s.cmd == nil {
+		// Already failed (e.g. corrupt frame handled, then exit event).
+		c.spawnIfNeeded(s)
+		return
+	}
+	obs.Warnf("shard: worker %d (gen %d) failed: %s", s.id, s.gen, why)
+	c.kill(s)
+	s.alive, s.ready, s.busy = false, false, false
+	s.cmd, s.stdin = nil, nil
+	for _, ex := range c.table.FailWorker(s.id, s.gen) {
+		c.noteExpiry(ex)
+	}
+	c.spawnIfNeeded(s)
+}
+
+// spawnIfNeeded respawns a non-alive, non-dead slot while work remains.
+func (c *coordinator) spawnIfNeeded(s *workerSlot) {
+	if !s.alive && !s.dead && !c.table.Done() {
+		c.spawn(s)
+	}
+}
+
+func (c *coordinator) noteExpiry(ex Expiry) {
+	mLeasesExpired.Inc()
+	if ex.Quarantined {
+		mUnitsQuarantined.Inc()
+		obs.Warnf("shard: unit %d (key %#x) quarantined after %d failed leases — subtree degrades to Unknown", ex.Index, ex.Key, ex.Fails)
+	} else {
+		obs.Progressf("shard: unit %d lease expired (worker %d gen %d, attempt %d); reassigning with backoff", ex.Index, ex.Worker, ex.Gen, ex.Fails)
+	}
+}
+
+// assignIdle hands pending units to every idle ready worker.
+func (c *coordinator) assignIdle() {
+	for _, s := range c.slots {
+		if !s.alive || !s.ready || s.busy {
+			continue
+		}
+		u, ok := c.table.Acquire(s.id, s.gen)
+		if !ok {
+			return // nothing assignable right now
+		}
+		mLeasesIssued.Inc()
+		if err := WriteFrame(s.stdin, &Envelope{Kind: KindAssign, Assign: &Assign{Index: u.Index, Key: u.Key}}); err != nil {
+			c.failSlot(s, fmt.Sprintf("assign write: %v", err))
+			continue
+		}
+		s.busy, s.unit = true, u
+	}
+}
+
+// mergeRecords folds a batch of worker records into the coordinator's
+// journal, deduplicating by (kind, key): lease races and harvest
+// overlaps produce byte-identical records for the same key, so first
+// observation wins and the rest are counted duplicates.
+func (c *coordinator) mergeRecords(recs []journal.Record, harvested bool) {
+	for _, r := range recs {
+		k := mergeKey{r.Kind, r.Key}
+		if c.merged[k] {
+			c.res.DuplicateRecs++
+			mRecordsDuplicate.Inc()
+			continue
+		}
+		if err := c.cfg.Merge(r); err != nil {
+			obs.Warnf("shard: merge record: %v", err)
+			return
+		}
+		c.merged[k] = true
+		c.res.MergedRecords++
+		mRecordsMerged.Inc()
+		if harvested {
+			c.res.HarvestedRecs++
+			mRecordsHarvested.Inc()
+		}
+	}
+}
+
+// chaosMaybeKill fires pending chaos kills whose completed-unit
+// threshold has been crossed, choosing a seeded-random live victim.
+func (c *coordinator) chaosMaybeKill(completed int) {
+	for len(c.killAt) > 0 && completed >= c.killAt[0] {
+		c.killAt = c.killAt[1:]
+		var live []*workerSlot
+		for _, s := range c.slots {
+			if s.alive && s.cmd != nil {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		victim := live[c.rng.Intn(len(live))]
+		obs.Progressf("shard: chaos: SIGKILL worker %d (gen %d)", victim.id, victim.gen)
+		c.res.KillsInjected++
+		mKillsInjected.Inc()
+		c.kill(victim)
+		// Death is observed through the reader EOF / exit events.
+	}
+}
+
+// anyUsable reports whether any slot is alive or can still be respawned.
+func (c *coordinator) anyUsable() bool {
+	for _, s := range c.slots {
+		if !s.dead {
+			return true
+		}
+	}
+	return false
+}
+
+// loop is the supervision core: single goroutine, event-driven, with a
+// tick for lease expiry and backoff release.
+func (c *coordinator) loop(now func() time.Time) error {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	completed := 0
+	for !c.table.Done() {
+		if !c.anyUsable() {
+			return ErrNoWorkers
+		}
+		select {
+		case ev := <-c.events:
+			s := c.slots[ev.worker]
+			if ev.gen != s.gen {
+				continue // stale event from a killed generation
+			}
+			switch {
+			case ev.exited:
+				c.failSlot(s, fmt.Sprintf("process exited: %v", ev.err))
+			case ev.err == io.EOF:
+				c.failSlot(s, "stdout closed")
+			case ev.err != nil:
+				c.res.CorruptFrames++
+				mCorruptFrames.Inc()
+				c.failSlot(s, fmt.Sprintf("frame corruption: %v", ev.err))
+			default:
+				c.handleFrame(s, ev.env, &completed)
+			}
+		case <-tick.C:
+			for _, ex := range c.table.ExpireDue() {
+				c.noteExpiry(ex)
+				// The holder is presumed hung; kill it so its respawn
+				// cannot later complete the reassigned unit slowly.
+				holder := c.slots[ex.Worker]
+				if holder.alive && holder.gen == ex.Gen {
+					c.failSlot(holder, "lease expired (no progress)")
+				}
+			}
+			rnow := time.Now()
+			for _, s := range c.slots {
+				if s.alive && !s.ready && rnow.After(s.readyDeadline) {
+					c.failSlot(s, "ready timeout")
+				}
+				c.spawnIfNeeded(s)
+			}
+		}
+		c.assignIdle()
+	}
+	return nil
+}
+
+// handleFrame processes one well-formed frame from a live generation.
+func (c *coordinator) handleFrame(s *workerSlot, env *Envelope, completed *int) {
+	switch env.Kind {
+	case KindReady:
+		r := env.Ready
+		if r == nil {
+			c.failSlot(s, "empty ready frame")
+			return
+		}
+		h := c.cfg.Hello
+		if r.Fingerprint != h.Fingerprint || r.FrontierDigest != h.FrontierDigest || r.NumUnits != h.NumUnits {
+			// Version skew or nondeterminism: every verdict this worker
+			// could produce would be keyed wrong. Retire the slot — a
+			// respawn of the same binary cannot fix it.
+			obs.Warnf("shard: worker %d diverged (fp %#x/%#x, digest %#x/%#x, units %d/%d); retiring",
+				s.id, r.Fingerprint, h.Fingerprint, r.FrontierDigest, h.FrontierDigest, r.NumUnits, h.NumUnits)
+			c.kill(s)
+			s.alive, s.dead = false, true
+			return
+		}
+		s.ready = true
+	case KindProgress:
+		p := env.Progress
+		if p != nil && s.busy && p.Index == s.unit.Index {
+			c.table.Heartbeat(p.Index, s.id, s.gen, p.Paths)
+		}
+	case KindDone:
+		d := env.Done
+		if d == nil {
+			c.failSlot(s, "empty done frame")
+			return
+		}
+		s.busy = false
+		ok := c.table.Complete(d.Index, s.id, s.gen)
+		if ok {
+			mLeasesCompleted.Inc()
+			*completed++
+		} else {
+			mLeasesSuperseded.Inc()
+		}
+		// Merge either way: a superseded completion's records are
+		// byte-identical for the same keys, and merging is idempotent.
+		c.mergeRecords(d.Records, false)
+		c.chaosMaybeKill(*completed)
+	case KindFail:
+		f := env.Fail
+		if f == nil {
+			c.failSlot(s, "empty fail frame")
+			return
+		}
+		obs.Warnf("shard: worker %d reported unit %d failed: %s", s.id, f.Index, f.Msg)
+		s.busy = false
+		c.res.UnitFails++
+		for _, ex := range c.table.FailWorker(s.id, s.gen) {
+			c.noteExpiry(ex)
+		}
+	default:
+		c.failSlot(s, fmt.Sprintf("unexpected frame kind %d", env.Kind))
+	}
+}
+
+// shutdownAll tells live workers to exit, then drains the event channel
+// until every live process has been reaped (escalating to SIGKILL after
+// a grace period). Draining here also unblocks any reader goroutine
+// parked on a full channel.
+func (c *coordinator) shutdownAll() {
+	remaining := 0
+	for _, s := range c.slots {
+		if s.alive && s.cmd != nil {
+			remaining++
+		}
+		if s.alive && s.stdin != nil {
+			_ = WriteFrame(s.stdin, &Envelope{Kind: KindShutdown})
+			s.stdin.Close()
+		}
+	}
+	grace := time.After(2 * time.Second)
+	killed := false
+	for remaining > 0 {
+		select {
+		case ev := <-c.events:
+			if !ev.exited {
+				continue
+			}
+			s := c.slots[ev.worker]
+			if ev.gen == s.gen && s.alive {
+				s.alive = false
+				remaining--
+			}
+		case <-grace:
+			if killed {
+				return // second grace period blown: give up reaping
+			}
+			for _, s := range c.slots {
+				if s.alive {
+					c.kill(s)
+				}
+			}
+			killed = true
+			grace = time.After(2 * time.Second)
+		}
+	}
+}
+
+// harvest scrapes every worker journal ever issued — including those of
+// crashed generations — and merges any record not yet seen. A worker
+// that died after journaling but before its Done frame thus still
+// contributes its work; the torn tail its crash left behind is tolerated
+// by the journal loader.
+func (c *coordinator) harvest() {
+	for _, path := range c.paths {
+		recs, err := journal.ReadRecords(path, c.cfg.Fingerprint)
+		if err != nil {
+			continue // empty, torn-at-header, or never created
+		}
+		c.mergeRecords(recs, true)
+	}
+}

@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// The lease table is the coordinator's single source of truth for unit
+// state. Every issued lease resolves exactly once — completed, or
+// expired (deadline passed or the holder died) — which is what makes
+// the accounting identity
+//
+//	leases_issued == leases_completed + leases_expired
+//
+// hold at the end of every run, crashes included, and lets checkmetrics
+// verify supervision did not leak or double-resolve work. Superseded
+// counts stale completions: a Done arriving for a lease that had
+// already been expired and possibly reassigned. Such a lease was
+// resolved by its expiry, so superseded is an observability counter on
+// the side of the identity (bounded by expired), not a third resolution. A unit whose
+// leases failed MaxAssign times is quarantined: it is never assigned
+// again, its key is surfaced so the merge replay degrades that subtree
+// to Unknown (a superset — Unknown never prunes), and the rest of the
+// generation is unaffected.
+//
+// The table is not goroutine-safe; the supervision loop owns it. The
+// clock is injectable so expiry and backoff are testable without real
+// sleeps.
+
+// UnitState is a unit's lifecycle position.
+type UnitState int
+
+// Unit lifecycle. Pending units may carry a backoff gate (notBefore)
+// after a failed lease.
+const (
+	UnitPending UnitState = iota
+	UnitLeased
+	UnitCompleted
+	UnitQuarantined
+)
+
+// LeaseUnit is the coordinator-side description of one work unit.
+type LeaseUnit struct {
+	Index int
+	Key   uint64
+}
+
+// Expiry describes one lease the table just expired, so the supervisor
+// can kill the holder and log the reassignment.
+type Expiry struct {
+	Index       int
+	Key         uint64
+	Worker, Gen int
+	// Quarantined reports the expiry pushed the unit over MaxAssign.
+	Quarantined bool
+	// Fails is the unit's failed-lease count after this expiry.
+	Fails int
+}
+
+// Counters are the table's supervision totals.
+type Counters struct {
+	Issued    uint64
+	Completed uint64
+	Expired   uint64
+	// Superseded counts stale completions of already-expired leases
+	// (bounded by Expired; not part of the issued = completed + expired
+	// identity).
+	Superseded uint64
+	// Reassigned counts issues of units that had failed at least once
+	// (a subset of Issued).
+	Reassigned  uint64
+	Quarantined uint64
+}
+
+type leaseEntry struct {
+	unit         LeaseUnit
+	state        UnitState
+	worker, gen  int
+	deadline     time.Time
+	lastProgress uint64
+	fails        int
+	notBefore    time.Time
+}
+
+// TableConfig parameterizes a lease table.
+type TableConfig struct {
+	// LeaseTimeout is the progress deadline: a leased unit whose holder
+	// has not advanced within it is expired.
+	LeaseTimeout time.Duration
+	// Backoff is the base reassignment delay; attempt k of a failed unit
+	// waits Backoff << (k-1).
+	Backoff time.Duration
+	// MaxAssign is K: failed leases before quarantine.
+	MaxAssign int
+	// Now is the clock; nil means time.Now. Injected by tests.
+	Now func() time.Time
+}
+
+// Table tracks every unit's lease state.
+type Table struct {
+	cfg   TableConfig
+	units []leaseEntry
+	byIdx map[int]*leaseEntry
+	ctr   Counters
+	open  int // units not yet completed/quarantined
+}
+
+// NewTable builds a lease table over the units.
+func NewTable(units []LeaseUnit, cfg TableConfig) *Table {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 10 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = cfg.LeaseTimeout / 8
+	}
+	if cfg.MaxAssign <= 0 {
+		cfg.MaxAssign = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	t := &Table{cfg: cfg, units: make([]leaseEntry, len(units)), byIdx: make(map[int]*leaseEntry, len(units)), open: len(units)}
+	for i, u := range units {
+		t.units[i] = leaseEntry{unit: u, state: UnitPending}
+	}
+	for i := range t.units {
+		t.byIdx[t.units[i].unit.Index] = &t.units[i]
+	}
+	return t
+}
+
+// Acquire leases the lowest-index assignable unit to (worker, gen).
+// ok=false means nothing is assignable right now — either all units are
+// resolved or every pending unit is inside its backoff window.
+func (t *Table) Acquire(worker, gen int) (LeaseUnit, bool) {
+	now := t.cfg.Now()
+	for i := range t.units {
+		e := &t.units[i]
+		if e.state != UnitPending || now.Before(e.notBefore) {
+			continue
+		}
+		e.state = UnitLeased
+		e.worker, e.gen = worker, gen
+		e.deadline = now.Add(t.cfg.LeaseTimeout)
+		e.lastProgress = 0
+		t.ctr.Issued++
+		if e.fails > 0 {
+			t.ctr.Reassigned++
+		}
+		return e.unit, true
+	}
+	return LeaseUnit{}, false
+}
+
+// Heartbeat records unit progress from a lease holder. The deadline
+// extends only when progress strictly advances: a heartbeat that repeats
+// the same count is a liveness signal from a possibly-wedged worker and
+// deliberately does not keep the lease alive. Stale holders (wrong
+// worker/gen) are ignored.
+func (t *Table) Heartbeat(index, worker, gen int, progress uint64) {
+	e := t.byIdx[index]
+	if e == nil || e.state != UnitLeased || e.worker != worker || e.gen != gen {
+		return
+	}
+	if progress > e.lastProgress {
+		e.lastProgress = progress
+		e.deadline = t.cfg.Now().Add(t.cfg.LeaseTimeout)
+	}
+}
+
+// Complete resolves a lease as completed. ok=false means the completion
+// was stale — the lease had already expired and possibly been reassigned
+// — and is counted superseded; the caller may still merge the records
+// (merging is idempotent) but must not re-assign anything.
+func (t *Table) Complete(index, worker, gen int) bool {
+	e := t.byIdx[index]
+	if e == nil {
+		return false
+	}
+	if e.state == UnitLeased && e.worker == worker && e.gen == gen {
+		e.state = UnitCompleted
+		t.ctr.Completed++
+		t.open--
+		return true
+	}
+	t.ctr.Superseded++
+	return false // stale: counted, not honored
+}
+
+// expireEntry transitions one leased unit back to pending (or to
+// quarantine) and returns the expiry description.
+func (t *Table) expireEntry(e *leaseEntry, now time.Time) Expiry {
+	e.fails++
+	ex := Expiry{Index: e.unit.Index, Key: e.unit.Key, Worker: e.worker, Gen: e.gen, Fails: e.fails}
+	t.ctr.Expired++
+	if e.fails >= t.cfg.MaxAssign {
+		e.state = UnitQuarantined
+		t.ctr.Quarantined++
+		t.open--
+		ex.Quarantined = true
+		return ex
+	}
+	e.state = UnitPending
+	e.notBefore = now.Add(t.cfg.Backoff << (e.fails - 1))
+	return ex
+}
+
+// ExpireDue expires every leased unit whose progress deadline has
+// passed.
+func (t *Table) ExpireDue() []Expiry {
+	now := t.cfg.Now()
+	var out []Expiry
+	for i := range t.units {
+		e := &t.units[i]
+		if e.state == UnitLeased && now.After(e.deadline) {
+			out = append(out, t.expireEntry(e, now))
+		}
+	}
+	return out
+}
+
+// FailWorker immediately expires every lease held by (worker, gen) —
+// the supervisor calls it the moment a worker's pipe closes or its frame
+// stream corrupts, without waiting for deadlines.
+func (t *Table) FailWorker(worker, gen int) []Expiry {
+	now := t.cfg.Now()
+	var out []Expiry
+	for i := range t.units {
+		e := &t.units[i]
+		if e.state == UnitLeased && e.worker == worker && e.gen == gen {
+			out = append(out, t.expireEntry(e, now))
+		}
+	}
+	return out
+}
+
+// Done reports whether every unit is resolved (completed or
+// quarantined).
+func (t *Table) Done() bool { return t.open == 0 }
+
+// NextWake returns the earliest instant at which ExpireDue or Acquire
+// could make progress (zero time when nothing is leased or backing
+// off). The supervision loop uses it to size its tick.
+func (t *Table) NextWake() time.Time {
+	var wake time.Time
+	consider := func(ts time.Time) {
+		if ts.IsZero() {
+			return
+		}
+		if wake.IsZero() || ts.Before(wake) {
+			wake = ts
+		}
+	}
+	for i := range t.units {
+		e := &t.units[i]
+		switch e.state {
+		case UnitLeased:
+			consider(e.deadline)
+		case UnitPending:
+			consider(e.notBefore)
+		}
+	}
+	return wake
+}
+
+// QuarantinedKeys returns the content keys of quarantined units, sorted.
+func (t *Table) QuarantinedKeys() []uint64 {
+	var out []uint64
+	for i := range t.units {
+		if t.units[i].state == UnitQuarantined {
+			out = append(out, t.units[i].unit.Key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counters returns the supervision totals so far.
+func (t *Table) Counters() Counters { return t.ctr }
+
+// State returns a unit's current state (testing hook).
+func (t *Table) State(index int) UnitState {
+	if e := t.byIdx[index]; e != nil {
+		return e.state
+	}
+	return UnitPending
+}

@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock; tests advance it explicitly so lease
+// expiry and backoff are exercised without real sleeps.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestTable(n int, clk *fakeClock) *Table {
+	units := make([]LeaseUnit, n)
+	for i := range units {
+		units[i] = LeaseUnit{Index: i, Key: uint64(100 + i)}
+	}
+	return NewTable(units, TableConfig{
+		LeaseTimeout: 10 * time.Second,
+		Backoff:      time.Second,
+		MaxAssign:    3,
+		Now:          clk.Now,
+	})
+}
+
+func checkIdentity(t *testing.T, tab *Table) {
+	t.Helper()
+	c := tab.Counters()
+	if c.Issued != c.Completed+c.Expired {
+		t.Fatalf("lease identity broken: issued %d != completed %d + expired %d", c.Issued, c.Completed, c.Expired)
+	}
+	if c.Superseded > c.Expired {
+		t.Fatalf("superseded %d > expired %d", c.Superseded, c.Expired)
+	}
+	if c.Reassigned > c.Issued {
+		t.Fatalf("reassigned %d > issued %d", c.Reassigned, c.Issued)
+	}
+}
+
+func TestLeaseAcquireCompleteIdentity(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(3, clk)
+	for i := 0; i < 3; i++ {
+		u, ok := tab.Acquire(0, 1)
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		if u.Index != i {
+			t.Fatalf("expected lowest-index assignment, got %d want %d", u.Index, i)
+		}
+		if !tab.Complete(u.Index, 0, 1) {
+			t.Fatalf("complete %d rejected", i)
+		}
+	}
+	if !tab.Done() {
+		t.Fatal("table not done after completing every unit")
+	}
+	if _, ok := tab.Acquire(0, 1); ok {
+		t.Fatal("acquire succeeded on a done table")
+	}
+	c := tab.Counters()
+	if c.Issued != 3 || c.Completed != 3 || c.Expired != 0 || c.Superseded != 0 || c.Quarantined != 0 {
+		t.Fatalf("unexpected counters: %+v", c)
+	}
+	checkIdentity(t, tab)
+}
+
+func TestLeaseExpiryAndBackoffReassignment(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(1, clk)
+	u, ok := tab.Acquire(0, 1)
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+
+	// Deadline not yet passed: nothing expires.
+	clk.advance(10 * time.Second)
+	if ex := tab.ExpireDue(); len(ex) != 0 {
+		t.Fatalf("expired before deadline: %+v", ex)
+	}
+	clk.advance(time.Millisecond)
+	ex := tab.ExpireDue()
+	if len(ex) != 1 || ex[0].Index != u.Index || ex[0].Worker != 0 || ex[0].Gen != 1 {
+		t.Fatalf("expected one expiry of the lease, got %+v", ex)
+	}
+	if ex[0].Quarantined || ex[0].Fails != 1 {
+		t.Fatalf("first failure should not quarantine: %+v", ex[0])
+	}
+
+	// The unit is pending but gated by backoff: not assignable yet.
+	if _, ok := tab.Acquire(1, 1); ok {
+		t.Fatal("acquire succeeded inside the backoff window")
+	}
+	clk.advance(time.Second + time.Millisecond) // Backoff << 0
+	u2, ok := tab.Acquire(1, 1)
+	if !ok || u2.Index != u.Index {
+		t.Fatalf("reassignment after backoff failed: ok=%v unit=%+v", ok, u2)
+	}
+	c := tab.Counters()
+	if c.Reassigned != 1 {
+		t.Fatalf("reassigned = %d, want 1", c.Reassigned)
+	}
+	if !tab.Complete(u2.Index, 1, 1) {
+		t.Fatal("completion by new holder rejected")
+	}
+	checkIdentity(t, tab)
+}
+
+func TestHeartbeatExtendsOnlyOnProgress(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(1, clk)
+	u, _ := tab.Acquire(0, 1)
+
+	// Progress advances: deadline extends from "now".
+	clk.advance(6 * time.Second)
+	tab.Heartbeat(u.Index, 0, 1, 5)
+	clk.advance(6 * time.Second) // 12s after acquire, 6s after progress
+	if ex := tab.ExpireDue(); len(ex) != 0 {
+		t.Fatalf("lease expired despite recent progress: %+v", ex)
+	}
+
+	// Heartbeats repeating the same count are liveness-only; a wedged
+	// worker must still expire.
+	clk.advance(5 * time.Second)
+	tab.Heartbeat(u.Index, 0, 1, 5)
+	clk.advance(5 * time.Second)
+	tab.Heartbeat(u.Index, 0, 1, 5)
+	clk.advance(time.Millisecond)
+	ex := tab.ExpireDue()
+	if len(ex) != 1 {
+		t.Fatalf("stalled lease did not expire: %+v", ex)
+	}
+	checkIdentity(t, tab)
+}
+
+func TestHeartbeatFromStaleHolderIgnored(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(1, clk)
+	u, _ := tab.Acquire(0, 1)
+	clk.advance(9 * time.Second)
+	// Wrong worker, then wrong generation: neither extends the lease.
+	tab.Heartbeat(u.Index, 1, 1, 50)
+	tab.Heartbeat(u.Index, 0, 2, 50)
+	clk.advance(time.Second + time.Millisecond)
+	if ex := tab.ExpireDue(); len(ex) != 1 {
+		t.Fatalf("stale heartbeats kept the lease alive: %+v", ex)
+	}
+}
+
+func TestStaleCompletionSuperseded(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(1, clk)
+	u, _ := tab.Acquire(0, 1)
+	clk.advance(10*time.Second + time.Millisecond)
+	if ex := tab.ExpireDue(); len(ex) != 1 {
+		t.Fatal("setup: lease did not expire")
+	}
+	clk.advance(2 * time.Second)
+	u2, ok := tab.Acquire(1, 2)
+	if !ok {
+		t.Fatal("setup: reassignment failed")
+	}
+
+	// The dead holder's Done finally arrives: stale, counted superseded,
+	// and must not resolve the unit out from under the new holder.
+	if tab.Complete(u.Index, 0, 1) {
+		t.Fatal("stale completion was honored")
+	}
+	if tab.Done() {
+		t.Fatal("stale completion resolved the unit")
+	}
+	if got := tab.Counters().Superseded; got != 1 {
+		t.Fatalf("superseded = %d, want 1", got)
+	}
+	if !tab.Complete(u2.Index, 1, 2) {
+		t.Fatal("live holder's completion rejected")
+	}
+	if !tab.Done() {
+		t.Fatal("table not done")
+	}
+	checkIdentity(t, tab)
+}
+
+func TestQuarantineAfterMaxAssign(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(2, clk)
+
+	// Fail unit 0 three times (MaxAssign); backoff doubles each retry.
+	for attempt := 1; attempt <= 3; attempt++ {
+		u, ok := tab.Acquire(0, attempt)
+		if !ok || u.Index != 0 {
+			t.Fatalf("attempt %d: acquire ok=%v unit=%+v", attempt, ok, u)
+		}
+		clk.advance(10*time.Second + time.Millisecond)
+		ex := tab.ExpireDue()
+		if len(ex) != 1 || ex[0].Fails != attempt {
+			t.Fatalf("attempt %d: expiries %+v", attempt, ex)
+		}
+		wantQuarantine := attempt == 3
+		if ex[0].Quarantined != wantQuarantine {
+			t.Fatalf("attempt %d: quarantined=%v want %v", attempt, ex[0].Quarantined, wantQuarantine)
+		}
+		// Wait out the backoff (Backoff << (fails-1)) before retrying.
+		clk.advance(time.Second<<uint(attempt-1) + time.Millisecond)
+	}
+	if got := tab.State(0); got != UnitQuarantined {
+		t.Fatalf("unit 0 state = %v, want quarantined", got)
+	}
+	if keys := tab.QuarantinedKeys(); len(keys) != 1 || keys[0] != 100 {
+		t.Fatalf("quarantined keys = %v, want [100]", keys)
+	}
+
+	// The quarantined unit is never assigned again; the healthy unit is.
+	u, ok := tab.Acquire(1, 1)
+	if !ok || u.Index != 1 {
+		t.Fatalf("healthy unit not assignable after quarantine: ok=%v unit=%+v", ok, u)
+	}
+	if !tab.Complete(1, 1, 1) {
+		t.Fatal("healthy completion rejected")
+	}
+	if !tab.Done() {
+		t.Fatal("table not done with 1 completed + 1 quarantined")
+	}
+	c := tab.Counters()
+	if c.Quarantined != 1 || c.Expired != 3 || c.Completed != 1 || c.Issued != 4 {
+		t.Fatalf("unexpected counters: %+v", c)
+	}
+	checkIdentity(t, tab)
+}
+
+func TestFailWorkerExpiresOnlyItsLeases(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(2, clk)
+	u0, _ := tab.Acquire(0, 1)
+	u1, _ := tab.Acquire(1, 7)
+
+	ex := tab.FailWorker(0, 1)
+	if len(ex) != 1 || ex[0].Index != u0.Index {
+		t.Fatalf("FailWorker(0,1) expiries = %+v", ex)
+	}
+	if got := tab.State(u1.Index); got != UnitLeased {
+		t.Fatalf("other worker's lease disturbed: state %v", got)
+	}
+	// Same worker slot, new generation: the old gen's failure is spent.
+	if ex := tab.FailWorker(0, 1); len(ex) != 0 {
+		t.Fatalf("second FailWorker expired again: %+v", ex)
+	}
+	if !tab.Complete(u1.Index, 1, 7) {
+		t.Fatal("surviving worker's completion rejected")
+	}
+	checkIdentity(t, tab)
+}
+
+func TestNextWakeTracksDeadlinesAndBackoff(t *testing.T) {
+	clk := newFakeClock()
+	tab := newTestTable(2, clk)
+	if !tab.NextWake().IsZero() {
+		t.Fatal("NextWake non-zero with nothing leased or backing off")
+	}
+	u, _ := tab.Acquire(0, 1)
+	wantDeadline := clk.Now().Add(10 * time.Second)
+	if got := tab.NextWake(); !got.Equal(wantDeadline) {
+		t.Fatalf("NextWake = %v, want lease deadline %v", got, wantDeadline)
+	}
+
+	clk.advance(10*time.Second + time.Millisecond)
+	tab.ExpireDue()
+	wantBackoff := clk.Now().Add(time.Second)
+	got := tab.NextWake()
+	if got.IsZero() || got.After(wantBackoff) {
+		t.Fatalf("NextWake = %v, want <= backoff gate %v", got, wantBackoff)
+	}
+	_ = u
+}

@@ -1,0 +1,20 @@
+package shard
+
+import "repro/internal/obs"
+
+// Registry handles for shard supervision. Each is bumped at the same
+// site as the corresponding Result/Counters field, so the process-wide
+// registry and the per-run report count the same events.
+var (
+	mLeasesIssued     = obs.GetCounter("shard.leases_issued")
+	mLeasesCompleted  = obs.GetCounter("shard.leases_completed")
+	mLeasesExpired    = obs.GetCounter("shard.leases_expired")
+	mLeasesSuperseded = obs.GetCounter("shard.leases_superseded")
+	mUnitsQuarantined = obs.GetCounter("shard.units_quarantined")
+	mWorkerRestarts   = obs.GetCounter("shard.worker_restarts")
+	mCorruptFrames    = obs.GetCounter("shard.corrupt_frames")
+	mRecordsMerged    = obs.GetCounter("shard.records_merged")
+	mRecordsDuplicate = obs.GetCounter("shard.records_duplicate")
+	mRecordsHarvested = obs.GetCounter("shard.records_harvested")
+	mKillsInjected    = obs.GetCounter("shard.kills_injected")
+)

@@ -1,0 +1,221 @@
+// Package shard implements fault-tolerant multi-process exploration: a
+// coordinator that splits a generation's frontier into leased work units
+// and farms them to worker subprocesses, surviving worker crashes,
+// hangs, and corrupt frames without losing or corrupting verdicts.
+//
+// The design leans entirely on determinism and content addressing. The
+// coordinator never serializes solver state: it ships the *inputs* — the
+// printed program, rules, and specs plus the verdict-affecting options —
+// and each worker independently rebuilds the system, recomputes the
+// frontier, and cross-checks both a fingerprint and a frontier digest
+// before any unit is assigned. Verdicts are journaled under content-
+// based path keys (internal/journal), so a record produced by any worker
+// for any unit merges into the coordinator's journal as if the
+// coordinator had derived it itself; duplicate completions from lease
+// races are idempotent by construction.
+//
+// Wire framing reuses the journal's length-prefixed CRC discipline:
+//
+//	[u32 LE payload length][payload][u32 LE CRC32C(payload)]
+//
+// with a gob-encoded Envelope as the payload, a fresh codec per frame so
+// one corrupt frame cannot poison decoder state for its successors. A
+// short read, bad checksum, or undecodable payload surfaces as
+// ErrCorruptFrame — the supervisor treats it exactly like a crash of the
+// sending worker.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/journal"
+)
+
+// ErrCorruptFrame reports a torn, checksum-failing, or undecodable
+// protocol frame. The peer that produced it is considered failed.
+var ErrCorruptFrame = errors.New("shard: corrupt protocol frame")
+
+// maxFrameLen bounds a single frame; a length prefix beyond it is
+// treated as corruption rather than honored with a giant allocation.
+const maxFrameLen = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameKind discriminates protocol messages.
+type FrameKind byte
+
+// Protocol frames. The coordinator sends Hello, Assign, and Shutdown;
+// the worker replies with Ready, Progress, Done, and Fail.
+const (
+	KindHello FrameKind = iota + 1
+	KindReady
+	KindAssign
+	KindProgress
+	KindDone
+	KindFail
+	KindShutdown
+)
+
+// WireOptions carries the verdict-affecting generation options to the
+// worker, plus the supervision knobs the worker needs. Everything here
+// enters the fingerprint on both sides (or is verdict-neutral), so a
+// worker that decodes a Hello and rebuilds the system either matches the
+// coordinator exactly or is rejected before assignment.
+type WireOptions struct {
+	CodeSummary        bool
+	UsePreconditions   bool
+	EarlyTermination   bool
+	IncrementalSolving bool
+	Strict             bool
+	SolverSearchBudget int
+	// SolverCheckTimeoutNS / SolverOverheadNS are durations in
+	// nanoseconds (gob has no time.Duration affordance worth the risk).
+	SolverCheckTimeoutNS int64
+	SolverOverheadNS     int64
+	// FrontierWidth is the SplitFrontier width; coordinator and worker
+	// must split with the same width or their unit lists diverge.
+	FrontierWidth int
+	// HeartbeatNS is the minimum interval between Progress frames.
+	HeartbeatNS int64
+	// PathSleepNS injects a per-path delay in the worker (test knob: it
+	// stretches generations enough to SIGKILL them mid-unit).
+	PathSleepNS int64
+	// PoisonUnit, when > 0, makes any worker assigned the unit at index
+	// PoisonUnit-1 exit immediately without replying — a deterministic
+	// permanently-crashing unit (test knob for the quarantine path).
+	PoisonUnit int
+}
+
+// Hello is the coordinator's opening frame: everything a worker needs to
+// rebuild the system and verify it is exploring the same tree.
+type Hello struct {
+	// Fingerprint is the coordinator's checkpoint fingerprint (program +
+	// rules + assumes + verdict-affecting options).
+	Fingerprint uint64
+	// FrontierDigest folds every unit key in order; NumUnits is the unit
+	// count. The worker must reproduce both.
+	FrontierDigest uint64
+	NumUnits       int
+	// Program, Rules, and Specs are the parseable printed forms.
+	Program string
+	Rules   string
+	Specs   string
+	// JournalPath is where the worker journals its verdicts locally
+	// (unique per spawn generation, so a restart never clobbers records
+	// the coordinator may still harvest from the dead predecessor).
+	JournalPath string
+	Opts        WireOptions
+}
+
+// Ready is the worker's response to Hello, carrying what it computed so
+// the coordinator can verify instead of trust.
+type Ready struct {
+	Fingerprint    uint64
+	FrontierDigest uint64
+	NumUnits       int
+}
+
+// Assign leases one unit to the worker.
+type Assign struct {
+	Index int
+	Key   uint64
+}
+
+// Progress is the worker's heartbeat for its current unit. Paths is
+// cumulative within the unit; the lease deadline extends only when it
+// advances, so a worker wedged inside one solver query (no completed
+// paths) is indistinguishable from a hang — by design.
+type Progress struct {
+	Index int
+	Paths uint64
+}
+
+// Done reports a completed unit together with every journal record the
+// unit appended, in append order. Records use content-based keys, so the
+// coordinator merges them idempotently (last wins, duplicates skipped).
+type Done struct {
+	Index     int
+	Key       uint64
+	Paths     uint64
+	Templates uint64
+	Records   []journal.Record
+}
+
+// Fail reports a unit that errored inside the worker without killing it
+// (e.g. a prefix-replay panic). The coordinator treats it as a lease
+// failure for that unit; the worker stays eligible for other units.
+type Fail struct {
+	Index int
+	Key   uint64
+	Msg   string
+}
+
+// Envelope is the gob payload of one frame; exactly one pointer field is
+// set, matching Kind.
+type Envelope struct {
+	Kind     FrameKind
+	Hello    *Hello    `json:",omitempty"`
+	Ready    *Ready    `json:",omitempty"`
+	Assign   *Assign   `json:",omitempty"`
+	Progress *Progress `json:",omitempty"`
+	Done     *Done     `json:",omitempty"`
+	Fail     *Fail     `json:",omitempty"`
+}
+
+// WriteFrame encodes and frames one envelope. Not safe for concurrent
+// writers; callers serialize (the worker is single-threaded and the
+// coordinator writes to each worker only from the supervision loop).
+func WriteFrame(w io.Writer, env *Envelope) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(env); err != nil {
+		return fmt.Errorf("shard: encode frame: %w", err)
+	}
+	buf := make([]byte, 0, 8+payload.Len())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("shard: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame. io.EOF is returned only for a clean EOF at
+// a frame boundary; anything torn, oversized, checksum-failing, or
+// undecodable is ErrCorruptFrame.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrCorruptFrame
+	}
+	plen := binary.LittleEndian.Uint32(lenBuf[:])
+	if plen == 0 || plen > maxFrameLen {
+		return nil, ErrCorruptFrame
+	}
+	buf := make([]byte, int(plen)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, ErrCorruptFrame
+	}
+	payload := buf[:plen]
+	want := binary.LittleEndian.Uint32(buf[plen:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, ErrCorruptFrame
+	}
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, ErrCorruptFrame
+	}
+	if env.Kind == 0 {
+		return nil, ErrCorruptFrame
+	}
+	return &env, nil
+}

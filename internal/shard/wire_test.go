@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func roundTrip(t *testing.T, env *Envelope) *Envelope {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return got
+}
+
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	envs := []*Envelope{
+		{Kind: KindHello, Hello: &Hello{
+			Fingerprint:    0xdeadbeef,
+			FrontierDigest: 42,
+			NumUnits:       7,
+			Program:        "header h { bit<8> x; }",
+			Rules:          "table t { }",
+			Specs:          "spec s { }",
+			JournalPath:    "/tmp/worker.journal",
+			Opts:           WireOptions{EarlyTermination: true, FrontierWidth: 8, HeartbeatNS: 1e6},
+		}},
+		{Kind: KindReady, Ready: &Ready{Fingerprint: 1, FrontierDigest: 2, NumUnits: 3}},
+		{Kind: KindAssign, Assign: &Assign{Index: 4, Key: 99}},
+		{Kind: KindProgress, Progress: &Progress{Index: 4, Paths: 1000}},
+		{Kind: KindDone, Done: &Done{
+			Index: 4, Key: 99, Paths: 12, Templates: 3,
+			Records: []journal.Record{{Key: 7, Verdict: 1}},
+		}},
+		{Kind: KindFail, Fail: &Fail{Index: 4, Key: 99, Msg: "replay panic"}},
+		{Kind: KindShutdown},
+	}
+	for _, env := range envs {
+		got := roundTrip(t, env)
+		if got.Kind != env.Kind {
+			t.Fatalf("kind %d round-tripped as %d", env.Kind, got.Kind)
+		}
+		switch env.Kind {
+		case KindHello:
+			if got.Hello == nil || *got.Hello != *env.Hello {
+				t.Fatalf("hello mismatch: %+v vs %+v", got.Hello, env.Hello)
+			}
+		case KindDone:
+			if got.Done == nil || got.Done.Key != 99 || len(got.Done.Records) != 1 || got.Done.Records[0].Key != 7 {
+				t.Fatalf("done mismatch: %+v", got.Done)
+			}
+		case KindFail:
+			if got.Fail == nil || got.Fail.Msg != "replay panic" {
+				t.Fatalf("fail mismatch: %+v", got.Fail)
+			}
+		}
+	}
+}
+
+func TestFrameSequenceAndCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, &Envelope{Kind: KindAssign, Assign: &Assign{Index: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		env, err := ReadFrame(&buf)
+		if err != nil || env.Assign.Index != i {
+			t.Fatalf("frame %d: env=%+v err=%v", i, env, err)
+		}
+	}
+	// EOF exactly at a frame boundary is a clean shutdown, not corruption.
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected io.EOF at boundary, got %v", err)
+	}
+}
+
+func TestFrameCorruptCRC(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Envelope{Kind: KindProgress, Progress: &Progress{Index: 1, Paths: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[5] ^= 0xff // flip a payload byte; CRC no longer matches
+	if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("expected ErrCorruptFrame, got %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Envelope{Kind: KindShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Any torn prefix (short length header, short payload, short CRC) is
+	// corruption, never silent EOF.
+	for cut := 1; cut < len(whole); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(whole[:cut])); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("cut at %d: expected ErrCorruptFrame, got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameOversizeLengthRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrameLen+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("expected ErrCorruptFrame for oversize length, got %v", err)
+	}
+	// Zero-length payloads are likewise invalid.
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("expected ErrCorruptFrame for zero length, got %v", err)
+	}
+}
+
+func TestFrameUndecodablePayloadRejected(t *testing.T) {
+	payload := []byte{0x01, 0x02, 0x03, 0x04}
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	buf.Write(crc[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("expected ErrCorruptFrame for undecodable payload, got %v", err)
+	}
+}

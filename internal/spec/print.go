@@ -1,0 +1,56 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/p4"
+)
+
+// Printing is the inverse of Parse: String renders a spec in the exact
+// line-oriented surface syntax the parser reads, so specs round-trip
+// through text. The shard coordinator ships intents to worker
+// subprocesses this way — the worker re-parses and must arrive at the
+// same constraints (and therefore the same exploration fingerprint) as
+// the coordinator.
+
+// String renders the spec in parseable form.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec %s {\n", s.Name)
+	for _, a := range s.Assumes {
+		fmt.Fprintf(&b, "  assume %s;\n", p4.ExprString(a))
+	}
+	for _, e := range s.Expects {
+		fmt.Fprintf(&b, "  expect %s;\n", expectString(e))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func expectString(e Expectation) string {
+	switch e.Kind {
+	case ExpectForwarded:
+		return "forwarded"
+	case ExpectDropped:
+		return "dropped"
+	case ExpectValid:
+		return fmt.Sprintf("valid(%s)", e.Header)
+	case ExpectInvalid:
+		return fmt.Sprintf("invalid(%s)", e.Header)
+	default:
+		return p4.ExprString(e.Cond)
+	}
+}
+
+// Print renders a spec list as one parseable document.
+func Print(specs []*Spec) string {
+	var b strings.Builder
+	for i, s := range specs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}

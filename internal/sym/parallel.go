@@ -51,9 +51,11 @@ type sharedState struct {
 	maxPaths uint64
 	deadline time.Time
 	// recovered counts per-path panic recoveries across all workers;
-	// jhits counts journal-answered solver interactions.
+	// jhits counts journal-answered solver interactions; degraded counts
+	// templates emitted inside quarantined subtrees.
 	recovered atomic.Uint64
 	jhits     atomic.Uint64
+	degraded  atomic.Uint64
 }
 
 // task is one pending branch of the DFS frontier: everything needed to
@@ -76,6 +78,10 @@ type task struct {
 	// deps snapshots the prefix's rule-dependency tag counts, seeding the
 	// worker's dependency stack.
 	deps map[string]int
+	// degraded snapshots the splitter's quarantine nesting depth at the
+	// split point, so a task spilled inside a quarantined subtree keeps
+	// answering Unknown (Options.Quarantined) in its claiming worker.
+	degraded int
 	// created is when the splitter enqueued the task; the gap until a
 	// worker claims it feeds the sym.task_queue_wait_ns histogram.
 	created time.Time
@@ -133,6 +139,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, seed
 			obligations: append([]HashObligation(nil), splitter.obligations...),
 			hash:        splitter.curHash(),
 			deps:        deps,
+			degraded:    splitter.degraded,
 			created:     time.Now(),
 		})
 		mFrontierTasks.Add(1)
@@ -186,6 +193,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, seed
 					visits:      visits, // deadline ticks span tasks
 					hashes:      []uint64{t.hash},
 					deps:        t.deps,
+					degraded:    t.degraded,
 					journaling:  journaling,
 				}
 				// The solver is worker-local and tasks run one at a time, so
@@ -259,6 +267,7 @@ func exploreParallel(c Config, opts Options, start cfg.NodeID, workers int, seed
 	res.Truncated = shared.halted.Load()
 	res.Recovered = shared.recovered.Load()
 	res.JournalHits = shared.jhits.Load()
+	res.Degraded = shared.degraded.Load()
 	for _, pe := range splitter.res.PathErrors {
 		if len(res.PathErrors) < maxPathErrors {
 			res.PathErrors = append(res.PathErrors, pe)

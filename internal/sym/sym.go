@@ -158,6 +158,17 @@ type Options struct {
 	// and templates are identical either way; this knob exists for the
 	// differential tests and ablations that prove it.
 	NoSiblingBatch bool
+	// Quarantined marks subtree roots (by the content-based path key of
+	// the prefix ending at the root — Unit.Key) whose exploration is
+	// degraded: inside a quarantined subtree every solver interaction is
+	// answered Unknown without consulting the solver, the journal, or the
+	// sibling batcher, and nothing is journaled. The sharded coordinator
+	// sets this for poison units that crashed K consecutive workers, so
+	// the merge replay keeps full coverage of the subtree (Unknown never
+	// prunes — the templates are a superset, marked Uncertain) while
+	// guaranteeing the replay cannot hang or crash on whatever input
+	// killed the workers. Nil in every non-degraded run.
+	Quarantined map[uint64]bool
 	// NoValidation emits templates without consulting the solver at all:
 	// statically-infeasible prefixes are still pruned by constant
 	// folding, but solver-dependent invalid paths are kept. The result is
@@ -217,6 +228,10 @@ type Result struct {
 	// journal instead of the solver — the work a resumed run did NOT
 	// redo.
 	JournalHits uint64
+	// Degraded counts templates emitted inside quarantined subtrees
+	// (Options.Quarantined): paths kept with an Unknown verdict because
+	// their subtree was poisoned, not because the solver was undecided.
+	Degraded uint64
 }
 
 // Explore runs Algorithm 1 over the CFG. With Options.Parallelism != 1 it
@@ -324,6 +339,11 @@ type executor struct {
 	// tagIDs memoizes smt.TagID per dependency tag for verdict-cache
 	// tagging.
 	tagIDs map[string]uint64
+	// degraded counts how many quarantined subtree roots enclose the
+	// current prefix; while positive, every solver interaction is answered
+	// Unknown without touching the solver or journal (see
+	// Options.Quarantined).
+	degraded int
 	// pending hands a branch verdict precomputed by the parent's sibling
 	// batch down to the child's dfs frame; it is set immediately before
 	// each e.dfs(succ) call and consumed (and cleared) at frame entry.
@@ -494,6 +514,16 @@ func (e *executor) countPath() {
 	}
 }
 
+// countDegraded registers one template emitted inside a quarantined
+// subtree (kept with an Unknown verdict instead of a solver decision).
+func (e *executor) countDegraded() {
+	e.res.Degraded++
+	mPathsDegraded.Inc()
+	if e.shared != nil {
+		e.shared.degraded.Add(1)
+	}
+}
+
 // countPruned registers one early-terminated prefix.
 func (e *executor) countPruned() {
 	e.res.PrunedPaths++
@@ -576,7 +606,14 @@ func (e *executor) dfs(id cfg.NodeID) {
 		// The stop node is not on e.path, so fold it into the emit key
 		// here: distinct stop nodes reached from one prefix must not
 		// share a journal record.
-		e.emit(hashMix(e.curHash(), e.g.ContentHash(id)))
+		key := hashMix(e.curHash(), e.g.ContentHash(id))
+		if e.opts.Quarantined != nil && e.opts.Quarantined[key] {
+			e.degraded++
+			e.emit(key)
+			e.degraded--
+			return
+		}
+		e.emit(key)
 		return
 	}
 	n := e.g.Node(id)
@@ -595,6 +632,12 @@ func (e *executor) dfs(id cfg.NodeID) {
 			}
 		}
 	}()
+	if e.opts.Quarantined != nil && e.opts.Quarantined[e.curHash()] {
+		// Entering a quarantined subtree: from here down (including this
+		// node's own feasibility check) everything degrades to Unknown.
+		e.degraded++
+		defer func() { e.degraded-- }()
+	}
 
 	switch n.Kind {
 	case cfg.Predicate:
@@ -697,7 +740,7 @@ func (e *executor) dfs(id cfg.NodeID) {
 // query counts identical.
 func (e *executor) canBatchSiblings() bool {
 	return e.opts.EarlyTermination && !e.opts.NoValidation &&
-		!e.opts.NoSiblingBatch && e.spill == nil
+		!e.opts.NoSiblingBatch && e.spill == nil && e.degraded == 0
 }
 
 // batchScratchAt returns the reusable batch scratch for one path depth.
@@ -744,6 +787,12 @@ func (e *executor) batchSiblings(n *cfg.Node) *batchScratch {
 			continue // statically decided in the child frame, no solver
 		}
 		key := hashMix(e.curHash(), e.g.ContentHash(sid))
+		if e.opts.Quarantined != nil && e.opts.Quarantined[key] {
+			// The sibling roots a quarantined subtree: leave its pending
+			// verdict unchecked so the child frame enters degraded mode
+			// and answers Unknown without touching the solver or journal.
+			continue
+		}
 		if e.journaling {
 			if rec, ok := e.opts.Journal.Lookup(journal.KindCheck, key); ok {
 				e.countJournalHit()
@@ -883,6 +932,9 @@ func (e *executor) appendJournal(rec journal.Record) {
 // from the resume journal when the interrupted run already decided this
 // prefix, and journaled when derived fresh.
 func (e *executor) pruneCheck() smt.Result {
+	if e.degraded > 0 {
+		return smt.Unknown
+	}
 	if e.journaling {
 		if rec, ok := e.opts.Journal.Lookup(journal.KindCheck, e.curHash()); ok {
 			e.countJournalHit()
@@ -901,6 +953,9 @@ func (e *executor) pruneCheck() smt.Result {
 // verdicts together with their models, so a resumed run reconstructs
 // byte-identical templates without any solver call.
 func (e *executor) emitVerdict(key uint64) (smt.Result, expr.State) {
+	if e.degraded > 0 {
+		return smt.Unknown, nil
+	}
 	if e.journaling {
 		if rec, ok := e.opts.Journal.Lookup(journal.KindEmit, key); ok {
 			e.countJournalHit()
@@ -969,6 +1024,9 @@ func (e *executor) emit(key uint64) {
 	}
 	if r == smt.Unsat {
 		return
+	}
+	if e.degraded > 0 {
+		e.countDegraded()
 	}
 	t := &Template{
 		ID:          len(e.res.Templates),

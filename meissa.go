@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -120,6 +123,39 @@ type Options struct {
 	// updates (the caller invalidates changed tags between runs). The
 	// cache must have been populated under the same solver options.
 	VerdictCache *smt.VerdictCache
+	// ShardWorkers, when > 1, farms the final generation pass across that
+	// many worker subprocesses under lease-based supervision
+	// (internal/shard). Crashed, hung, or corrupt workers have their work
+	// units reassigned with backoff; a unit that keeps killing workers is
+	// quarantined (its subtree degrades to Unknown — a superset, never a
+	// loss); the merged run is byte-identical to a single-process run.
+	// Option combinations that cannot shard (MaxPaths, Deadline, Resume,
+	// Baseline, VerdictCache, PathHook) and total worker failure fall back
+	// to the in-process engine with a logged reason. 0 or 1 disables
+	// sharding.
+	ShardWorkers int
+	// LeaseTimeout is the shard lease progress deadline: a worker that
+	// makes no path progress for this long is presumed hung, killed, and
+	// its unit reassigned (0 = 10s default).
+	LeaseTimeout time.Duration
+	// WorkerCommand builds one worker subprocess invocation; the
+	// coordinator owns its stdin/stdout. Nil re-executes the current
+	// binary with the `work` subcommand — correct for the meissa CLI;
+	// library embedders must supply their own.
+	WorkerCommand func() *exec.Cmd
+	// ShardChaosKills SIGKILLs that many seeded-random live workers
+	// spread across the run; ShardChaosSeed seeds the choice
+	// (fault-injection testing only).
+	ShardChaosKills int
+	ShardChaosSeed  int64
+	// ShardPathSleep slows workers by sleeping per explored path, so
+	// injected faults land mid-generation (testing only).
+	ShardPathSleep time.Duration
+	// ShardPoisonUnit, when > 0, makes every worker assigned the frontier
+	// unit at index ShardPoisonUnit-1 die instantly — a deterministic
+	// permanently-crashing unit that must end up quarantined (testing
+	// only).
+	ShardPoisonUnit int
 }
 
 // DefaultOptions is the full Meissa configuration.
@@ -216,6 +252,10 @@ type GenResult struct {
 	// (SMTCalls, SMTCacheHits, SMTUnknowns, SMTBudgetExhausted) are
 	// projections of it kept for compatibility.
 	SMT smt.Stats
+	// Shard is the multi-process supervision summary; nil unless
+	// Options.ShardWorkers > 1 (Fallback set when the run degraded to the
+	// in-process engine).
+	Shard *obs.ShardReport
 }
 
 // Generate builds the CFG, applies code summary when enabled, and runs
@@ -286,13 +326,33 @@ func (s *System) Generate() (*GenResult, error) {
 			s.Prog.Name, st.Retained, st.Baseline, st.Invalidated, st.Unindexed)
 	}
 
+	shardOK, shardReason := s.shardPlan()
+
+	// Sharding needs a journal for the crash-safe merge even when the
+	// caller asked for no checkpoint; a temp one serves and is discarded.
+	jPath := s.Opts.Checkpoint
+	if shardOK && jPath == "" {
+		dir, derr := os.MkdirTemp("", "meissa-shard-")
+		if derr != nil {
+			shardOK, shardReason = false, fmt.Sprintf("temp merge journal: %v", derr)
+		} else {
+			defer os.RemoveAll(dir)
+			jPath = filepath.Join(dir, "coordinator.journal")
+		}
+	}
 	var j *journal.Journal
-	if s.Opts.Checkpoint != "" {
-		j, err = journal.Open(s.Opts.Checkpoint, s.fingerprint(initC), resume)
+	if jPath != "" {
+		j, err = journal.Open(jPath, s.fingerprint(initC), resume)
 		if err != nil {
 			return nil, fmt.Errorf("meissa: checkpoint: %w", err)
 		}
-		defer j.Close()
+		// The sharded pass replaces j (close + reopen after the merge), so
+		// close whatever handle is current at return, not the first one.
+		defer func() {
+			if j != nil {
+				j.Close()
+			}
+		}()
 		symOpts.Journal = j
 		if resume {
 			obs.Progressf("meissa: %s: resume: %d journaled verdicts loaded", s.Prog.Name, j.Loaded())
@@ -332,13 +392,23 @@ func (s *System) Generate() (*GenResult, error) {
 
 	finalOpts := symOpts
 	finalOpts.WantModels = true
-	symSpan := obs.Begin("generate/sym")
-	exp, err := sym.Explore(sym.Config{
+	fcfg := sym.Config{
 		Graph:           g,
 		Start:           cfg.None,
 		InitConstraints: initC,
 		Options:         finalOpts,
-	})
+	}
+	symSpan := obs.Begin("generate/sym")
+	var exp *sym.Result
+	if shardOK {
+		exp, err = s.shardedFinalPass(fcfg, &j, jPath, s.fingerprint(initC), res)
+	} else {
+		if s.Opts.ShardWorkers > 1 {
+			obs.Warnf("meissa: %s: sharding disabled: %s; using in-process engine", s.Prog.Name, shardReason)
+			res.Shard = &obs.ShardReport{Workers: s.Opts.ShardWorkers, Fallback: true, FallbackReason: shardReason}
+		}
+		exp, err = sym.Explore(fcfg)
+	}
 	symDur := symSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("meissa: %w", err)
@@ -405,6 +475,7 @@ func (g *GenResult) Report(command, program string, parallelism int) *obs.Report
 	if h, ok := obs.Default().Snapshot().Histograms["smt.query_latency_ns"]; ok {
 		rep.Solver.LatencyNS = &h
 	}
+	rep.Shard = g.Shard
 	return rep
 }
 

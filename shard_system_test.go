@@ -1,0 +1,235 @@
+package meissa_test
+
+// End-to-end tests for fault-tolerant sharded exploration (the
+// robustness tentpole): the same test binary doubles as the worker
+// subprocess — TestMain diverts to ServeShardWorker before the test
+// framework can write anything to stdout, keeping the protocol stream
+// clean.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	meissa "repro"
+	"repro/internal/programs"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("MEISSA_SHARD_WORKER") == "1" {
+		if err := meissa.ServeShardWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workerCommand re-executes this test binary in worker mode.
+func workerCommand() *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "MEISSA_SHARD_WORKER=1")
+	return cmd
+}
+
+// firstDiff locates the first diverging line of two renderings for a
+// readable failure message.
+func firstDiff(want, got string) string {
+	a, b := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("line %d:\n  seq:   %s\n  shard: %s", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(a), len(b))
+}
+
+// generateSharded runs one generation with sharding on and any extra
+// option tweaks applied.
+func generateSharded(t *testing.T, p *programs.Program, mod func(*meissa.Options)) *meissa.GenResult {
+	t.Helper()
+	opts := meissa.DefaultOptions()
+	opts.CodeSummary = false // match generateAt(t, p, false, 1)
+	opts.Parallelism = 1
+	opts.ShardWorkers = 4
+	opts.WorkerCommand = workerCommand
+	if mod != nil {
+		mod(&opts)
+	}
+	sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestShardedMatchesSequential: the headline guarantee — a multi-process
+// sharded run produces a template set byte-identical to the sequential
+// engine, on multiple corpus programs.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, name := range []string{"Router", "gw-1"} {
+		t.Run(name, func(t *testing.T) {
+			p := corpusProgram(t, name)
+			seq := generateAt(t, p, false, 1)
+			shard := generateSharded(t, p, nil)
+			if got, want := renderTemplates(shard.Templates), renderTemplates(seq.Templates); got != want {
+				t.Fatalf("sharded output diverges from sequential (%d vs %d templates)\n%s",
+					len(shard.Templates), len(seq.Templates), firstDiff(want, got))
+			}
+			rep := shard.Shard
+			if rep == nil {
+				t.Fatal("no shard report on a sharded run")
+			}
+			if rep.Fallback {
+				t.Fatalf("unexpected fallback: %s", rep.FallbackReason)
+			}
+			if rep.Units == 0 || rep.UnitsCompleted != rep.Units || rep.UnitsQuarantined != 0 {
+				t.Fatalf("unit accounting off: %+v", rep)
+			}
+			if rep.LeasesIssued != rep.LeasesCompleted+rep.LeasesExpired {
+				t.Fatalf("lease identity broken: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestShardedSurvivesWorkerKills: chaos mode SIGKILLs live workers
+// mid-generation; leases expire or fail over, units are reassigned, and
+// the merged output is still byte-identical to sequential.
+func TestShardedSurvivesWorkerKills(t *testing.T) {
+	p := corpusProgram(t, "gw-1")
+	seq := generateAt(t, p, false, 1)
+	shard := generateSharded(t, p, func(o *meissa.Options) {
+		o.ShardChaosKills = 2
+		o.ShardChaosSeed = 1
+		// Stretch units so kills land mid-generation, and keep lease
+		// recovery snappy.
+		o.ShardPathSleep = 500 * time.Microsecond
+		o.LeaseTimeout = 2 * time.Second
+	})
+	if got, want := renderTemplates(shard.Templates), renderTemplates(seq.Templates); got != want {
+		t.Fatalf("output diverged after worker kills (%d vs %d templates)",
+			len(shard.Templates), len(seq.Templates))
+	}
+	rep := shard.Shard
+	if rep == nil || rep.Fallback {
+		t.Fatalf("chaos run fell back: %+v", rep)
+	}
+	if rep.KillsInjected != 2 {
+		t.Fatalf("kills injected = %d, want 2", rep.KillsInjected)
+	}
+	if rep.WorkerRestarts == 0 {
+		t.Fatal("killed workers were not restarted")
+	}
+	if rep.LeasesIssued != rep.LeasesCompleted+rep.LeasesExpired {
+		t.Fatalf("lease identity broken after kills: %+v", rep)
+	}
+}
+
+// TestShardedPoisonUnitQuarantined: a unit that crashes every worker it
+// is assigned to must be quarantined after MaxAssign attempts, its
+// subtree degraded to Unknown, and every other unit's verdicts kept.
+// Degradation is a strict superset: all sequential template paths still
+// appear.
+func TestShardedPoisonUnitQuarantined(t *testing.T) {
+	p := corpusProgram(t, "gw-1")
+	seq := generateAt(t, p, false, 1)
+	shard := generateSharded(t, p, func(o *meissa.Options) {
+		o.ShardPoisonUnit = 2
+		o.LeaseTimeout = time.Second // backoff = 125ms: quick retries
+	})
+	rep := shard.Shard
+	if rep == nil || rep.Fallback {
+		t.Fatalf("poison run fell back: %+v", rep)
+	}
+	if rep.UnitsQuarantined != 1 {
+		t.Fatalf("units quarantined = %d, want 1 (%+v)", rep.UnitsQuarantined, rep)
+	}
+	if rep.LeasesExpired < uint64(rep.MaxAssign) {
+		t.Fatalf("leases expired = %d, want >= MaxAssign %d", rep.LeasesExpired, rep.MaxAssign)
+	}
+	if rep.DegradedTemplates == 0 {
+		t.Fatal("quarantined subtree produced no degraded templates")
+	}
+	if rep.LeasesIssued != rep.LeasesCompleted+rep.LeasesExpired {
+		t.Fatalf("lease identity broken: %+v", rep)
+	}
+
+	// Superset check: every sequential path survives; the degraded
+	// subtree only weakens verdicts to Unknown, it never loses paths.
+	if len(shard.Templates) < len(seq.Templates) {
+		t.Fatalf("degraded run lost templates: %d < %d", len(shard.Templates), len(seq.Templates))
+	}
+	have := make(map[string]bool, len(shard.Templates))
+	for _, tm := range shard.Templates {
+		have[fmt.Sprint(tm.Path)] = true
+	}
+	for _, tm := range seq.Templates {
+		if !have[fmt.Sprint(tm.Path)] {
+			t.Fatalf("sequential path %v missing from degraded run", tm.Path)
+		}
+	}
+}
+
+// TestShardedSpawnFailureFallsBack: if no worker subprocess ever becomes
+// usable, the run degrades to in-process exploration with a logged
+// reason — and still produces the exact sequential output.
+func TestShardedSpawnFailureFallsBack(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	seq := generateAt(t, p, false, 1)
+	shard := generateSharded(t, p, func(o *meissa.Options) {
+		o.WorkerCommand = func() *exec.Cmd {
+			return exec.Command("/nonexistent/meissa-worker-binary")
+		}
+		o.LeaseTimeout = time.Second
+	})
+	rep := shard.Shard
+	if rep == nil || !rep.Fallback {
+		t.Fatalf("spawn failure did not fall back: %+v", rep)
+	}
+	if rep.FallbackReason == "" {
+		t.Fatal("fallback carries no reason")
+	}
+	if got, want := renderTemplates(shard.Templates), renderTemplates(seq.Templates); got != want {
+		t.Fatal("fallback output diverges from sequential")
+	}
+}
+
+// TestShardedIneligibleOptionsFallBack: options the shard planner cannot
+// honor (bounded exploration here) force an up-front in-process fallback
+// with a reason naming the option; ShardWorkers <= 1 simply never
+// engages sharding.
+func TestShardedIneligibleOptionsFallBack(t *testing.T) {
+	p := corpusProgram(t, "Router")
+
+	seq := generateAt(t, p, false, 1)
+	bounded := generateSharded(t, p, func(o *meissa.Options) {
+		o.MaxPaths = 100000 // far above Router's path count: output unchanged
+	})
+	rep := bounded.Shard
+	if rep == nil || !rep.Fallback {
+		t.Fatalf("ineligible options did not fall back: %+v", rep)
+	}
+	if !strings.Contains(rep.FallbackReason, "MaxPaths") {
+		t.Fatalf("fallback reason %q does not name the option", rep.FallbackReason)
+	}
+	if got, want := renderTemplates(bounded.Templates), renderTemplates(seq.Templates); got != want {
+		t.Fatal("ineligible-option fallback diverges from sequential")
+	}
+
+	single := generateSharded(t, p, func(o *meissa.Options) { o.ShardWorkers = 1 })
+	if single.Shard != nil {
+		t.Fatalf("ShardWorkers=1 produced a shard report: %+v", single.Shard)
+	}
+	if got, want := renderTemplates(single.Templates), renderTemplates(seq.Templates); got != want {
+		t.Fatal("single-worker run diverges from sequential")
+	}
+}
