@@ -51,6 +51,8 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "checkmetrics":
 		err = cmdCheckMetrics(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "work":
 		// Hidden: the sharded-generation worker subprocess. Speaks the
 		// internal/shard frame protocol on stdin/stdout; never invoked by
@@ -69,17 +71,18 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v] [-quiet]
-              [-checkpoint FILE [-resume]] [-strict] [-solver-budget N] [-solver-timeout D]
+              [-checkpoint FILE [-resume]] [-store FILE] [-strict] [-solver-budget N] [-solver-timeout D]
               [-workers N [-lease-timeout D] [-chaos-kill N] [-chaos-seed N]]
               [-metrics-out report.json] [-pprof-addr host:port] [-o cases.txt]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
               [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-breaker N] [-v] [-quiet]
               [-metrics-out report.json] [-pprof-addr host:port]
               [-shake drop=P,dup=P,reorder=P,corrupt=P,delay=D,seed=N]
-  meissa regress -baseline base.journal [-p prog.p4 | -corpus NAME] [-rules-old FILE]
+  meissa regress [-baseline base.journal | -store FILE] [-p prog.p4 | -corpus NAME] [-rules-old FILE]
               [-rules-new FILE | -mutate N] [-checkpoint FILE] [-emit-rules FILE]
               [-report regress.json] [-o cases.txt] [-parallel N] [-no-summary]
-              [-watch [-interval D]] [-v] [-quiet]
+              [-watch [-interval D] [-max-failures N]] [-v] [-quiet]
+  meissa store <info|import|export> -store FILE [-journal FILE] (-p prog.p4 [-r rules.txt] | -corpus NAME)
   meissa corpus
   meissa dump -corpus <name>
   meissa checkmetrics <report.json>`)
@@ -164,6 +167,7 @@ func cmdGen(args []string) error {
 	verbose := fs.Bool("v", false, "print each template's constraints")
 	checkpoint := fs.String("checkpoint", "", "journal file making generation crash-safe")
 	resume := fs.Bool("resume", false, "resume from the -checkpoint journal of an interrupted run")
+	storePath := fs.String("store", "", "durable verdict store file: warm-start from it, commit results back")
 	strict := fs.Bool("strict", false, "fail fast on per-path panics instead of isolating them")
 	solverBudget := fs.Int("solver-budget", 0, "per-query solver backtracking-step budget (0 = default)")
 	solverTimeout := fs.Duration("solver-timeout", 0, "per-query solver wall-clock budget (0 = none)")
@@ -189,6 +193,7 @@ func cmdGen(args []string) error {
 	opts.Parallelism = *parallel
 	opts.Checkpoint = *checkpoint
 	opts.Resume = *resume
+	opts.StorePath = *storePath
 	opts.Strict = *strict
 	opts.SolverSearchBudget = *solverBudget
 	opts.SolverCheckTimeout = *solverTimeout
@@ -233,6 +238,10 @@ func cmdGen(args []string) error {
 			fmt.Printf("  shard: %d units over %d workers: %d leases issued, %d expired, %d units quarantined, %d restarts, %d kills injected\n",
 				sh.Units, sh.Workers, sh.LeasesIssued, sh.LeasesExpired, sh.UnitsQuarantined, sh.WorkerRestarts, sh.KillsInjected)
 		}
+	}
+	if st := gen.Store; st != nil {
+		fmt.Printf("  store: %d verdicts warmed, %d cache entries seeded, %d invalidated by rule delta, %d committed (%d duplicates)\n",
+			st.Warmed, st.CacheSeeded, st.Invalidated, st.Committed, st.Duplicates)
 	}
 	if gen.Recovered > 0 {
 		fmt.Printf("  WARNING: %d path(s) panicked and were skipped:\n", gen.Recovered)

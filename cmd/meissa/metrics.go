@@ -175,6 +175,12 @@ func cmdCheckMetrics(args []string) error {
 			fmt.Printf("  driver breaker tripped: %d cases short-circuited to lost\n", rep.Driver.ShortCircuited)
 		}
 	}
+	if st := rep.Store; st != nil {
+		fmt.Printf("  store warmed=%d cache_seeded=%d invalidated=%d committed=%d cache_committed=%d duplicates=%d\n",
+			st.Warmed, st.CacheSeeded, st.Invalidated, st.Committed, st.CacheCommitted, st.Duplicates)
+		fmt.Printf("  store txns=%d wal_replays=%d pages_torn=%d snapshot_reads=%d\n",
+			st.Commits, st.WalReplays, st.PagesTorn, st.SnapshotReads)
+	}
 	if sh := rep.Shard; sh != nil {
 		if sh.Fallback {
 			fmt.Printf("  shard fallback: %s\n", sh.FallbackReason)
@@ -204,6 +210,7 @@ func checkBenchReport(data []byte) error {
 		return fmt.Errorf("bench report has no runs")
 	}
 	var lockstep, pipelined float64
+	var storeWarm, storeResume *obs.Report
 	for _, r := range br.Runs {
 		if err := r.Validate(); err != nil {
 			return fmt.Errorf("bench run %s/%s: %w", r.Program, r.RuleSet, err)
@@ -215,12 +222,38 @@ func checkBenchReport(data []byte) error {
 				pipelined = r.Driver.VerdictsPerSec
 			}
 		}
+		switch r.RuleSet {
+		case "store~warm":
+			storeWarm = r
+		case "store~resume":
+			storeResume = r
+		}
 	}
 	fmt.Printf("ok: bench report, %d runs (budget %v, parallel %d)\n",
 		len(br.Runs), time.Duration(br.BudgetNS), br.Parallelism)
 	if lockstep > 0 && pipelined > 0 {
 		fmt.Printf("  gw-1/set-1 driver: lockstep %.0f verdicts/s, pipelined %.0f verdicts/s (%.2fx)\n",
 			lockstep, pipelined, pipelined/lockstep)
+	}
+	if storeWarm != nil && storeWarm.Store != nil && storeWarm.Journal != nil {
+		// Store-hit rate: solver interactions answered by store-warmed
+		// verdicts out of everything the warm run needed.
+		live := uint64(0)
+		if storeWarm.Solver != nil {
+			live = storeWarm.Solver.Solved
+		}
+		hits := storeWarm.Journal.Hits
+		if total := hits + live; total > 0 {
+			fmt.Printf("  %s warm store: hit rate %.1f%% (%d store-answered, %d live), %d verdicts warmed\n",
+				storeWarm.Program, 100*float64(hits)/float64(total), hits, live, storeWarm.Store.Warmed)
+		}
+		if storeResume != nil && storeResume.WallNS > 0 {
+			fmt.Printf("  %s warm store vs journal replay: %v vs %v (%+.0f%%)\n",
+				storeWarm.Program,
+				time.Duration(storeWarm.WallNS).Round(time.Microsecond),
+				time.Duration(storeResume.WallNS).Round(time.Microsecond),
+				100*(float64(storeWarm.WallNS)-float64(storeResume.WallNS))/float64(storeResume.WallNS))
+		}
 	}
 	return nil
 }

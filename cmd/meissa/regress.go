@@ -21,7 +21,8 @@ import (
 // clean against `meissa gen` on the same inputs).
 func cmdRegress(args []string) error {
 	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
-	baseline := fs.String("baseline", "", "baseline checkpoint journal (required; written by gen -checkpoint)")
+	baseline := fs.String("baseline", "", "baseline checkpoint journal (written by gen -checkpoint)")
+	storePath := fs.String("store", "", "durable verdict store holding the baseline (alternative to -baseline)")
 	rulesOld := fs.String("rules-old", "", "rule set the baseline was generated under (default: the -corpus/-r rules)")
 	rulesNew := fs.String("rules-new", "", "updated rule set file")
 	mutate := fs.Int("mutate", 0, "derive the new rules by bumping N action arguments of the old rules (instead of -rules-new)")
@@ -33,6 +34,7 @@ func cmdRegress(args []string) error {
 	parallel := fs.Int("parallel", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	watch := fs.Bool("watch", false, "keep watching -rules-new and re-regress on every change")
 	interval := fs.Duration("interval", 2*time.Second, "watch poll interval")
+	maxFailures := fs.Int("max-failures", 10, "exit non-zero after N consecutive watch failures (0 = never)")
 	verbose := fs.Bool("v", false, "print per-phase progress on stderr")
 	ob := registerObsFlags(fs)
 	prog, rs, specs, _, err := loadInputs(fs, args)
@@ -42,8 +44,11 @@ func cmdRegress(args []string) error {
 	if err := ob.activate(*verbose); err != nil {
 		return err
 	}
-	if *baseline == "" {
-		return fmt.Errorf("regress requires -baseline <journal>")
+	if *baseline == "" && *storePath == "" {
+		return fmt.Errorf("regress requires -baseline <journal> or -store <file>")
+	}
+	if *baseline != "" && *storePath != "" {
+		return fmt.Errorf("-baseline and -store are mutually exclusive (the store supplies the baseline)")
 	}
 	if *rulesNew == "" && *mutate <= 0 {
 		return fmt.Errorf("regress requires -rules-new <file> or -mutate N")
@@ -67,7 +72,7 @@ func cmdRegress(args []string) error {
 		}
 	}
 	ckpt := *checkpointPath
-	if ckpt == "" {
+	if ckpt == "" && *baseline != "" {
 		ckpt = *baseline + ".next"
 	}
 
@@ -84,15 +89,33 @@ func cmdRegress(args []string) error {
 	runOnce := func(old, new *rules.Set, base, ckpt string) (*meissa.RegressResult, error) {
 		o := opts
 		o.Checkpoint = ckpt
-		res, err := meissa.Regress(meissa.RegressInput{
-			Prog:     prog,
-			OldRules: old,
-			NewRules: new,
-			Specs:    specs,
-			Opts:     o,
-			Baseline: base,
-			Program:  prog.Name,
-		})
+		var res *meissa.RegressResult
+		var err error
+		if *storePath != "" {
+			// Store-backed: the store supplies both the old rules (unless
+			// -rules-old overrode them) and the materialized baseline, and
+			// the incremental result commits back atomically — so watch
+			// iterations need no journal-path juggling.
+			o.StorePath = *storePath
+			res, err = meissa.RegressStore(meissa.RegressInput{
+				Prog:     prog,
+				OldRules: old,
+				NewRules: new,
+				Specs:    specs,
+				Opts:     o,
+				Program:  prog.Name,
+			})
+		} else {
+			res, err = meissa.Regress(meissa.RegressInput{
+				Prog:     prog,
+				OldRules: old,
+				NewRules: new,
+				Specs:    specs,
+				Opts:     o,
+				Baseline: base,
+				Program:  prog.Name,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +143,13 @@ func cmdRegress(args []string) error {
 		return res, nil
 	}
 
-	res, err := runOnce(oldRules, newRules, *baseline, ckpt)
+	firstOld := oldRules
+	if *storePath != "" && *rulesOld == "" {
+		// Store-backed with no explicit old rules: the store's committed
+		// rule set IS the baseline; don't guess from -corpus/-r.
+		firstOld = nil
+	}
+	res, err := runOnce(firstOld, newRules, *baseline, ckpt)
 	if err != nil {
 		return err
 	}
@@ -130,31 +159,80 @@ func cmdRegress(args []string) error {
 
 	// Watch mode: each completed iteration's checkpoint becomes the next
 	// baseline (alternating between two paths so source and destination
-	// always differ), and the new rules become the old.
+	// always differ), and the new rules become the old. A store-backed
+	// watch needs neither: every iteration reads the baseline from and
+	// commits back to the store.
+	//
+	// The loop must survive transient failures (rule file mid-write,
+	// journal on a flaky mount, ENOSPC): each failure bumps the
+	// regress.watch_failures counter and backs the poll off exponentially
+	// (capped at 30s or 16x the interval, whichever is larger); any
+	// success resets both. A run of *maxFailures consecutive failures
+	// means the world is durably broken — exit non-zero rather than spin
+	// silently forever.
 	curBase, curCkpt := ckpt, ckpt+".alt"
+	if *storePath != "" {
+		curBase, curCkpt = "", ckpt // unused / kept verbatim (RegressStore defaults "" to a temp path)
+	}
 	curRules := newRules
 	lastText := newRules.String()
+	failures := obs.GetCounter("regress.watch_failures")
+	consecutive := 0
+	delay := *interval
+	maxDelay := 30 * time.Second
+	if d := 16 * *interval; d > maxDelay {
+		maxDelay = d
+	}
+	fail := func(format string, args ...any) error {
+		failures.Inc()
+		consecutive++
+		obs.Warnf(format, args...)
+		if *maxFailures > 0 && consecutive >= *maxFailures {
+			return fmt.Errorf("watch: %d consecutive failures, giving up (last: %s)",
+				consecutive, fmt.Sprintf(format, args...))
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+		obs.Progressf("regress: watch: backing off to %v after %d consecutive failure(s)", delay, consecutive)
+		return nil
+	}
+	ok := func() {
+		consecutive = 0
+		delay = *interval
+	}
 	fmt.Fprintf(os.Stderr, "meissa: watching %s (poll %v; interrupt to stop)\n", *rulesNew, *interval)
 	for {
-		time.Sleep(*interval)
+		time.Sleep(delay)
 		next, err := readRules(*rulesNew)
 		if err != nil {
-			obs.Warnf("regress: watch: %v", err)
+			if ferr := fail("regress: watch: %v", err); ferr != nil {
+				return ferr
+			}
 			continue
 		}
 		if next.String() == lastText {
+			ok() // a readable, unchanged file is a healthy world
 			continue
 		}
 		lastText = next.String()
-		if curRules.Equal(next) {
+		if curRules != nil && curRules.Equal(next) {
+			ok()
 			continue // cosmetic edit: canonically identical
 		}
 		if _, err := runOnce(curRules, next, curBase, curCkpt); err != nil {
-			obs.Warnf("regress: watch iteration failed: %v", err)
+			if ferr := fail("regress: watch iteration failed: %v", err); ferr != nil {
+				return ferr
+			}
 			continue
 		}
-		curBase, curCkpt = curCkpt, curBase
+		ok()
 		curRules = next
+		if *storePath != "" {
+			curRules = nil // next iteration reads the committed baseline from the store
+		} else {
+			curBase, curCkpt = curCkpt, curBase
+		}
 	}
 }
 

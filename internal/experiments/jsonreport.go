@@ -146,5 +146,10 @@ func BenchRuns() (*BenchReport, error) {
 		return nil, err
 	}
 	br.Runs = append(br.Runs, regressRuns...)
+	storeRuns, err := storeBenchRuns()
+	if err != nil {
+		return nil, err
+	}
+	br.Runs = append(br.Runs, storeRuns...)
 	return br, nil
 }

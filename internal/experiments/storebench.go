@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	meissa "repro"
+	"repro/internal/obs"
+	"repro/internal/programs"
+)
+
+// Warm-store benchmark: gw-4 (the largest corpus program) generated
+// three ways against the same baseline verdicts — cold with a store
+// attached, warm from that store, and resumed from a plain checkpoint
+// journal. The three reports land in the bench document with RuleSet
+// "store~cold" / "store~warm" / "store~resume", so trajectory tooling
+// (and checkmetrics) can derive the store-hit rate and the warm-store
+// vs journal-replay wall-clock delta from any bench file.
+func storeBenchRuns() ([]*obs.Report, error) {
+	dir, err := os.MkdirTemp("", "meissa-bench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	p := programs.GW(4, programs.Set1)
+
+	run := func(ruleSet string, mod func(*meissa.Options)) (*obs.Report, *meissa.GenResult, error) {
+		opts := meissa.DefaultOptions()
+		opts.Deadline = Budget
+		opts.Parallelism = Parallelism
+		mod(&opts)
+		sys, err := meissa.New(p.Prog, p.Rules, nil, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		gen, err := sys.Generate()
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench store %s/%s: %w", p.Name, ruleSet, err)
+		}
+		rep := gen.Report("bench", p.Name, Parallelism)
+		rep.RuleSet = ruleSet
+		if err := rep.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("bench store %s/%s: %w", p.Name, ruleSet, err)
+		}
+		return rep, gen, nil
+	}
+
+	spath := filepath.Join(dir, "verdicts.store")
+	jpath := filepath.Join(dir, "base.journal")
+
+	// Cold store-backed run: populates the store (and, via its own
+	// checkpoint, the journal the replay leg resumes from).
+	cold, _, err := run("store~cold", func(o *meissa.Options) {
+		o.StorePath = spath
+		o.Checkpoint = jpath
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm store-backed run: everything answered from the store.
+	warm, warmGen, err := run("store~warm", func(o *meissa.Options) { o.StorePath = spath })
+	if err != nil {
+		return nil, err
+	}
+	if warmGen.SMTCalls != 0 {
+		return nil, fmt.Errorf("bench store %s: warm run made %d live solver calls, want 0", p.Name, warmGen.SMTCalls)
+	}
+
+	// Journal-replay comparison: resume the same baseline from the plain
+	// checkpoint. The warm-vs-resume WallNS gap is the store's overhead
+	// (or saving) relative to raw journal replay for identical reuse.
+	resume, _, err := run("store~resume", func(o *meissa.Options) {
+		o.Checkpoint = jpath
+		o.Resume = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*obs.Report{cold, warm, resume}, nil
+}

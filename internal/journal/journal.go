@@ -409,6 +409,19 @@ func ReadRecords(path string, fingerprint uint64) ([]Record, error) {
 	return j.Records(), nil
 }
 
+// MarshalRecord returns the framed encoding of r — length prefix,
+// payload, CRC32C — the exact bytes Append would write. The disk-backed
+// verdict store reuses it as its value encoding so a store export is
+// byte-compatible with a journal.
+func MarshalRecord(r Record) []byte { return encode(r) }
+
+// UnmarshalRecord parses one framed record produced by MarshalRecord.
+// ok=false means the bytes hold no intact record.
+func UnmarshalRecord(data []byte) (Record, bool) {
+	r, _, ok := decode(data)
+	return r, ok
+}
+
 // NextEpoch returns consecutive integers (1, 2, 3, …). Retained for
 // callers that want per-exploration salts; the exploration engine now
 // derives its journal keys from content-based context seeds instead

@@ -41,6 +41,9 @@ type Report struct {
 	// runs; Fallback set when sharding was requested but degraded to the
 	// in-process engine).
 	Shard *ShardReport `json:"shard,omitempty"`
+	// Store reports durable verdict-store activity (nil unless the run
+	// was store-backed).
+	Store *StoreReport `json:"store,omitempty"`
 	// Registry carries the full process metric snapshot (optional; CLI
 	// runs attach it so one file holds both the curated report and the
 	// raw counters).
@@ -181,6 +184,39 @@ type ShardReport struct {
 	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
+// StoreReport is the durable verdict-store section: what the run pulled
+// out of the store before exploring and what it committed back after.
+// Its accounting identities are validated: a warm start's records flow
+// through the resume journal (journal.loaded >= warmed) and are read via
+// a snapshot (snapshot_reads > 0), and committed records ride at least
+// one store transaction.
+type StoreReport struct {
+	// Path is the store file.
+	Path string `json:"path,omitempty"`
+	// Warmed counts records exported from the store into the resume
+	// journal before exploration; CacheSeeded counts solver-cache entries
+	// refilled from the store's persisted cache.
+	Warmed      uint64 `json:"warmed"`
+	CacheSeeded uint64 `json:"cache_seeded,omitempty"`
+	// Invalidated counts store entries retired by rule-delta
+	// reconciliation (records plus cache entries).
+	Invalidated uint64 `json:"invalidated,omitempty"`
+	// Committed counts new records folded into the store by this run;
+	// CacheCommitted counts solver-cache entries persisted; Duplicates
+	// counts journal records skipped because a byte-identical copy was
+	// already stored (a fully-warmed re-run is all duplicates).
+	Committed      uint64 `json:"committed"`
+	CacheCommitted uint64 `json:"cache_committed,omitempty"`
+	Duplicates     uint64 `json:"duplicates,omitempty"`
+	// Engine activity for this run: transactions committed, WAL
+	// transactions replayed at open (crash recovery), torn pages healed
+	// during replay, and snapshot point reads.
+	Commits       uint64 `json:"commits"`
+	WalReplays    uint64 `json:"wal_replays,omitempty"`
+	PagesTorn     uint64 `json:"pages_torn,omitempty"`
+	SnapshotReads uint64 `json:"snapshot_reads,omitempty"`
+}
+
 // LinkReport mirrors driver.LinkStats.
 type LinkReport struct {
 	Dropped    uint64 `json:"dropped"`
@@ -285,6 +321,25 @@ func (r *Report) Validate() error {
 		}
 		if r.Driver.ShortCircuited > 0 && !r.Driver.BreakerTripped {
 			return fmt.Errorf("obs: driver short-circuited %d cases without the breaker tripping", r.Driver.ShortCircuited)
+		}
+	}
+	if st := r.Store; st != nil {
+		if st.Warmed > 0 {
+			// Warm-start records reach the run through the resume journal
+			// and leave the store through a snapshot read.
+			var loaded uint64
+			if r.Journal != nil {
+				loaded = r.Journal.Loaded
+			}
+			if loaded < st.Warmed {
+				return fmt.Errorf("obs: store warmed %d records but journal loaded %d", st.Warmed, loaded)
+			}
+			if st.SnapshotReads == 0 {
+				return fmt.Errorf("obs: store warmed %d records with zero snapshot reads", st.Warmed)
+			}
+		}
+		if st.Committed+st.CacheCommitted+st.Invalidated > 0 && st.Commits == 0 {
+			return fmt.Errorf("obs: store committed/invalidated entries without a store transaction")
 		}
 	}
 	if sh := r.Shard; sh != nil {

@@ -305,5 +305,25 @@ func WriteFileAtomic(path string, v any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("obs: rename %s: %w", tmpName, err)
 	}
+	// The rename is only durable once the directory entry is: fsync the
+	// parent, or a crash right here can lose the replacement while the
+	// caller believes it committed.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("obs: sync dir %s: %w", dir, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the worker-protocol frame
+// decoder. The coordinator reads frames from worker subprocesses that
+// can die mid-write, so the decoder must never panic and must classify
+// every input as exactly one of: a valid envelope, a clean EOF at a
+// frame boundary, or ErrCorruptFrame. A decoded envelope must survive a
+// re-encode/re-decode round trip (the decoder accepts nothing the
+// encoder cannot reproduce).
+func FuzzDecodeFrame(f *testing.F) {
+	// Seeds: one well-formed frame of each kind the protocol speaks,
+	// plus classic tears (truncated length, truncated payload, flipped
+	// CRC byte, zero length, empty input).
+	for _, env := range []*Envelope{
+		{Kind: KindHello, Hello: &Hello{Fingerprint: 42, NumUnits: 3}},
+		{Kind: KindReady, Ready: &Ready{Fingerprint: 42, NumUnits: 3}},
+		{Kind: KindAssign, Assign: &Assign{Index: 3, Key: 0xfeed}},
+		{Kind: KindProgress, Progress: &Progress{Index: 3, Paths: 10}},
+		{Kind: KindDone, Done: &Done{Index: 3, Key: 0xfeed, Records: []journal.Record{
+			{Kind: journal.KindEmit, Key: 9, Verdict: journal.Sat,
+				Model:  []journal.VarVal{{Var: "x", Val: 1}},
+				Tables: []string{"t/acl"}, Indexed: true},
+		}}},
+		{Kind: KindFail, Fail: &Fail{Index: 1, Key: 5, Msg: "boom"}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			f.Fatal(err)
+		}
+		b := buf.Bytes()
+		f.Add(b)
+		f.Add(b[:2])
+		f.Add(b[:len(b)/2])
+		if len(b) > 0 {
+			torn := append([]byte(nil), b...)
+			torn[len(torn)-1] ^= 0xff
+			f.Add(torn)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if env != nil {
+				t.Fatalf("error %v with non-nil envelope", err)
+			}
+			if err != io.EOF && !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if env.Kind == 0 {
+			t.Fatal("decoded envelope with zero kind")
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			t.Fatalf("re-encode of decoded envelope failed: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded envelope failed: %v", err)
+		}
+		if again.Kind != env.Kind {
+			t.Fatalf("round trip changed kind %v -> %v", env.Kind, again.Kind)
+		}
+	})
+}

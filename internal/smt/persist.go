@@ -1,0 +1,69 @@
+package smt
+
+// Persistence bridge for the disk-backed verdict store (internal/store):
+// Export walks the cache for a post-run commit, Seed refills it from a
+// store snapshot before a warm run. Both speak in raw (sum, xor, n)
+// condKey components so the store never imports solver internals.
+
+// Export visits every cached verdict together with the dependency-tag
+// IDs it is indexed under. Entries are visited shard by shard; within a
+// shard the order is unspecified (callers that need determinism sort, or
+// write into an ordered structure — the disk store's B-tree does).
+// Returning false from fn stops the walk. Entries stored without tags
+// are reported with nil tags; persisting those is unsound against rule
+// updates, so store commits skip them.
+func (c *VerdictCache) Export(fn func(sum, xor uint64, n uint32, r Result, tags []uint64) bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		keyTags := make(map[condKey][]uint64, len(sh.m))
+		for t, keys := range sh.byTag {
+			for _, k := range keys {
+				keyTags[k] = append(keyTags[k], t)
+			}
+		}
+		type entry struct {
+			k    condKey
+			r    Result
+			tags []uint64
+		}
+		entries := make([]entry, 0, len(sh.m))
+		for k, r := range sh.m {
+			entries = append(entries, entry{k, r, keyTags[k]})
+		}
+		sh.mu.Unlock()
+		for _, e := range entries {
+			if !fn(e.k.sum, e.k.xor, e.k.n, e.r, e.tags) {
+				return
+			}
+		}
+	}
+}
+
+// Seed inserts one verdict recovered from a persistent store. Unlike
+// store it is stats-neutral: a warm start must not inflate the Stores
+// counter the differential tests compare against a cold run. The shard
+// capacity cap still applies (a full shard rejects the seed, returning
+// false); Unknown verdicts are never seeded, mirroring the live path.
+func (c *VerdictCache) Seed(sum, xor uint64, n uint32, r Result, tags []uint64) bool {
+	if r == Unknown {
+		return false
+	}
+	k := condKey{sum: sum, xor: xor, n: n}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, present := sh.m[k]; !present && len(sh.m) >= cacheShardCap {
+		return false
+	}
+	sh.m[k] = r
+	if len(tags) > 0 {
+		if sh.byTag == nil {
+			sh.byTag = make(map[uint64][]condKey)
+		}
+		for _, t := range tags {
+			sh.byTag[t] = append(sh.byTag[t], k)
+		}
+	}
+	return true
+}

@@ -1,0 +1,445 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Copy-on-write B+tree over []byte keys. Mutations never overwrite a
+// committed page: every node on the touched path is cloned to a freshly
+// allocated page and the old page is queued for the freelist, so a
+// snapshot pinned at an older root keeps reading consistent state while
+// new transactions commit, and a crashed transaction leaves committed
+// pages byte-identical.
+
+// ErrOversize reports a key+value pair too large for a page cell. The
+// store skips such records (and counts them) rather than spilling to
+// overflow pages — a verdict that is not cached is merely re-derived.
+var ErrOversize = errors.New("store: record exceeds page cell limit")
+
+const (
+	nodeLeaf   = 1
+	nodeBranch = 2
+)
+
+// node is a decoded B+tree page. Leaves hold key/value cells; branches
+// hold separator keys and len(keys)+1 children, where child i covers
+// keys < keys[i] and child i+1 covers keys ≥ keys[i].
+type node struct {
+	page     uint64
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []uint64 // branch only
+}
+
+func (n *node) clone() *node {
+	c := &node{page: n.page, leaf: n.leaf}
+	c.keys = append([][]byte(nil), n.keys...)
+	c.vals = append([][]byte(nil), n.vals...)
+	c.children = append([]uint64(nil), n.children...)
+	return c
+}
+
+// encodedSize is the payload size of the node, excluding the page CRC.
+func (n *node) encodedSize() int {
+	size := 3 // type + count
+	if n.leaf {
+		for i, k := range n.keys {
+			size += 4 + len(k) + len(n.vals[i])
+		}
+		return size
+	}
+	size += 8 // child0
+	for _, k := range n.keys {
+		size += 2 + len(k) + 8
+	}
+	return size
+}
+
+// maxCellSize bounds a leaf key+value pair so that any leaf holding two
+// cells still splits into fitting halves.
+func maxCellSize(pageSize int) int { return (pageSize - 4 - 3 - 8) / 2 }
+
+// encodeNode renders the node into a sealed page.
+func encodeNode(n *node, pageSize int) ([]byte, error) {
+	if n.encodedSize() > pageSize-4 {
+		return nil, fmt.Errorf("store: node overflows page (%d > %d)", n.encodedSize(), pageSize-4)
+	}
+	page := make([]byte, pageSize)
+	p := page[4:4]
+	if n.leaf {
+		p = append(p, nodeLeaf)
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(n.keys)))
+		for i, k := range n.keys {
+			p = binary.LittleEndian.AppendUint16(p, uint16(len(k)))
+			p = binary.LittleEndian.AppendUint16(p, uint16(len(n.vals[i])))
+			p = append(p, k...)
+			p = append(p, n.vals[i]...)
+		}
+	} else {
+		p = append(p, nodeBranch)
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(n.keys)))
+		p = binary.LittleEndian.AppendUint64(p, n.children[0])
+		for i, k := range n.keys {
+			p = binary.LittleEndian.AppendUint16(p, uint16(len(k)))
+			p = append(p, k...)
+			p = binary.LittleEndian.AppendUint64(p, n.children[i+1])
+		}
+	}
+	sealPage(page)
+	return page, nil
+}
+
+// decodeNode parses a sealed page into a node. The caller has already
+// verified the CRC.
+func decodeNode(page []byte, pg uint64) (*node, error) {
+	p := page[4:]
+	if len(p) < 3 {
+		return nil, fmt.Errorf("%w: short node page %d", ErrCorrupt, pg)
+	}
+	n := &node{page: pg}
+	count := int(binary.LittleEndian.Uint16(p[1:]))
+	off := 3
+	switch p[0] {
+	case nodeLeaf:
+		n.leaf = true
+		for i := 0; i < count; i++ {
+			if off+4 > len(p) {
+				return nil, fmt.Errorf("%w: leaf page %d cell header", ErrCorrupt, pg)
+			}
+			klen := int(binary.LittleEndian.Uint16(p[off:]))
+			vlen := int(binary.LittleEndian.Uint16(p[off+2:]))
+			off += 4
+			if off+klen+vlen > len(p) {
+				return nil, fmt.Errorf("%w: leaf page %d cell body", ErrCorrupt, pg)
+			}
+			n.keys = append(n.keys, append([]byte(nil), p[off:off+klen]...))
+			n.vals = append(n.vals, append([]byte(nil), p[off+klen:off+klen+vlen]...))
+			off += klen + vlen
+		}
+	case nodeBranch:
+		if off+8 > len(p) {
+			return nil, fmt.Errorf("%w: branch page %d child0", ErrCorrupt, pg)
+		}
+		n.children = append(n.children, binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+		for i := 0; i < count; i++ {
+			if off+2 > len(p) {
+				return nil, fmt.Errorf("%w: branch page %d key header", ErrCorrupt, pg)
+			}
+			klen := int(binary.LittleEndian.Uint16(p[off:]))
+			off += 2
+			if off+klen+8 > len(p) {
+				return nil, fmt.Errorf("%w: branch page %d key body", ErrCorrupt, pg)
+			}
+			n.keys = append(n.keys, append([]byte(nil), p[off:off+klen]...))
+			n.children = append(n.children, binary.LittleEndian.Uint64(p[off+klen:]))
+			off += klen + 8
+		}
+	default:
+		return nil, fmt.Errorf("%w: node page %d type %d", ErrCorrupt, pg, p[0])
+	}
+	return n, nil
+}
+
+// treeTx is a mutable view of the tree for one transaction (or a
+// read-only view when alloc is nil). src reads committed pages; dirty
+// holds this transaction's cloned nodes keyed by their fresh pages.
+type treeTx struct {
+	src      func(pg uint64) (*node, error)
+	alloc    func() uint64
+	free     func(pg uint64)
+	dirty    map[uint64]*node
+	pageSize int
+}
+
+func (t *treeTx) load(pg uint64) (*node, error) {
+	if n, ok := t.dirty[pg]; ok {
+		return n, nil
+	}
+	return t.src(pg)
+}
+
+// touch returns a mutable clone of n living at a fresh page, freeing
+// the committed original. Nodes already owned by this tx mutate in
+// place.
+func (t *treeTx) touch(n *node) *node {
+	if _, ok := t.dirty[n.page]; ok {
+		return n
+	}
+	c := n.clone()
+	t.free(n.page)
+	c.page = t.alloc()
+	t.dirty[c.page] = c
+	return c
+}
+
+// discard drops a node this transaction owns (after a merge/collapse).
+func (t *treeTx) discard(n *node) {
+	delete(t.dirty, n.page)
+	t.free(n.page)
+}
+
+// get returns the value for key under root, or (nil, false).
+func (t *treeTx) get(root uint64, key []byte) ([]byte, bool, error) {
+	pg := root
+	for pg != 0 {
+		n, err := t.load(pg)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return n.vals[i], true, nil
+			}
+			return nil, false, nil
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+		pg = n.children[i]
+	}
+	return nil, false, nil
+}
+
+// put inserts or replaces key under root and returns the new root.
+func (t *treeTx) put(root uint64, key, val []byte) (uint64, error) {
+	if len(key)+len(val) > maxCellSize(t.pageSize) {
+		return root, ErrOversize
+	}
+	if root == 0 {
+		n := &node{page: t.alloc(), leaf: true, keys: [][]byte{key}, vals: [][]byte{val}}
+		t.dirty[n.page] = n
+		return n.page, nil
+	}
+	newRoot, sep, right, err := t.insert(root, key, val)
+	if err != nil {
+		return root, err
+	}
+	if right != 0 {
+		n := &node{page: t.alloc(), keys: [][]byte{sep}, children: []uint64{newRoot, right}}
+		t.dirty[n.page] = n
+		newRoot = n.page
+	}
+	return newRoot, nil
+}
+
+// insert descends to the leaf, COW-touching the path. It returns the
+// subtree's new root page and, when that node split, the separator key
+// and right sibling page to graft into the parent.
+func (t *treeTx) insert(pg uint64, key, val []byte) (uint64, []byte, uint64, error) {
+	n, err := t.load(pg)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	n = t.touch(n)
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val // last-wins
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = val
+		}
+		return t.maybeSplit(n)
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+	child, sep, right, err := t.insert(n.children[i], key, val)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	n.children[i] = child
+	if right != 0 {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sep
+		n.children = append(n.children, 0)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+	}
+	return t.maybeSplit(n)
+}
+
+// maybeSplit splits n when its encoding overflows the page.
+func (t *treeTx) maybeSplit(n *node) (uint64, []byte, uint64, error) {
+	if n.encodedSize() <= t.pageSize-4 {
+		return n.page, nil, 0, nil
+	}
+	if len(n.keys) < 2 {
+		return 0, nil, 0, fmt.Errorf("store: page %d overflows with %d keys", n.page, len(n.keys))
+	}
+	mid := len(n.keys) / 2
+	right := &node{page: t.alloc(), leaf: n.leaf}
+	t.dirty[right.page] = right
+	var sep []byte
+	if n.leaf {
+		// B+ leaf split: the right sibling keeps its first key, which
+		// becomes the parent separator.
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		sep = right.keys[0]
+	} else {
+		// Branch split: the middle separator moves up.
+		sep = n.keys[mid]
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	return n.page, sep, right.page, nil
+}
+
+// del removes key under root and returns the new root and whether the
+// key existed. Underflowed nodes are not rebalanced — COW plus
+// last-wins workloads tolerate sparse pages — but emptied nodes are
+// unlinked and single-child pass-through branches collapse, so deleting
+// everything returns the tree to root 0.
+func (t *treeTx) del(root uint64, key []byte) (uint64, bool, error) {
+	if root == 0 {
+		return 0, false, nil
+	}
+	pg, removed, emptied, err := t.delAt(root, key)
+	if err != nil || !removed {
+		return root, removed, err
+	}
+	if emptied {
+		return 0, true, nil
+	}
+	// Collapse a pass-through root.
+	for {
+		n, err := t.load(pg)
+		if err != nil {
+			return 0, false, err
+		}
+		if n.leaf || len(n.children) > 1 {
+			return pg, true, nil
+		}
+		child := n.children[0]
+		if _, ok := t.dirty[n.page]; ok {
+			t.discard(n)
+		} else {
+			t.free(n.page)
+		}
+		pg = child
+	}
+}
+
+func (t *treeTx) delAt(pg uint64, key []byte) (uint64, bool, bool, error) {
+	n, err := t.load(pg)
+	if err != nil {
+		return 0, false, false, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return pg, false, false, nil
+		}
+		n = t.touch(n)
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		if len(n.keys) == 0 {
+			t.discard(n)
+			return 0, true, true, nil
+		}
+		return n.page, true, false, nil
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+	child, removed, emptied, err := t.delAt(n.children[i], key)
+	if err != nil || !removed {
+		return pg, removed, false, err
+	}
+	n = t.touch(n)
+	if !emptied {
+		n.children[i] = child
+		return n.page, true, false, nil
+	}
+	// The child vanished: drop it and one adjacent separator (a
+	// pass-through branch — one child, no keys — has no separator left).
+	n.children = append(n.children[:i], n.children[i+1:]...)
+	switch {
+	case len(n.keys) == 0:
+	case i > 0:
+		n.keys = append(n.keys[:i-1], n.keys[i:]...)
+	default:
+		n.keys = n.keys[1:]
+	}
+	if len(n.children) == 0 {
+		t.discard(n)
+		return 0, true, true, nil
+	}
+	if len(n.children) == 1 && len(n.keys) == 0 {
+		// Collapse the pass-through: hand the single child to the parent.
+		child := n.children[0]
+		t.discard(n)
+		return child, true, false, nil
+	}
+	return n.page, true, false, nil
+}
+
+// scanRange visits keys in [lo, hi) in order under root, pruning
+// subtrees outside the range. hi == nil means +inf. fn returning false
+// stops the scan.
+func (t *treeTx) scanRange(root uint64, lo, hi []byte, fn func(k, v []byte) bool) error {
+	if root == 0 {
+		return nil
+	}
+	_, err := t.scanAt(root, lo, hi, fn)
+	return err
+}
+
+func (t *treeTx) scanAt(pg uint64, lo, hi []byte, fn func(k, v []byte) bool) (bool, error) {
+	n, err := t.load(pg)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return false, nil
+			}
+			if !fn(k, n.vals[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := range n.children {
+		// Child i covers [keys[i-1], keys[i]).
+		if i > 0 && hi != nil && bytes.Compare(n.keys[i-1], hi) >= 0 {
+			return false, nil
+		}
+		if i < len(n.keys) && lo != nil && bytes.Compare(n.keys[i], lo) <= 0 {
+			continue
+		}
+		more, err := t.scanAt(n.children[i], lo, hi, fn)
+		if err != nil || !more {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// prefixEnd returns the exclusive upper bound of the keys sharing
+// prefix, or nil when the prefix is all 0xFF (unbounded).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

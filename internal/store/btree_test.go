@@ -1,0 +1,180 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// openTest opens a store with small pages in a temp dir so trees get
+// deep enough to exercise splits, collapses, and the freelist.
+func openTest(t *testing.T, fs FS) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "verdicts.store")
+	s, err := Open(path, Options{FS: fs, PageSize: minPageSize})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustBegin(t *testing.T, s *Store) *Tx {
+	t.Helper()
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	return tx
+}
+
+func mustCommit(t *testing.T, tx *Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+// TestBtreeRandomAgainstModel drives random put/delete/get traffic
+// through commits and checks every state against a map model, then
+// deletes everything and expects the tree to collapse to empty.
+func TestBtreeRandomAgainstModel(t *testing.T) {
+	s := openTest(t, nil)
+	rng := rand.New(rand.NewSource(7))
+	model := map[string]string{}
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%04d", i)) }
+
+	for round := 0; round < 20; round++ {
+		tx := mustBegin(t, s)
+		for op := 0; op < 40; op++ {
+			i := rng.Intn(300)
+			if rng.Intn(3) == 0 {
+				gone, err := tx.delete(key(i))
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				_, had := model[string(key(i))]
+				if gone != had {
+					t.Fatalf("delete %q: gone=%v model=%v", key(i), gone, had)
+				}
+				delete(model, string(key(i)))
+			} else {
+				v := fmt.Sprintf("v%d-%d", round, op)
+				if err := tx.put(key(i), []byte(v)); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+				model[string(key(i))] = v
+			}
+		}
+		mustCommit(t, tx)
+
+		// Full scan must equal the sorted model.
+		sn := s.Snapshot()
+		var got []string
+		err := sn.t.scanRange(sn.root, nil, nil, func(k, v []byte) bool {
+			got = append(got, string(k)+"="+string(v))
+			return true
+		})
+		sn.Close()
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		var want []string
+		for k, v := range model {
+			want = append(want, k+"="+v)
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: scan %d entries, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d entry %d: got %q want %q", round, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Drain to empty: the root must collapse back to 0.
+	tx := mustBegin(t, s)
+	for k := range model {
+		if _, err := tx.delete([]byte(k)); err != nil {
+			t.Fatalf("drain delete: %v", err)
+		}
+	}
+	mustCommit(t, tx)
+	if root := s.meta.root; root != 0 {
+		t.Fatalf("root after drain = %d, want 0", root)
+	}
+}
+
+// TestBtreePrefixScan checks range pruning across node boundaries.
+func TestBtreePrefixScan(t *testing.T) {
+	s := openTest(t, nil)
+	tx := mustBegin(t, s)
+	for _, pre := range []string{"aa", "ab", "b"} {
+		for i := 0; i < 50; i++ {
+			if err := tx.put([]byte(fmt.Sprintf("%s%03d", pre, i)), []byte{1}); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	mustCommit(t, tx)
+
+	sn := s.Snapshot()
+	defer sn.Close()
+	count := 0
+	err := sn.t.scanRange(sn.root, []byte("ab"), prefixEnd([]byte("ab")), func(k, _ []byte) bool {
+		if !bytes.HasPrefix(k, []byte("ab")) {
+			t.Fatalf("prefix scan leaked key %q", k)
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if count != 50 {
+		t.Fatalf("prefix scan found %d keys, want 50", count)
+	}
+}
+
+// TestBtreeOversizeRejected checks that a cell too large for the page
+// reports ErrOversize and leaves the tree untouched.
+func TestBtreeOversizeRejected(t *testing.T) {
+	s := openTest(t, nil)
+	tx := mustBegin(t, s)
+	if err := tx.put([]byte("small"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	big := make([]byte, maxCellSize(s.pageSize)+1)
+	if err := tx.put([]byte("big"), big); err != ErrOversize {
+		t.Fatalf("oversize put err = %v, want ErrOversize", err)
+	}
+	mustCommit(t, tx)
+
+	sn := s.Snapshot()
+	defer sn.Close()
+	if _, ok, _ := sn.t.get(sn.root, []byte("small")); !ok {
+		t.Fatal("small key lost after oversize rejection")
+	}
+	if _, ok, _ := sn.t.get(sn.root, []byte("big")); ok {
+		t.Fatal("oversize key present")
+	}
+}
+
+// TestPrefixEnd covers the carry and all-0xFF cases.
+func TestPrefixEnd(t *testing.T) {
+	if got := prefixEnd([]byte{1, 2}); !bytes.Equal(got, []byte{1, 3}) {
+		t.Fatalf("prefixEnd(1,2) = %v", got)
+	}
+	if got := prefixEnd([]byte{1, 0xFF}); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("prefixEnd(1,ff) = %v", got)
+	}
+	if got := prefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("prefixEnd(ff,ff) = %v, want nil", got)
+	}
+}

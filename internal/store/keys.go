@@ -1,0 +1,471 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/journal"
+	"repro/internal/rules"
+)
+
+// Typed keyspaces, multiplexed into one B+tree by a 1-byte prefix. All
+// integers are big-endian so byte order equals numeric order and prefix
+// scans walk families and tags contiguously.
+//
+//	'V' fam(8) kind(1) key(8)               → framed journal.Record
+//	'T' fam(8) taghash(8) kind(1) key(8)    → (empty)   verdict tag index
+//	'M' fam(8)                              → rulesHash(8) nchunks(4)
+//	'R' fam(8) seq(4)                       → rules text chunk
+//	'C' fam(8) sum(8) xor(8) n(4)           → verdict(1) ntags(2) tagid(8)*
+//	'U' fam(8) taghash(8) sum(8) xor(8) n(4)→ (empty)   cache tag index
+//
+// fam is the rule-independent family fingerprint (program + assumes +
+// solver options, no rules): records survive rule churn, and the tag
+// index — entries under BOTH the full rules.DepTag and its bare table
+// name, so either rulediff granularity resolves in O(affected) — is what
+// removes the ones a delta invalidates. Tag entries can dangle (a record
+// deleted under one tag leaves its other tags' entries behind); the
+// worst case is a spurious extra invalidation, which only re-derives a
+// verdict — never serves a stale one.
+
+const (
+	ksRecord   = 'V'
+	ksTag      = 'T'
+	ksFamily   = 'M'
+	ksRules    = 'R'
+	ksCache    = 'C'
+	ksCacheTag = 'U'
+)
+
+// hash64 is FNV-1a over s — the same function as smt.TagID, so persisted
+// cache tag IDs and tag-name hashes share one space.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	return f.Sum64()
+}
+
+func recordKey(fam uint64, kind journal.Kind, key uint64) []byte {
+	k := make([]byte, 0, 18)
+	k = append(k, ksRecord)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	k = append(k, byte(kind))
+	return binary.BigEndian.AppendUint64(k, key)
+}
+
+func tagKey(fam, tag uint64, kind journal.Kind, key uint64) []byte {
+	k := make([]byte, 0, 26)
+	k = append(k, ksTag)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	k = binary.BigEndian.AppendUint64(k, tag)
+	k = append(k, byte(kind))
+	return binary.BigEndian.AppendUint64(k, key)
+}
+
+func familyKey(fam uint64) []byte {
+	k := make([]byte, 0, 9)
+	k = append(k, ksFamily)
+	return binary.BigEndian.AppendUint64(k, fam)
+}
+
+func rulesKey(fam uint64, seq uint32) []byte {
+	k := make([]byte, 0, 13)
+	k = append(k, ksRules)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	return binary.BigEndian.AppendUint32(k, seq)
+}
+
+func cacheKey(fam, sum, xor uint64, n uint32) []byte {
+	k := make([]byte, 0, 29)
+	k = append(k, ksCache)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	k = binary.BigEndian.AppendUint64(k, sum)
+	k = binary.BigEndian.AppendUint64(k, xor)
+	return binary.BigEndian.AppendUint32(k, n)
+}
+
+func cacheTagKey(fam, tag, sum, xor uint64, n uint32) []byte {
+	k := make([]byte, 0, 37)
+	k = append(k, ksCacheTag)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	k = binary.BigEndian.AppendUint64(k, tag)
+	k = binary.BigEndian.AppendUint64(k, sum)
+	k = binary.BigEndian.AppendUint64(k, xor)
+	return binary.BigEndian.AppendUint32(k, n)
+}
+
+func famPrefix(ks byte, fam uint64) []byte {
+	k := make([]byte, 0, 9)
+	k = append(k, ks)
+	return binary.BigEndian.AppendUint64(k, fam)
+}
+
+func tagPrefix(ks byte, fam, tag uint64) []byte {
+	k := make([]byte, 0, 17)
+	k = append(k, ks)
+	k = binary.BigEndian.AppendUint64(k, fam)
+	return binary.BigEndian.AppendUint64(k, tag)
+}
+
+// PutRecord stores one journaled verdict under family fam, indexed by
+// its dependency tags at both granularities. Records too large for a
+// page cell and records with no dependency index are skipped (counted):
+// an unindexed record could not be invalidated by a rule delta and
+// therefore must not outlive this run's rules.
+func (tx *Tx) PutRecord(fam uint64, r journal.Record) error {
+	if r.Kind != journal.KindCheck && r.Kind != journal.KindEmit {
+		return fmt.Errorf("store: cannot persist record kind %d", r.Kind)
+	}
+	if !r.Indexed {
+		tx.s.noteSkip()
+		return nil
+	}
+	val := journal.MarshalRecord(journal.Record{
+		Kind: r.Kind, Key: r.Key, Verdict: r.Verdict, Model: r.Model, Tables: r.Tables,
+	})
+	if err := tx.put(recordKey(fam, r.Kind, r.Key), val); err != nil {
+		if errors.Is(err, ErrOversize) {
+			tx.s.noteSkip()
+			return nil
+		}
+		return err
+	}
+	seen := make(map[uint64]struct{}, 2*len(r.Tables))
+	for _, tag := range r.Tables {
+		for _, h := range []uint64{hash64(tag), hash64(rules.TagTable(tag))} {
+			if _, dup := seen[h]; dup {
+				continue
+			}
+			seen[h] = struct{}{}
+			if err := tx.put(tagKey(fam, h, r.Kind, r.Key), nil); err != nil {
+				return err
+			}
+		}
+	}
+	tx.s.noteRecordPut()
+	return nil
+}
+
+// PutCache persists one solver-cache verdict (never Unknown) with its
+// tag IDs, indexed for invalidation.
+func (tx *Tx) PutCache(fam uint64, sum, xor uint64, n uint32, verdict byte, tags []uint64) error {
+	val := make([]byte, 0, 3+8*len(tags))
+	val = append(val, verdict)
+	val = binary.BigEndian.AppendUint16(val, uint16(len(tags)))
+	for _, t := range tags {
+		val = binary.BigEndian.AppendUint64(val, t)
+	}
+	if err := tx.put(cacheKey(fam, sum, xor, n), val); err != nil {
+		if errors.Is(err, ErrOversize) {
+			tx.s.noteSkip()
+			return nil
+		}
+		return err
+	}
+	seen := make(map[uint64]struct{}, len(tags))
+	for _, t := range tags {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if err := tx.put(cacheTagKey(fam, t, sum, xor, n), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateTags removes every verdict record and cache entry indexed
+// under any of the given tags (full rules.DepTag strings or bare table
+// names — both granularities are indexed) in family fam, returning the
+// number of entries removed. Run inside the same transaction as
+// SetFamilyRules, this is the atomic rule update: a crash leaves either
+// the old rules with the old records or the new rules with the
+// invalidated set gone — never a half-invalidated mix.
+func (tx *Tx) InvalidateTags(fam uint64, tags []string) (int, error) {
+	removed := 0
+	for _, tag := range tags {
+		h := hash64(tag)
+
+		var recKeys [][]byte
+		pre := tagPrefix(ksTag, fam, h)
+		err := tx.t.scanRange(tx.root, pre, prefixEnd(pre), func(k, _ []byte) bool {
+			recKeys = append(recKeys, append([]byte(nil), k...))
+			return true
+		})
+		if err != nil {
+			return removed, err
+		}
+		for _, tk := range recKeys {
+			kind := journal.Kind(tk[17])
+			key := binary.BigEndian.Uint64(tk[18:])
+			gone, err := tx.delete(recordKey(fam, kind, key))
+			if err != nil {
+				return removed, err
+			}
+			if gone {
+				removed++
+			}
+			if _, err := tx.delete(tk); err != nil {
+				return removed, err
+			}
+		}
+
+		var cacheKeys [][]byte
+		pre = tagPrefix(ksCacheTag, fam, h)
+		err = tx.t.scanRange(tx.root, pre, prefixEnd(pre), func(k, _ []byte) bool {
+			cacheKeys = append(cacheKeys, append([]byte(nil), k...))
+			return true
+		})
+		if err != nil {
+			return removed, err
+		}
+		for _, ck := range cacheKeys {
+			sum := binary.BigEndian.Uint64(ck[17:])
+			xor := binary.BigEndian.Uint64(ck[25:])
+			n := binary.BigEndian.Uint32(ck[33:])
+			gone, err := tx.delete(cacheKey(fam, sum, xor, n))
+			if err != nil {
+				return removed, err
+			}
+			if gone {
+				removed++
+			}
+			if _, err := tx.delete(ck); err != nil {
+				return removed, err
+			}
+		}
+	}
+	if removed > 0 {
+		tx.s.noteInvalidated(removed)
+	}
+	return removed, nil
+}
+
+// SetFamilyRules records the canonical rules text the family's records
+// are valid under, chunked across pages.
+func (tx *Tx) SetFamilyRules(fam uint64, rulesText string) error {
+	// Drop any previous chunks (the new text may be shorter).
+	var old [][]byte
+	pre := famPrefix(ksRules, fam)
+	err := tx.t.scanRange(tx.root, pre, prefixEnd(pre), func(k, _ []byte) bool {
+		old = append(old, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range old {
+		if _, err := tx.delete(k); err != nil {
+			return err
+		}
+	}
+	chunk := maxCellSize(tx.s.pageSize) - 32
+	if chunk < 16 {
+		return fmt.Errorf("store: page size %d cannot hold rules chunks", tx.s.pageSize)
+	}
+	n := uint32(0)
+	for off := 0; off < len(rulesText); off += chunk {
+		end := off + chunk
+		if end > len(rulesText) {
+			end = len(rulesText)
+		}
+		if err := tx.put(rulesKey(fam, n), []byte(rulesText[off:end])); err != nil {
+			return err
+		}
+		n++
+	}
+	val := make([]byte, 0, 12)
+	val = binary.BigEndian.AppendUint64(val, hash64(rulesText))
+	val = binary.BigEndian.AppendUint32(val, n)
+	return tx.put(familyKey(fam), val)
+}
+
+// GetRecord reads a verdict record from within the transaction (its own
+// writes included).
+func (tx *Tx) GetRecord(fam uint64, kind journal.Kind, key uint64) (journal.Record, bool, error) {
+	return getRecord(&tx.t, tx.root, fam, kind, key)
+}
+
+// put inserts or replaces a key, updating the transaction's root.
+func (tx *Tx) put(key, val []byte) error {
+	root, err := tx.t.put(tx.root, key, val)
+	if err != nil {
+		return err
+	}
+	tx.root = root
+	return nil
+}
+
+// delete removes a key, reporting whether it existed.
+func (tx *Tx) delete(key []byte) (bool, error) {
+	root, removed, err := tx.t.del(tx.root, key)
+	if err != nil {
+		return false, err
+	}
+	tx.root = root
+	return removed, nil
+}
+
+func (s *Store) noteSkip() {
+	s.mu.Lock()
+	s.stats.Skipped++
+	s.mu.Unlock()
+	mOversize.Inc()
+}
+
+func (s *Store) noteRecordPut() {
+	s.mu.Lock()
+	s.stats.RecordsPut++
+	s.mu.Unlock()
+	mRecordsPut.Inc()
+}
+
+func (s *Store) noteInvalidated(n int) {
+	s.mu.Lock()
+	s.stats.Invalidated += uint64(n)
+	s.mu.Unlock()
+	mInvalidated.Add(uint64(n))
+}
+
+func (s *Store) noteSnapshotReads(n int) {
+	s.mu.Lock()
+	s.stats.SnapshotReads += uint64(n)
+	s.mu.Unlock()
+	mSnapshotReads.Add(uint64(n))
+}
+
+// FamilyInfo describes the rules a family's records are valid under.
+type FamilyInfo struct {
+	RulesHash uint64
+	Rules     string
+}
+
+// decodeRecordVal parses a stored record value back into a Record,
+// restoring the Indexed flag (only indexed records are persisted).
+func decodeRecordVal(val []byte) (journal.Record, error) {
+	r, ok := journal.UnmarshalRecord(val)
+	if !ok {
+		return journal.Record{}, fmt.Errorf("%w: record value", ErrCorrupt)
+	}
+	r.Indexed = true
+	return r, nil
+}
+
+func getRecord(t *treeTx, root uint64, fam uint64, kind journal.Kind, key uint64) (journal.Record, bool, error) {
+	val, ok, err := t.get(root, recordKey(fam, kind, key))
+	if err != nil || !ok {
+		return journal.Record{}, false, err
+	}
+	r, err := decodeRecordVal(val)
+	if err != nil {
+		return journal.Record{}, false, err
+	}
+	return r, true, nil
+}
+
+func familyInfo(t *treeTx, root uint64, fam uint64) (FamilyInfo, bool, error) {
+	val, ok, err := t.get(root, familyKey(fam))
+	if err != nil || !ok {
+		return FamilyInfo{}, false, err
+	}
+	if len(val) < 12 {
+		return FamilyInfo{}, false, fmt.Errorf("%w: family value", ErrCorrupt)
+	}
+	info := FamilyInfo{RulesHash: binary.BigEndian.Uint64(val)}
+	n := binary.BigEndian.Uint32(val[8:])
+	var text []byte
+	for i := uint32(0); i < n; i++ {
+		chunk, ok, err := t.get(root, rulesKey(fam, i))
+		if err != nil {
+			return FamilyInfo{}, false, err
+		}
+		if !ok {
+			return FamilyInfo{}, false, fmt.Errorf("%w: missing rules chunk %d", ErrCorrupt, i)
+		}
+		text = append(text, chunk...)
+	}
+	info.Rules = string(text)
+	if hash64(info.Rules) != info.RulesHash {
+		return FamilyInfo{}, false, fmt.Errorf("%w: rules text hash mismatch", ErrCorrupt)
+	}
+	return info, true, nil
+}
+
+// Family reads a family's rules via an ephemeral snapshot.
+func (s *Store) Family(fam uint64) (FamilyInfo, bool, error) {
+	sn := s.Snapshot()
+	defer sn.Close()
+	return sn.Family(fam)
+}
+
+// Family reads the rules the snapshot's records are valid under.
+func (sn *Snapshot) Family(fam uint64) (FamilyInfo, bool, error) {
+	return familyInfo(&sn.t, sn.root, fam)
+}
+
+// GetRecord reads one verdict record from the snapshot.
+func (sn *Snapshot) GetRecord(fam uint64, kind journal.Kind, key uint64) (journal.Record, bool, error) {
+	r, ok, err := getRecord(&sn.t, sn.root, fam, kind, key)
+	if ok {
+		sn.s.noteSnapshotReads(1)
+	}
+	return r, ok, err
+}
+
+// Records visits the snapshot's verdict records for fam in canonical
+// (kind, key) order. fn returning false stops the walk.
+func (sn *Snapshot) Records(fam uint64, fn func(journal.Record) bool) error {
+	pre := famPrefix(ksRecord, fam)
+	served := 0
+	var decodeErr error
+	err := sn.t.scanRange(sn.root, pre, prefixEnd(pre), func(_, v []byte) bool {
+		r, derr := decodeRecordVal(v)
+		if derr != nil {
+			decodeErr = derr
+			return false
+		}
+		served++
+		return fn(r)
+	})
+	if served > 0 {
+		sn.s.noteSnapshotReads(served)
+	}
+	if err == nil {
+		err = decodeErr
+	}
+	return err
+}
+
+// CacheEntries visits the snapshot's persisted solver-cache verdicts for
+// fam: digest (sum, xor, n), verdict byte, and tag IDs.
+func (sn *Snapshot) CacheEntries(fam uint64, fn func(sum, xor uint64, n uint32, verdict byte, tags []uint64) bool) error {
+	pre := famPrefix(ksCache, fam)
+	return sn.t.scanRange(sn.root, pre, prefixEnd(pre), func(k, v []byte) bool {
+		if len(k) < 29 || len(v) < 3 {
+			return false
+		}
+		sum := binary.BigEndian.Uint64(k[9:])
+		xor := binary.BigEndian.Uint64(k[17:])
+		n := binary.BigEndian.Uint32(k[25:])
+		nt := int(binary.BigEndian.Uint16(v[1:]))
+		var tags []uint64
+		for i := 0; i < nt && 3+8*(i+1) <= len(v); i++ {
+			tags = append(tags, binary.BigEndian.Uint64(v[3+8*i:]))
+		}
+		return fn(sum, xor, n, v[0], tags)
+	})
+}
+
+// RecordCount returns the number of verdict records stored for fam.
+func (sn *Snapshot) RecordCount(fam uint64) (int, error) {
+	pre := famPrefix(ksRecord, fam)
+	n := 0
+	err := sn.t.scanRange(sn.root, pre, prefixEnd(pre), func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}

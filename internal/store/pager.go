@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// DefaultPageSize is the page size of newly created stores. An existing
+// file's recorded page size always wins at Open.
+const DefaultPageSize = 4096
+
+// minPageSize keeps tests honest: small pages force deep trees and
+// frequent splits without gigabyte fixtures.
+const minPageSize = 256
+
+const storeMagic = "MEISSAS1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a store file damaged beyond the crash model: a
+// checksum-failing page that no WAL record can heal.
+var ErrCorrupt = errors.New("store: corrupt store file")
+
+// metaPage is the decoded page 0: the single source of truth for the
+// committed state. It is only ever rewritten through the WAL commit
+// protocol, so a torn meta write is always healed by redo.
+type metaPage struct {
+	pageSize  int
+	txid      uint64
+	root      uint64 // 0 = empty tree
+	pageCount uint64 // pages in the file, meta included
+	freelist  []uint64
+}
+
+// metaFixed is the encoded size of the fixed meta fields (after the
+// page CRC): magic + version + pageSize + txid + root + pageCount +
+// freelist length.
+const metaFixed = 8 + 2 + 4 + 8 + 8 + 8 + 4
+
+// freelistCap bounds the persisted freelist to what fits in the meta
+// page. Overflow pages are dropped — leaked until the file is rebuilt —
+// which costs disk, never correctness.
+func freelistCap(pageSize int) int { return (pageSize - 4 - metaFixed) / 8 }
+
+// encodeMeta renders the meta page (CRC filled).
+func encodeMeta(m *metaPage) []byte {
+	page := make([]byte, m.pageSize)
+	p := page[4:4]
+	p = append(p, storeMagic...)
+	p = binary.LittleEndian.AppendUint16(p, 1)
+	p = binary.LittleEndian.AppendUint32(p, uint32(m.pageSize))
+	p = binary.LittleEndian.AppendUint64(p, m.txid)
+	p = binary.LittleEndian.AppendUint64(p, m.root)
+	p = binary.LittleEndian.AppendUint64(p, m.pageCount)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(m.freelist)))
+	for _, pg := range m.freelist {
+		p = binary.LittleEndian.AppendUint64(p, pg)
+	}
+	sealPage(page)
+	return page
+}
+
+// decodeMeta parses a meta page, CRC and magic checked.
+func decodeMeta(page []byte) (*metaPage, error) {
+	if !checkPage(page) {
+		return nil, fmt.Errorf("%w: meta page checksum", ErrCorrupt)
+	}
+	p := page[4:]
+	if string(p[:8]) != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(p[8:]); v != 1 {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	m := &metaPage{
+		pageSize:  int(binary.LittleEndian.Uint32(p[10:])),
+		txid:      binary.LittleEndian.Uint64(p[14:]),
+		root:      binary.LittleEndian.Uint64(p[22:]),
+		pageCount: binary.LittleEndian.Uint64(p[30:]),
+	}
+	if m.pageSize != len(page) {
+		return nil, fmt.Errorf("%w: meta page size %d != file page size %d", ErrCorrupt, m.pageSize, len(page))
+	}
+	n := int(binary.LittleEndian.Uint32(p[38:]))
+	if n < 0 || metaFixed+8*n > len(p) {
+		return nil, fmt.Errorf("%w: freelist length %d", ErrCorrupt, n)
+	}
+	for i := 0; i < n; i++ {
+		m.freelist = append(m.freelist, binary.LittleEndian.Uint64(p[metaFixed+8*i:]))
+	}
+	return m, nil
+}
+
+// sealPage writes the CRC32C of page[4:] into page[0:4].
+func sealPage(page []byte) {
+	binary.LittleEndian.PutUint32(page, crc32.Checksum(page[4:], crcTable))
+}
+
+// checkPage verifies a page's checksum.
+func checkPage(page []byte) bool {
+	if len(page) < 4 {
+		return false
+	}
+	return binary.LittleEndian.Uint32(page) == crc32.Checksum(page[4:], crcTable)
+}
+
+// readPage reads page pg from f. The caller checks the CRC (recovery
+// wants to distinguish torn from intact; normal reads fail hard).
+func readPage(f File, pageSize int, pg uint64) ([]byte, error) {
+	buf := make([]byte, pageSize)
+	if _, err := f.ReadAt(buf, int64(pg)*int64(pageSize)); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", pg, err)
+	}
+	return buf, nil
+}
+
+// writePage writes page pg to f.
+func writePage(f File, pageSize int, pg uint64, page []byte) error {
+	if len(page) != pageSize {
+		return fmt.Errorf("store: page %d has %d bytes, want %d", pg, len(page), pageSize)
+	}
+	if _, err := f.WriteAt(page, int64(pg)*int64(pageSize)); err != nil {
+		return fmt.Errorf("store: write page %d: %w", pg, err)
+	}
+	return nil
+}

@@ -1,0 +1,614 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Options configures Open. The zero value is production defaults.
+type Options struct {
+	// FS is the filesystem to perform I/O through; nil means the real OS.
+	// The recovery harness injects a FailFS here.
+	FS FS
+	// PageSize is used only when creating a new store; an existing file's
+	// recorded page size always wins. 0 means DefaultPageSize.
+	PageSize int
+}
+
+// ErrWedged is returned by writes after an I/O error left a commit in an
+// ambiguous state. The in-memory store refuses further mutations;
+// reopening recovers to a transaction boundary via WAL redo.
+var ErrWedged = errors.New("store: wedged by I/O error; reopen to recover")
+
+// Stats is a per-store snapshot of lifetime counters (the obs registry
+// carries the process-wide versions).
+type Stats struct {
+	Commits       uint64 // committed transactions this open
+	Aborts        uint64 // aborted transactions this open
+	WalReplays    uint64 // transactions redone from the WAL at Open
+	PagesTorn     uint64 // checksum-failing pages healed by redo at Open
+	SnapshotReads uint64 // records served through snapshot handles
+	Invalidated   uint64 // records+cache entries removed by tag invalidation
+	RecordsPut    uint64 // verdict records written
+	Skipped       uint64 // records skipped (oversize or unindexed)
+}
+
+// Store is an open verdict store. One *Store is safe for concurrent use:
+// transactions serialize on an internal writer lock; snapshots read
+// concurrently with the writer.
+type Store struct {
+	fs       FS
+	path     string
+	f, wal   File
+	pageSize int
+
+	txMu sync.Mutex // single writer, held Begin → Commit/Abort
+
+	mu          sync.Mutex // guards everything below
+	meta        *metaPage
+	cache       map[uint64]*node    // committed decoded pages
+	freePool    []uint64            // pages free for reuse (meta.freelist ⊆ freePool)
+	pendingFree map[uint64][]uint64 // commit txid → pages freed by it, gated on snapshots
+	snaps       map[uint64]int      // open snapshot txid → count
+	wedged      error
+	stats       Stats
+}
+
+// nodeCacheLimit bounds the decoded-page cache; beyond it arbitrary
+// clean entries are dropped (they re-read from disk).
+const nodeCacheLimit = 8192
+
+// Open opens or creates the store at path (its WAL lives at path+"-wal")
+// and runs crash recovery: intact WAL commits newer than the main file's
+// meta page are redone, torn tails are discarded, and the WAL is reset.
+func Open(path string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	pageSize := opts.PageSize
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize {
+		return nil, fmt.Errorf("store: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	wal, err := fs.OpenFile(path+"-wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s := &Store{
+		fs: fs, path: path, f: f, wal: wal,
+		pageSize:    pageSize,
+		cache:       make(map[uint64]*node),
+		pendingFree: make(map[uint64][]uint64),
+		snaps:       make(map[uint64]int),
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		wal.Close()
+		return nil, err
+	}
+	s.freePool = append([]uint64(nil), s.meta.freelist...)
+	return s, nil
+}
+
+// recover establishes the committed state: decide the authoritative meta
+// page (main file, or the newest WAL commit frame when the main file's
+// copy is torn), redo newer WAL transactions, and truncate the log. A
+// brand-new (or incompletely initialized) store is initialized through
+// the same commit protocol so even creation is crash-atomic.
+func (s *Store) recover() error {
+	txns, err := scanWAL(s.wal)
+	if err != nil {
+		return err
+	}
+	size, err := s.f.Size()
+	if err != nil {
+		return fmt.Errorf("store: size: %w", err)
+	}
+
+	var meta *metaPage
+	metaTorn := false
+	if len(txns) > 0 {
+		// The newest commit frame carries a full meta image; it defines
+		// the page size even when page 0 is torn.
+		m, err := decodeMeta(txns[len(txns)-1].meta)
+		if err != nil {
+			return err
+		}
+		s.pageSize = m.pageSize
+	}
+	if size > 0 {
+		// The recorded page size lives inside the meta page; probe the
+		// fixed-offset header first so a store created with any page size
+		// reopens correctly regardless of Options.PageSize.
+		if ps, ok := probePageSize(s.f, size); ok {
+			page, err := readPage(s.f, ps, 0)
+			if err != nil {
+				return err
+			}
+			if m, err := decodeMeta(page); err == nil {
+				meta = m
+				s.pageSize = m.pageSize
+			}
+		}
+		if meta == nil {
+			if len(txns) == 0 {
+				// The meta page is unreadable and no WAL commit can heal
+				// it. Every write path puts the commit frame on disk before
+				// touching page 0, so this is outside the crash model.
+				return fmt.Errorf("%w: unreadable meta page and empty wal", ErrCorrupt)
+			}
+			metaTorn = true
+		}
+	}
+
+	if meta == nil && len(txns) == 0 {
+		// Fresh store (or a crash before the init commit became durable).
+		return s.initFresh()
+	}
+
+	// Redo committed transactions newer than the main file's meta. With
+	// page 0 torn every commit in the log is replayed — page images are
+	// full and idempotent, so over-application is harmless.
+	sinceTxid := uint64(0)
+	if meta != nil && !metaTorn {
+		sinceTxid = meta.txid
+	}
+	replayed := false
+	for _, txn := range txns {
+		if txn.txid <= sinceTxid {
+			continue
+		}
+		m, err := decodeMeta(txn.meta)
+		if err != nil {
+			return err
+		}
+		for pg, img := range txn.pages {
+			if len(img) != s.pageSize {
+				return fmt.Errorf("%w: wal page %d image size %d", ErrCorrupt, pg, len(img))
+			}
+			if cur, err := readPage(s.f, s.pageSize, pg); err == nil && !checkPage(cur) {
+				s.stats.PagesTorn++
+				mPagesTorn.Inc()
+			}
+			if err := writePage(s.f, s.pageSize, pg, img); err != nil {
+				return err
+			}
+		}
+		if err := writePage(s.f, s.pageSize, 0, txn.meta); err != nil {
+			return err
+		}
+		meta = m
+		replayed = true
+		s.stats.WalReplays++
+		mWalReplays.Inc()
+	}
+	if metaTorn {
+		s.stats.PagesTorn++
+		mPagesTorn.Inc()
+	}
+	if replayed {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: recovery sync: %w", err)
+		}
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: recovery wal reset: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: recovery wal sync: %w", err)
+	}
+	s.meta = meta
+	return nil
+}
+
+// probePageSize reads the fixed-offset meta header (magic + page size)
+// without knowing the page size. ok=false means no plausible header —
+// the meta page is torn or the file is not a store.
+func probePageSize(f File, size int64) (int, bool) {
+	if size < 18 {
+		return 0, false
+	}
+	hdr := make([]byte, 18)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return 0, false
+	}
+	if string(hdr[4:12]) != storeMagic {
+		return 0, false
+	}
+	ps := int(binary.LittleEndian.Uint32(hdr[14:]))
+	if ps < minPageSize || ps > 64<<10 || size < int64(ps) {
+		return 0, false
+	}
+	return ps, true
+}
+
+// initFresh writes the empty store's meta page through the commit
+// protocol (WAL first, then the main file), so a crash mid-creation
+// recovers on the next Open instead of presenting a corrupt file.
+func (s *Store) initFresh() error {
+	meta := &metaPage{pageSize: s.pageSize, txid: 1, root: 0, pageCount: 1}
+	img := encodeMeta(meta)
+	frame := walCommitFrame(meta.txid, img)
+	if _, err := s.wal.WriteAt(frame, 0); err != nil {
+		return fmt.Errorf("store: init wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: init wal sync: %w", err)
+	}
+	if err := writePage(s.f, s.pageSize, 0, img); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: init sync: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: init wal reset: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: init wal sync: %w", err)
+	}
+	s.meta = meta
+	return nil
+}
+
+// Close releases the file handles. Open transactions or snapshots must
+// be finished first; committed state needs no flushing (commits are
+// durable when Commit returns).
+func (s *Store) Close() error {
+	werr := s.wal.Close()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return werr
+}
+
+// Path returns the main file path.
+func (s *Store) Path() string { return s.path }
+
+// PageSize returns the store's page size.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Txid returns the committed transaction ID.
+func (s *Store) Txid() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta.txid
+}
+
+// Stats returns this store's lifetime counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// committedNode reads a committed page through the decoded-node cache.
+func (s *Store) committedNode(pg uint64) (*node, error) {
+	s.mu.Lock()
+	if n, ok := s.cache[pg]; ok {
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+	page, err := readPage(s.f, s.pageSize, pg)
+	if err != nil {
+		return nil, err
+	}
+	if !checkPage(page) {
+		return nil, fmt.Errorf("%w: page %d checksum", ErrCorrupt, pg)
+	}
+	n, err := decodeNode(page, pg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.cache) >= nodeCacheLimit {
+		dropped := 0
+		for k := range s.cache {
+			delete(s.cache, k)
+			if dropped++; dropped >= nodeCacheLimit/4 {
+				break
+			}
+		}
+	}
+	s.cache[pg] = n
+	s.mu.Unlock()
+	return n, nil
+}
+
+// Tx is a writer transaction. At most one is open at a time; reads
+// within the transaction see its own uncommitted writes.
+type Tx struct {
+	s        *Store
+	t        treeTx
+	root     uint64
+	pageOrig uint64 // committed root at Begin
+	count    uint64 // page counter (next fresh page)
+	pool     []uint64
+	poolOrig []uint64
+	freed    []uint64
+	done     bool
+}
+
+// Begin starts a writer transaction, blocking until any current writer
+// finishes.
+func (s *Store) Begin() (*Tx, error) {
+	s.txMu.Lock()
+	s.mu.Lock()
+	if s.wedged != nil {
+		s.mu.Unlock()
+		s.txMu.Unlock()
+		return nil, s.wedged
+	}
+	tx := &Tx{
+		s:        s,
+		root:     s.meta.root,
+		pageOrig: s.meta.root,
+		count:    s.meta.pageCount,
+		pool:     s.freePool,
+		poolOrig: s.freePool,
+	}
+	s.freePool = nil
+	s.mu.Unlock()
+	tx.t = treeTx{
+		src:      s.committedNode,
+		alloc:    tx.alloc,
+		free:     tx.freePage,
+		dirty:    make(map[uint64]*node),
+		pageSize: s.pageSize,
+	}
+	return tx, nil
+}
+
+func (tx *Tx) alloc() uint64 {
+	if n := len(tx.pool); n > 0 {
+		pg := tx.pool[n-1]
+		tx.pool = tx.pool[:n-1]
+		return pg
+	}
+	pg := tx.count
+	tx.count++
+	return pg
+}
+
+// freePage queues a page for the freelist. The page stays untouched on
+// disk until this transaction commits AND no open snapshot can still
+// reference it.
+func (tx *Tx) freePage(pg uint64) { tx.freed = append(tx.freed, pg) }
+
+// Abort discards the transaction. Nothing reached disk, so the store
+// continues unharmed.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	s := tx.s
+	s.mu.Lock()
+	s.freePool = tx.poolOrig
+	s.stats.Aborts++
+	s.mu.Unlock()
+	mAborts.Inc()
+	s.txMu.Unlock()
+}
+
+// Commit makes the transaction durable: dirty pages plus the new meta
+// image are appended to the WAL and synced (the commit point), then
+// applied to the main file and synced, then the WAL is reset. An error
+// before the commit point aborts cleanly; an error at or after it wedges
+// the in-memory store (ErrWedged on further writes) — reopening recovers
+// to a transaction boundary either way.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errors.New("store: transaction already finished")
+	}
+	tx.done = true
+	s := tx.s
+	defer s.txMu.Unlock()
+
+	if len(tx.t.dirty) == 0 && tx.root == tx.pageOrig && len(tx.freed) == 0 {
+		s.mu.Lock()
+		s.freePool = tx.poolOrig
+		s.mu.Unlock()
+		return nil // read-only transaction
+	}
+
+	// Reclaim pending frees now safe: pages freed by commit T are
+	// referenced only by states older than T, so they recycle once no
+	// open snapshot predates T.
+	s.mu.Lock()
+	minSnap := ^uint64(0)
+	for txid := range s.snaps {
+		if txid < minSnap {
+			minSnap = txid
+		}
+	}
+	var drained []uint64
+	for txid, pgs := range s.pendingFree {
+		if txid <= minSnap {
+			drained = append(drained, pgs...)
+			delete(s.pendingFree, txid)
+		}
+	}
+	newMeta := metaPage{
+		pageSize:  s.pageSize,
+		txid:      s.meta.txid + 1,
+		root:      tx.root,
+		pageCount: tx.count,
+	}
+	s.mu.Unlock()
+	avail := append(append([]uint64(nil), tx.pool...), drained...)
+	if fcap := freelistCap(s.pageSize); len(avail) > fcap {
+		newMeta.freelist = avail[:fcap]
+	} else {
+		newMeta.freelist = avail
+	}
+
+	// Phase 1: WAL append + sync — the commit point.
+	pages := make([]uint64, 0, len(tx.t.dirty))
+	for pg := range tx.t.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	images := make(map[uint64][]byte, len(pages))
+	var off int64
+	for _, pg := range pages {
+		img, err := encodeNode(tx.t.dirty[pg], s.pageSize)
+		if err != nil {
+			return tx.failBefore(err, drained)
+		}
+		images[pg] = img
+		frame := walPageFrame(pg, img)
+		if _, err := s.wal.WriteAt(frame, off); err != nil {
+			return tx.failBefore(err, drained)
+		}
+		off += int64(len(frame))
+	}
+	metaImg := encodeMeta(&newMeta)
+	cframe := walCommitFrame(newMeta.txid, metaImg)
+	if _, err := s.wal.WriteAt(cframe, off); err != nil {
+		return tx.failBefore(err, drained)
+	}
+	if err := s.wal.Sync(); err != nil {
+		// The sync may or may not have reached disk: ambiguous, wedge.
+		return tx.failAfter(fmt.Errorf("store: wal sync: %w", err))
+	}
+
+	// Phase 2: apply to the main file.
+	for _, pg := range pages {
+		if err := writePage(s.f, s.pageSize, pg, images[pg]); err != nil {
+			return tx.failAfter(err)
+		}
+	}
+	if err := writePage(s.f, s.pageSize, 0, metaImg); err != nil {
+		return tx.failAfter(err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return tx.failAfter(fmt.Errorf("store: sync: %w", err))
+	}
+
+	// Phase 3: reset the WAL.
+	if err := s.wal.Truncate(0); err != nil {
+		return tx.failAfter(fmt.Errorf("store: wal reset: %w", err))
+	}
+	if err := s.wal.Sync(); err != nil {
+		return tx.failAfter(fmt.Errorf("store: wal reset sync: %w", err))
+	}
+
+	s.mu.Lock()
+	s.meta = &newMeta
+	for pg, n := range tx.t.dirty {
+		s.cache[pg] = n
+	}
+	if len(s.snaps) == 0 {
+		// No snapshot can pin the pre-commit state anymore (new snapshots
+		// open at the new txid), so freed pages recycle immediately.
+		for _, pg := range tx.freed {
+			delete(s.cache, pg)
+		}
+		s.freePool = append(avail, tx.freed...)
+	} else {
+		s.freePool = avail
+		s.pendingFree[newMeta.txid] = tx.freed
+	}
+	s.stats.Commits++
+	s.mu.Unlock()
+	mCommits.Inc()
+	return nil
+}
+
+// failBefore handles a commit error before the commit point: the WAL is
+// reset and the transaction aborts with nothing visible (drained pending
+// frees stay reusable — their reclamation was independent of this
+// commit). If even the reset fails the store wedges (stale WAL bytes
+// must not survive).
+func (tx *Tx) failBefore(err error, drained []uint64) error {
+	s := tx.s
+	if terr := s.wal.Truncate(0); terr == nil {
+		if serr := s.wal.Sync(); serr == nil {
+			s.mu.Lock()
+			s.freePool = append(append([]uint64(nil), tx.poolOrig...), drained...)
+			s.stats.Aborts++
+			s.mu.Unlock()
+			mAborts.Inc()
+			return err
+		}
+	}
+	return tx.failAfter(err)
+}
+
+// failAfter handles a commit error at or past the commit point: the
+// outcome is decided by what reached disk, so the in-memory store wedges
+// and the next Open resolves it via WAL redo.
+func (tx *Tx) failAfter(err error) error {
+	s := tx.s
+	s.mu.Lock()
+	s.wedged = fmt.Errorf("%w (cause: %v)", ErrWedged, err)
+	s.mu.Unlock()
+	return err
+}
+
+// Snapshot is a read-only view pinned at a committed transaction. Pages
+// it can reach are excluded from reuse until Close.
+type Snapshot struct {
+	s      *Store
+	t      treeTx
+	root   uint64
+	txid   uint64
+	closed bool
+}
+
+// Snapshot pins the current committed state for reading.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := &Snapshot{s: s, root: s.meta.root, txid: s.meta.txid}
+	sn.t = treeTx{src: s.committedNode, pageSize: s.pageSize}
+	s.snaps[sn.txid]++
+	return sn
+}
+
+// Txid returns the transaction ID the snapshot is pinned at.
+func (sn *Snapshot) Txid() uint64 { return sn.txid }
+
+// Close releases the pin and recycles any freed pages no longer
+// reachable by an open snapshot.
+func (sn *Snapshot) Close() {
+	if sn.closed {
+		return
+	}
+	sn.closed = true
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snaps[sn.txid]--; s.snaps[sn.txid] <= 0 {
+		delete(s.snaps, sn.txid)
+	}
+	minSnap := ^uint64(0)
+	for txid := range s.snaps {
+		if txid < minSnap {
+			minSnap = txid
+		}
+	}
+	for txid, pgs := range s.pendingFree {
+		if txid <= minSnap {
+			for _, pg := range pgs {
+				delete(s.cache, pg)
+			}
+			s.freePool = append(s.freePool, pgs...)
+			delete(s.pendingFree, txid)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/rules"
+)
+
+func testRecord(key uint64, verdict journal.Verdict, tags ...string) journal.Record {
+	return journal.Record{
+		Kind: journal.KindEmit, Key: key, Verdict: verdict,
+		Model:  []journal.VarVal{{Var: "h.dst", Val: key}},
+		Tables: tags, Indexed: true,
+	}
+}
+
+// TestStoreRoundTrip persists records across a close/reopen and checks
+// byte-level record fidelity plus family rules round-trip.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.store")
+	s, err := Open(path, Options{PageSize: minPageSize})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const fam = 0xfeed
+	rulesText := "table acl { entry 1 }"
+
+	tx := mustBegin(t, s)
+	recs := []journal.Record{
+		testRecord(10, journal.Unsat, rules.DepTag("acl", &rules.Entry{}), rules.MissTag("fwd")),
+		testRecord(11, journal.Sat, rules.MissTag("acl")),
+		{Kind: journal.KindCheck, Key: 10, Verdict: journal.Sat, Tables: []string{rules.MissTag("fwd")}, Indexed: true},
+	}
+	for _, r := range recs {
+		if err := tx.PutRecord(fam, r); err != nil {
+			t.Fatalf("PutRecord: %v", err)
+		}
+	}
+	if err := tx.SetFamilyRules(fam, rulesText); err != nil {
+		t.Fatalf("SetFamilyRules: %v", err)
+	}
+	mustCommit(t, tx)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s, err = Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if s.PageSize() != minPageSize {
+		t.Fatalf("page size %d not preserved", s.PageSize())
+	}
+
+	info, ok, err := s.Family(fam)
+	if err != nil || !ok {
+		t.Fatalf("Family: ok=%v err=%v", ok, err)
+	}
+	if info.Rules != rulesText {
+		t.Fatalf("rules round-trip: %q", info.Rules)
+	}
+
+	sn := s.Snapshot()
+	defer sn.Close()
+	var got []journal.Record
+	if err := sn.Records(fam, func(r journal.Record) bool { got = append(got, r); return true }); err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+	// Canonical order: (kind, key) — the Check record first.
+	if got[0].Kind != journal.KindCheck || got[1].Key != 10 || got[2].Key != 11 {
+		t.Fatalf("canonical order broken: %+v", got)
+	}
+	r, ok, err := sn.GetRecord(fam, journal.KindEmit, 10)
+	if err != nil || !ok {
+		t.Fatalf("GetRecord: ok=%v err=%v", ok, err)
+	}
+	if r.Verdict != journal.Unsat || len(r.Model) != 1 || r.Model[0].Var != "h.dst" || !r.Indexed {
+		t.Fatalf("record fidelity: %+v", r)
+	}
+	if st := s.Stats(); st.SnapshotReads == 0 {
+		t.Fatal("snapshot reads not counted")
+	}
+}
+
+// TestStoreLastWins overwrites a record and expects the newest verdict.
+func TestStoreLastWins(t *testing.T) {
+	s := openTest(t, nil)
+	const fam = 1
+	tx := mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(5, journal.Unsat, "acl#miss")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx = mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(5, journal.Sat, "acl#miss")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	sn := s.Snapshot()
+	defer sn.Close()
+	r, ok, err := sn.GetRecord(fam, journal.KindEmit, 5)
+	if err != nil || !ok || r.Verdict != journal.Sat {
+		t.Fatalf("last-wins: r=%+v ok=%v err=%v", r, ok, err)
+	}
+	if n, _ := sn.RecordCount(fam); n != 1 {
+		t.Fatalf("record count %d, want 1", n)
+	}
+}
+
+// TestStoreInvalidateTags exercises both tag granularities and checks
+// only the affected records vanish.
+func TestStoreInvalidateTags(t *testing.T) {
+	s := openTest(t, nil)
+	const fam = 2
+	e := &rules.Entry{}
+	aclTag := rules.DepTag("acl", e)
+
+	tx := mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(1, journal.Unsat, aclTag)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutRecord(fam, testRecord(2, journal.Unsat, rules.MissTag("acl"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutRecord(fam, testRecord(3, journal.Unsat, rules.MissTag("fwd"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutCache(fam, 100, 200, 3, 0, []uint64{hash64(aclTag)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutCache(fam, 101, 201, 2, 1, []uint64{hash64("fwd")}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	// Full-tag granularity: only record 1 and its cache entry go.
+	tx = mustBegin(t, s)
+	n, err := tx.InvalidateTags(fam, []string{aclTag})
+	if err != nil {
+		t.Fatalf("InvalidateTags: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	mustCommit(t, tx)
+	sn := s.Snapshot()
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 1); ok {
+		t.Fatal("record 1 survived full-tag invalidation")
+	}
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 2); !ok {
+		t.Fatal("record 2 (same table, different entry) wrongly invalidated")
+	}
+	sn.Close()
+
+	// Bare-table granularity: every acl record goes; fwd survives.
+	tx = mustBegin(t, s)
+	if _, err := tx.InvalidateTags(fam, []string{"acl"}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	sn = s.Snapshot()
+	defer sn.Close()
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 2); ok {
+		t.Fatal("record 2 survived bare-table invalidation")
+	}
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 3); !ok {
+		t.Fatal("record 3 (other table) wrongly invalidated")
+	}
+	cacheLeft := 0
+	sn.CacheEntries(fam, func(_, _ uint64, _ uint32, _ byte, _ []uint64) bool { cacheLeft++; return true })
+	if cacheLeft != 1 {
+		t.Fatalf("%d cache entries left, want 1 (fwd)", cacheLeft)
+	}
+	if st := s.Stats(); st.Invalidated == 0 {
+		t.Fatal("invalidations not counted")
+	}
+}
+
+// TestStoreUnindexedSkipped: records without a dependency index must not
+// be persisted (they could never be invalidated by a rule delta).
+func TestStoreUnindexedSkipped(t *testing.T) {
+	s := openTest(t, nil)
+	tx := mustBegin(t, s)
+	r := testRecord(9, journal.Unsat)
+	r.Indexed = false
+	if err := tx.PutRecord(3, r); err != nil {
+		t.Fatalf("PutRecord: %v", err)
+	}
+	mustCommit(t, tx)
+	sn := s.Snapshot()
+	defer sn.Close()
+	if _, ok, _ := sn.GetRecord(3, journal.KindEmit, 9); ok {
+		t.Fatal("unindexed record persisted")
+	}
+	if st := s.Stats(); st.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", st.Skipped)
+	}
+}
+
+// TestSnapshotIsolation pins a snapshot, commits new and overwritten
+// records past it, and expects the snapshot to keep serving the old
+// state while a fresh snapshot sees the new one.
+func TestSnapshotIsolation(t *testing.T) {
+	s := openTest(t, nil)
+	const fam = 4
+	tx := mustBegin(t, s)
+	for i := uint64(0); i < 50; i++ {
+		if err := tx.PutRecord(fam, testRecord(i, journal.Unsat, "acl#miss")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	old := s.Snapshot()
+	defer old.Close()
+
+	// Churn: overwrite everything and add more, across several commits so
+	// freed pages pile into pendingFree while the snapshot is open.
+	for round := 0; round < 4; round++ {
+		tx = mustBegin(t, s)
+		for i := uint64(0); i < 80; i++ {
+			if err := tx.PutRecord(fam, testRecord(i, journal.Sat, "acl#miss")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustCommit(t, tx)
+	}
+
+	n, err := old.RecordCount(fam)
+	if err != nil {
+		t.Fatalf("snapshot count: %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("snapshot sees %d records, want 50", n)
+	}
+	if err := old.Records(fam, func(r journal.Record) bool {
+		if r.Verdict != journal.Unsat {
+			t.Fatalf("snapshot saw overwritten verdict for key %d", r.Key)
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("snapshot records: %v", err)
+	}
+
+	fresh := s.Snapshot()
+	defer fresh.Close()
+	if n, _ := fresh.RecordCount(fam); n != 80 {
+		t.Fatalf("fresh snapshot sees %d records, want 80", n)
+	}
+}
+
+// TestFreelistReuse checks that pages freed by churn are recycled: the
+// file must stop growing once the working set stabilizes.
+func TestFreelistReuse(t *testing.T) {
+	s := openTest(t, nil)
+	const fam = 5
+	churn := func() {
+		tx := mustBegin(t, s)
+		for i := uint64(0); i < 30; i++ {
+			if err := tx.PutRecord(fam, testRecord(i, journal.Unsat, "t#miss")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustCommit(t, tx)
+	}
+	churn()
+	churn()
+	after2 := s.meta.pageCount
+	for i := 0; i < 20; i++ {
+		churn()
+	}
+	if grown := s.meta.pageCount - after2; grown > after2/2 {
+		t.Fatalf("file grew %d pages over stable churn (from %d): freelist not reused", grown, after2)
+	}
+}
+
+// TestTransientWriteError: an injected I/O error during commit (before
+// the commit point) aborts cleanly and the store remains usable.
+func TestTransientWriteError(t *testing.T) {
+	fp := &Failpoints{}
+	s := openTest(t, &FailFS{Base: OSFS{}, FP: fp})
+	const fam = 6
+
+	tx := mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(1, journal.Unsat, "t#miss")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	// Fail the first WAL append of the next commit.
+	fp.mu.Lock()
+	fp.FailAt = fp.ops + 1
+	fp.mu.Unlock()
+	tx = mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(2, journal.Unsat, "t#miss")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit succeeded through injected error")
+	}
+
+	// The failed transaction must be invisible and the store writable.
+	sn := s.Snapshot()
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 2); ok {
+		t.Fatal("aborted record visible")
+	}
+	sn.Close()
+	tx = mustBegin(t, s)
+	if err := tx.PutRecord(fam, testRecord(3, journal.Sat, "t#miss")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	sn = s.Snapshot()
+	defer sn.Close()
+	if _, ok, _ := sn.GetRecord(fam, journal.KindEmit, 3); !ok {
+		t.Fatal("store unusable after clean abort")
+	}
+	if st := s.Stats(); st.Aborts == 0 {
+		t.Fatal("abort not counted")
+	}
+}
+
+// TestStoreManyFamilies keeps families disjoint.
+func TestStoreManyFamilies(t *testing.T) {
+	s := openTest(t, nil)
+	tx := mustBegin(t, s)
+	for fam := uint64(0); fam < 8; fam++ {
+		for i := uint64(0); i < 10; i++ {
+			if err := tx.PutRecord(fam, testRecord(i, journal.Verdict(fam%2), "t#miss")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.SetFamilyRules(fam, fmt.Sprintf("rules-%d", fam)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	sn := s.Snapshot()
+	defer sn.Close()
+	for fam := uint64(0); fam < 8; fam++ {
+		if n, _ := sn.RecordCount(fam); n != 10 {
+			t.Fatalf("family %d: %d records", fam, n)
+		}
+		info, ok, err := sn.Family(fam)
+		if err != nil || !ok || info.Rules != fmt.Sprintf("rules-%d", fam) {
+			t.Fatalf("family %d rules: %+v ok=%v err=%v", fam, info, ok, err)
+		}
+	}
+}

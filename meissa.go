@@ -43,6 +43,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/smt"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/summary"
 	"repro/internal/switchsim"
 	"repro/internal/sym"
@@ -117,6 +118,19 @@ type Options struct {
 	// one branch, a bare table name retires every branch of the table.
 	// Ignored unless Baseline is set; an empty list retains everything.
 	RuleDelta []string
+	// Store, when non-nil, is an open disk-backed verdict store
+	// (internal/store) the run warms from and commits to: a prior run of
+	// the same program family answers journaled solver interactions
+	// without re-solving, a stored rule set that differs from this run's
+	// is reconciled by one atomic invalidate-and-update transaction, and
+	// the run's own verdicts are committed back in one transaction at the
+	// end. The caller owns the store's lifecycle. Mutually exclusive with
+	// StorePath.
+	Store *store.Store
+	// StorePath, when non-empty, names a store file the run opens (and
+	// creates on first use), uses exactly like Store, and closes before
+	// returning — the `gen -store` / `regress -store` CLI path.
+	StorePath string
 	// VerdictCache, when non-nil, is used as the run's shared solver
 	// verdict cache instead of a fresh one — the watch-mode path, where
 	// consecutive incremental runs keep the cache warm across rule
@@ -256,6 +270,9 @@ type GenResult struct {
 	// Options.ShardWorkers > 1 (Fallback set when the run degraded to the
 	// in-process engine).
 	Shard *obs.ShardReport
+	// Store is the durable verdict-store activity summary; nil unless
+	// Options.Store/StorePath was set.
+	Store *obs.StoreReport
 }
 
 // Generate builds the CFG, applies code summary when enabled, and runs
@@ -328,16 +345,49 @@ func (s *System) Generate() (*GenResult, error) {
 
 	shardOK, shardReason := s.shardPlan()
 
+	stc, err := s.openStoreCtx(initC)
+	if err != nil {
+		return nil, err
+	}
+	if stc != nil {
+		defer stc.release()
+	}
+
 	// Sharding needs a journal for the crash-safe merge even when the
 	// caller asked for no checkpoint; a temp one serves and is discarded.
+	// A store-backed run needs one too: the post-run commit harvests the
+	// journal's records (for a sharded run, the coordinator's merged
+	// journal — that is how worker verdicts reach the store).
 	jPath := s.Opts.Checkpoint
-	if shardOK && jPath == "" {
+	if (shardOK || stc != nil) && jPath == "" {
 		dir, derr := os.MkdirTemp("", "meissa-shard-")
 		if derr != nil {
+			if stc != nil {
+				return nil, fmt.Errorf("meissa: store: temp journal: %w", derr)
+			}
 			shardOK, shardReason = false, fmt.Sprintf("temp merge journal: %v", derr)
 		} else {
 			defer os.RemoveAll(dir)
 			jPath = filepath.Join(dir, "coordinator.journal")
+		}
+	}
+
+	// Store warm start: export the family's surviving records into the
+	// journal and resume from it. Explicit Resume and Baseline runs bring
+	// their own journal contents, so warming is skipped for them.
+	if stc != nil && !resume && s.Opts.Baseline == "" {
+		warmed, werr := stc.warm(s, jPath, symOpts.Solver.Cache)
+		if werr != nil {
+			return nil, fmt.Errorf("meissa: store: %w", werr)
+		}
+		if warmed > 0 {
+			resume = true
+			if shardOK {
+				// shardPlan only sees Opts.Resume; the store-warmed resume
+				// disqualifies sharding the same way an explicit one does.
+				shardOK, shardReason = false, "store-warmed resume"
+			}
+			obs.Progressf("meissa: %s: store: warm start with %d stored verdicts", s.Prog.Name, warmed)
 		}
 	}
 	var j *journal.Journal
@@ -436,6 +486,12 @@ func (s *System) Generate() (*GenResult, error) {
 		res.JournalAppended = j.Appended()
 		res.JournalLoaded = uint64(j.Loaded())
 	}
+	if stc != nil {
+		if err := stc.commitJournal(s, jPath, symOpts.Solver.Cache); err != nil {
+			return nil, fmt.Errorf("meissa: store: %w", err)
+		}
+		res.Store = stc.report()
+	}
 	obs.Progressf("meissa: %s: generation done in %v (%d templates, %d paths, %d solver checks, %d cache hits)",
 		s.Prog.Name, res.Duration, len(res.Templates), res.PathsExplored, res.SMTCalls, res.SMTCacheHits)
 	return res, nil
@@ -476,6 +532,7 @@ func (g *GenResult) Report(command, program string, parallelism int) *obs.Report
 		rep.Solver.LatencyNS = &h
 	}
 	rep.Shard = g.Shard
+	rep.Store = g.Store
 	return rep
 }
 

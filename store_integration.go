@@ -1,0 +1,521 @@
+package meissa
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/expr"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/p4"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/store"
+)
+
+// This file wires the disk-backed verdict store (internal/store) into
+// generation and regression. The store outlives any single run: records
+// are keyed by a *family* fingerprint that deliberately excludes the
+// rule set, so a rule update does not orphan the family — instead the
+// stored rules are diffed against the run's rules and exactly the
+// invalidated entries are retired in one atomic transaction (the store's
+// tag index makes that O(affected)). Warm starts materialize the
+// surviving records into a resume journal, reusing the existing
+// journal-answered exploration path unchanged; commits fold the run's
+// journal back in, deduplicating byte-identical records.
+
+// familyFingerprint digests everything that scopes a store family —
+// the program, the generation-scoping assume clauses, and the
+// verdict-affecting options — but NOT the rule set. Rules are stored
+// alongside the family and reconciled by delta, which is what lets
+// verdicts survive rule churn instead of being keyed away by it.
+func (s *System) familyFingerprint(initC []expr.Bool) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, p4.Print(s.Prog))
+	for _, b := range initC {
+		io.WriteString(h, b.String())
+		io.WriteString(h, "\n")
+	}
+	so := s.solverOptions()
+	fmt.Fprintf(h, "|cs=%v pre=%v et=%v inc=%v sb=%d ct=%d cpv=%d",
+		s.Opts.CodeSummary, s.Opts.UsePreconditions, s.Opts.EarlyTermination,
+		s.Opts.IncrementalSolving, so.SearchBudget, so.CheckTimeout, so.CandidatesPerVar)
+	return h.Sum64()
+}
+
+// storeCtx is one run's connection to a verdict store: the resolved
+// family and journal fingerprints, ownership (StorePath-opened stores
+// are closed at release), and the activity counters that become the run
+// report's store section.
+type storeCtx struct {
+	st    *store.Store
+	owned bool
+	fam   uint64 // family fingerprint (rules excluded)
+	sysFP uint64 // full journal fingerprint (rules included)
+	base  store.Stats
+	rep   obs.StoreReport
+}
+
+// openStoreCtx resolves Options.Store/StorePath into a storeCtx, or nil
+// when neither is set.
+func (s *System) openStoreCtx(initC []expr.Bool) (*storeCtx, error) {
+	if s.Opts.Store == nil && s.Opts.StorePath == "" {
+		return nil, nil
+	}
+	if s.Opts.Store != nil && s.Opts.StorePath != "" {
+		return nil, fmt.Errorf("meissa: Store and StorePath are mutually exclusive")
+	}
+	stc := &storeCtx{st: s.Opts.Store, fam: s.familyFingerprint(initC), sysFP: s.fingerprint(initC)}
+	if stc.st == nil {
+		st, err := store.Open(s.Opts.StorePath, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("meissa: store: %w", err)
+		}
+		stc.st, stc.owned = st, true
+	}
+	stc.base = stc.st.Stats()
+	stc.rep.Path = stc.st.Path()
+	return stc, nil
+}
+
+// release closes an owned (StorePath-opened) store.
+func (stc *storeCtx) release() {
+	if stc.owned {
+		stc.st.Close()
+	}
+}
+
+// reconcileRules applies a rule update to the store inside tx: parse the
+// stored rule text, diff it canonically against the run's rules, retire
+// exactly the invalidated entries, and install the new text — one atomic
+// transaction with whatever else the caller commits. Entries whose tags
+// the delta does not touch keep answering; there is no path by which a
+// stale verdict survives, because every record and cache entry is
+// indexed under its dependency tags and unindexed entries are never
+// stored.
+func (stc *storeCtx) reconcileRules(tx *store.Tx, storedText string, newSet *rules.Set) (int, []string, error) {
+	old, err := rules.Parse(storedText)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stored rules for family %#x unparseable: %w", stc.fam, err)
+	}
+	delta := rulediff.Diff(old, newSet)
+	invalid := delta.InvalidTags()
+	n, err := tx.InvalidateTags(stc.fam, invalid)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := tx.SetFamilyRules(stc.fam, newSet.String()); err != nil {
+		return 0, nil, err
+	}
+	return n, invalid, nil
+}
+
+// warm prepares a store-backed run: reconcile a stale stored rule set,
+// export the surviving records into a fresh resume journal at jPath, and
+// seed the solver verdict cache from the persisted cache entries.
+// Returns the number of records exported; zero means a cold start (no
+// family, or an empty one) and the caller proceeds without Resume.
+func (stc *storeCtx) warm(s *System, jPath string, cache *smt.VerdictCache) (int, error) {
+	info, ok, err := stc.st.Family(stc.fam)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // cold store: first run of this family
+	}
+	newText := s.Rules.String()
+	if info.Rules != newText {
+		tx, err := stc.st.Begin()
+		if err != nil {
+			return 0, err
+		}
+		n, invalid, rerr := stc.reconcileRules(tx, info.Rules, s.Rules)
+		if rerr != nil {
+			tx.Abort()
+			return 0, rerr
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+		stc.rep.Invalidated += uint64(n)
+		if cache != nil {
+			// A caller-owned cache (watch mode) may carry verdicts stored
+			// under the retired branches; evict them by the same tags.
+			ids := make([]uint64, len(invalid))
+			for i, tag := range invalid {
+				ids[i] = smt.TagID(tag)
+			}
+			cache.Invalidate(ids)
+		}
+		obs.Progressf("meissa: store: rule delta retired %d stored entries", n)
+	}
+
+	sn := stc.st.Snapshot()
+	defer sn.Close()
+	var recs []journal.Record
+	if err := sn.Records(stc.fam, func(r journal.Record) bool {
+		recs = append(recs, r)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if len(recs) > 0 {
+		j, err := journal.Open(jPath, stc.sysFP, false)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range recs {
+			if err := j.AppendWithDeps(r, r.Tables); err != nil {
+				j.Close()
+				return 0, err
+			}
+		}
+		if err := j.Close(); err != nil {
+			return 0, err
+		}
+		stc.rep.Warmed = uint64(len(recs))
+	}
+	if cache != nil {
+		err := sn.CacheEntries(stc.fam, func(sum, xor uint64, n uint32, v byte, tags []uint64) bool {
+			if cache.Seed(sum, xor, n, smt.Result(v), tags) {
+				stc.rep.CacheSeeded++
+			}
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return int(stc.rep.Warmed), nil
+}
+
+// commitJournal folds a completed run's checkpoint journal (and the
+// solver cache, when one exists) into the store as ONE transaction:
+// rule-set reconciliation (when the stored rules differ — the Baseline/
+// regress path), new records, and cache entries all become durable
+// together or not at all. Records already present byte-identical are
+// skipped, so a fully-warmed re-run commits nothing and leaves the store
+// file untouched. The journal at jPath may be the run's own checkpoint
+// or the shard coordinator's merged journal — both carry the same
+// content-keyed records.
+func (stc *storeCtx) commitJournal(s *System, jPath string, cache *smt.VerdictCache) error {
+	span := obs.Begin("generate/store-commit")
+	defer span.End()
+	recs, err := journal.ReadRecords(jPath, stc.sysFP)
+	if err != nil {
+		return err
+	}
+	newText := s.Rules.String()
+	info, ok, err := stc.st.Family(stc.fam)
+	if err != nil {
+		return err
+	}
+	tx, err := stc.st.Begin()
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error { tx.Abort(); return err }
+	if ok && info.Rules != newText {
+		// The run's rules moved past the stored ones without a warm-time
+		// reconcile (Baseline rebase, RegressStore): retire the delta's
+		// entries in this same transaction, before the new records land.
+		n, _, rerr := stc.reconcileRules(tx, info.Rules, s.Rules)
+		if rerr != nil {
+			return fail(rerr)
+		}
+		stc.rep.Invalidated += uint64(n)
+	} else if !ok {
+		if err := tx.SetFamilyRules(stc.fam, newText); err != nil {
+			return fail(err)
+		}
+	}
+	for _, r := range recs {
+		old, had, gerr := tx.GetRecord(stc.fam, r.Kind, r.Key)
+		if gerr != nil {
+			return fail(gerr)
+		}
+		if had && bytes.Equal(journal.MarshalRecord(old), journal.MarshalRecord(r)) {
+			stc.rep.Duplicates++
+			continue
+		}
+		if err := tx.PutRecord(stc.fam, r); err != nil {
+			return fail(err)
+		}
+		if r.Indexed {
+			stc.rep.Committed++
+		}
+	}
+	if cache != nil {
+		var cerr error
+		cache.Export(func(sum, xor uint64, n uint32, r smt.Result, tags []uint64) bool {
+			if len(tags) == 0 {
+				return true // untagged entries cannot be invalidated later
+			}
+			if cerr = tx.PutCache(stc.fam, sum, xor, n, byte(r), tags); cerr != nil {
+				return false
+			}
+			stc.rep.CacheCommitted++
+			return true
+		})
+		if cerr != nil {
+			return fail(cerr)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	obs.Progressf("meissa: store: committed %d records (%d duplicates skipped, %d cache entries)",
+		stc.rep.Committed, stc.rep.Duplicates, stc.rep.CacheCommitted)
+	return nil
+}
+
+// report finalizes the run-report store section with the engine's
+// per-run activity deltas.
+func (stc *storeCtx) report() *obs.StoreReport {
+	now := stc.st.Stats()
+	r := stc.rep
+	r.Commits = now.Commits - stc.base.Commits
+	r.WalReplays = now.WalReplays - stc.base.WalReplays
+	r.PagesTorn = now.PagesTorn - stc.base.PagesTorn
+	r.SnapshotReads = now.SnapshotReads - stc.base.SnapshotReads
+	return &r
+}
+
+// StoreImport folds an existing checkpoint journal into the system's
+// verdict store (Options.Store/StorePath) — the journal→store migration
+// path. The journal must carry this system's fingerprint. One atomic
+// transaction installs the rules (reconciling by delta when the store
+// already holds a different set) and the records.
+func (s *System) StoreImport(journalPath string) (*obs.StoreReport, error) {
+	initC, err := s.commonAssumes()
+	if err != nil {
+		return nil, err
+	}
+	stc, err := s.openStoreCtx(initC)
+	if err != nil {
+		return nil, err
+	}
+	if stc == nil {
+		return nil, fmt.Errorf("meissa: store import: no Store or StorePath configured")
+	}
+	defer stc.release()
+	if err := stc.commitJournal(s, journalPath, nil); err != nil {
+		return nil, fmt.Errorf("meissa: store import: %w", err)
+	}
+	return stc.report(), nil
+}
+
+// StoreExport materializes the system family's stored verdicts as a
+// checkpoint journal at journalPath (store→journal migration; the file
+// resumes a `gen -checkpoint journalPath -resume` run). A stored rule
+// set differing from the system's is reconciled first, so the export
+// never carries stale verdicts. An empty or absent family exports a
+// valid header-only journal.
+func (s *System) StoreExport(journalPath string) (*obs.StoreReport, error) {
+	initC, err := s.commonAssumes()
+	if err != nil {
+		return nil, err
+	}
+	stc, err := s.openStoreCtx(initC)
+	if err != nil {
+		return nil, err
+	}
+	if stc == nil {
+		return nil, fmt.Errorf("meissa: store export: no Store or StorePath configured")
+	}
+	defer stc.release()
+	warmed, err := stc.warm(s, journalPath, nil)
+	if err != nil {
+		return nil, fmt.Errorf("meissa: store export: %w", err)
+	}
+	if warmed == 0 {
+		j, jerr := journal.Open(journalPath, stc.sysFP, false)
+		if jerr != nil {
+			return nil, fmt.Errorf("meissa: store export: %w", jerr)
+		}
+		if cerr := j.Close(); cerr != nil {
+			return nil, fmt.Errorf("meissa: store export: %w", cerr)
+		}
+	}
+	return stc.report(), nil
+}
+
+// StoreStatus describes what a verdict store holds for this system's
+// family (the `meissa store info` view).
+type StoreStatus struct {
+	Path        string
+	PageSize    int
+	Txid        uint64
+	Family      uint64 // family fingerprint (rules excluded)
+	Fingerprint uint64 // full journal fingerprint (rules included)
+	Present     bool   // the family exists in the store
+	RulesHash   uint64
+	Rules       string
+	Records     int
+	CacheEntries int
+}
+
+// StoreStatus opens the system's store and reports the family's state.
+func (s *System) StoreStatus() (*StoreStatus, error) {
+	initC, err := s.commonAssumes()
+	if err != nil {
+		return nil, err
+	}
+	stc, err := s.openStoreCtx(initC)
+	if err != nil {
+		return nil, err
+	}
+	if stc == nil {
+		return nil, fmt.Errorf("meissa: store info: no Store or StorePath configured")
+	}
+	defer stc.release()
+	st := &StoreStatus{
+		Path:        stc.st.Path(),
+		PageSize:    stc.st.PageSize(),
+		Txid:        stc.st.Txid(),
+		Family:      stc.fam,
+		Fingerprint: stc.sysFP,
+	}
+	sn := stc.st.Snapshot()
+	defer sn.Close()
+	info, ok, err := sn.Family(stc.fam)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return st, nil
+	}
+	st.Present, st.RulesHash, st.Rules = true, info.RulesHash, info.Rules
+	if st.Records, err = sn.RecordCount(stc.fam); err != nil {
+		return nil, err
+	}
+	err = sn.CacheEntries(stc.fam, func(_, _ uint64, _ uint32, _ byte, _ []uint64) bool {
+		st.CacheEntries++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RegressStore runs rule-diff-driven incremental regression against a
+// durable verdict store instead of an explicit baseline journal: the
+// stored rule set is the old rules, the stored records materialize the
+// baseline, and the completed run's delta and records commit back as one
+// atomic transaction — invalidation and new rules never land separately,
+// so a crash anywhere leaves the store serving either the old baseline
+// or the new one, never a half-updated mix. in.Baseline and in.OldRules
+// are optional (OldRules overrides the stored text when set); in.Opts
+// must carry Store or StorePath. Checkpoint defaults to a temp file.
+func RegressStore(in RegressInput) (*RegressResult, error) {
+	if in.Opts.Store == nil && in.Opts.StorePath == "" {
+		return nil, fmt.Errorf("meissa: regress-store: no Store or StorePath configured")
+	}
+	sys, err := New(in.Prog, in.NewRules, in.Specs, in.Opts)
+	if err != nil {
+		return nil, err
+	}
+	initC, err := sys.commonAssumes()
+	if err != nil {
+		return nil, err
+	}
+	stc, err := sys.openStoreCtx(initC)
+	if err != nil {
+		return nil, err
+	}
+	defer stc.release()
+
+	info, ok, err := stc.st.Family(stc.fam)
+	if err != nil {
+		return nil, fmt.Errorf("meissa: regress-store: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("meissa: regress-store: store has no baseline for this program family (run gen with the store first)")
+	}
+	oldRules := in.OldRules
+	if oldRules == nil {
+		if oldRules, err = rules.Parse(info.Rules); err != nil {
+			return nil, fmt.Errorf("meissa: regress-store: stored rules: %w", err)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "meissa-store-regress-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Materialize the baseline journal from a snapshot read of the store
+	// (concurrent committers cannot tear it).
+	oldSys, err := New(in.Prog, oldRules, in.Specs, in.Opts)
+	if err != nil {
+		return nil, err
+	}
+	oldFP, err := oldSys.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	basePath := filepath.Join(dir, "baseline.journal")
+	sn := stc.st.Snapshot()
+	j, err := journal.Open(basePath, oldFP, false)
+	if err != nil {
+		sn.Close()
+		return nil, err
+	}
+	materialized := 0
+	var appendErr error
+	scanErr := sn.Records(stc.fam, func(r journal.Record) bool {
+		if err := j.AppendWithDeps(r, r.Tables); err != nil {
+			appendErr = err
+			return false
+		}
+		materialized++
+		return true
+	})
+	sn.Close()
+	closeErr := j.Close()
+	for _, e := range []error{scanErr, appendErr, closeErr} {
+		if e != nil {
+			return nil, fmt.Errorf("meissa: regress-store: materialize baseline: %w", e)
+		}
+	}
+	obs.Progressf("meissa: regress-store: materialized %d stored verdicts as the baseline", materialized)
+
+	// The inner Regress runs store-free: its two generations must not
+	// each reconcile/commit half the update. The atomic store update
+	// happens below, after the whole regression succeeded.
+	inner := in
+	inner.Baseline = basePath
+	inner.OldRules = oldRules
+	inner.Opts.Store, inner.Opts.StorePath = nil, ""
+	if inner.Opts.Checkpoint == "" {
+		inner.Opts.Checkpoint = filepath.Join(dir, "incremental.journal")
+	}
+	res, err := Regress(inner)
+	if err != nil {
+		return nil, err
+	}
+	if res.Gen.Rebase != nil {
+		// Warmed = the stored verdicts that survived the rebase and
+		// answered the incremental run (matches the report's journal
+		// accounting; the invalidated remainder is re-solved live).
+		stc.rep.Warmed = uint64(res.Gen.Rebase.Retained)
+	}
+
+	// One transaction: retire the delta's entries, install the new rules,
+	// fold in the incremental run's records (and the watch-mode cache).
+	if err := stc.commitJournal(sys, inner.Opts.Checkpoint, in.Opts.VerdictCache); err != nil {
+		return nil, fmt.Errorf("meissa: regress-store: commit: %w", err)
+	}
+	res.Gen.Store = stc.report()
+	if res.Report != nil && res.Report.Run != nil {
+		res.Report.Run.Store = res.Gen.Store
+	}
+	return res, nil
+}

@@ -1,0 +1,240 @@
+package meissa_test
+
+// Acceptance tests for the durable verdict store at the whole-system
+// level: a warm store-backed generation must be byte-identical to a cold
+// run with zero live solver queries, a rule update must reconcile
+// atomically and leave store-backed output equal to a cold run on the
+// new rules (never serving a stale verdict), the sharded engine's merged
+// journal must commit into the store, and RegressStore must match plain
+// Regress — sequentially and in parallel.
+
+import (
+	"path/filepath"
+	"testing"
+
+	meissa "repro"
+	"repro/internal/programs"
+	"repro/internal/rulediff"
+	"repro/internal/rules"
+)
+
+// generateStore runs one generation against the store at path.
+func generateStore(t *testing.T, p *programs.Program, rs *rules.Set, path string, mod func(*meissa.Options)) *meissa.GenResult {
+	t.Helper()
+	if rs == nil {
+		rs = p.Rules
+	}
+	opts := meissa.DefaultOptions()
+	opts.Parallelism = 1
+	opts.StorePath = path
+	if mod != nil {
+		mod(&opts)
+	}
+	sys, err := meissa.New(p.Prog, rs, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Store == nil {
+		t.Fatal("store-backed run produced no store report")
+	}
+	if err := gen.Report("gen", p.Name, opts.Parallelism).Validate(); err != nil {
+		t.Fatalf("store-backed run report invalid: %v", err)
+	}
+	return gen
+}
+
+// TestStoreWarmGenByteIdentical: the headline reuse guarantee. A cold
+// store-backed run commits its verdicts; a second run over the same
+// inputs warms from the store, emits byte-identical templates, and makes
+// ZERO live solver queries — everything is answered by the materialized
+// journal. The warm run's commit is pure duplicates (the store file's
+// logical content is a fixpoint).
+func TestStoreWarmGenByteIdentical(t *testing.T) {
+	for _, name := range []string{"Router", "gw-1"} {
+		t.Run(name, func(t *testing.T) {
+			p := corpusProgram(t, name)
+			spath := filepath.Join(t.TempDir(), "verdicts.store")
+
+			cold := generateStore(t, p, nil, spath, nil)
+			if cold.Store.Committed == 0 {
+				t.Fatal("cold run committed no records")
+			}
+			if cold.Store.Warmed != 0 {
+				t.Fatalf("cold run warmed %d records from an empty store", cold.Store.Warmed)
+			}
+
+			warm := generateStore(t, p, nil, spath, nil)
+			if got, want := renderTemplates(warm.Templates), renderTemplates(cold.Templates); got != want {
+				t.Fatalf("warm-store output differs from cold run (%d vs %d templates)",
+					len(warm.Templates), len(cold.Templates))
+			}
+			if warm.Store.Warmed == 0 {
+				t.Fatal("second run warmed nothing from a populated store")
+			}
+			if warm.SMTCalls != 0 {
+				t.Fatalf("warm run made %d live solver calls, want 0", warm.SMTCalls)
+			}
+			if warm.JournalHits == 0 {
+				t.Fatal("warm run answered nothing from the materialized journal")
+			}
+			if warm.Store.Committed != 0 {
+				t.Fatalf("warm run committed %d records, want 0 (all duplicates)", warm.Store.Committed)
+			}
+			if warm.Store.Duplicates == 0 {
+				t.Fatal("warm run's commit saw no duplicates")
+			}
+		})
+	}
+}
+
+// TestStoreRuleChurnMatchesCold: Unknown-never-stale under rule updates.
+// After a rule delta, a store-backed run must equal a cold run on the
+// new rules — the reconcile transaction retires exactly the invalidated
+// entries and the survivors still answer.
+func TestStoreRuleChurnMatchesCold(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	newRules, n := rulediff.MutateArgs(p.Rules, 1)
+	if n == 0 {
+		t.Skip("corpus rules have no mutable action arguments")
+	}
+	spath := filepath.Join(t.TempDir(), "verdicts.store")
+
+	generateStore(t, p, nil, spath, nil) // populate under the old rules
+
+	coldOpts := meissa.DefaultOptions()
+	coldOpts.Parallelism = 1
+	coldSys, err := meissa.New(p.Prog, newRules, nil, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSys.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := generateStore(t, p, newRules, spath, nil)
+	if got, want := renderTemplates(churn.Templates), renderTemplates(cold.Templates); got != want {
+		t.Fatalf("store-backed run under updated rules differs from cold run (%d vs %d templates)",
+			len(churn.Templates), len(cold.Templates))
+	}
+	if churn.Store.Invalidated == 0 {
+		t.Fatal("rule delta invalidated nothing in the store")
+	}
+	if churn.Store.Warmed == 0 {
+		t.Fatal("no stored verdicts survived a single-entry delta")
+	}
+	if churn.SMTCalls >= cold.SMTCalls {
+		t.Fatalf("store reuse saved no solver work: %d calls vs cold %d", churn.SMTCalls, cold.SMTCalls)
+	}
+
+	// The store now serves the new rules: one more run is fully warm.
+	again := generateStore(t, p, newRules, spath, nil)
+	if again.SMTCalls != 0 {
+		t.Fatalf("post-churn warm run made %d live solver calls, want 0", again.SMTCalls)
+	}
+	if renderTemplates(again.Templates) != renderTemplates(cold.Templates) {
+		t.Fatal("post-churn warm run diverged from the cold run")
+	}
+}
+
+// TestRegressStoreMatchesCold: RegressStore recovers the baseline (old
+// rules AND old verdicts) from the store alone, and its incremental
+// output is byte-identical to a cold run on the new rules — at
+// parallelism 1 and 4.
+func TestRegressStoreMatchesCold(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	newRules, n := rulediff.MutateArgs(p.Rules, 1)
+	if n == 0 {
+		t.Skip("corpus rules have no mutable action arguments")
+	}
+	for _, parallel := range []int{1, 4} {
+		t.Run(map[int]string{1: "sequential", 4: "parallel"}[parallel], func(t *testing.T) {
+			spath := filepath.Join(t.TempDir(), "verdicts.store")
+			generateStore(t, p, nil, spath, func(o *meissa.Options) { o.Parallelism = parallel })
+
+			coldOpts := meissa.DefaultOptions()
+			coldOpts.Parallelism = parallel
+			coldSys, err := meissa.New(p.Prog, newRules, nil, coldOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := coldSys.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			opts := meissa.DefaultOptions()
+			opts.Parallelism = parallel
+			opts.StorePath = spath
+			res, err := meissa.RegressStore(meissa.RegressInput{
+				Prog:     p.Prog,
+				NewRules: newRules,
+				Opts:     opts,
+				Program:  p.Name,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderTemplates(res.Gen.Templates), renderTemplates(cold.Templates); got != want {
+				t.Fatalf("regress-store output differs from cold run (%d vs %d templates)",
+					len(res.Gen.Templates), len(cold.Templates))
+			}
+			if res.Gen.Store == nil || res.Report.Run.Store == nil {
+				t.Fatal("regress-store attached no store report")
+			}
+			if err := res.Report.Validate(); err != nil {
+				t.Fatalf("regress-store report invalid: %v", err)
+			}
+
+			// The committed store now holds the new baseline: a store-backed
+			// gen on the new rules is fully warm.
+			warm := generateStore(t, p, newRules, spath, func(o *meissa.Options) { o.Parallelism = 1 })
+			if warm.SMTCalls != 0 {
+				t.Fatalf("post-regress warm run made %d live solver calls, want 0", warm.SMTCalls)
+			}
+			if renderTemplates(warm.Templates) != renderTemplates(cold.Templates) {
+				t.Fatal("post-regress warm run diverged from the cold run")
+			}
+		})
+	}
+}
+
+// TestStoreShardMergeCommits: the shard coordinator's merged journal is
+// the store commit source, so a cold SHARDED run populates the store and
+// a subsequent warm (necessarily in-process) run answers everything from
+// it.
+func TestStoreShardMergeCommits(t *testing.T) {
+	p := corpusProgram(t, "Router")
+	spath := filepath.Join(t.TempDir(), "verdicts.store")
+
+	cold := generateStore(t, p, nil, spath, func(o *meissa.Options) {
+		o.CodeSummary = false // workers rebuild the frontier summary-free
+		o.ShardWorkers = 2
+		o.WorkerCommand = workerCommand
+	})
+	if cold.Shard == nil || cold.Shard.Fallback {
+		t.Fatalf("sharded store run fell back: %+v", cold.Shard)
+	}
+	if cold.Store.Committed == 0 {
+		t.Fatal("sharded run committed no records to the store")
+	}
+
+	warm := generateStore(t, p, nil, spath, func(o *meissa.Options) {
+		o.CodeSummary = false
+		o.ShardWorkers = 2 // must fall back: store-warmed resume
+		o.WorkerCommand = workerCommand
+	})
+	if warm.Shard == nil || !warm.Shard.Fallback {
+		t.Fatal("store-warmed run did not fall back to the in-process engine")
+	}
+	if warm.SMTCalls != 0 {
+		t.Fatalf("warm run after sharded commit made %d live solver calls, want 0", warm.SMTCalls)
+	}
+	if renderTemplates(warm.Templates) != renderTemplates(cold.Templates) {
+		t.Fatal("warm run diverged from the sharded cold run")
+	}
+}
