@@ -23,13 +23,17 @@ type obsFlags struct {
 	pprofAddr  string
 	quiet      bool
 	verbose    bool
+	logLevel   string
+	logJSON    bool
 }
 
 func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 	o := &obsFlags{}
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a machine-readable run report (JSON) to this file at exit")
-	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
-	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress and warning output on stderr")
+	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "serve /debug/pprof, /debug/vars, /metrics and /metrics/delta on this address")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress and warning output on stderr (same as -log-level quiet)")
+	fs.StringVar(&o.logLevel, "log-level", "", "stderr log level: quiet|normal|verbose|debug (overrides -quiet and -v)")
+	fs.BoolVar(&o.logJSON, "log-json", false, "emit stderr log lines as JSON objects ({\"ts\",\"level\",\"msg\"})")
 	return o
 }
 
@@ -38,7 +42,14 @@ func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 // prints template constraints) on top of raising the stderr log level.
 func (o *obsFlags) activate(verbose bool) error {
 	o.verbose = verbose
+	obs.SetLogJSON(o.logJSON)
 	switch {
+	case o.logLevel != "":
+		lv, err := obs.ParseLevel(o.logLevel)
+		if err != nil {
+			return err
+		}
+		obs.SetLogLevel(lv)
 	case o.quiet:
 		obs.SetLogLevel(obs.LevelQuiet)
 	case verbose:
@@ -49,7 +60,7 @@ func (o *obsFlags) activate(verbose bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "meissa: debug server on http://%s\n", addr)
+		obs.Infof("meissa: debug server on http://%s", addr)
 	}
 	return nil
 }
@@ -63,7 +74,7 @@ func (o *obsFlags) finish(rep *obs.Report) error {
 		return nil
 	}
 	snap := obs.Default().Snapshot()
-	if !o.quiet {
+	if obs.LogLevel() > obs.LevelQuiet {
 		snap.WriteText(os.Stderr)
 	}
 	if o.metricsOut == "" {
@@ -76,7 +87,7 @@ func (o *obsFlags) finish(rep *obs.Report) error {
 	if err := obs.WriteFileAtomic(o.metricsOut, rep); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "meissa: wrote run report to %s\n", o.metricsOut)
+	obs.Infof("meissa: wrote run report to %s", o.metricsOut)
 	return nil
 }
 
@@ -105,6 +116,9 @@ func driverReport(rep *driver.Report, shaken *driver.FaultyLink, firstVerdict, d
 	}
 	if verdicts := rep.Passed + rep.Failed + rep.Flaky + rep.Lost; verdicts > 0 && driveDur > 0 {
 		d.VerdictsPerSec = float64(verdicts) / driveDur.Seconds()
+	}
+	if h, ok := obs.Default().Snapshot().Histograms["driver.case_latency_ns"]; ok {
+		d.CaseLatencyQuantiles = h.SummaryQuantiles()
 	}
 	if shaken != nil {
 		st := shaken.Stats()
@@ -155,6 +169,9 @@ func cmdCheckMetrics(args []string) error {
 	}
 	fmt.Printf("ok: %s %s (parallel %d) wall=%v\n",
 		rep.Command, rep.Program, rep.Parallelism, time.Duration(rep.WallNS).Round(time.Millisecond))
+	if rep.TraceID != "" {
+		fmt.Printf("  trace %s\n", rep.TraceID)
+	}
 	for _, p := range rep.Phases {
 		fmt.Printf("  phase %-10s %v\n", p.Name, p.Dur().Round(time.Microsecond))
 	}
@@ -166,11 +183,23 @@ func cmdCheckMetrics(args []string) error {
 	if rep.Solver != nil {
 		fmt.Printf("  solver queries=%d solved=%d outcomes=%v\n",
 			rep.Solver.TotalQueries, rep.Solver.Solved, rep.Solver.Outcomes)
+		if q := rep.Solver.LatencyQuantiles; q != nil {
+			fmt.Printf("  solver latency p50=%v p90=%v p99=%v\n",
+				time.Duration(q.P50).Round(time.Microsecond),
+				time.Duration(q.P90).Round(time.Microsecond),
+				time.Duration(q.P99).Round(time.Microsecond))
+		}
 	}
 	if rep.Driver != nil {
 		fmt.Printf("  driver pass=%d fail=%d flaky=%d lost=%d window=%d verdicts/s=%.0f\n",
 			rep.Driver.Passed, rep.Driver.Failed, rep.Driver.Flaky, rep.Driver.Lost,
 			rep.Driver.Window, rep.Driver.VerdictsPerSec)
+		if q := rep.Driver.CaseLatencyQuantiles; q != nil {
+			fmt.Printf("  driver case latency p50=%v p90=%v p99=%v\n",
+				time.Duration(q.P50).Round(time.Microsecond),
+				time.Duration(q.P90).Round(time.Microsecond),
+				time.Duration(q.P99).Round(time.Microsecond))
+		}
 		if rep.Driver.BreakerTripped {
 			fmt.Printf("  driver breaker tripped: %d cases short-circuited to lost\n", rep.Driver.ShortCircuited)
 		}
@@ -192,6 +221,24 @@ func cmdCheckMetrics(args []string) error {
 			fmt.Printf("  shard records merged=%d duplicate=%d harvested=%d; restarts=%d corrupt_frames=%d kills=%d\n",
 				sh.RecordsMerged, sh.RecordsDuplicate, sh.RecordsHarvested,
 				sh.WorkerRestarts, sh.CorruptFrames, sh.KillsInjected)
+		}
+	}
+	if fl := rep.Fleet; fl != nil {
+		// ParseReport already ran FleetReport.Validate, so reaching here
+		// means the accounting identity held: every merged counter equals
+		// the sum of the per-worker deltas.
+		fmt.Printf("  fleet identity ok: coordinator totals == sum of %d worker deltas (trace %s)\n",
+			len(fl.Workers), fl.TraceID)
+		for _, w := range fl.Workers {
+			status := "ok"
+			switch {
+			case w.Killed:
+				status = "chaos-killed"
+			case w.Died:
+				status = "died"
+			}
+			fmt.Printf("  fleet worker %d (slot %d): units=%d status=%s flight_events=%d\n",
+				w.Worker, w.Slot, len(w.Units), status, len(w.Flight))
 		}
 	}
 	return nil

@@ -138,7 +138,7 @@ func cmdRegress(args []string) error {
 			if err := obs.WriteFileAtomic(*reportPath, res.Report); err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "meissa: wrote regress report to %s\n", *reportPath)
+			obs.Infof("meissa: wrote regress report to %s", *reportPath)
 		}
 		return res, nil
 	}
@@ -201,7 +201,7 @@ func cmdRegress(args []string) error {
 		consecutive = 0
 		delay = *interval
 	}
-	fmt.Fprintf(os.Stderr, "meissa: watching %s (poll %v; interrupt to stop)\n", *rulesNew, *interval)
+	obs.Infof("meissa: watching %s (poll %v; interrupt to stop)", *rulesNew, *interval)
 	for {
 		time.Sleep(delay)
 		next, err := readRules(*rulesNew)

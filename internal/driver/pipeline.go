@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/switchsim"
 	"repro/internal/sym"
@@ -675,6 +676,7 @@ func (eng *engine) finalize(pc *pcase, o *Outcome) {
 	if eng.d.BreakerThreshold > 0 && eng.consecCrashes >= eng.d.BreakerThreshold && !eng.rep.BreakerTripped {
 		eng.rep.BreakerTripped = true
 		mBreakerTripped.Inc()
+		obs.RecordFlight(obs.FlightBreakerTrip, uint64(eng.consecCrashes), uint64(eng.rep.Lost), 0)
 	}
 	eng.done++
 	eng.inflight--

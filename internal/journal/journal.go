@@ -34,6 +34,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Kind distinguishes the two solver interactions a path exploration
@@ -148,6 +150,7 @@ func Open(path string, fingerprint uint64, resume bool) (*Journal, error) {
 			f.Close()
 			return nil, fmt.Errorf("journal: write header: %w", err)
 		}
+		obs.RecordFlight(obs.FlightJournalOpen, 0, 0, fingerprint)
 		return j, nil
 	}
 
@@ -171,6 +174,7 @@ func Open(path string, fingerprint uint64, resume bool) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: seek: %w", err)
 	}
+	obs.RecordFlight(obs.FlightJournalOpen, 1, uint64(j.loaded), fingerprint)
 	return j, nil
 }
 
@@ -372,6 +376,7 @@ func Compact(path string, fingerprint uint64) (kept, dropped int, err error) {
 	}
 	dropped = scanned - written
 	mRecordsCompacted.Add(uint64(dropped))
+	obs.RecordFlight(obs.FlightJournalCompact, uint64(written), uint64(dropped), 0)
 	return written, dropped, nil
 }
 
@@ -438,7 +443,10 @@ func (j *Journal) Appended() uint64 { return j.appended.Load() }
 // Sync flushes the journal to stable storage. Not required for
 // kill-safety (the page cache survives process death); call it when the
 // threat model includes machine crashes.
-func (j *Journal) Sync() error { return j.f.Sync() }
+func (j *Journal) Sync() error {
+	obs.RecordFlight(obs.FlightJournalSync, j.appended.Load(), 0, 0)
+	return j.f.Sync()
+}
 
 // Close releases the file.
 func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,31 @@
+//go:build !unix
+
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// openFlightFile on platforms without mmap: the ring stays heap-backed
+// and is serialized to the file on Close. A SIGKILL loses the events —
+// acceptable for the fallback; the unix build has the real recorder.
+func openFlightFile(path string, slots int) (*FlightRing, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: flight file: %w", err)
+	}
+	r := NewFlightRing(slots)
+	r.f = f
+	words := r.words
+	r.unmap = func() {
+		buf := make([]byte, len(words)*8)
+		for i := range words {
+			binary.LittleEndian.PutUint64(buf[i*8:], atomic.LoadUint64(&words[i]))
+		}
+		_, _ = f.WriteAt(buf, 0)
+	}
+	return r, nil
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// saveFlight restores the current process recorder after the test
+// (OpenFlightFile installs a new one; RecordFlight is process-global).
+func saveFlight(t *testing.T) {
+	t.Helper()
+	old := flightCurrent.Load()
+	t.Cleanup(func() { flightCurrent.Store(old) })
+}
+
+func TestFlightRingRecordAndEvents(t *testing.T) {
+	r := NewFlightRing(8)
+	r.Record(FlightUnitStart, 1, 10, 0)
+	r.Record(FlightJournalSync, 2, 0, 0)
+	r.Record(FlightUnitDone, 1, 10, 7)
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events = %d records, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.UnixNS == 0 {
+			t.Fatalf("event %d has zero timestamp", i)
+		}
+	}
+	if evs[0].Kind != FlightUnitStart || evs[0].A != 1 || evs[0].B != 10 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].Kind != FlightUnitDone || evs[2].C != 7 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+}
+
+// TestFlightRingLapKeepsNewest: the ring is lossy-oldest; after writing
+// past capacity, only the last `slots` events remain, still in order.
+func TestFlightRingLapKeepsNewest(t *testing.T) {
+	r := NewFlightRing(4)
+	for i := uint64(0); i < 11; i++ {
+		r.Record(FlightStoreCommit, i, 0, 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(7 + i)
+		if ev.Seq != want || ev.A != want {
+			t.Fatalf("event %d = seq %d a %d, want %d", i, ev.Seq, ev.A, want)
+		}
+	}
+}
+
+// TestFlightRecordZeroAllocs: the append path must be safe for solver
+// and journal hot paths — zero heap allocations per event.
+func TestFlightRecordZeroAllocs(t *testing.T) {
+	r := NewFlightRing(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Record(FlightBudgetExhausted, 1, 2, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestFlightRingConcurrent hammers Record from many goroutines (the
+// -race build checks the seqlock discipline) and then decodes: every
+// surviving event must be untorn and within the last `slots` sequences.
+func TestFlightRingConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+		slots      = 128
+	)
+	r := NewFlightRing(slots)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Record(FlightKind(1+(i%int(flightKindCount-1))), uint64(g), uint64(i), 0)
+				if i%64 == 0 {
+					r.Events() // concurrent reads exercise the re-check path
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(goroutines * perG)
+	if got := r.Len(); got != total {
+		t.Fatalf("Len = %d, want %d", got, total)
+	}
+	evs := r.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events decoded after hammer")
+	}
+	prev := uint64(0)
+	for i, ev := range evs {
+		if ev.Seq < total-slots || ev.Seq >= total {
+			t.Fatalf("event %d has out-of-window seq %d", i, ev.Seq)
+		}
+		if i > 0 && ev.Seq <= prev {
+			t.Fatalf("events out of order: seq %d after %d", ev.Seq, prev)
+		}
+		prev = ev.Seq
+		if ev.Kind == FlightNone || ev.Kind >= flightKindCount {
+			t.Fatalf("event %d decoded with invalid kind %d", i, ev.Kind)
+		}
+	}
+}
+
+// TestFlightFileRoundTrip: a file-backed recorder's events are readable
+// by another process's harvest path both while the writer is live (the
+// SIGKILL case: no Close, no sync) and after a clean Close.
+func TestFlightFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.flight")
+	saveFlight(t) // OpenFlightFile installs the new ring process-wide
+	r, err := OpenFlightFile(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecordFlight(FlightUnitStart, 3, 5, 0)
+	RecordFlight(FlightUnitDone, 3, 5, 9)
+
+	// Harvest while the writer is still alive — what the coordinator does
+	// after SIGKILLing a worker. Only the mmap-backed implementation
+	// persists continuously; the fallback flushes at Close.
+	live, err := ReadFlightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Skip("no live visibility: platform without mmap (heap fallback)")
+	}
+	if len(live) != 2 || live[0].Kind != FlightUnitStart || live[1].Kind != FlightUnitDone {
+		t.Fatalf("live harvest = %+v", live)
+	}
+	if live[1].A != 3 || live[1].B != 5 || live[1].C != 9 {
+		t.Fatalf("live harvest payload = %+v", live[1])
+	}
+
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closed, err := ReadFlightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed) != 2 || closed[0].Kind != FlightUnitStart {
+		t.Fatalf("post-close harvest = %+v", closed)
+	}
+}
+
+func TestReadFlightFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.flight")
+	if err := os.WriteFile(path, make([]byte, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightFile(path); err == nil {
+		t.Fatal("garbage flight file decoded without error")
+	}
+}
+
+func TestFlightKindJSONRoundTrip(t *testing.T) {
+	for k := FlightNone; k < flightKindCount; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back FlightKind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("kind %d round-tripped to %d via %s", k, back, data)
+		}
+	}
+	// Integer encodings (foreign writers) decode too.
+	var k FlightKind
+	if err := json.Unmarshal([]byte("3"), &k); err != nil || k != FlightUnitFail {
+		t.Fatalf("integer kind decode: %v %v", k, err)
+	}
+}
+
+// TestRecordFlightNilSafety: a nil ring and the package default must
+// both absorb records without panicking.
+func TestRecordFlightNilSafety(t *testing.T) {
+	var r *FlightRing
+	r.Record(FlightPanic, 0, 0, 0)
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	RecordFlight(FlightPanic, 1, 2, 3) // default heap ring
+	if Flight() == nil {
+		t.Fatal("no process-wide recorder installed")
+	}
+}

@@ -1,0 +1,43 @@
+//go:build unix
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// openFlightFile maps path as a MAP_SHARED region sized for the ring.
+// Stores into the mapping land in the kernel page cache immediately, so
+// the recording survives SIGKILL of this process without any msync; only
+// a machine crash can lose it, which is the right durability class for a
+// debugging aid.
+func openFlightFile(path string, slots int) (*FlightRing, error) {
+	size := (flightHdrWords + slots*flightSlotWords) * 8
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: flight file: %w", err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: flight file %s: %w", path, err)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: mmap %s: %w", path, err)
+	}
+	// mmap regions are page-aligned, so the uint64 view is aligned for
+	// the atomic ops Record performs.
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), size/8)
+	r := &FlightRing{
+		words: words,
+		slots: uint64(slots),
+		f:     f,
+		unmap: func() { _ = syscall.Munmap(data) },
+	}
+	r.initHeader()
+	return r, nil
+}

@@ -121,25 +121,47 @@ type Registry struct {
 	phases   map[string]*phaseAgg
 	start    time.Time
 
-	// spans is a bounded log of completed span records (most recent runs
-	// of the pipeline); maxSpans caps memory on long-lived processes.
-	spans []SpanRecord
+	// spanLogs samples completed span records per path: the first
+	// spanKeepFirst instances plus a ring of the spanKeepLast most
+	// recent, so a week-long -watch run still shows both how a phase
+	// started and how it looks now. Overwrites and new-path rejections
+	// past maxSpanPaths count into obs.spans_dropped; phase aggregates
+	// keep counting regardless, so the summary table loses nothing.
+	spanLogs map[string]*spanLog
+
+	// spansDropped is the obs.spans_dropped handle, resolved once at
+	// construction (recordSpan runs under mu and must not re-enter
+	// Counter).
+	spansDropped *Counter
 }
 
-// maxSpanRecords bounds the per-registry completed-span log. Phase
-// aggregates keep counting past the cap, so nothing is lost from the
-// summary table — only the per-instance trace entries stop accumulating.
-const maxSpanRecords = 4096
+// Span-log sampling bounds: per path, keep the first spanKeepFirst and
+// the last spanKeepLast records; cap the number of distinct paths.
+const (
+	spanKeepFirst = 4
+	spanKeepLast  = 4
+	maxSpanPaths  = 1024
+)
+
+// spanLog is the per-path sampled record log.
+type spanLog struct {
+	first []SpanRecord // first spanKeepFirst instances, in order
+	last  []SpanRecord // ring of the most recent spanKeepLast
+	next  int          // ring write cursor
+}
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		phases:   map[string]*phaseAgg{},
+		spanLogs: map[string]*spanLog{},
 		start:    time.Now(),
 	}
+	r.spansDropped = r.Counter("obs.spans_dropped")
+	return r
 }
 
 var defaultRegistry = NewRegistry()
@@ -195,16 +217,41 @@ func (r *Registry) phase(path string) *phaseAgg {
 	return p
 }
 
-// recordSpan folds one completed span into the registry.
+// recordSpan folds one completed span into the registry: always into
+// the phase aggregate, and into the sampled per-path log (first/last)
+// with drops counted in obs.spans_dropped.
 func (r *Registry) recordSpan(rec SpanRecord) {
 	p := r.phase(rec.Path)
 	p.count.Add(1)
 	p.totalNS.Add(uint64(rec.DurNS))
 	r.mu.Lock()
-	if len(r.spans) < maxSpanRecords {
-		r.spans = append(r.spans, rec)
+	sl, ok := r.spanLogs[rec.Path]
+	if !ok {
+		if len(r.spanLogs) >= maxSpanPaths {
+			r.mu.Unlock()
+			r.spansDropped.Inc()
+			return
+		}
+		sl = &spanLog{}
+		r.spanLogs[rec.Path] = sl
+	}
+	dropped := false
+	switch {
+	case len(sl.first) < spanKeepFirst:
+		sl.first = append(sl.first, rec)
+	case len(sl.last) < spanKeepLast:
+		sl.last = append(sl.last, rec)
+	default:
+		// Overwrite the oldest of the recent ring: the evicted record is
+		// the drop.
+		sl.last[sl.next] = rec
+		sl.next = (sl.next + 1) % spanKeepLast
+		dropped = true
 	}
 	r.mu.Unlock()
+	if dropped {
+		r.spansDropped.Inc()
+	}
 }
 
 // GetCounter resolves a counter handle on the Default registry. Intended

@@ -9,8 +9,14 @@ import (
 // ReportSchema versions the machine-readable run report written by
 // `meissa ... -metrics-out` and by `meissa-bench -json`. Trajectory
 // tooling (BENCH_*.json) keys on this string; bump it on any
-// incompatible change.
-const ReportSchema = "meissa.run-report/v1"
+// incompatible change. v2 added trace_id, the fleet section, and
+// harvested flight events; v1 documents (e.g. embedded in committed
+// bench baselines) remain parseable — v2 is a superset, so the reader
+// accepts both.
+const (
+	ReportSchema   = "meissa.run-report/v2"
+	ReportSchemaV1 = "meissa.run-report/v1"
+)
 
 // Report is one run's machine-readable result: everything the paper's
 // evaluation section (§5/§8) measures from a single invocation — phase
@@ -23,6 +29,9 @@ type Report struct {
 	Program     string `json:"program,omitempty"`
 	RuleSet     string `json:"rule_set,omitempty"`
 	Parallelism int    `json:"parallelism"`
+	// TraceID correlates every process of one run (coordinator and shard
+	// workers) under a single identifier (v2).
+	TraceID string `json:"trace_id,omitempty"`
 	// WallNS is the run's end-to-end wall-clock (generation; plus driving
 	// for `test` runs).
 	WallNS int64 `json:"wall_ns"`
@@ -44,6 +53,10 @@ type Report struct {
 	// Store reports durable verdict-store activity (nil unless the run
 	// was store-backed).
 	Store *StoreReport `json:"store,omitempty"`
+	// Fleet carries the cross-process metric merge for sharded runs (v2):
+	// per-worker registry deltas, the coordinator's split-phase delta, and
+	// their fold — with the coordinator==Σworkers identity validated.
+	Fleet *FleetReport `json:"fleet,omitempty"`
 	// Registry carries the full process metric snapshot (optional; CLI
 	// runs attach it so one file holds both the curated report and the
 	// raw counters).
@@ -90,6 +103,9 @@ type SolverReport struct {
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	// LatencyNS is the per-query latency histogram (log2 buckets).
 	LatencyNS *HistogramSnapshot `json:"latency_ns,omitempty"`
+	// LatencyQuantiles summarizes LatencyNS as p50/p90/p99 (ns), derived
+	// from the log2 buckets at report-build time (v2).
+	LatencyQuantiles *Quantiles `json:"latency_quantiles,omitempty"`
 }
 
 // Outcome bucket names, fixed by the schema.
@@ -142,6 +158,9 @@ type DriverReport struct {
 	ShortCircuited int  `json:"short_circuited,omitempty"`
 	// Link counts injected link faults (zeros on clean links).
 	Link *LinkReport `json:"link,omitempty"`
+	// CaseLatencyQuantiles summarizes driver.case_latency_ns as
+	// p50/p90/p99 (ns) (v2).
+	CaseLatencyQuantiles *Quantiles `json:"case_latency_quantiles,omitempty"`
 }
 
 // ShardReport is the multi-process supervision section. Its accounting
@@ -217,6 +236,84 @@ type StoreReport struct {
 	SnapshotReads uint64 `json:"snapshot_reads,omitempty"`
 }
 
+// FleetReport is the cross-process observability section of a sharded
+// run (v2). Merged is the fold of every completed unit's worker-side
+// registry delta — exactly one delta per frontier unit, taken from the
+// first completion the coordinator accepted — so it accounts for each
+// solver query and explored path below the frontier exactly once, kills
+// and lease reassignments notwithstanding. Split is the coordinator's
+// own registry delta for the frontier-split phase (the above-frontier
+// work). Together Split + Merged reproduce a sequential final pass's
+// counters; Validate enforces the internal identity Merged == Σ workers.
+type FleetReport struct {
+	TraceID string `json:"trace_id,omitempty"`
+	// Split is the coordinator's registry delta over SplitFrontier.
+	Split *Snapshot `json:"split,omitempty"`
+	// Merged is the fold of all accepted per-unit worker deltas.
+	Merged *Snapshot `json:"merged,omitempty"`
+	// Workers lists each worker incarnation that contributed or died.
+	Workers []*WorkerFleetReport `json:"workers,omitempty"`
+}
+
+// WorkerFleetReport is one worker incarnation's contribution: the fold
+// of the unit deltas the coordinator accepted from it, the unit indexes
+// they covered, and — when the worker died — its harvested flight
+// recording.
+type WorkerFleetReport struct {
+	// Worker is the incarnation id (unique across restarts); Slot is the
+	// supervision slot it occupied.
+	Worker int `json:"worker"`
+	Slot   int `json:"slot"`
+	// Units are the frontier unit indexes whose accepted completions came
+	// from this incarnation.
+	Units []int `json:"units,omitempty"`
+	// Died records an unclean exit (crash, SIGKILL, retirement after a
+	// frame error); Killed marks deaths injected by chaos testing.
+	Died   bool `json:"died,omitempty"`
+	Killed bool `json:"killed,omitempty"`
+	// Merged is the fold of this incarnation's accepted unit deltas.
+	Merged *Snapshot `json:"merged,omitempty"`
+	// Flight is the harvested flight recording (dead workers only): the
+	// last events the worker logged before it stopped.
+	Flight []FlightEvent `json:"flight,omitempty"`
+}
+
+// Validate checks the fleet section's accounting identity: the merged
+// registry must equal the sum of the per-worker folds, counter by
+// counter and histogram by histogram.
+func (f *FleetReport) Validate() error {
+	if f.Merged == nil {
+		if len(f.Workers) == 0 {
+			return nil
+		}
+		return fmt.Errorf("obs: fleet has %d workers but no merged snapshot", len(f.Workers))
+	}
+	sum := &Snapshot{}
+	units := 0
+	for _, w := range f.Workers {
+		sum.Merge(w.Merged)
+		units += len(w.Units)
+	}
+	for k, v := range f.Merged.Counters {
+		if sum.Counters[k] != v {
+			return fmt.Errorf("obs: fleet counter %s: merged %d != Σ workers %d", k, v, sum.Counters[k])
+		}
+	}
+	for k, v := range sum.Counters {
+		if f.Merged.Counters[k] != v {
+			return fmt.Errorf("obs: fleet counter %s: Σ workers %d != merged %d", k, v, f.Merged.Counters[k])
+		}
+	}
+	for k, h := range f.Merged.Histograms {
+		s := sum.Histograms[k]
+		if s.Count != h.Count || s.Sum != h.Sum {
+			return fmt.Errorf("obs: fleet histogram %s: merged n=%d sum=%d != Σ workers n=%d sum=%d",
+				k, h.Count, h.Sum, s.Count, s.Sum)
+		}
+	}
+	return nil
+}
+
 // LinkReport mirrors driver.LinkStats.
 type LinkReport struct {
 	Dropped    uint64 `json:"dropped"`
@@ -249,8 +346,8 @@ func NewSolverReport(solved, sat, unsat, unknown, cacheHits, budgetExhausted uin
 // Validate checks a report's structural invariants: the CI metrics-smoke
 // gate and the trajectory importer both run it before trusting a file.
 func (r *Report) Validate() error {
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("obs: report schema %q, want %q", r.Schema, ReportSchema)
+	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
+		return fmt.Errorf("obs: report schema %q, want %q (or %q)", r.Schema, ReportSchema, ReportSchemaV1)
 	}
 	if r.WallNS <= 0 {
 		return fmt.Errorf("obs: report wall_ns = %d, want > 0", r.WallNS)
@@ -371,6 +468,20 @@ func (r *Report) Validate() error {
 			if sh.MaxAssign > 0 && sh.LeasesExpired < uint64(sh.UnitsQuarantined*sh.MaxAssign) {
 				return fmt.Errorf("obs: shard leases_expired %d < quarantined %d × max_assign %d",
 					sh.LeasesExpired, sh.UnitsQuarantined, sh.MaxAssign)
+			}
+		}
+	}
+	if r.Fleet != nil {
+		if err := r.Fleet.Validate(); err != nil {
+			return err
+		}
+		if r.Shard != nil && !r.Shard.Fallback {
+			units := 0
+			for _, w := range r.Fleet.Workers {
+				units += len(w.Units)
+			}
+			if units != r.Shard.UnitsCompleted {
+				return fmt.Errorf("obs: fleet covers %d units but shard completed %d", units, r.Shard.UnitsCompleted)
 			}
 		}
 	}

@@ -97,7 +97,20 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, v := range r.phases {
 		phases[k] = v
 	}
-	spans := append([]SpanRecord(nil), r.spans...)
+	var spans []SpanRecord
+	for _, sl := range r.spanLogs {
+		spans = append(spans, sl.first...)
+		// The ring in chronological order: oldest entry is at the write
+		// cursor once the ring has wrapped.
+		spans = append(spans, sl.last[sl.next:]...)
+		spans = append(spans, sl.last[:sl.next]...)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].Path < spans[j].Path
+	})
 	start := r.start
 	r.mu.Unlock()
 
@@ -202,6 +215,139 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 	return out
 }
 
+// Add returns the bucket-wise sum h + d (for cross-process merges).
+func (h HistogramSnapshot) Add(d HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   h.Count + d.Count,
+		Sum:     h.Sum + d.Sum,
+		Max:     h.Max,
+		Buckets: map[string]uint64{},
+	}
+	if d.Max > out.Max {
+		out.Max = d.Max
+	}
+	for k, v := range h.Buckets {
+		out.Buckets[k] += v
+	}
+	for k, v := range d.Buckets {
+		out.Buckets[k] += v
+	}
+	if len(out.Buckets) == 0 {
+		out.Buckets = nil
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the log2
+// buckets, linearly interpolating within the winning bucket's sample
+// range [2^(k-1), 2^k). The zero bucket contributes exact zeros. Good to
+// within a factor-of-2 bucket width — the right precision for latency
+// reporting off a counters-only histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count-1)
+	var cum float64
+	for _, label := range sortedBucketLabels(h.Buckets) {
+		n := float64(h.Buckets[label])
+		if cum+n > rank {
+			k := bucketExp(label)
+			if k == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (k - 1))
+			hi := lo * 2
+			if hi > float64(h.Max) && float64(h.Max) >= lo {
+				// The top occupied bucket cannot exceed the recorded max.
+				hi = float64(h.Max)
+			}
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(h.Max)
+}
+
+// Quantiles is the p50/p90/p99 summary of a latency histogram, in the
+// histogram's sample unit (nanoseconds for *_ns histograms).
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// SummaryQuantiles derives the standard report quantiles, nil when the
+// histogram is empty.
+func (h HistogramSnapshot) SummaryQuantiles() *Quantiles {
+	if h.Count == 0 {
+		return nil
+	}
+	return &Quantiles{P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99)}
+}
+
+// Merge folds d into s in place: counters, histograms and phase
+// aggregates add; gauges take d's (instantaneous) value; spans append.
+// The coordinator uses it to fold worker registry deltas into one
+// fleet-wide view, and `meissa top` to apply streamed deltas to its
+// local mirror. A nil d is a no-op.
+func (s *Snapshot) Merge(d *Snapshot) {
+	if d == nil {
+		return
+	}
+	if s.Schema == "" {
+		s.Schema = d.Schema
+	}
+	if d.TakenUnixNS > s.TakenUnixNS {
+		s.TakenUnixNS = d.TakenUnixNS
+	}
+	if d.UptimeNS > s.UptimeNS {
+		s.UptimeNS = d.UptimeNS
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	for k, v := range d.Counters {
+		s.Counters[k] += v
+	}
+	if len(d.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	for k, v := range d.Gauges {
+		s.Gauges[k] = v
+	}
+	if len(d.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for k, v := range d.Histograms {
+		s.Histograms[k] = s.Histograms[k].Add(v)
+	}
+	if len(d.Phases) > 0 {
+		idx := map[string]int{}
+		for i, p := range s.Phases {
+			idx[p.Name] = i
+		}
+		for _, p := range d.Phases {
+			if i, ok := idx[p.Name]; ok {
+				s.Phases[i].NS += p.NS
+				s.Phases[i].Count += p.Count
+			} else {
+				idx[p.Name] = len(s.Phases)
+				s.Phases = append(s.Phases, p)
+			}
+		}
+		sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	}
+	s.Spans = append(s.Spans, d.Spans...)
+}
+
 // WriteJSON writes the snapshot, indented, to w.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -245,9 +391,16 @@ func (s *Snapshot) WriteText(w io.Writer) {
 			if h.Count == 0 {
 				continue
 			}
-			fmt.Fprintf(w, "  %-40s n=%d mean=%s max=%s\n", k, h.Count,
+			fmt.Fprintf(w, "  %-40s n=%d mean=%s max=%s", k, h.Count,
 				time.Duration(h.Mean()).Round(time.Nanosecond),
 				time.Duration(h.Max).Round(time.Nanosecond))
+			if q := h.SummaryQuantiles(); q != nil {
+				fmt.Fprintf(w, " p50=%s p90=%s p99=%s",
+					time.Duration(q.P50).Round(time.Nanosecond),
+					time.Duration(q.P90).Round(time.Nanosecond),
+					time.Duration(q.P99).Round(time.Nanosecond))
+			}
+			fmt.Fprintln(w)
 			for _, b := range sortedBucketLabels(h.Buckets) {
 				fmt.Fprintf(w, "    %-8s %d\n", b, h.Buckets[b])
 			}

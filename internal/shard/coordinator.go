@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/journal"
@@ -44,6 +45,14 @@ type Config struct {
 	Merge func(journal.Record) error
 	// Fingerprint opens worker journals during Harvest.
 	Fingerprint uint64
+	// TraceID is the run-wide trace identifier stamped into every
+	// worker's Hello (empty disables trace propagation).
+	TraceID string
+	// FlightPath names worker gen g's crash flight-recorder file (nil
+	// disables worker flight recording). Unique per gen, like
+	// JournalPath, so a dead incarnation's recording survives its
+	// replacement and can be harvested into the run report.
+	FlightPath func(gen int) string
 
 	LeaseTimeout time.Duration
 	Backoff      time.Duration
@@ -74,6 +83,45 @@ type Result struct {
 	CorruptFrames   uint64
 	KillsInjected   uint64
 	UnitFails       uint64
+	// Fleet is the cross-process metric merge: per-incarnation registry
+	// deltas folded from accepted Done frames, plus harvested flight
+	// recordings of dead incarnations. The caller adds the split-phase
+	// delta before reporting.
+	Fleet *obs.FleetReport
+}
+
+// genFleet tracks one worker incarnation's observability contribution.
+type genFleet struct {
+	gen, slot  int
+	died       bool
+	killed     bool
+	units      []int
+	merged     *obs.Snapshot
+	live       *obs.Snapshot // latest cumulative delta from Progress/Fail
+	flightPath string
+}
+
+// FleetView is the /fleet endpoint's live rendering of a running
+// coordinator: refreshed every supervision tick, read lock-free by the
+// debug server.
+type FleetView struct {
+	TraceID     string            `json:"trace_id,omitempty"`
+	Units       int               `json:"units"`
+	Completed   uint64            `json:"completed"`
+	Quarantined uint64            `json:"quarantined"`
+	Workers     []FleetWorkerView `json:"workers"`
+}
+
+// FleetWorkerView is one slot's live state.
+type FleetWorkerView struct {
+	Worker   int    `json:"worker"` // incarnation id (spawn gen)
+	Slot     int    `json:"slot"`
+	Alive    bool   `json:"alive"`
+	Ready    bool   `json:"ready"`
+	Busy     bool   `json:"busy"`
+	Unit     int    `json:"unit"`  // -1 when idle
+	Paths    uint64 `json:"paths"` // cumulative within the current unit
+	Restarts int    `json:"restarts"`
 }
 
 // workerSlot is one supervised subprocess position. gen increments on
@@ -88,6 +136,7 @@ type workerSlot struct {
 	dead          bool // permanently failed (restart budget, skew)
 	busy          bool
 	unit          LeaseUnit
+	unitPaths     uint64 // latest Progress count for the current unit
 	readyDeadline time.Time
 	restarts      int
 }
@@ -117,6 +166,10 @@ type coordinator struct {
 	rng    *rand.Rand
 	// killAt holds completed-unit thresholds at which a chaos kill fires.
 	killAt []int
+	// fleet tracks per-incarnation observability, keyed by spawn gen.
+	fleet map[int]*genFleet
+	// view is the published FleetView the /fleet endpoint reads.
+	view atomic.Pointer[FleetView]
 }
 
 // Run farms the units to worker subprocesses and supervises them until
@@ -147,6 +200,7 @@ func Run(cfg *Config) (*Result, error) {
 		events: make(chan event, 4*cfg.Workers+16),
 		merged: map[mergeKey]bool{},
 		res:    &Result{},
+		fleet:  map[int]*genFleet{},
 	}
 	if cfg.ChaosKills > 0 {
 		c.rng = rand.New(rand.NewSource(cfg.ChaosSeed))
@@ -162,12 +216,48 @@ func Run(cfg *Config) (*Result, error) {
 		c.slots = append(c.slots, s)
 		c.spawn(s)
 	}
+	obs.SetFleetSource(func() any { return c.view.Load() })
+	defer obs.SetFleetSource(nil)
 	defer c.shutdownAll()
 	err := c.loop(now)
 	c.harvest()
 	c.res.Counters = c.table.Counters()
 	c.res.QuarantinedKeys = c.table.QuarantinedKeys()
+	c.res.Fleet = c.buildFleet()
 	return c.res, err
+}
+
+// buildFleet assembles the cross-process metric merge from the
+// per-incarnation folds, harvesting flight recordings of dead
+// incarnations on the way.
+func (c *coordinator) buildFleet() *obs.FleetReport {
+	f := &obs.FleetReport{TraceID: c.cfg.TraceID, Merged: &obs.Snapshot{}}
+	gens := make([]int, 0, len(c.fleet))
+	for gen := range c.fleet {
+		gens = append(gens, gen)
+	}
+	sort.Ints(gens)
+	for _, gen := range gens {
+		g := c.fleet[gen]
+		w := &obs.WorkerFleetReport{
+			Worker: g.gen,
+			Slot:   g.slot,
+			Units:  g.units,
+			Died:   g.died,
+			Killed: g.killed,
+			Merged: g.merged,
+		}
+		if g.died && g.flightPath != "" {
+			evs, err := obs.ReadFlightFile(g.flightPath)
+			if err != nil {
+				obs.Debugf("shard: flight harvest worker %d: %v", g.gen, err)
+			}
+			w.Flight = evs
+		}
+		f.Merged.Merge(g.merged)
+		f.Workers = append(f.Workers, w)
+	}
+	return f
 }
 
 func maxInt(a, b int) int {
@@ -228,7 +318,14 @@ func (c *coordinator) spawn(s *workerSlot) {
 
 				hello := *c.cfg.Hello
 				hello.JournalPath = c.cfg.JournalPath(gen)
+				hello.TraceID = c.cfg.TraceID
+				hello.Worker = gen
+				if c.cfg.FlightPath != nil {
+					hello.FlightPath = c.cfg.FlightPath(gen)
+				}
 				c.paths = append(c.paths, hello.JournalPath)
+				c.fleet[gen] = &genFleet{gen: gen, slot: s.id, flightPath: hello.FlightPath}
+				obs.RecordFlight(obs.FlightWorkerSpawn, uint64(gen), uint64(s.id), 0)
 				if werr := WriteFrame(stdin, &Envelope{Kind: KindHello, Hello: &hello}); werr != nil {
 					err = werr
 				}
@@ -268,6 +365,10 @@ func (c *coordinator) failSlot(s *workerSlot, why string) {
 	c.kill(s)
 	s.alive, s.ready, s.busy = false, false, false
 	s.cmd, s.stdin = nil, nil
+	if g := c.fleet[s.gen]; g != nil {
+		g.died = true
+	}
+	obs.RecordFlight(obs.FlightWorkerDead, uint64(s.gen), uint64(s.id), 0)
 	for _, ex := range c.table.FailWorker(s.id, s.gen) {
 		c.noteExpiry(ex)
 	}
@@ -283,8 +384,10 @@ func (c *coordinator) spawnIfNeeded(s *workerSlot) {
 
 func (c *coordinator) noteExpiry(ex Expiry) {
 	mLeasesExpired.Inc()
+	obs.RecordFlight(obs.FlightLeaseExpired, uint64(ex.Index), uint64(ex.Gen), uint64(ex.Fails))
 	if ex.Quarantined {
 		mUnitsQuarantined.Inc()
+		obs.RecordFlight(obs.FlightQuarantine, uint64(ex.Index), ex.Key, uint64(ex.Fails))
 		obs.Warnf("shard: unit %d (key %#x) quarantined after %d failed leases — subtree degrades to Unknown", ex.Index, ex.Key, ex.Fails)
 	} else {
 		obs.Progressf("shard: unit %d lease expired (worker %d gen %d, attempt %d); reassigning with backoff", ex.Index, ex.Worker, ex.Gen, ex.Fails)
@@ -302,11 +405,12 @@ func (c *coordinator) assignIdle() {
 			return // nothing assignable right now
 		}
 		mLeasesIssued.Inc()
+		obs.RecordFlight(obs.FlightLeaseIssued, uint64(u.Index), uint64(s.gen), u.Key)
 		if err := WriteFrame(s.stdin, &Envelope{Kind: KindAssign, Assign: &Assign{Index: u.Index, Key: u.Key}}); err != nil {
 			c.failSlot(s, fmt.Sprintf("assign write: %v", err))
 			continue
 		}
-		s.busy, s.unit = true, u
+		s.busy, s.unit, s.unitPaths = true, u, 0
 	}
 }
 
@@ -354,6 +458,10 @@ func (c *coordinator) chaosMaybeKill(completed int) {
 		obs.Progressf("shard: chaos: SIGKILL worker %d (gen %d)", victim.id, victim.gen)
 		c.res.KillsInjected++
 		mKillsInjected.Inc()
+		if g := c.fleet[victim.gen]; g != nil {
+			g.killed = true
+		}
+		obs.RecordFlight(obs.FlightChaosKill, uint64(victim.gen), uint64(completed), 0)
 		c.kill(victim)
 		// Death is observed through the reader EOF / exit events.
 	}
@@ -416,8 +524,47 @@ func (c *coordinator) loop(now func() time.Time) error {
 			}
 		}
 		c.assignIdle()
+		c.publishView()
 	}
+	c.publishView()
 	return nil
+}
+
+// publishView refreshes the live gauges and the /fleet snapshot. Runs
+// on the supervision loop; the debug server reads the published pointer
+// lock-free.
+func (c *coordinator) publishView() {
+	ctr := c.table.Counters()
+	v := &FleetView{
+		TraceID:     c.cfg.TraceID,
+		Units:       len(c.cfg.Units),
+		Completed:   ctr.Completed,
+		Quarantined: ctr.Quarantined,
+	}
+	alive := 0
+	for _, s := range c.slots {
+		if s.alive {
+			alive++
+		}
+		wv := FleetWorkerView{
+			Worker:   s.gen,
+			Slot:     s.id,
+			Alive:    s.alive,
+			Ready:    s.ready,
+			Busy:     s.busy,
+			Unit:     -1,
+			Restarts: s.restarts,
+		}
+		if s.busy {
+			wv.Unit = s.unit.Index
+			wv.Paths = s.unitPaths
+		}
+		v.Workers = append(v.Workers, wv)
+	}
+	mWorkersAlive.Set(int64(alive))
+	mUnitsTotal.Set(int64(len(c.cfg.Units)))
+	mUnitsPending.Set(int64(len(c.cfg.Units)) - int64(ctr.Completed) - int64(ctr.Quarantined))
+	c.view.Store(v)
 }
 
 // handleFrame processes one well-formed frame from a live generation.
@@ -445,6 +592,12 @@ func (c *coordinator) handleFrame(s *workerSlot, env *Envelope, completed *int) 
 		p := env.Progress
 		if p != nil && s.busy && p.Index == s.unit.Index {
 			c.table.Heartbeat(p.Index, s.id, s.gen, p.Paths)
+			s.unitPaths = p.Paths
+			if p.Metrics != nil {
+				if g := c.fleet[s.gen]; g != nil {
+					g.live = p.Metrics
+				}
+			}
 		}
 	case KindDone:
 		d := env.Done
@@ -457,6 +610,20 @@ func (c *coordinator) handleFrame(s *workerSlot, env *Envelope, completed *int) 
 		if ok {
 			mLeasesCompleted.Inc()
 			*completed++
+			obs.RecordFlight(obs.FlightLeaseCompleted, uint64(d.Index), uint64(s.gen), d.Paths)
+			// Fold exactly the first accepted completion's registry delta
+			// per unit: deterministic exploration makes any later
+			// (superseded) delta for the same unit identical, so this fold
+			// counts each unit's solver queries and paths exactly once.
+			if g := c.fleet[s.gen]; g != nil {
+				g.units = append(g.units, d.Index)
+				if d.Metrics != nil {
+					if g.merged == nil {
+						g.merged = &obs.Snapshot{}
+					}
+					g.merged.Merge(d.Metrics)
+				}
+			}
 		} else {
 			mLeasesSuperseded.Inc()
 		}
@@ -472,6 +639,11 @@ func (c *coordinator) handleFrame(s *workerSlot, env *Envelope, completed *int) 
 		}
 		obs.Warnf("shard: worker %d reported unit %d failed: %s", s.id, f.Index, f.Msg)
 		s.busy = false
+		if f.Metrics != nil {
+			if g := c.fleet[s.gen]; g != nil {
+				g.live = f.Metrics
+			}
+		}
 		c.res.UnitFails++
 		for _, ex := range c.table.FailWorker(s.id, s.gen) {
 			c.noteExpiry(ex)

@@ -18,3 +18,11 @@ var (
 	mRecordsHarvested = obs.GetCounter("shard.records_harvested")
 	mKillsInjected    = obs.GetCounter("shard.kills_injected")
 )
+
+// Live-run gauges, refreshed every supervision tick for /metrics/delta
+// and `meissa top` consumers.
+var (
+	mWorkersAlive = obs.GetGauge("shard.workers_alive")
+	mUnitsTotal   = obs.GetGauge("shard.units_total")
+	mUnitsPending = obs.GetGauge("shard.units_pending")
+)

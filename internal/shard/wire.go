@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // ErrCorruptFrame reports a torn, checksum-failing, or undecodable
@@ -110,7 +111,19 @@ type Hello struct {
 	// (unique per spawn generation, so a restart never clobbers records
 	// the coordinator may still harvest from the dead predecessor).
 	JournalPath string
-	Opts        WireOptions
+	// TraceID is the run-wide trace identifier the coordinator stamped;
+	// the worker tags its spans with it so every process of one run
+	// correlates under a single ID.
+	TraceID string
+	// Worker is this incarnation's id (the spawn generation — unique
+	// across restarts); the worker uses it in span paths and flight
+	// events.
+	Worker int
+	// FlightPath, when non-empty, is where the worker mmaps its crash
+	// flight recorder — unique per spawn generation, like JournalPath, so
+	// the coordinator can harvest a dead incarnation's last events.
+	FlightPath string
+	Opts       WireOptions
 }
 
 // Ready is the worker's response to Hello, carrying what it computed so
@@ -134,6 +147,10 @@ type Assign struct {
 type Progress struct {
 	Index int
 	Paths uint64
+	// Metrics, when present, is the worker's cumulative registry delta
+	// since Init — the coordinator's live /fleet view; never folded into
+	// the merged accounting (only Done deltas are).
+	Metrics *obs.Snapshot
 }
 
 // Done reports a completed unit together with every journal record the
@@ -145,6 +162,14 @@ type Done struct {
 	Paths     uint64
 	Templates uint64
 	Records   []journal.Record
+	// Metrics is the worker's registry delta for exactly this unit
+	// (snapshot after minus snapshot before), spans tagged with the
+	// worker/unit ids. The coordinator folds the first accepted Done per
+	// unit into the fleet-wide merged registry; because exploration is
+	// deterministic, a reassigned unit's delta is identical whichever
+	// incarnation produced it — so the fold accounts for each unit
+	// exactly once, kills notwithstanding.
+	Metrics *obs.Snapshot
 }
 
 // Fail reports a unit that errored inside the worker without killing it
@@ -154,6 +179,9 @@ type Fail struct {
 	Index int
 	Key   uint64
 	Msg   string
+	// Metrics is the worker's cumulative registry delta at failure time
+	// (diagnostic only; never folded into the merged accounting).
+	Metrics *obs.Snapshot
 }
 
 // Envelope is the gob payload of one frame; exactly one pointer field is

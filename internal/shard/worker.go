@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler is the exploration side of a worker subprocess. The shard
@@ -22,6 +24,15 @@ type Handler interface {
 	// fine; the serve loop rate-limits the wire traffic). An error marks
 	// the unit failed without killing the worker.
 	RunUnit(index int, heartbeat func(paths uint64)) (*Done, error)
+}
+
+// MetricsSource is an optional Handler extension: when implemented,
+// Serve attaches the handler's cumulative registry delta to Progress
+// heartbeats and Fail frames, feeding the coordinator's live fleet
+// view. (Per-unit deltas on Done frames are the handler's own job — it
+// snapshots around the unit it runs.)
+type MetricsSource interface {
+	MetricsDelta() *obs.Snapshot
 }
 
 // Serve speaks the worker protocol over (r, w) until Shutdown, EOF, or
@@ -47,6 +58,13 @@ func Serve(r io.Reader, w io.Writer, h Handler) error {
 	if hbEvery <= 0 {
 		hbEvery = 250 * time.Millisecond
 	}
+	src, _ := h.(MetricsSource)
+	delta := func() *obs.Snapshot {
+		if src == nil {
+			return nil
+		}
+		return src.MetricsDelta()
+	}
 	for {
 		env, err := ReadFrame(r)
 		if err == io.EOF {
@@ -70,12 +88,12 @@ func Serve(r io.Reader, w io.Writer, h Handler) error {
 					// A failed heartbeat write means the coordinator is
 					// gone; the subsequent Done write or read will fail
 					// the loop, so ignore the error here.
-					_ = WriteFrame(w, &Envelope{Kind: KindProgress, Progress: &Progress{Index: a.Index, Paths: paths}})
+					_ = WriteFrame(w, &Envelope{Kind: KindProgress, Progress: &Progress{Index: a.Index, Paths: paths, Metrics: delta()}})
 				}
 			}
 			done, err := h.RunUnit(a.Index, heartbeat)
 			if err != nil {
-				if werr := WriteFrame(w, &Envelope{Kind: KindFail, Fail: &Fail{Index: a.Index, Key: a.Key, Msg: err.Error()}}); werr != nil {
+				if werr := WriteFrame(w, &Envelope{Kind: KindFail, Fail: &Fail{Index: a.Index, Key: a.Key, Msg: err.Error(), Metrics: delta()}}); werr != nil {
 					return werr
 				}
 				continue

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // ErrBudget is the sentinel for a query that exhausted its step or time
@@ -742,6 +743,7 @@ func (s *Solver) check(wantModel bool, bp *batchPrep) (Result, expr.State) {
 		if uerr != nil {
 			s.stats.BudgetExhausted++
 			mBudgetExhausted.Inc()
+			obs.RecordFlight(obs.FlightBudgetExhausted, s.stats.Checks, s.stats.Unknowns, 0)
 		}
 		model = nil
 	}

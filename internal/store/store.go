@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Options configures Open. The zero value is production defaults.
@@ -524,8 +526,10 @@ func (tx *Tx) Commit() error {
 		s.pendingFree[newMeta.txid] = tx.freed
 	}
 	s.stats.Commits++
+	commits := s.stats.Commits
 	s.mu.Unlock()
 	mCommits.Inc()
+	obs.RecordFlight(obs.FlightStoreCommit, commits, uint64(len(tx.t.dirty)), 0)
 	return nil
 }
 

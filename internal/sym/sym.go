@@ -16,6 +16,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/hashfn"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/rules"
 	"repro/internal/smt"
@@ -896,6 +897,7 @@ func (e *executor) recoverPath(id cfg.NodeID) {
 	}
 	e.res.Recovered++
 	mPathsRecovered.Inc()
+	obs.RecordFlight(obs.FlightPanic, uint64(len(e.path)), uint64(id), 0)
 	if e.shared != nil {
 		e.shared.recovered.Add(1)
 	}

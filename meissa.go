@@ -273,6 +273,13 @@ type GenResult struct {
 	// Store is the durable verdict-store activity summary; nil unless
 	// Options.Store/StorePath was set.
 	Store *obs.StoreReport
+	// TraceID is the run-wide trace identifier stamped at generation
+	// start and propagated to every shard worker.
+	TraceID string
+	// Fleet is the cross-process metric merge for sharded runs: the
+	// coordinator's split-phase registry delta plus the fold of every
+	// completed unit's worker-side delta (nil for in-process runs).
+	Fleet *obs.FleetReport
 }
 
 // Generate builds the CFG, applies code summary when enabled, and runs
@@ -287,7 +294,7 @@ func (s *System) Generate() (*GenResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("meissa: build CFG: %w", err)
 	}
-	res := &GenResult{Graph: g}
+	res := &GenResult{Graph: g, TraceID: obs.NewTraceID()}
 	res.Phases = append(res.Phases, obs.PhaseDur{Name: "cfg", NS: int64(cfgDur), Count: 1})
 	res.PossiblePathsLog10Before = g.PossiblePathsLog10()
 	obs.Progressf("meissa: %s: CFG built in %v (10^%.1f possible paths)",
@@ -530,7 +537,10 @@ func (g *GenResult) Report(command, program string, parallelism int) *obs.Report
 	}
 	if h, ok := obs.Default().Snapshot().Histograms["smt.query_latency_ns"]; ok {
 		rep.Solver.LatencyNS = &h
+		rep.Solver.LatencyQuantiles = h.SummaryQuantiles()
 	}
+	rep.TraceID = g.TraceID
+	rep.Fleet = g.Fleet
 	rep.Shard = g.Shard
 	rep.Store = g.Store
 	return rep

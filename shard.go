@@ -123,10 +123,15 @@ func defaultWorkerCommand() *exec.Cmd {
 // merge because its lookup index is frozen at Open.
 func (s *System) shardedFinalPass(fcfg sym.Config, jp **journal.Journal, jPath string, fp uint64, res *GenResult) (*sym.Result, error) {
 	width := shardWidthPerWorker * s.Opts.ShardWorkers
+	// Bracket the split with registry snapshots: the delta is the
+	// coordinator's above-frontier share of exploration work, reported as
+	// Fleet.Split so Split + Merged reproduces a sequential final pass.
+	preSplit := obs.Default().Snapshot()
 	fr, err := sym.SplitFrontier(fcfg, width)
 	if err != nil {
 		return nil, fmt.Errorf("meissa: split frontier: %w", err)
 	}
+	splitDelta := obs.Default().Snapshot().Delta(preSplit)
 	rep := &obs.ShardReport{Workers: s.Opts.ShardWorkers, MaxAssign: shardMaxAssign, Units: len(fr.Units)}
 	res.Shard = rep
 	quarantined := map[uint64]bool{}
@@ -166,6 +171,10 @@ func (s *System) shardedFinalPass(fcfg sym.Config, jp **journal.Journal, jPath s
 				JournalPath: func(gen int) string {
 					return filepath.Join(workDir, fmt.Sprintf("worker-gen%d.journal", gen))
 				},
+				FlightPath: func(gen int) string {
+					return filepath.Join(workDir, fmt.Sprintf("worker-gen%d.flight", gen))
+				},
+				TraceID: res.TraceID,
 				Merge: func(r journal.Record) error {
 					if r.Indexed {
 						return j.AppendWithDeps(r, r.Tables)
@@ -195,6 +204,10 @@ func (s *System) shardedFinalPass(fcfg sym.Config, jp **journal.Journal, jPath s
 				rep.RecordsHarvested = rres.HarvestedRecs
 				for _, k := range rres.QuarantinedKeys {
 					quarantined[k] = true
+				}
+				if rres.Fleet != nil {
+					rres.Fleet.Split = splitDelta
+					res.Fleet = rres.Fleet
 				}
 			}
 			switch {
@@ -257,6 +270,8 @@ type shardWorkerHandler struct {
 	hb        func(uint64)
 	pathSleep time.Duration
 	poison    int
+	worker    int           // incarnation id from Hello, tags span paths
+	initSnap  *obs.Snapshot // registry state at end of Init, MetricsDelta baseline
 }
 
 func (h *shardWorkerHandler) close() {
@@ -266,6 +281,15 @@ func (h *shardWorkerHandler) close() {
 }
 
 func (h *shardWorkerHandler) Init(hello *shard.Hello) (*shard.Ready, error) {
+	h.worker = hello.Worker
+	if hello.FlightPath != "" {
+		// Switch the flight recorder onto its mmapped per-process file
+		// before any instrumented subsystem runs, so even an Init-time
+		// crash leaves a harvestable event trail.
+		if _, err := obs.OpenFlightFile(hello.FlightPath, obs.DefaultFlightSlots); err != nil {
+			return nil, fmt.Errorf("worker flight file: %w", err)
+		}
+	}
 	prog, err := p4.Parse(hello.Program)
 	if err != nil {
 		return nil, fmt.Errorf("parse program: %w", err)
@@ -342,7 +366,21 @@ func (h *shardWorkerHandler) Init(hello *shard.Hello) (*shard.Ready, error) {
 		}
 	}
 	h.runner = fr.NewRunner(runnerOpts)
+	// Everything above (parse, summarize, split) is setup shared by all
+	// units; snapshotting here keeps it out of every per-unit delta so the
+	// coordinator folds only actual unit work.
+	h.initSnap = obs.Default().Snapshot()
 	return &shard.Ready{Fingerprint: fp, FrontierDigest: fr.Digest(), NumUnits: len(fr.Units)}, nil
+}
+
+// MetricsDelta reports the cumulative registry delta since Init for
+// Progress/Fail frames (live fleet view only; never folded into the
+// merged report — per-unit deltas on Done frames carry the folded work).
+func (h *shardWorkerHandler) MetricsDelta() *obs.Snapshot {
+	if h.initSnap == nil {
+		return nil
+	}
+	return obs.Default().Snapshot().Delta(h.initSnap)
 }
 
 func (h *shardWorkerHandler) RunUnit(index int, heartbeat func(paths uint64)) (*shard.Done, error) {
@@ -354,22 +392,35 @@ func (h *shardWorkerHandler) RunUnit(index int, heartbeat func(paths uint64)) (*
 	}
 	if h.poison > 0 && index == h.poison-1 {
 		// The injected poison unit: die as a crashed worker would, not as
-		// a clean protocol error.
+		// a clean protocol error. The flight event is the last thing the
+		// mmapped ring sees, so harvest shows what the worker was doing.
+		obs.RecordFlight(obs.FlightUnitStart, uint64(h.worker), uint64(index), 0)
 		os.Exit(3)
 	}
+	obs.RecordFlight(obs.FlightUnitStart, uint64(h.worker), uint64(index), 0)
 	h.buf = h.buf[:0]
 	h.paths = 0
 	h.hb = heartbeat
+	// The unit delta is bracketed by snapshots: everything between pre and
+	// post — exploration, solver queries, journal sync — is attributed to
+	// this unit and folded exactly once by the coordinator.
+	pre := obs.Default().Snapshot()
+	span := obs.Begin(fmt.Sprintf("w%d/u%d", h.worker, index))
 	res, err := h.runner.Explore(index)
+	span.End()
 	h.hb = nil
 	if err != nil {
+		obs.RecordFlight(obs.FlightUnitFail, uint64(h.worker), uint64(index), 0)
 		return nil, err
 	}
 	// Durable before claimed: the Done frame promises these records are
 	// harvestable even if this process dies immediately after.
 	if err := h.j.Sync(); err != nil {
+		obs.RecordFlight(obs.FlightUnitFail, uint64(h.worker), uint64(index), 0)
 		return nil, fmt.Errorf("sync worker journal: %w", err)
 	}
+	delta := obs.Default().Snapshot().Delta(pre)
+	obs.RecordFlight(obs.FlightUnitDone, uint64(h.worker), uint64(index), res.PathsExplored)
 	u := h.fr.Units[index]
 	recs := make([]journal.Record, len(h.buf))
 	copy(recs, h.buf)
@@ -379,5 +430,6 @@ func (h *shardWorkerHandler) RunUnit(index int, heartbeat func(paths uint64)) (*
 		Paths:     res.PathsExplored,
 		Templates: uint64(len(res.Templates)),
 		Records:   recs,
+		Metrics:   delta,
 	}, nil
 }
