@@ -55,11 +55,17 @@ func main() {
 		err = cmdTop(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	case "work":
-		// Hidden: the sharded-generation worker subprocess. Speaks the
-		// internal/shard frame protocol on stdin/stdout; never invoked by
-		// hand.
-		err = meissa.ServeShardWorker(os.Stdin, os.Stdout)
+		// The sharded-generation worker. With no flags it speaks the
+		// internal/shard frame protocol on stdin/stdout (the hidden
+		// subprocess transport, never invoked by hand); with -connect it
+		// dials a coordinator's listener and serves one run over TCP —
+		// the remote-host worker mode.
+		err = cmdWork(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -73,8 +79,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meissa gen  -p prog.p4 [-r rules.txt] [-s spec.lpi] [-no-summary] [-parallel N] [-v] [-quiet]
-              [-checkpoint FILE [-resume]] [-store FILE] [-strict] [-solver-budget N] [-solver-timeout D]
-              [-workers N [-lease-timeout D] [-chaos-kill N] [-chaos-seed N]]
+              [-checkpoint FILE [-resume]] [-store FILE [-store-wait D]] [-strict] [-solver-budget N] [-solver-timeout D]
+              [-workers N|tcp://host:port [-remote-workers N] [-lease-timeout D] [-chaos-kill N] [-chaos-seed N]]
               [-metrics-out report.json] [-pprof-addr host:port] [-o cases.txt]
   meissa test -p prog.p4 [-r rules.txt] [-s spec.lpi] [-fault kind:arg[,..]] [-trace] [-parallel N]
               [-udp] [-retries N] [-case-timeout D] [-recv-timeout D] [-breaker N] [-v] [-quiet]
@@ -85,6 +91,12 @@ func usage() {
               [-report regress.json] [-o cases.txt] [-parallel N] [-no-summary]
               [-watch [-interval D] [-max-failures N]] [-v] [-quiet]
   meissa store <info|import|export> -store FILE [-journal FILE] (-p prog.p4 [-r rules.txt] | -corpus NAME)
+  meissa serve -store FILE [-addr unix://path|tcp://host:port] [-store-wait D]
+              [-max-concurrent N] [-max-coordinators N] [-drain D] [-pprof-addr host:port]
+  meissa client <load|gen|regress|status|unload> -addr ADDR [-tenant T] [-family NAME]
+              load:    (-p prog.p4 [-r rules.txt] [-s spec.lpi] | -corpus NAME)
+              gen:     [-no-summary] [-parallel N] [-workers N] [-r rules.txt] [-o cases.txt] [-metrics-out report.json]
+              regress: (-rules-new FILE | -mutate N (-corpus NAME | -r FILE)) [-emit-rules FILE] [-o cases.txt]
   meissa corpus
   meissa dump -corpus <name>
   meissa checkmetrics <report.json>
@@ -173,10 +185,12 @@ func cmdGen(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "journal file making generation crash-safe")
 	resume := fs.Bool("resume", false, "resume from the -checkpoint journal of an interrupted run")
 	storePath := fs.String("store", "", "durable verdict store file: warm-start from it, commit results back")
+	storeWait := fs.Duration("store-wait", 0, "bounded retry when the store is locked by another process (0 = fail fast)")
 	strict := fs.Bool("strict", false, "fail fast on per-path panics instead of isolating them")
 	solverBudget := fs.Int("solver-budget", 0, "per-query solver backtracking-step budget (0 = default)")
 	solverTimeout := fs.Duration("solver-timeout", 0, "per-query solver wall-clock budget (0 = none)")
-	workers := fs.Int("workers", 0, "shard the final pass across N worker subprocesses (0/1 = in-process)")
+	workers := fs.String("workers", "", "shard the final pass: N worker subprocesses, or tcp://host:port to accept remote `work -connect` dialers (0/empty = in-process)")
+	remoteWorkers := fs.Int("remote-workers", 2, "worker slot count when -workers is a listen address")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "shard lease progress deadline (0 = 10s default)")
 	chaosKill := fs.Int("chaos-kill", 0, "SIGKILL N random workers mid-run (fault-injection testing)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos-kill victim selection")
@@ -199,10 +213,14 @@ func cmdGen(args []string) error {
 	opts.Checkpoint = *checkpoint
 	opts.Resume = *resume
 	opts.StorePath = *storePath
+	opts.StoreWait = *storeWait
 	opts.Strict = *strict
 	opts.SolverSearchBudget = *solverBudget
 	opts.SolverCheckTimeout = *solverTimeout
-	opts.ShardWorkers = *workers
+	opts.ShardWorkers, opts.ShardListen, err = parseWorkers(*workers, *remoteWorkers)
+	if err != nil {
+		return err
+	}
 	opts.LeaseTimeout = *leaseTimeout
 	opts.ShardChaosKills = *chaosKill
 	opts.ShardChaosSeed = *chaosSeed

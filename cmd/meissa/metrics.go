@@ -223,6 +223,13 @@ func cmdCheckMetrics(args []string) error {
 				sh.WorkerRestarts, sh.CorruptFrames, sh.KillsInjected)
 		}
 	}
+	if d := rep.Daemon; d != nil {
+		fmt.Printf("  daemon %s: families=%d requests=%d warm_hits=%d store_conflicts=%d (%.1f req/s)\n",
+			d.Addr, d.Families, d.RequestsServed, d.WarmHits, d.StoreConflicts, d.RequestsPerSec)
+		fmt.Printf("  daemon queue_wait=%v ttfv=%v\n",
+			time.Duration(d.QueueWaitNS).Round(time.Microsecond),
+			time.Duration(d.TimeToFirstVerdictNS).Round(time.Microsecond))
+	}
 	if fl := rep.Fleet; fl != nil {
 		// ParseReport already ran FleetReport.Validate, so reaching here
 		// means the accounting identity held: every merged counter equals
@@ -257,7 +264,7 @@ func checkBenchReport(data []byte) error {
 		return fmt.Errorf("bench report has no runs")
 	}
 	var lockstep, pipelined float64
-	var storeWarm, storeResume *obs.Report
+	var storeWarm, storeResume, daemonWarm *obs.Report
 	for _, r := range br.Runs {
 		if err := r.Validate(); err != nil {
 			return fmt.Errorf("bench run %s/%s: %w", r.Program, r.RuleSet, err)
@@ -274,6 +281,8 @@ func checkBenchReport(data []byte) error {
 			storeWarm = r
 		case "store~resume":
 			storeResume = r
+		case "daemon~warm":
+			daemonWarm = r
 		}
 	}
 	fmt.Printf("ok: bench report, %d runs (budget %v, parallel %d)\n",
@@ -300,6 +309,20 @@ func checkBenchReport(data []byte) error {
 				time.Duration(storeWarm.WallNS).Round(time.Microsecond),
 				time.Duration(storeResume.WallNS).Round(time.Microsecond),
 				100*(float64(storeWarm.WallNS)-float64(storeResume.WallNS))/float64(storeResume.WallNS))
+		}
+	}
+	if daemonWarm != nil && daemonWarm.Daemon != nil {
+		d := daemonWarm.Daemon
+		fmt.Printf("  %s warm daemon: TTFV %v (queue %v), %.1f requests/s over %d served (%d warm hits)\n",
+			daemonWarm.Program,
+			time.Duration(d.TimeToFirstVerdictNS).Round(time.Microsecond),
+			time.Duration(d.QueueWaitNS).Round(time.Microsecond),
+			d.RequestsPerSec, d.RequestsServed, d.WarmHits)
+		if storeWarm != nil && storeWarm.WallNS > 0 && daemonWarm.WallNS > 0 {
+			fmt.Printf("  %s warm daemon vs warm store run: %v vs %v\n",
+				daemonWarm.Program,
+				time.Duration(daemonWarm.WallNS).Round(time.Microsecond),
+				time.Duration(storeWarm.WallNS).Round(time.Microsecond))
 		}
 	}
 	return nil

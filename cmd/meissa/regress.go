@@ -23,6 +23,7 @@ func cmdRegress(args []string) error {
 	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
 	baseline := fs.String("baseline", "", "baseline checkpoint journal (written by gen -checkpoint)")
 	storePath := fs.String("store", "", "durable verdict store holding the baseline (alternative to -baseline)")
+	storeWait := fs.Duration("store-wait", 0, "bounded retry when the store is locked by another process (0 = fail fast)")
 	rulesOld := fs.String("rules-old", "", "rule set the baseline was generated under (default: the -corpus/-r rules)")
 	rulesNew := fs.String("rules-new", "", "updated rule set file")
 	mutate := fs.Int("mutate", 0, "derive the new rules by bumping N action arguments of the old rules (instead of -rules-new)")
@@ -80,6 +81,7 @@ func cmdRegress(args []string) error {
 	opts.CodeSummary = !*noSummary
 	opts.Parallelism = *parallel
 	opts.Checkpoint = ckpt
+	opts.StoreWait = *storeWait
 	if *watch {
 		// One verdict cache survives the whole watch session; each
 		// iteration invalidates only the changed branches.

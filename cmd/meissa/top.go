@@ -50,10 +50,10 @@ func cmdTop(args []string) error {
 			}
 		}
 		cursor = d.Cursor
-		fleet := fetchFleet(client, base) // nil outside sharded runs
+		fleet, dmn := fetchFleet(client, base) // nil outside sharded/daemon runs
 		now := time.Now()
 		var out strings.Builder
-		renderTop(&out, mirror, fleet, prev, now.Sub(prevAt))
+		renderTop(&out, mirror, fleet, dmn, prev, now.Sub(prevAt))
 		if !*once {
 			fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
 		}
@@ -89,22 +89,52 @@ func fetchDelta(c *http.Client, base string, cursor uint64, wait time.Duration) 
 	return &d, nil
 }
 
-// fetchFleet reads the coordinator's live fleet view; nil when the run
-// is not sharded (404) or the view is momentarily unavailable.
-func fetchFleet(c *http.Client, base string) *shard.FleetView {
+// daemonView mirrors the resident daemon's /fleet fallback payload,
+// recognized by its "daemon":true discriminator.
+type daemonView struct {
+	Daemon         bool   `json:"daemon"`
+	Addr           string `json:"addr"`
+	UptimeNS       int64  `json:"uptime_ns"`
+	RequestsServed uint64 `json:"requests_served"`
+	WarmHits       uint64 `json:"warm_hits"`
+	StoreConflicts uint64 `json:"store_conflicts"`
+	Inflight       int    `json:"inflight"`
+	QueueDepth     int    `json:"queue_depth"`
+	Families       []struct {
+		Name      string `json:"name"`
+		Gens      uint64 `json:"gens"`
+		Regresses uint64 `json:"regresses"`
+		WarmHits  uint64 `json:"warm_hits"`
+	} `json:"families"`
+}
+
+// fetchFleet reads the live /fleet view, which is either a shard
+// coordinator's per-worker state (sharded runs) or the resident
+// daemon's service view (its "daemon":true discriminator decides).
+// Both are nil when no run is live (404) or the view is momentarily
+// unavailable.
+func fetchFleet(c *http.Client, base string) (*shard.FleetView, *daemonView) {
 	resp, err := c.Get(base + "/fleet")
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil
+		return nil, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, nil
+	}
+	var d daemonView
+	if err := json.Unmarshal(body, &d); err == nil && d.Daemon {
+		return nil, &d
 	}
 	var v shard.FleetView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return nil
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, nil
 	}
-	return &v
+	return &v, nil
 }
 
 // rate formats a per-second rate for the counter delta since the last
@@ -117,7 +147,7 @@ func rate(cur map[string]uint64, prev map[string]uint64, dt time.Duration, key s
 	return fmt.Sprintf("%.0f/s", float64(d)/dt.Seconds())
 }
 
-func renderTop(w *strings.Builder, s *obs.Snapshot, fleet *shard.FleetView, prev map[string]uint64, dt time.Duration) {
+func renderTop(w *strings.Builder, s *obs.Snapshot, fleet *shard.FleetView, dmn *daemonView, prev map[string]uint64, dt time.Duration) {
 	if s == nil {
 		fmt.Fprintln(w, "meissa top: no snapshot yet")
 		return
@@ -169,6 +199,15 @@ func renderTop(w *strings.Builder, s *obs.Snapshot, fleet *shard.FleetView, prev
 	if c["store.commits"] > 0 || c["store.records_put"] > 0 {
 		fmt.Fprintf(w, "store: %d commits, %d records put, %d wal replays\n",
 			c["store.commits"], c["store.records_put"], c["store.wal_replays"])
+	}
+
+	if dmn != nil {
+		fmt.Fprintf(w, "\ndaemon %s: %d requests (%d warm hits, %d store conflicts), %d in flight, %d queued\n",
+			dmn.Addr, dmn.RequestsServed, dmn.WarmHits, dmn.StoreConflicts, dmn.Inflight, dmn.QueueDepth)
+		for _, f := range dmn.Families {
+			fmt.Fprintf(w, "  family %-12s gens=%d regresses=%d warm_hits=%d\n",
+				f.Name, f.Gens, f.Regresses, f.WarmHits)
+		}
 	}
 
 	if fleet != nil {

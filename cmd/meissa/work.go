@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"time"
+
+	meissa "repro"
+	"repro/internal/shard"
+)
+
+// cmdWork runs the worker side of sharded generation: over stdin/stdout
+// when spawned by a local coordinator (the hidden subprocess transport),
+// or over one dialed connection when -connect names a coordinator's
+// `-workers tcp://host:port` listener — the remote-host mode. A dialed
+// worker serves exactly one run and exits when the coordinator closes
+// the connection.
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	connect := fs.String("connect", "", "dial a coordinator listener (tcp://host:port) instead of serving stdin/stdout")
+	wait := fs.Duration("connect-wait", 30*time.Second, "keep retrying the dial this long before giving up")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return meissa.ServeShardWorker(os.Stdin, os.Stdout)
+	}
+	conn, err := shard.DialWorker(*connect, *wait)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return meissa.ServeShardWorker(conn, conn)
+}
+
+// parseWorkers interprets the -workers flag value: a plain integer is a
+// subprocess count; anything with a scheme or colon is a listen address
+// for remote workers, with remote as the slot count.
+func parseWorkers(v string, remote int) (workers int, listen string, err error) {
+	if v == "" || v == "0" {
+		return 0, "", nil
+	}
+	if n, aerr := strconv.Atoi(v); aerr == nil {
+		return n, "", nil
+	}
+	return remote, v, nil
+}

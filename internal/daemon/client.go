@@ -1,0 +1,71 @@
+package daemon
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is one connection to a resident daemon. It is safe for
+// concurrent use: requests are written and answered in order on the
+// single connection, so Do serializes callers.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	sc     *bufio.Scanner
+	nextID uint64
+}
+
+// Dial connects to a daemon at addr ("unix://path", "tcp://host:port",
+// or bare "host:port"), retrying until timeout so a client racing a
+// just-started daemon wins.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	network, address, err := ParseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	const retry = 100 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout(network, address, timeout)
+		if err == nil {
+			return &Client{conn: conn, sc: newLineScanner(conn)}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("daemon: dial %s: %w", addr, err)
+		}
+		time.Sleep(retry)
+	}
+}
+
+// Do sends one request and waits for its response. The request ID is
+// assigned here; a response with a different ID (protocol corruption)
+// is an error.
+func (c *Client) Do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	if err := writeMsg(c.conn, req); err != nil {
+		return nil, fmt.Errorf("daemon: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("daemon: recv: %w", err)
+		}
+		return nil, fmt.Errorf("daemon: connection closed mid-request")
+	}
+	var resp Response
+	if err := unmarshalStrict(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("daemon: recv: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("daemon: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// Close hangs up.
+func (c *Client) Close() error { return c.conn.Close() }

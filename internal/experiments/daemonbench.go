@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/obs"
+	"repro/internal/p4"
+	"repro/internal/programs"
+)
+
+// Resident-daemon benchmark: an in-process daemon on a unix socket
+// serves gw-1 cold once, then warm. The warm run's report lands in the
+// bench document with RuleSet "daemon~warm" carrying the Daemon
+// section: time-to-first-verdict of a warm request (the latency a CI
+// loop pays per rule-update check) and sustained requests/s over a
+// short warm-request loop. The warm leg is asserted to make zero live
+// solver queries — the whole point of keeping the state resident.
+func daemonBenchRuns() ([]*obs.Report, error) {
+	dir, err := os.MkdirTemp("", "meissa-bench-daemon-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	p := programs.GW(1, programs.Set1)
+
+	d, err := daemon.New(daemon.Config{
+		Addr:      "unix://" + filepath.Join(dir, "bench.sock"),
+		StorePath: filepath.Join(dir, "bench.store"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Listen(); err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- d.Serve() }()
+	defer func() {
+		_ = d.Shutdown()
+		<-serveDone
+	}()
+
+	c, err := daemon.Dial(d.Addr(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	doOK := func(req *daemon.Request) (*daemon.Response, error) {
+		resp, err := c.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("bench daemon %s: %s", req.Op, resp.Error)
+		}
+		return resp, nil
+	}
+
+	if _, err := doOK(&daemon.Request{
+		Op:      daemon.OpLoad,
+		Family:  p.Name,
+		Program: p4.Print(p.Prog),
+		Rules:   p.Rules.String(),
+	}); err != nil {
+		return nil, err
+	}
+	gen := &daemon.Request{
+		Op: daemon.OpGen, Family: p.Name,
+		Gen: &daemon.GenParams{Parallel: Parallelism},
+	}
+	// Cold request seeds the store; its wall-clock is the daemon's
+	// first-request cost.
+	if _, err := doOK(gen); err != nil {
+		return nil, err
+	}
+	// Warm TTFV: the request we report.
+	warm, err := doOK(gen)
+	if err != nil {
+		return nil, err
+	}
+	if !warm.Gen.WarmHit || warm.Gen.SMTCalls != 0 {
+		return nil, fmt.Errorf("bench daemon %s: warm request not warm (hit=%v, %d live solver calls)",
+			p.Name, warm.Gen.WarmHit, warm.Gen.SMTCalls)
+	}
+	rep := warm.Gen.Report
+	if rep == nil || rep.Daemon == nil {
+		return nil, fmt.Errorf("bench daemon %s: warm response carried no daemon report", p.Name)
+	}
+
+	// Sustained warm throughput: hammer warm requests for a short,
+	// bounded window and restate requests/s over it (the daemon's own
+	// RequestsPerSec is diluted by cold-start time).
+	const window = 300 * time.Millisecond
+	served := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		r, err := doOK(gen)
+		if err != nil {
+			return nil, err
+		}
+		if r.Gen.SMTCalls != 0 {
+			return nil, fmt.Errorf("bench daemon %s: loop request made %d live solver calls", p.Name, r.Gen.SMTCalls)
+		}
+		served++
+	}
+	if elapsed := time.Since(start); served > 0 && elapsed > 0 {
+		rep.Daemon.RequestsPerSec = float64(served) / elapsed.Seconds()
+	}
+	rep.RuleSet = "daemon~warm"
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("bench daemon %s: %w", p.Name, err)
+	}
+	return []*obs.Report{rep}, nil
+}

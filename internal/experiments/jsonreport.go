@@ -151,5 +151,10 @@ func BenchRuns() (*BenchReport, error) {
 		return nil, err
 	}
 	br.Runs = append(br.Runs, storeRuns...)
+	daemonRuns, err := daemonBenchRuns()
+	if err != nil {
+		return nil, err
+	}
+	br.Runs = append(br.Runs, daemonRuns...)
 	return br, nil
 }

@@ -158,8 +158,27 @@ func SetFleetSource(f func() any) {
 	fleetSource.Store(&f)
 }
 
+// fleetFallback is consulted when no coordinator has a view installed:
+// the resident daemon registers its service view here, so /fleet shows
+// daemon state between sharded runs and the coordinator's view takes
+// over during one.
+var fleetFallback atomic.Pointer[func() any]
+
+// SetFleetFallback installs (or, with nil, removes) the long-lived
+// /fleet provider behind SetFleetSource.
+func SetFleetFallback(f func() any) {
+	if f == nil {
+		fleetFallback.Store(nil)
+		return
+	}
+	fleetFallback.Store(&f)
+}
+
 func handleFleet(w http.ResponseWriter, _ *http.Request) {
 	f := fleetSource.Load()
+	if f == nil {
+		f = fleetFallback.Load()
+	}
 	if f == nil {
 		http.Error(w, "no fleet running", http.StatusNotFound)
 		return

@@ -57,10 +57,40 @@ type Report struct {
 	// per-worker registry deltas, the coordinator's split-phase delta, and
 	// their fold — with the coordinator==Σworkers identity validated.
 	Fleet *FleetReport `json:"fleet,omitempty"`
+	// Daemon reports resident-daemon service activity when the run was
+	// served by `meissa serve` (nil for direct CLI runs).
+	Daemon *DaemonReport `json:"daemon,omitempty"`
 	// Registry carries the full process metric snapshot (optional; CLI
 	// runs attach it so one file holds both the curated report and the
 	// raw counters).
 	Registry *Snapshot `json:"registry,omitempty"`
+}
+
+// DaemonReport is the resident-daemon section: the service-level view of
+// the request that produced this report, snapshot at response time. The
+// CI daemon-smoke job jq-gates these fields.
+type DaemonReport struct {
+	// Addr is the daemon's listen address; Families is the count of
+	// loaded program families at response time.
+	Addr     string `json:"addr,omitempty"`
+	Families int    `json:"families"`
+	// RequestsServed counts completed requests since daemon start (all
+	// tenants); WarmHits counts gen requests answered entirely from the
+	// family's warm state (zero live solver queries).
+	RequestsServed uint64 `json:"requests_served"`
+	WarmHits       uint64 `json:"warm_hits"`
+	// StoreConflicts counts requests that failed on store contention
+	// (ErrStoreBusy/wedge) — zero on a healthy single-writer daemon.
+	StoreConflicts uint64 `json:"store_conflicts"`
+	// QueueWaitNS is how long this request waited in the fair-share
+	// queue before running; TimeToFirstVerdictNS is queue wait plus
+	// generation — the warm-path responsiveness metric benched as
+	// daemon~warm.
+	QueueWaitNS          int64 `json:"queue_wait_ns,omitempty"`
+	TimeToFirstVerdictNS int64 `json:"time_to_first_verdict_ns,omitempty"`
+	// RequestsPerSec is sustained warm-request throughput; bench runs
+	// measure it over a repeated-request regime (zero elsewhere).
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
 }
 
 // PathReport is the exploration-volume section.
@@ -469,6 +499,16 @@ func (r *Report) Validate() error {
 				return fmt.Errorf("obs: shard leases_expired %d < quarantined %d × max_assign %d",
 					sh.LeasesExpired, sh.UnitsQuarantined, sh.MaxAssign)
 			}
+		}
+	}
+	if d := r.Daemon; d != nil {
+		// The daemon stamps its section after counting the request that
+		// produced this report, so a served report shows at least one.
+		if d.RequestsServed == 0 {
+			return fmt.Errorf("obs: daemon report with zero requests served")
+		}
+		if d.WarmHits > d.RequestsServed {
+			return fmt.Errorf("obs: daemon warm_hits %d > requests_served %d", d.WarmHits, d.RequestsServed)
 		}
 	}
 	if r.Fleet != nil {

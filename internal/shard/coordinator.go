@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"os/exec"
 	"sort"
 	"sync/atomic"
@@ -33,8 +32,13 @@ type Config struct {
 	Workers int
 	// Command builds the subprocess command for one spawn. Stdin/Stdout
 	// are overwritten by the coordinator; Stderr passes through unless
-	// already set.
+	// already set. Ignored when Transport is set.
 	Command func() *exec.Cmd
+	// Transport supplies worker connections: nil spawns subprocesses via
+	// Command (the default); a ListenerTransport accepts remote dialers
+	// instead. The coordinator owns the transport and closes it when the
+	// run ends.
+	Transport Transport
 	// JournalPath names worker gen g's local journal file. Paths must be
 	// unique per gen so a restarted worker never truncates records the
 	// coordinator may still harvest from its dead predecessor.
@@ -124,13 +128,13 @@ type FleetWorkerView struct {
 	Restarts int    `json:"restarts"`
 }
 
-// workerSlot is one supervised subprocess position. gen increments on
-// every (re)spawn; events from older gens are stale and dropped.
+// workerSlot is one supervised worker position — a subprocess or a
+// remote connection, per the transport. gen increments on every
+// (re)spawn; events from older gens are stale and dropped.
 type workerSlot struct {
 	id            int
 	gen           int
-	cmd           *exec.Cmd
-	stdin         io.WriteCloser
+	conn          WorkerConn
 	ready         bool
 	alive         bool
 	dead          bool // permanently failed (restart budget, skew)
@@ -164,6 +168,9 @@ type coordinator struct {
 	paths  []string // every worker journal path ever issued
 	res    *Result
 	rng    *rand.Rand
+	// idleSince tracks how long a deferred transport has had zero live
+	// workers; past ReadyTimeout the run collapses to ErrNoWorkers.
+	idleSince time.Time
 	// killAt holds completed-unit thresholds at which a chaos kill fires.
 	killAt []int
 	// fleet tracks per-incarnation observability, keyed by spawn gen.
@@ -190,6 +197,10 @@ func Run(cfg *Config) (*Result, error) {
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = 5
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = &SubprocessTransport{Command: cfg.Command}
+	}
+	defer cfg.Transport.Close()
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
@@ -202,6 +213,7 @@ func Run(cfg *Config) (*Result, error) {
 		res:    &Result{},
 		fleet:  map[int]*genFleet{},
 	}
+	c.idleSince = time.Now()
 	if cfg.ChaosKills > 0 {
 		c.rng = rand.New(rand.NewSource(cfg.ChaosSeed))
 		// Spread the kills across the run: each fires once the completed
@@ -267,20 +279,52 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// spawn starts (or restarts) a slot's subprocess and sends its Hello.
-// Failure marks the slot dead once the restart budget is exhausted.
+// burnRestart charges one respawn against a slot's budget; false means
+// the budget is exhausted and the slot has been retired.
+func (c *coordinator) burnRestart(s *workerSlot) bool {
+	s.restarts++
+	c.res.WorkerRestarts++
+	mWorkerRestarts.Inc()
+	if s.restarts > c.cfg.MaxRestarts {
+		obs.Warnf("shard: worker %d exceeded restart budget (%d); retiring slot", s.id, c.cfg.MaxRestarts)
+		s.dead = true
+		return false
+	}
+	return true
+}
+
+// spawn attaches a worker to a slot via the transport and sends its
+// Hello. A deferred transport with no dialed worker leaves the slot
+// down for the tick to retry (no budget charge); a connection that
+// fails, or a respawn, burns the restart budget, and exhaustion marks
+// the slot dead.
 func (c *coordinator) spawn(s *workerSlot) {
 	if s.dead {
 		return
 	}
+	conn, ok, err := c.cfg.Transport.Connect()
+	if err != nil {
+		// Every failed connect burns the restart budget — including a
+		// slot that never attached (gen 0), so a permanently unspawnable
+		// command retires all slots and the run collapses to ErrNoWorkers
+		// instead of retrying forever. Budget remaining: the next tick
+		// retries via spawnIfNeeded.
+		obs.Warnf("shard: connect worker %d: %v", s.id, err)
+		s.alive = false
+		c.burnRestart(s)
+		return
+	}
+	if !ok {
+		// No remote worker has dialed in yet: stay down without charging
+		// the budget — one may attach at any moment, and total absence is
+		// bounded by the deferred-idle check in loop().
+		s.alive = false
+		return
+	}
 	if s.gen != 0 {
-		// Any respawn after the initial one is a restart.
-		s.restarts++
-		c.res.WorkerRestarts++
-		mWorkerRestarts.Inc()
-		if s.restarts > c.cfg.MaxRestarts {
-			obs.Warnf("shard: worker %d exceeded restart budget (%d); retiring slot", s.id, c.cfg.MaxRestarts)
-			s.dead = true
+		// Any respawn after the initial attach is a restart.
+		if !c.burnRestart(s) {
+			conn.Kill()
 			return
 		}
 	}
@@ -288,75 +332,56 @@ func (c *coordinator) spawn(s *workerSlot) {
 	gen := c.genSeq
 	s.gen, s.ready, s.alive, s.busy = gen, false, true, false
 	s.readyDeadline = time.Now().Add(c.cfg.ReadyTimeout)
+	s.conn = conn
 
-	cmd := c.cfg.Command()
-	if cmd.Stderr == nil {
-		cmd.Stderr = os.Stderr
-	}
-	stdin, err := cmd.StdinPipe()
-	if err == nil {
-		var stdout io.ReadCloser
-		stdout, err = cmd.StdoutPipe()
-		if err == nil {
-			err = cmd.Start()
-			if err == nil {
-				s.cmd, s.stdin = cmd, stdin
-				go func(gen int) {
-					for {
-						env, rerr := ReadFrame(stdout)
-						if rerr != nil {
-							c.events <- event{worker: s.id, gen: gen, err: rerr}
-							return
-						}
-						c.events <- event{worker: s.id, gen: gen, env: env}
-					}
-				}(gen)
-				go func(gen int, cmd *exec.Cmd) {
-					werr := cmd.Wait()
-					c.events <- event{worker: s.id, gen: gen, exited: true, err: werr}
-				}(gen, cmd)
-
-				hello := *c.cfg.Hello
-				hello.JournalPath = c.cfg.JournalPath(gen)
-				hello.TraceID = c.cfg.TraceID
-				hello.Worker = gen
-				if c.cfg.FlightPath != nil {
-					hello.FlightPath = c.cfg.FlightPath(gen)
-				}
-				c.paths = append(c.paths, hello.JournalPath)
-				c.fleet[gen] = &genFleet{gen: gen, slot: s.id, flightPath: hello.FlightPath}
-				obs.RecordFlight(obs.FlightWorkerSpawn, uint64(gen), uint64(s.id), 0)
-				if werr := WriteFrame(stdin, &Envelope{Kind: KindHello, Hello: &hello}); werr != nil {
-					err = werr
-				}
+	rd := conn.Reader()
+	go func(gen int) {
+		for {
+			env, rerr := ReadFrame(rd)
+			if rerr != nil {
+				c.events <- event{worker: s.id, gen: gen, err: rerr}
+				return
 			}
+			c.events <- event{worker: s.id, gen: gen, env: env}
 		}
+	}(gen)
+	go func(gen int, conn WorkerConn) {
+		werr := conn.Wait()
+		c.events <- event{worker: s.id, gen: gen, exited: true, err: werr}
+	}(gen, conn)
+
+	hello := *c.cfg.Hello
+	hello.JournalPath = c.cfg.JournalPath(gen)
+	hello.TraceID = c.cfg.TraceID
+	hello.Worker = gen
+	if c.cfg.FlightPath != nil {
+		hello.FlightPath = c.cfg.FlightPath(gen)
 	}
-	if err != nil {
-		obs.Warnf("shard: spawn worker %d (gen %d): %v", s.id, gen, err)
+	c.paths = append(c.paths, hello.JournalPath)
+	c.fleet[gen] = &genFleet{gen: gen, slot: s.id, flightPath: hello.FlightPath}
+	obs.RecordFlight(obs.FlightWorkerSpawn, uint64(gen), uint64(s.id), 0)
+	if werr := WriteFrame(conn, &Envelope{Kind: KindHello, Hello: &hello}); werr != nil {
+		obs.Warnf("shard: hello worker %d (gen %d): %v", s.id, gen, werr)
+		conn.Kill()
 		s.alive = false
-		if s.cmd != nil && s.cmd.Process != nil {
-			s.cmd.Process.Kill()
-		}
-		s.cmd, s.stdin = nil, nil
-		// Burn a restart and try again on the next tick via failSlot's
-		// respawn path — but avoid tight recursion here: mark not-alive
-		// and let the loop's tick respawn.
+		s.conn = nil
+		// The reader/waiter goroutines surface the death as events; the
+		// tick respawns via spawnIfNeeded.
 	}
 }
 
-// kill SIGKILLs a slot's current process (lease cleanup happens when the
-// reader reports EOF / exit).
+// kill terminates a slot's current worker (lease cleanup happens when
+// the reader reports EOF / exit).
 func (c *coordinator) kill(s *workerSlot) {
-	if s.cmd != nil && s.cmd.Process != nil {
-		s.cmd.Process.Kill()
+	if s.conn != nil {
+		s.conn.Kill()
 	}
 }
 
 // failSlot handles a slot's process death or frame corruption: expire
 // its leases immediately and respawn.
 func (c *coordinator) failSlot(s *workerSlot, why string) {
-	if !s.alive && s.cmd == nil {
+	if !s.alive && s.conn == nil {
 		// Already failed (e.g. corrupt frame handled, then exit event).
 		c.spawnIfNeeded(s)
 		return
@@ -364,7 +389,7 @@ func (c *coordinator) failSlot(s *workerSlot, why string) {
 	obs.Warnf("shard: worker %d (gen %d) failed: %s", s.id, s.gen, why)
 	c.kill(s)
 	s.alive, s.ready, s.busy = false, false, false
-	s.cmd, s.stdin = nil, nil
+	s.conn = nil
 	if g := c.fleet[s.gen]; g != nil {
 		g.died = true
 	}
@@ -406,7 +431,7 @@ func (c *coordinator) assignIdle() {
 		}
 		mLeasesIssued.Inc()
 		obs.RecordFlight(obs.FlightLeaseIssued, uint64(u.Index), uint64(s.gen), u.Key)
-		if err := WriteFrame(s.stdin, &Envelope{Kind: KindAssign, Assign: &Assign{Index: u.Index, Key: u.Key}}); err != nil {
+		if err := WriteFrame(s.conn, &Envelope{Kind: KindAssign, Assign: &Assign{Index: u.Index, Key: u.Key}}); err != nil {
 			c.failSlot(s, fmt.Sprintf("assign write: %v", err))
 			continue
 		}
@@ -447,7 +472,7 @@ func (c *coordinator) chaosMaybeKill(completed int) {
 		c.killAt = c.killAt[1:]
 		var live []*workerSlot
 		for _, s := range c.slots {
-			if s.alive && s.cmd != nil {
+			if s.alive && s.conn != nil {
 				live = append(live, s)
 			}
 		}
@@ -521,6 +546,25 @@ func (c *coordinator) loop(now func() time.Time) error {
 					c.failSlot(s, "ready timeout")
 				}
 				c.spawnIfNeeded(s)
+			}
+			if c.cfg.Transport.Deferred() {
+				// Deferred transports have no subprocess to fail fast on:
+				// an empty fleet just means nobody has dialed yet. Bound
+				// the wait so a run with no remote workers collapses to
+				// the in-process fallback instead of hanging.
+				anyAlive := false
+				for _, s := range c.slots {
+					if s.alive {
+						anyAlive = true
+						break
+					}
+				}
+				if anyAlive {
+					c.idleSince = rnow
+				} else if rnow.Sub(c.idleSince) > c.cfg.ReadyTimeout {
+					obs.Warnf("shard: no remote worker attached within %v; giving up", c.cfg.ReadyTimeout)
+					return ErrNoWorkers
+				}
 			}
 		}
 		c.assignIdle()
@@ -660,12 +704,10 @@ func (c *coordinator) handleFrame(s *workerSlot, env *Envelope, completed *int) 
 func (c *coordinator) shutdownAll() {
 	remaining := 0
 	for _, s := range c.slots {
-		if s.alive && s.cmd != nil {
+		if s.alive && s.conn != nil {
 			remaining++
-		}
-		if s.alive && s.stdin != nil {
-			_ = WriteFrame(s.stdin, &Envelope{Kind: KindShutdown})
-			s.stdin.Close()
+			_ = WriteFrame(s.conn, &Envelope{Kind: KindShutdown})
+			s.conn.CloseWrite()
 		}
 	}
 	grace := time.After(2 * time.Second)

@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WorkerConn is one live worker attachment, whatever carries it. The
+// coordinator writes frames into it, reads frames from Reader, and
+// observes worker death through Wait — the same supervision loop drives
+// a subprocess over pipes and a remote dialer over TCP.
+type WorkerConn interface {
+	io.Writer
+	// CloseWrite signals end-of-frames toward the worker (stdin close /
+	// TCP half-close); the worker's serve loop reads EOF and exits.
+	CloseWrite() error
+	// Reader is the frame stream from the worker.
+	Reader() io.Reader
+	// Kill terminates the worker abruptly (SIGKILL / connection close).
+	Kill()
+	// Wait blocks until the worker is gone: the process reaped, or the
+	// connection observed dead. The coordinator turns its return into
+	// the `exited` supervision event.
+	Wait() error
+}
+
+// Transport produces worker connections for the coordinator.
+type Transport interface {
+	// Connect yields the next worker connection. ok=false with a nil
+	// error means no worker is available right now — only deferred
+	// transports return it; the coordinator retries on its tick.
+	Connect() (conn WorkerConn, ok bool, err error)
+	// Deferred reports whether workers attach on their own schedule
+	// (remote dialers) instead of being spawned on demand. A deferred
+	// transport that stays empty past ReadyTimeout collapses the run to
+	// ErrNoWorkers.
+	Deferred() bool
+	// Close releases transport resources (the listener). Connections
+	// already handed out are unaffected.
+	Close() error
+}
+
+// SubprocessTransport spawns a worker subprocess per Connect — the
+// original pipes transport, and the default when Config.Transport is
+// nil.
+type SubprocessTransport struct {
+	Command func() *exec.Cmd
+}
+
+func (t *SubprocessTransport) Connect() (WorkerConn, bool, error) {
+	cmd := t.Command()
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, false, err
+	}
+	return &procConn{cmd: cmd, stdin: stdin, stdout: stdout}, true, nil
+}
+
+func (t *SubprocessTransport) Deferred() bool { return false }
+func (t *SubprocessTransport) Close() error   { return nil }
+
+type procConn struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+}
+
+func (p *procConn) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+func (p *procConn) CloseWrite() error           { return p.stdin.Close() }
+func (p *procConn) Reader() io.Reader           { return p.stdout }
+func (p *procConn) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+func (p *procConn) Wait() error { return p.cmd.Wait() }
+
+// ListenerTransport accepts remote workers that dial in over TCP (or a
+// unix socket) — `meissa work -connect tcp://host:port` on each worker
+// host. The wire protocol is byte-identical to the pipes transport:
+// CRC-framed Hello with fingerprint verify-or-retire, Assign/Done,
+// lease heartbeats. Extra dialers beyond the slot count are refused.
+type ListenerTransport struct {
+	ln      net.Listener
+	pending chan net.Conn
+	once    sync.Once
+	cerr    error
+}
+
+// NewListenerTransport listens on addr ("tcp://host:port",
+// "unix://path", or a bare "host:port") and queues dialing workers for
+// the coordinator to claim.
+func NewListenerTransport(addr string) (*ListenerTransport, error) {
+	network, hostport := splitWorkerAddr(addr)
+	ln, err := net.Listen(network, hostport)
+	if err != nil {
+		return nil, fmt.Errorf("shard: listen %s: %w", addr, err)
+	}
+	t := &ListenerTransport{ln: ln, pending: make(chan net.Conn, 16)}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr is the bound listen address (resolves ":0" to the real port).
+func (t *ListenerTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *ListenerTransport) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		select {
+		case t.pending <- c:
+		default:
+			obs.Warnf("shard: refusing surplus worker connection from %v", c.RemoteAddr())
+			c.Close()
+		}
+	}
+}
+
+func (t *ListenerTransport) Connect() (WorkerConn, bool, error) {
+	select {
+	case c := <-t.pending:
+		obs.Infof("shard: remote worker connected from %v", c.RemoteAddr())
+		return newNetConn(c), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func (t *ListenerTransport) Deferred() bool { return true }
+
+func (t *ListenerTransport) Close() error {
+	t.once.Do(func() {
+		t.cerr = t.ln.Close()
+	drain:
+		for {
+			select {
+			case c := <-t.pending:
+				c.Close()
+			default:
+				break drain
+			}
+		}
+	})
+	return t.cerr
+}
+
+// netConn adapts one accepted connection to WorkerConn. "Process death"
+// is the connection dying: the first read error (or Kill) unblocks
+// Wait, so the coordinator's exited event fires exactly as it does when
+// a subprocess is reaped.
+type netConn struct {
+	c    net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newNetConn(c net.Conn) *netConn {
+	return &netConn{c: c, done: make(chan struct{})}
+}
+
+func (n *netConn) markDone() { n.once.Do(func() { close(n.done) }) }
+
+func (n *netConn) Write(b []byte) (int, error) { return n.c.Write(b) }
+
+func (n *netConn) CloseWrite() error {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := n.c.(closeWriter); ok {
+		return cw.CloseWrite() // TCP/unix half-close: worker still sends its tail
+	}
+	return n.c.Close()
+}
+
+func (n *netConn) Reader() io.Reader { return doneReader{n} }
+
+func (n *netConn) Kill() {
+	n.c.Close()
+	n.markDone()
+}
+
+func (n *netConn) Wait() error { <-n.done; return nil }
+
+// doneReader marks the connection dead on any read error, clean EOF
+// included — for a remote worker, EOF IS process exit.
+type doneReader struct{ n *netConn }
+
+func (d doneReader) Read(b []byte) (int, error) {
+	nn, err := d.n.c.Read(b)
+	if err != nil {
+		d.n.markDone()
+	}
+	return nn, err
+}
+
+// DialWorker is the worker side of ListenerTransport: connect to the
+// coordinator's listen address, retrying until it starts listening
+// (workers are typically launched before or alongside the run) or wait
+// elapses. Serve the returned conn with ServeShardWorker(conn, conn).
+func DialWorker(addr string, wait time.Duration) (net.Conn, error) {
+	network, hostport := splitWorkerAddr(addr)
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := net.DialTimeout(network, hostport, 2*time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().Add(dialRetryInterval).After(deadline) {
+			return nil, fmt.Errorf("shard: dial %s: %w", addr, err)
+		}
+		time.Sleep(dialRetryInterval)
+	}
+}
+
+const dialRetryInterval = 250 * time.Millisecond
+
+// splitWorkerAddr maps a worker address to (network, address):
+// "tcp://host:port" and bare "host:port" → tcp; "unix://path" → unix.
+func splitWorkerAddr(addr string) (network, hostport string) {
+	if s, ok := strings.CutPrefix(addr, "tcp://"); ok {
+		return "tcp", s
+	}
+	if s, ok := strings.CutPrefix(addr, "unix://"); ok {
+		return "unix", s
+	}
+	return "tcp", addr
+}

@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// stubHandler is a minimal in-process worker: echoes the Hello's
+// identity in Ready and completes every unit with one synthetic record.
+type stubHandler struct {
+	hello *Hello
+	fail  map[int]bool // units this worker reports as failed
+}
+
+func (h *stubHandler) Init(hello *Hello) (*Ready, error) {
+	h.hello = hello
+	return &Ready{Fingerprint: hello.Fingerprint, FrontierDigest: hello.FrontierDigest, NumUnits: hello.NumUnits}, nil
+}
+
+func (h *stubHandler) RunUnit(index int, heartbeat func(uint64)) (*Done, error) {
+	if h.fail[index] {
+		return nil, errors.New("stub: injected unit failure")
+	}
+	heartbeat(1)
+	return &Done{
+		Index:   index,
+		Paths:   1,
+		Records: []journal.Record{{Kind: journal.KindEmit, Key: uint64(1000 + index), Verdict: journal.Sat}},
+	}, nil
+}
+
+// dialStubWorker runs one remote worker lifecycle: dial the listener,
+// serve the protocol over the connection, close.
+func dialStubWorker(t *testing.T, addr string, h Handler, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := DialWorker(addr, 10*time.Second)
+		if err != nil {
+			t.Errorf("dial worker: %v", err)
+			return
+		}
+		defer conn.Close()
+		if err := Serve(conn, conn, h); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+}
+
+func listenerRunConfig(t *testing.T, lt *ListenerTransport, workers, units int) *Config {
+	t.Helper()
+	dir := t.TempDir()
+	us := make([]LeaseUnit, units)
+	for i := range us {
+		us[i] = LeaseUnit{Index: i, Key: uint64(0xA0 + i)}
+	}
+	var digest uint64
+	for _, u := range us {
+		digest = digest*1315423911 + u.Key
+	}
+	return &Config{
+		Hello:        &Hello{Fingerprint: 0xFEED, FrontierDigest: digest, NumUnits: units},
+		Units:        us,
+		Workers:      workers,
+		Transport:    lt,
+		JournalPath:  func(gen int) string { return filepath.Join(dir, fmt.Sprintf("w%d.journal", gen)) },
+		Merge:        func(journal.Record) error { return nil },
+		LeaseTimeout: 2 * time.Second,
+	}
+}
+
+// A coordinator over a TCP listener transport completes every unit with
+// remote (dialed-in) workers, and the fingerprint handshake passes.
+func TestListenerTransportRun(t *testing.T) {
+	lt, err := NewListenerTransport("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := listenerRunConfig(t, lt, 2, 6)
+
+	var wg sync.WaitGroup
+	merged := map[uint64]bool{}
+	cfg.Merge = func(r journal.Record) error { merged[r.Key] = true; return nil }
+	for i := 0; i < 2; i++ {
+		dialStubWorker(t, lt.Addr(), &stubHandler{}, &wg)
+	}
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wg.Wait()
+	if got := res.Counters.Completed; got != 6 {
+		t.Fatalf("completed = %d, want 6", got)
+	}
+	if len(merged) != 6 {
+		t.Fatalf("merged %d distinct records, want 6", len(merged))
+	}
+	if res.Counters.Quarantined != 0 {
+		t.Fatalf("quarantined = %d, want 0", res.Counters.Quarantined)
+	}
+}
+
+// A worker whose identity diverges from the coordinator's is retired by
+// the verify-or-retire handshake; the remaining worker finishes the run.
+func TestListenerTransportSkewedWorkerRetired(t *testing.T) {
+	lt, err := NewListenerTransport("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := listenerRunConfig(t, lt, 2, 4)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // skewed worker: wrong fingerprint in Ready
+		defer wg.Done()
+		conn, err := DialWorker(lt.Addr(), 10*time.Second)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		env, err := ReadFrame(conn)
+		if err != nil || env.Kind != KindHello {
+			t.Errorf("skewed worker hello: %v", err)
+			return
+		}
+		_ = WriteFrame(conn, &Envelope{Kind: KindReady, Ready: &Ready{Fingerprint: 0xBAD}})
+		// The coordinator kills the connection; drain until it does.
+		for {
+			if _, err := ReadFrame(conn); err != nil {
+				return
+			}
+		}
+	}()
+	dialStubWorker(t, lt.Addr(), &stubHandler{}, &wg)
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wg.Wait()
+	if got := res.Counters.Completed; got != 4 {
+		t.Fatalf("completed = %d, want 4", got)
+	}
+}
+
+// With no remote worker ever dialing in, a deferred transport bounds the
+// wait and collapses to ErrNoWorkers instead of hanging.
+func TestListenerTransportNoWorkers(t *testing.T) {
+	lt, err := NewListenerTransport("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := listenerRunConfig(t, lt, 2, 3)
+	cfg.ReadyTimeout = 400 * time.Millisecond
+
+	start := time.Now()
+	_, err = Run(cfg)
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("run: got %v, want ErrNoWorkers", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("took %v to give up, want bounded by ReadyTimeout", el)
+	}
+}
+
+// A remote worker that drops mid-run has its leases reassigned to the
+// replacement that dials in afterwards — same supervision semantics as a
+// crashed subprocess.
+func TestListenerTransportWorkerDropReassigned(t *testing.T) {
+	lt, err := NewListenerTransport("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := listenerRunConfig(t, lt, 1, 5)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // first worker: completes one unit, then drops the connection
+		defer wg.Done()
+		conn, err := DialWorker(lt.Addr(), 10*time.Second)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		h := &stubHandler{}
+		env, err := ReadFrame(conn)
+		if err != nil || env.Kind != KindHello {
+			conn.Close()
+			t.Errorf("first worker hello: %v", err)
+			return
+		}
+		ready, _ := h.Init(env.Hello)
+		_ = WriteFrame(conn, &Envelope{Kind: KindReady, Ready: ready})
+		if env, err = ReadFrame(conn); err != nil || env.Kind != KindAssign {
+			conn.Close()
+			t.Errorf("first worker assign: %v", err)
+			return
+		}
+		done, _ := h.RunUnit(env.Assign.Index, func(uint64) {})
+		_ = WriteFrame(conn, &Envelope{Kind: KindDone, Done: done})
+		conn.Close() // abrupt death after one completed unit
+	}()
+
+	resCh := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := Run(cfg)
+		resCh <- res
+		errCh <- err
+	}()
+
+	time.Sleep(300 * time.Millisecond) // let the first worker live and die
+	dialStubWorker(t, lt.Addr(), &stubHandler{}, &wg)
+
+	res, err := <-resCh, <-errCh
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wg.Wait()
+	if got := res.Counters.Completed; got != 5 {
+		t.Fatalf("completed = %d, want 5", got)
+	}
+	if res.WorkerRestarts == 0 {
+		t.Fatalf("expected at least one restart after the drop")
+	}
+}

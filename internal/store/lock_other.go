@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+// tryLock is a no-op on platforms without flock: the store opens
+// unlocked and cross-process exclusion is the operator's problem, as it
+// was before the advisory lock existed.
+func tryLock(path string) (*fileLock, error) { return &fileLock{path: path}, nil }
+
+func (l *fileLock) release() {}

@@ -1,0 +1,81 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A second Open on a live store must fail with the typed ErrStoreBusy,
+// not a raw I/O error. flock is per open-file-description, so the
+// conflict reproduces inside a single process.
+func TestOpenBusy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.meissa")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	defer st.Close()
+
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrStoreBusy) {
+		t.Fatalf("second open: got %v, want ErrStoreBusy", err)
+	}
+}
+
+// LockWait retries until the holder releases: a bounded-wait Open
+// started while the store is held succeeds once the holder closes.
+func TestOpenLockWait(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.meissa")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		st2, err := Open(path, Options{LockWait: 5 * time.Second})
+		if err == nil {
+			st2.Close()
+		}
+		done <- err
+	}()
+
+	time.Sleep(150 * time.Millisecond) // let the waiter hit the lock at least once
+	if err := st.Close(); err != nil {
+		t.Fatalf("close holder: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiting open: %v", err)
+	}
+}
+
+// LockWait gives up with ErrStoreBusy when the holder never releases.
+func TestOpenLockWaitTimeout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.meissa")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	defer st.Close()
+
+	if _, err := Open(path, Options{LockWait: 120 * time.Millisecond}); !errors.Is(err, ErrStoreBusy) {
+		t.Fatalf("bounded wait: got %v, want ErrStoreBusy", err)
+	}
+}
+
+// Close releases the lock: open → close → open again succeeds.
+func TestLockReleasedOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.meissa")
+	for i := 0; i < 3; i++ {
+		st, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -19,6 +20,11 @@ type Options struct {
 	// PageSize is used only when creating a new store; an existing file's
 	// recorded page size always wins. 0 means DefaultPageSize.
 	PageSize int
+	// LockWait bounds how long Open waits for a busy store's advisory
+	// lock before failing with ErrStoreBusy. Zero makes one attempt and
+	// fails immediately — the right default for batch runs racing a
+	// resident daemon.
+	LockWait time.Duration
 }
 
 // ErrWedged is returned by writes after an I/O error left a commit in an
@@ -47,6 +53,8 @@ type Store struct {
 	path     string
 	f, wal   File
 	pageSize int
+
+	lock *fileLock // advisory cross-process lock (nil with an injected FS)
 
 	txMu sync.Mutex // single writer, held Begin → Commit/Abort
 
@@ -79,17 +87,31 @@ func Open(path string, opts Options) (*Store, error) {
 	if pageSize < minPageSize {
 		return nil, fmt.Errorf("store: page size %d below minimum %d", pageSize, minPageSize)
 	}
+	// The advisory lock guards the real filesystem against a second live
+	// writer (e.g. a CLI run racing the resident daemon). An injected FS
+	// is a simulated process — its crashes never release fds, and real
+	// flock semantics (auto-release on process death) don't apply — so
+	// only the production OSFS path locks.
+	var lock *fileLock
+	if opts.FS == nil {
+		var lerr error
+		if lock, lerr = acquireLock(path+"-lock", opts.LockWait); lerr != nil {
+			return nil, lerr
+		}
+	}
 	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		lock.release()
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
 	wal, err := fs.OpenFile(path+"-wal", os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		f.Close()
+		lock.release()
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
 	s := &Store{
-		fs: fs, path: path, f: f, wal: wal,
+		fs: fs, path: path, f: f, wal: wal, lock: lock,
 		pageSize:    pageSize,
 		cache:       make(map[uint64]*node),
 		pendingFree: make(map[uint64][]uint64),
@@ -98,6 +120,7 @@ func Open(path string, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		f.Close()
 		wal.Close()
+		lock.release()
 		return nil, err
 	}
 	s.freePool = append([]uint64(nil), s.meta.freelist...)
@@ -269,6 +292,7 @@ func (s *Store) initFresh() error {
 // be finished first; committed state needs no flushing (commits are
 // durable when Commit returns).
 func (s *Store) Close() error {
+	defer s.lock.release()
 	werr := s.wal.Close()
 	if err := s.f.Close(); err != nil {
 		return err

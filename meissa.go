@@ -131,6 +131,12 @@ type Options struct {
 	// creates on first use), uses exactly like Store, and closes before
 	// returning — the `gen -store` / `regress -store` CLI path.
 	StorePath string
+	// StoreWait bounds how long opening StorePath waits for the store's
+	// advisory lock when another process (typically the resident daemon)
+	// holds it, retrying until the deadline before failing with
+	// store.ErrStoreBusy. Zero makes exactly one attempt — the
+	// `-store-wait` CLI flag.
+	StoreWait time.Duration
 	// VerdictCache, when non-nil, is used as the run's shared solver
 	// verdict cache instead of a fresh one — the watch-mode path, where
 	// consecutive incremental runs keep the cache warm across rule
@@ -148,6 +154,15 @@ type Options struct {
 	// to the in-process engine with a logged reason. 0 or 1 disables
 	// sharding.
 	ShardWorkers int
+	// ShardListen, when non-empty, swaps the subprocess transport for a
+	// listener at this address ("tcp://host:port" or "unix://path"):
+	// instead of spawning local workers the coordinator waits for
+	// `meissa work -connect` processes — possibly on other hosts — to
+	// dial in, speaking the same CRC-framed protocol with the same
+	// fingerprint verify-or-retire handshake. ShardWorkers still sets
+	// the slot count. A listener that stays empty past the ready
+	// timeout falls back to the in-process engine.
+	ShardListen string
 	// LeaseTimeout is the shard lease progress deadline: a worker that
 	// makes no path progress for this long is presumed hung, killed, and
 	// its unit reassigned (0 = 10s default).

@@ -154,20 +154,40 @@ func (s *System) shardedFinalPass(fcfg sym.Config, jp **journal.Journal, jPath s
 		if command == nil {
 			command = defaultWorkerCommand
 		}
+		var transport shard.Transport
+		var listenErr error
+		if s.Opts.ShardListen != "" {
+			lt, lerr := shard.NewListenerTransport(s.Opts.ShardListen)
+			if lerr != nil {
+				listenErr = lerr
+			} else {
+				transport = lt
+				obs.Infof("meissa: %s: listening for remote shard workers on %s", s.Prog.Name, lt.Addr())
+			}
+		}
 		workDir, derr := os.MkdirTemp("", "meissa-workers-")
-		if derr != nil {
+		if derr == nil && listenErr == nil {
+			defer os.RemoveAll(workDir)
+		}
+		if listenErr != nil {
+			rep.Fallback, rep.FallbackReason = true, fmt.Sprintf("remote worker listener: %v", listenErr)
+			obs.Warnf("meissa: %s: %s; falling back to in-process exploration", s.Prog.Name, rep.FallbackReason)
+		} else if derr != nil {
+			if transport != nil {
+				transport.Close()
+			}
 			rep.Fallback, rep.FallbackReason = true, fmt.Sprintf("worker journal dir: %v", derr)
 			obs.Warnf("meissa: %s: %s; falling back to in-process exploration", s.Prog.Name, rep.FallbackReason)
 		} else {
-			defer os.RemoveAll(workDir)
 			j := *jp
 			obs.Progressf("meissa: %s: sharding final pass: %d units across %d worker processes",
 				s.Prog.Name, len(units), s.Opts.ShardWorkers)
 			rres, rerr := shard.Run(&shard.Config{
-				Hello:   hello,
-				Units:   units,
-				Workers: s.Opts.ShardWorkers,
-				Command: command,
+				Hello:     hello,
+				Units:     units,
+				Workers:   s.Opts.ShardWorkers,
+				Command:   command,
+				Transport: transport,
 				JournalPath: func(gen int) string {
 					return filepath.Join(workDir, fmt.Sprintf("worker-gen%d.journal", gen))
 				},

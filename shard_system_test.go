@@ -8,6 +8,7 @@ package meissa_test
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"strings"
@@ -16,12 +17,29 @@ import (
 
 	meissa "repro"
 	"repro/internal/programs"
+	"repro/internal/shard"
 )
 
 func TestMain(m *testing.M) {
 	if os.Getenv("MEISSA_SHARD_WORKER") == "1" {
 		if err := meissa.ServeShardWorker(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if addr := os.Getenv("MEISSA_SHARD_CONNECT"); addr != "" {
+		// Remote-worker mode: dial the coordinator's listener and serve
+		// one run over the connection (the `meissa work -connect` path).
+		conn, err := shard.DialWorker(addr, 30*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard dial:", err)
+			os.Exit(1)
+		}
+		err = meissa.ServeShardWorker(conn, conn)
+		conn.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard remote worker:", err)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -231,5 +249,77 @@ func TestShardedIneligibleOptionsFallBack(t *testing.T) {
 	}
 	if got, want := renderTemplates(single.Templates), renderTemplates(seq.Templates); got != want {
 		t.Fatal("single-worker run diverges from sequential")
+	}
+}
+
+// freeTCPAddr reserves an ephemeral port and releases it for the
+// coordinator's listener; the window between release and re-listen is
+// covered by the workers' dial retry.
+func freeTCPAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestShardedRemoteTCPMatchesSequential: the listener transport — remote
+// workers dialing in over TCP instead of being spawned over pipes —
+// produces output byte-identical to the sequential engine, through the
+// same fingerprint handshake and lease supervision.
+func TestShardedRemoteTCPMatchesSequential(t *testing.T) {
+	p := corpusProgram(t, "gw-1")
+	seq := generateAt(t, p, false, 1)
+
+	addr := "tcp://" + freeTCPAddr(t)
+	var procs []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "MEISSA_SHARD_CONNECT="+addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	reaped := false
+	defer func() {
+		if !reaped {
+			for _, c := range procs {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}
+	}()
+
+	gen := generateSharded(t, p, func(o *meissa.Options) {
+		o.ShardWorkers = 2
+		o.ShardListen = addr
+	})
+	if got, want := renderTemplates(gen.Templates), renderTemplates(seq.Templates); got != want {
+		t.Fatalf("remote TCP output diverges from sequential (%d vs %d templates)\n%s",
+			len(gen.Templates), len(seq.Templates), firstDiff(want, got))
+	}
+	rep := gen.Shard
+	if rep == nil {
+		t.Fatal("no shard report on a sharded run")
+	}
+	if rep.Fallback {
+		t.Fatalf("unexpected fallback: %s", rep.FallbackReason)
+	}
+	if rep.Units == 0 || rep.UnitsCompleted != rep.Units {
+		t.Fatalf("unit accounting off: %+v", rep)
+	}
+
+	// The coordinator half-closed each connection at shutdown; the
+	// workers must drain and exit zero on their own.
+	reaped = true
+	for _, c := range procs {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("remote worker exit: %v", err)
+		}
 	}
 }

@@ -72,7 +72,7 @@ func (s *System) openStoreCtx(initC []expr.Bool) (*storeCtx, error) {
 	}
 	stc := &storeCtx{st: s.Opts.Store, fam: s.familyFingerprint(initC), sysFP: s.fingerprint(initC)}
 	if stc.st == nil {
-		st, err := store.Open(s.Opts.StorePath, store.Options{})
+		st, err := store.Open(s.Opts.StorePath, store.Options{LockWait: s.Opts.StoreWait})
 		if err != nil {
 			return nil, fmt.Errorf("meissa: store: %w", err)
 		}
